@@ -1,0 +1,59 @@
+// Command ancestry measures the ancestry-list structure behind the
+// paper's fluid-limit argument (Section 3): Lemma 6's claim that lists
+// stay O(log n) (in fact O(1) on average, ≈ e^{d(d−1)·m/n}), and Lemma 7's
+// claim that the d lists of a new ball are pairwise disjoint with
+// probability 1 − O(d² log² n / n).
+//
+// Example:
+//
+//	ancestry -d 2 -logn-min 9 -logn-max 13 -draws 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"repro/internal/ancestry"
+	"repro/internal/choice"
+	"repro/internal/rng"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		d       = flag.Int("d", 2, "choices per ball")
+		logNMin = flag.Int("logn-min", 9, "smallest table size exponent")
+		logNMax = flag.Int("logn-max", 12, "largest table size exponent")
+		load    = flag.Float64("load", 1, "balls per bin (m = load·n)")
+		sample  = flag.Int("sample", 128, "bins sampled for list sizes")
+		draws   = flag.Int("draws", 400, "fresh candidate sets tested for disjointness")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	theory := math.Exp(float64(*d) * float64(*d-1) * *load)
+	fmt.Printf("ancestry lists: d=%d, m=%.2g·n (branching-process mean ≈ %.1f bins)\n\n",
+		*d, *load, theory)
+	tbl := table.New("n", "mean size", "max size", "disjoint fraction")
+	for logN := *logNMin; logN <= *logNMax; logN++ {
+		n := 1 << logN
+		m := int(*load * float64(n))
+		gen := choice.NewDoubleHash(n, *d, rng.NewXoshiro256(*seed+uint64(logN)))
+		tr := ancestry.Record(gen, m)
+		stride := n / *sample
+		if stride < 1 {
+			stride = 1
+		}
+		s := tr.SampleSizes(stride)
+		probe := choice.NewDoubleHash(n, *d, rng.NewXoshiro256(*seed+uint64(logN)+1000))
+		disj := tr.DisjointFraction(probe, *draws)
+		tbl.AddRow(fmt.Sprintf("2^%d", logN),
+			fmt.Sprintf("%.1f", s.MeanSize),
+			fmt.Sprint(s.MaxSize),
+			fmt.Sprintf("%.3f", disj))
+	}
+	fmt.Println(tbl.String())
+	fmt.Println("Lemma 6: mean size stays flat as n grows (no linear creep).")
+	fmt.Println("Lemma 7: the disjoint fraction approaches 1 as n grows.")
+}

@@ -1,0 +1,113 @@
+// Command balanced runs a single balls-into-bins experiment with full
+// control over every parameter, printing the load distribution, the
+// per-trial maximum-load distribution and (with -compare) the statistical
+// comparison between fully random and double hashing.
+//
+// Examples:
+//
+//	balanced -n 16384 -d 3 -trials 1000
+//	balanced -n 262144 -m 4194304 -d 4 -hash double-hash
+//	balanced -n 16384 -d 4 -scheme dleft -trials 1000 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+var hashings = map[string]core.Hashing{
+	"fully-random":          core.FullyRandom,
+	"double-hash":           core.DoubleHash,
+	"fully-random-wr":       core.FullyRandomWR,
+	"double-hash-anystride": core.DoubleHashAnyStride,
+	"one-choice":            core.OneChoice,
+}
+
+var schemes = map[string]core.Scheme{
+	"classic": core.Classic,
+	"dleft":   core.DLeft,
+}
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<14, "number of bins")
+		m       = flag.Int("m", 0, "number of balls (0 = n)")
+		d       = flag.Int("d", 3, "choices per ball")
+		trials  = flag.Int("trials", 100, "independent trials")
+		scheme  = flag.String("scheme", "classic", "placement scheme: classic or dleft")
+		hash    = flag.String("hash", "double-hash", "hashing: fully-random, double-hash, fully-random-wr, double-hash-anystride, one-choice")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		compare = flag.Bool("compare", false, "run both hashings and print the statistical comparison")
+	)
+	flag.Parse()
+
+	sch, ok := schemes[*scheme]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	hsh, ok := hashings[*hash]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown hashing %q\n", *hash)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		N: *n, M: *m, D: *d,
+		Scheme: sch, Hashing: hsh,
+		Trials: *trials, Seed: *seed, Workers: *workers,
+	}
+
+	if *compare {
+		frCfg := cfg
+		frCfg.Hashing = core.FullyRandom
+		dhCfg := cfg
+		dhCfg.Hashing = core.DoubleHash
+		dhCfg.Seed = *seed + 1
+		fr := core.Run(frCfg)
+		dh := core.Run(dhCfg)
+		printDistribution("fully random vs double hashing", &fr, &dh)
+		chi := stats.ChiSquareHomogeneity(&fr.Pooled, &dh.Pooled, 5)
+		fmt.Printf("chi-square = %.3f  dof = %d  p = %.4f  total variation = %.3e\n",
+			chi.Chi2, chi.Dof, chi.P, stats.TotalVariation(&fr.Pooled, &dh.Pooled))
+		return
+	}
+
+	res := core.Run(cfg)
+	printDistribution(fmt.Sprintf("%v / %v", sch, hsh), &res, nil)
+}
+
+func printDistribution(title string, a, b *core.Result) {
+	eff := a.Config
+	fmt.Printf("%s: n=%d m=%d d=%d trials=%d\n\n", title, eff.N, eff.M, eff.D, eff.Trials)
+	var tbl *table.Table
+	maxLoad := a.MaxObservedLoad()
+	if b != nil && b.MaxObservedLoad() > maxLoad {
+		maxLoad = b.MaxObservedLoad()
+	}
+	if b != nil {
+		tbl = table.New("Load", "Fully Random", "Double Hashing")
+		for v := 0; v <= maxLoad; v++ {
+			tbl.AddRow(fmt.Sprint(v), table.Prob(a.FractionAtLoad(v)), table.Prob(b.FractionAtLoad(v)))
+		}
+	} else {
+		tbl = table.New("Load", "Fraction of bins")
+		for v := 0; v <= maxLoad; v++ {
+			tbl.AddRow(fmt.Sprint(v), table.Prob(a.FractionAtLoad(v)))
+		}
+	}
+	fmt.Println(tbl.String())
+	mx := table.New("Max load", "Fraction of trials")
+	for v := 0; v <= a.MaxLoadDist.MaxValue(); v++ {
+		if a.MaxLoadDist.Count(v) > 0 {
+			mx.AddRow(fmt.Sprint(v), table.Prob(a.FracTrialsWithMaxLoad(v)))
+		}
+	}
+	fmt.Println(mx.String())
+}

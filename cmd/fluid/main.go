@@ -1,0 +1,58 @@
+// Command fluid evaluates the paper's fluid-limit models without any
+// simulation: the d-choice balls-and-bins ODEs, the d-left system, and the
+// supermarket queueing model (ODE transient plus closed-form equilibrium).
+//
+// Examples:
+//
+//	fluid -model ballsbins -d 3 -T 1
+//	fluid -model dleft -d 4
+//	fluid -model queue -d 3 -lambda 0.99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fluid"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "ballsbins", "ballsbins, dleft or queue")
+		d      = flag.Int("d", 3, "number of choices")
+		T      = flag.Float64("T", 1, "time horizon (T·n balls; queue transient length)")
+		levels = flag.Int("levels", 8, "tracked load levels")
+		lambda = flag.Float64("lambda", 0.9, "arrival rate per queue (queue model)")
+	)
+	flag.Parse()
+
+	switch *model {
+	case "ballsbins":
+		tails := fluid.SolveBallsBins(*d, *T, *levels)
+		printTails(fmt.Sprintf("balls-and-bins fluid limit: d=%d, T=%v", *d, *T), tails)
+	case "dleft":
+		tails := fluid.SolveDLeft(*d, *T, *levels)
+		printTails(fmt.Sprintf("d-left fluid limit: d=%d, T=%v", *d, *T), tails)
+	case "queue":
+		eq := fluid.EquilibriumTails(*lambda, *d, *levels)
+		printTails(fmt.Sprintf("supermarket equilibrium: λ=%v, d=%d", *lambda, *d), eq)
+		fmt.Printf("expected time in system: %.5f\n", fluid.ExpectedSojourn(*lambda, *d))
+		tr := fluid.SolveSupermarket(*lambda, *d, *T, *levels)
+		fmt.Printf("ODE sojourn after transient T=%v from empty: %.5f\n",
+			*T, fluid.SojournFromTails(tr, *lambda))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+}
+
+func printTails(caption string, tails []float64) {
+	tbl := table.New("Level i", "Fraction >= i", "Fraction == i").SetCaption("%s", caption)
+	fr := fluid.LoadFractions(tails)
+	for i := range tails {
+		tbl.AddRow(fmt.Sprint(i), table.Prob(tails[i]), table.Prob(fr[i]))
+	}
+	fmt.Println(tbl.String())
+}

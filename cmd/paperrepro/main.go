@@ -1,0 +1,54 @@
+// Command paperrepro regenerates the evaluation tables of Mitzenmacher,
+// "Balanced Allocations and Double Hashing" (SPAA 2014).
+//
+// Usage:
+//
+//	paperrepro -table all -scale 20
+//	paperrepro -table 8 -scale 1        # the paper's full Table 8 workload
+//
+// -scale divides the paper's trial counts (10,000 per table; 100
+// simulations for Table 8, where it also divides the queue count and
+// horizon). Scale 1 is the paper's exact workload and can take hours;
+// scale 10–50 reproduces every qualitative comparison in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		tableName = flag.String("table", "all", "table to regenerate: 1..8 or all")
+		scale     = flag.Int("scale", 20, "divide the paper's trial counts by this factor (1 = full paper scale)")
+		seed      = flag.Uint64("seed", 0x5EED, "base random seed")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		check     = flag.Bool("check", false, "also run the chi-square indistinguishability test at n=2^14, d=3")
+		extras    = flag.Bool("extras", false, "also run the beyond-the-paper experiments (ancestry, Bloom, open addressing, cuckoo, churn, 1+β)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Scale: *scale, Seed: *seed, Workers: *workers}
+	start := time.Now()
+	tables, err := experiments.ByName(*tableName, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		fmt.Println(t.Text)
+	}
+	if *check {
+		fmt.Println(experiments.Indistinguishability(opt, 1<<14, 3).Text)
+	}
+	if *extras {
+		for _, t := range experiments.Extras(opt) {
+			fmt.Println(t.Text)
+		}
+	}
+	fmt.Printf("done in %v (scale %d, seed %#x)\n", time.Since(start).Round(time.Millisecond), *scale, *seed)
+}

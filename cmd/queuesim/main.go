@@ -1,0 +1,68 @@
+// Command queuesim runs the supermarket-model discrete-event simulation
+// (the substrate of the paper's Table 8) and compares the measured mean
+// time in system against the fluid-limit prediction.
+//
+// Example:
+//
+//	queuesim -n 16384 -d 3 -lambda 0.9 -horizon 10000 -burnin 1000 -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/choice"
+	"repro/internal/fluid"
+	"repro/internal/queueing"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 1<<12, "number of queues")
+		d       = flag.Int("d", 3, "choices per arrival")
+		lambda  = flag.Float64("lambda", 0.9, "arrival rate per queue (0 < λ < 1)")
+		horizon = flag.Float64("horizon", 2000, "simulated seconds")
+		burnin  = flag.Float64("burnin", 200, "burn-in seconds excluded from averages")
+		trials  = flag.Int("trials", 10, "independent simulations")
+		hash    = flag.String("hash", "both", "fully-random, double-hash or both")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	run := func(factory choice.Factory, seed uint64) queueing.Result {
+		return queueing.Run(queueing.Config{
+			N: *n, D: *d, Lambda: *lambda,
+			Factory: factory,
+			Horizon: *horizon, Burnin: *burnin,
+			Trials: *trials, Seed: seed, Workers: *workers,
+		})
+	}
+
+	fmt.Printf("supermarket model: n=%d d=%d λ=%v horizon=%v burnin=%v trials=%d\n\n",
+		*n, *d, *lambda, *horizon, *burnin, *trials)
+	tbl := table.New("Hashing", "Mean sojourn", "Std err (trials)", "Jobs")
+	tbl.AddRow("fluid limit", table.Fixed(fluid.ExpectedSojourn(*lambda, *d), 5), "-", "-")
+	addRow := func(name string, factory choice.Factory, s uint64) {
+		r := run(factory, s)
+		tbl.AddRow(name,
+			table.Fixed(r.PooledMeanSojourn(), 5),
+			fmt.Sprintf("%.5f", r.PerTrial.StdErr()),
+			fmt.Sprint(r.Completed))
+	}
+	switch *hash {
+	case "both":
+		addRow("fully-random", choice.NewFullyRandom, *seed)
+		addRow("double-hash", choice.NewDoubleHash, *seed+1)
+	case "fully-random":
+		addRow("fully-random", choice.NewFullyRandom, *seed)
+	case "double-hash":
+		addRow("double-hash", choice.NewDoubleHash, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown hashing %q\n", *hash)
+		os.Exit(2)
+	}
+	fmt.Println(tbl.String())
+}

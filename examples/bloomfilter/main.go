@@ -1,0 +1,41 @@
+// Bloomfilter: "less hashing, same performance" in practice.
+//
+// The paper's related-work anchor (Kirsch–Mitzenmacher 2008) proves that a
+// Bloom filter whose k probe positions are derived from just two hash
+// values by double hashing — g_i = h1 + i·h2 mod m — has asymptotically
+// the same false-positive rate as one with k independent hash functions.
+// LevelDB's and many other deployed Bloom filters use exactly this trick.
+//
+// This program measures both variants across k and compares them with the
+// textbook (1 − e^{−kn/m})^k estimate.
+//
+// Run with: go run ./examples/bloomfilter
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	const (
+		mBits  = 1 << 20 // 128 KiB of filter
+		n      = 1 << 16 // keys inserted → 16 bits/key
+		probes = 1 << 18 // membership probes for absent keys
+	)
+
+	fmt.Printf("Bloom filter: m = %d bits, n = %d keys (%d bits/key), %d probes\n\n",
+		mBits, n, mBits/n, probes)
+	fmt.Println(" k  Theory      k-independent  double-hashing")
+	for _, k := range []int{2, 4, 6, 8, 11} {
+		theory := repro.BloomTheoreticalFPR(n, mBits, k)
+		ind := repro.MeasureBloomFPR(repro.NewBloomFilter(mBits, k, repro.BloomKIndependent, uint64(k)), n, probes)
+		dbl := repro.MeasureBloomFPR(repro.NewBloomFilter(mBits, k, repro.BloomDoubleHashing, uint64(k)+100), n, probes)
+		fmt.Printf("%2d  %.4e  %.4e     %.4e\n", k, theory, ind, dbl)
+	}
+
+	fmt.Println("\nThe two columns track the theory curve equally well: two hash")
+	fmt.Println("values per key are enough, for any k. This is the same phenomenon the")
+	fmt.Println("paper establishes for balanced allocations.")
+}

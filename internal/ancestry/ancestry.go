@@ -1,0 +1,203 @@
+// Package ancestry implements the ancestry lists at the heart of the
+// paper's fluid-limit argument (Section 3, Lemmas 6 and 7). The ancestry
+// list of a bin b at time t contains every ball (and every bin those balls
+// touched) whose placement could have influenced b's load: the balls that
+// chose b, recursively together with the balls that chose their other bins
+// at earlier times.
+//
+// Lemma 6 shows each list holds O(log n) bins with high probability (a
+// branching-process bound); Lemma 7 shows the d lists of a newly placed
+// ball are pairwise disjoint with probability 1 − O(d² log² n / n), which
+// yields the asymptotic independence that lets the same differential
+// equations govern double hashing. This package measures both quantities
+// on recorded traces so the theory can be validated empirically.
+package ancestry
+
+import (
+	"fmt"
+
+	"repro/internal/choice"
+)
+
+// Trace records the candidate bins of every ball thrown by a generator.
+type Trace struct {
+	n, d    int
+	choices []int32 // ball t's candidates at [t*d, (t+1)*d)
+}
+
+// Record draws m candidate sets from gen and stores them.
+func Record(gen choice.Generator, m int) *Trace {
+	if m < 0 {
+		panic(fmt.Sprintf("ancestry: m = %d", m))
+	}
+	tr := &Trace{n: gen.N(), d: gen.D(), choices: make([]int32, m*gen.D())}
+	dst := make([]int, gen.D())
+	for t := 0; t < m; t++ {
+		gen.Draw(dst)
+		for k, v := range dst {
+			tr.choices[t*gen.D()+k] = int32(v)
+		}
+	}
+	return tr
+}
+
+// Balls returns the number of recorded balls.
+func (tr *Trace) Balls() int { return len(tr.choices) / tr.d }
+
+// N returns the number of bins.
+func (tr *Trace) N() int { return tr.n }
+
+// D returns the number of choices per ball.
+func (tr *Trace) D() int { return tr.d }
+
+// Choices returns ball t's candidate bins (a view; do not modify).
+func (tr *Trace) Choices(t int) []int32 {
+	return tr.choices[t*tr.d : (t+1)*tr.d]
+}
+
+// listInto marks, in the caller's scratch bitmap, every bin in the
+// ancestry list of bin b considering balls 0..t−1, and returns the list
+// size in bins. The backward scan is exactly the recursive definition:
+// when ball i (processed in decreasing time order) has any candidate
+// already in the set, all its candidates join the set — later balls can
+// only be recruited by bins that entered the set at even later times, so
+// the time-ordering side conditions of the definition hold automatically.
+func (tr *Trace) listInto(b, t int, inSet []bool, touched *[]int32) int {
+	inSet[b] = true
+	*touched = append(*touched, int32(b))
+	size := 1
+	for ball := t - 1; ball >= 0; ball-- {
+		cs := tr.choices[ball*tr.d : ball*tr.d+tr.d]
+		hit := false
+		for _, c := range cs {
+			if inSet[c] {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		for _, c := range cs {
+			if !inSet[c] {
+				inSet[c] = true
+				*touched = append(*touched, c)
+				size++
+			}
+		}
+	}
+	return size
+}
+
+// ListSize returns the number of bins in the ancestry list of bin b at
+// time t (considering balls 0..t−1).
+func (tr *Trace) ListSize(b, t int) int {
+	tr.check(b, t)
+	inSet := make([]bool, tr.n)
+	var touched []int32
+	return tr.listInto(b, t, inSet, &touched)
+}
+
+// ListBins returns the bins in the ancestry list of bin b at time t.
+func (tr *Trace) ListBins(b, t int) []int {
+	tr.check(b, t)
+	inSet := make([]bool, tr.n)
+	var touched []int32
+	tr.listInto(b, t, inSet, &touched)
+	out := make([]int, len(touched))
+	for i, v := range touched {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// ListsDisjoint reports whether the ancestry lists at time t of the given
+// bins are pairwise disjoint — the Lemma 7 event. Duplicate input bins are
+// never disjoint.
+func (tr *Trace) ListsDisjoint(bins []int, t int) bool {
+	seen := make(map[int]bool)
+	inSet := make([]bool, tr.n)
+	var touched []int32
+	for _, b := range bins {
+		tr.check(b, t)
+		touched = touched[:0]
+		tr.listInto(b, t, inSet, &touched)
+		for _, v := range touched {
+			if seen[int(v)] {
+				return false
+			}
+			seen[int(v)] = true
+			inSet[v] = false // reset scratch for the next list
+		}
+	}
+	return true
+}
+
+func (tr *Trace) check(b, t int) {
+	if b < 0 || b >= tr.n {
+		panic(fmt.Sprintf("ancestry: bin %d out of [0,%d)", b, tr.n))
+	}
+	if t < 0 || t > tr.Balls() {
+		panic(fmt.Sprintf("ancestry: time %d out of [0,%d]", t, tr.Balls()))
+	}
+}
+
+// Stats summarizes ancestry structure over a sample of bins.
+type Stats struct {
+	MeanSize float64 // mean list size in bins
+	MaxSize  int
+	Sampled  int
+}
+
+// SampleSizes measures ancestry list sizes at the final time over bins
+// 0, stride, 2·stride, ... (a deterministic sample so results are
+// reproducible).
+func (tr *Trace) SampleSizes(stride int) Stats {
+	if stride <= 0 {
+		panic(fmt.Sprintf("ancestry: stride = %d", stride))
+	}
+	t := tr.Balls()
+	inSet := make([]bool, tr.n)
+	var touched []int32
+	var s Stats
+	sum := 0
+	for b := 0; b < tr.n; b += stride {
+		touched = touched[:0]
+		size := tr.listInto(b, t, inSet, &touched)
+		for _, v := range touched {
+			inSet[v] = false
+		}
+		sum += size
+		if size > s.MaxSize {
+			s.MaxSize = size
+		}
+		s.Sampled++
+	}
+	if s.Sampled > 0 {
+		s.MeanSize = float64(sum) / float64(s.Sampled)
+	}
+	return s
+}
+
+// DisjointFraction draws `draws` fresh candidate sets from gen (which must
+// match the trace's n and d) and returns the fraction whose ancestry lists
+// at the final time are pairwise disjoint — the empirical Lemma 7
+// probability.
+func (tr *Trace) DisjointFraction(gen choice.Generator, draws int) float64 {
+	if gen.N() != tr.n || gen.D() != tr.d {
+		panic("ancestry: generator shape does not match trace")
+	}
+	if draws <= 0 {
+		panic(fmt.Sprintf("ancestry: draws = %d", draws))
+	}
+	dst := make([]int, tr.d)
+	t := tr.Balls()
+	disjoint := 0
+	for i := 0; i < draws; i++ {
+		gen.Draw(dst)
+		if tr.ListsDisjoint(dst, t) {
+			disjoint++
+		}
+	}
+	return float64(disjoint) / float64(draws)
+}

@@ -1,0 +1,184 @@
+package ancestry
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/choice"
+	"repro/internal/rng"
+)
+
+// scriptedGen replays a fixed script of candidate sets.
+type scriptedGen struct {
+	n, d   int
+	script [][]int
+	next   int
+}
+
+func (g *scriptedGen) Draw(dst []int) {
+	copy(dst, g.script[g.next])
+	g.next++
+}
+func (g *scriptedGen) N() int       { return g.n }
+func (g *scriptedGen) D() int       { return g.d }
+func (g *scriptedGen) Name() string { return "scripted" }
+
+func scriptTrace(n, d int, script [][]int) *Trace {
+	return Record(&scriptedGen{n: n, d: d, script: script}, len(script))
+}
+
+func TestAncestryHandWorked(t *testing.T) {
+	// Balls: 0:{0,1}  1:{2,3}  2:{1,2}.
+	tr := scriptTrace(4, 2, [][]int{{0, 1}, {2, 3}, {1, 2}})
+
+	// Bin 0 at time 3: ball 2 {1,2} no hit; ball 1 {2,3} no; ball 0 {0,1}
+	// hit → add bin 1. Ball 2 chose bin 1 but only *after* ball 0's time,
+	// so it must NOT be recruited. List = {0, 1}.
+	if got := tr.ListSize(0, 3); got != 2 {
+		t.Fatalf("ListSize(0,3) = %d, want 2", got)
+	}
+	bins := tr.ListBins(0, 3)
+	want := map[int]bool{0: true, 1: true}
+	if len(bins) != 2 || !want[bins[0]] || !want[bins[1]] {
+		t.Fatalf("ListBins(0,3) = %v, want {0,1}", bins)
+	}
+
+	// Bin 2 at time 3: ball 2 {1,2} hit → add 1; ball 1 {2,3} hit → add 3;
+	// ball 0 {0,1} hit (bin 1) → add 0. List = all four bins.
+	if got := tr.ListSize(2, 3); got != 4 {
+		t.Fatalf("ListSize(2,3) = %d, want 4", got)
+	}
+
+	// At time 0 every list is just the bin itself.
+	for b := 0; b < 4; b++ {
+		if got := tr.ListSize(b, 0); got != 1 {
+			t.Fatalf("ListSize(%d,0) = %d, want 1", b, got)
+		}
+	}
+
+	// Disjointness: bins 0 and 3 at time 1 — lists {0} and {3}: disjoint.
+	if !tr.ListsDisjoint([]int{0, 3}, 1) {
+		t.Error("lists {0} and {3} at t=1 should be disjoint")
+	}
+	// Bins 0 and 1 at time 3: bin 1's list contains bin 0's list.
+	if tr.ListsDisjoint([]int{0, 1}, 3) {
+		t.Error("lists of 0 and 1 at t=3 must intersect")
+	}
+	// A duplicated bin is trivially non-disjoint.
+	if tr.ListsDisjoint([]int{2, 2}, 0) {
+		t.Error("duplicate bins must not be disjoint")
+	}
+}
+
+func TestListSizeMonotoneInTime(t *testing.T) {
+	gen := choice.NewDoubleHash(256, 3, rng.NewXoshiro256(5))
+	tr := Record(gen, 256)
+	for _, b := range []int{0, 17, 101, 255} {
+		prev := 0
+		for _, tm := range []int{0, 64, 128, 192, 256} {
+			s := tr.ListSize(b, tm)
+			if s < prev {
+				t.Fatalf("bin %d: list size shrank from %d to %d at t=%d", b, prev, s, tm)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestLemma6SizesStayConstantAsNGrows(t *testing.T) {
+	// The branching-process bound gives mean list size ≈ e^{d(d−1)·m/n},
+	// independent of n. For d=2, m=n that is e² ≈ 7.4. Doubling n twice
+	// must leave the mean essentially unchanged (it must NOT grow linearly
+	// with n).
+	means := map[int]float64{}
+	for _, n := range []int{1 << 10, 1 << 11, 1 << 12} {
+		gen := choice.NewDoubleHash(n, 2, rng.NewXoshiro256(uint64(n)))
+		tr := Record(gen, n)
+		s := tr.SampleSizes(n / 128) // 128 sampled bins
+		means[n] = s.MeanSize
+		if s.MeanSize < 2 || s.MeanSize > 25 {
+			t.Errorf("n=%d: mean ancestry size %.1f outside plausible [2,25] (theory ≈ 7.4)", n, s.MeanSize)
+		}
+	}
+	if r := means[1<<12] / means[1<<10]; r > 2 {
+		t.Errorf("mean ancestry size grew %vx while n grew 4x; should be ~constant", r)
+	}
+}
+
+func TestLemma7DisjointnessImprovesWithN(t *testing.T) {
+	frac := func(n int) float64 {
+		gen := choice.NewDoubleHash(n, 2, rng.NewXoshiro256(uint64(7*n)))
+		tr := Record(gen, n)
+		probe := choice.NewDoubleHash(n, 2, rng.NewXoshiro256(uint64(13*n)))
+		return tr.DisjointFraction(probe, 300)
+	}
+	small := frac(1 << 9)
+	large := frac(1 << 12)
+	// Expected intersection probability ~ (mean size)²·d²/n → shrinks 8×.
+	if large < 0.9 {
+		t.Errorf("disjoint fraction at n=2^12 is %.3f, want >= 0.9", large)
+	}
+	if large < small-0.05 {
+		t.Errorf("disjointness did not improve with n: %.3f (n=2^9) vs %.3f (n=2^12)", small, large)
+	}
+}
+
+func TestRecordShape(t *testing.T) {
+	gen := choice.NewFullyRandom(64, 4, rng.NewXoshiro256(3))
+	tr := Record(gen, 10)
+	if tr.Balls() != 10 || tr.N() != 64 || tr.D() != 4 {
+		t.Fatalf("trace shape wrong: %d/%d/%d", tr.Balls(), tr.N(), tr.D())
+	}
+	for ball := 0; ball < 10; ball++ {
+		cs := tr.Choices(ball)
+		if len(cs) != 4 {
+			t.Fatalf("ball %d has %d choices", ball, len(cs))
+		}
+		for _, c := range cs {
+			if c < 0 || c >= 64 {
+				t.Fatalf("choice %d out of range", c)
+			}
+		}
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	gen := choice.NewFullyRandom(8, 2, rng.NewXoshiro256(1))
+	tr := Record(gen, 4)
+	cases := []func(){
+		func() { tr.ListSize(-1, 2) },
+		func() { tr.ListSize(8, 2) },
+		func() { tr.ListSize(0, 5) },
+		func() { tr.SampleSizes(0) },
+		func() { tr.DisjointFraction(gen, 0) },
+		func() { tr.DisjointFraction(choice.NewFullyRandom(16, 2, rng.NewXoshiro256(1)), 5) },
+		func() { Record(gen, -1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScratchResetBetweenLists(t *testing.T) {
+	// ListsDisjoint and SampleSizes share scratch; verify repeated calls
+	// give consistent answers (scratch fully reset).
+	gen := choice.NewDoubleHash(128, 3, rng.NewXoshiro256(9))
+	tr := Record(gen, 128)
+	a := tr.SampleSizes(16)
+	b := tr.SampleSizes(16)
+	if math.Abs(a.MeanSize-b.MeanSize) > 1e-12 || a.MaxSize != b.MaxSize {
+		t.Error("SampleSizes not idempotent; scratch leaking")
+	}
+	d1 := tr.ListsDisjoint([]int{1, 2, 3}, 128)
+	d2 := tr.ListsDisjoint([]int{1, 2, 3}, 128)
+	if d1 != d2 {
+		t.Error("ListsDisjoint not idempotent")
+	}
+}

@@ -1,0 +1,169 @@
+// Package bloom implements Bloom filters with two hashing disciplines:
+// k fully independent hash functions, and the Kirsch–Mitzenmacher double
+// hashing scheme that derives all k probe positions from two hash values
+// (g_i = h1 + i·h2 mod m). The paper's related-work section cites this as
+// the closest prior result in spirit — "less hashing, same performance" —
+// and the package exists to reproduce that claim alongside the
+// balanced-allocation results.
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Mode selects how the k probe positions are derived from a key.
+type Mode int
+
+const (
+	// KIndependent hashes the key k times with independently seeded
+	// mixers — the textbook Bloom filter.
+	KIndependent Mode = iota
+	// DoubleHashing derives position i as h1 + i·h2 mod m from two hash
+	// values (h2 forced odd so it is coprime to the power-of-two bit
+	// count), per Kirsch–Mitzenmacher.
+	DoubleHashing
+)
+
+// String returns the mode's display name.
+func (m Mode) String() string {
+	switch m {
+	case KIndependent:
+		return "k-independent"
+	case DoubleHashing:
+		return "double-hashing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Filter is a Bloom filter over uint64 keys. The bit count is rounded up
+// to a power of two so positions reduce by masking and odd strides are
+// automatically coprime.
+type Filter struct {
+	bits []uint64
+	mask uint64 // bit-count − 1
+	k    int
+	mode Mode
+	seed uint64
+	n    int64 // inserted keys
+}
+
+// New returns a filter with at least mBits bits and k probes per key.
+func New(mBits uint64, k int, mode Mode, seed uint64) *Filter {
+	if mBits == 0 {
+		panic("bloom: zero bits")
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("bloom: k = %d", k))
+	}
+	// Round up to a power of two, at least one word.
+	size := uint64(64)
+	for size < mBits {
+		size <<= 1
+	}
+	return &Filter{
+		bits: make([]uint64, size/64),
+		mask: size - 1,
+		k:    k,
+		mode: mode,
+		seed: seed,
+	}
+}
+
+// Bits returns the filter's bit count.
+func (f *Filter) Bits() uint64 { return f.mask + 1 }
+
+// K returns the number of probes per key.
+func (f *Filter) K() int { return f.k }
+
+// Inserted returns the number of keys added.
+func (f *Filter) Inserted() int64 { return f.n }
+
+// positions streams the k probe positions for key to fn; fn returning
+// false stops early.
+func (f *Filter) positions(key uint64, fn func(pos uint64) bool) {
+	switch f.mode {
+	case KIndependent:
+		for i := 0; i < f.k; i++ {
+			h := rng.Mix64(key ^ rng.Stream(f.seed, i))
+			if !fn(h & f.mask) {
+				return
+			}
+		}
+	case DoubleHashing:
+		h1 := rng.Mix64(key ^ f.seed)
+		h2 := rng.Mix64(h1) | 1 // odd stride: coprime to the power-of-two size
+		pos := h1 & f.mask
+		for i := 0; i < f.k; i++ {
+			if !fn(pos) {
+				return
+			}
+			pos = (pos + h2) & f.mask
+		}
+	default:
+		panic(fmt.Sprintf("bloom: unknown mode %d", int(f.mode)))
+	}
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	f.positions(key, func(pos uint64) bool {
+		f.bits[pos/64] |= 1 << (pos % 64)
+		return true
+	})
+	f.n++
+}
+
+// Contains reports whether key may have been inserted. False positives
+// occur with the usual Bloom probability; false negatives never.
+func (f *Filter) Contains(key uint64) bool {
+	hit := true
+	f.positions(key, func(pos uint64) bool {
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			hit = false
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += bits.OnesCount64(w)
+	}
+	return float64(set) / float64(f.Bits())
+}
+
+// TheoreticalFPR returns the classic false-positive estimate
+// (1 − e^{−kn/m})^k for n inserted keys in m bits with k probes.
+func TheoreticalFPR(n int64, mBits uint64, k int) float64 {
+	if mBits == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(mBits)), float64(k))
+}
+
+// MeasureFPR inserts n sequential synthetic keys and probes `probes`
+// fresh keys, returning the observed false-positive rate. Deterministic
+// in (filter seed, n, probes).
+func MeasureFPR(f *Filter, n int64, probes int) float64 {
+	for i := int64(0); i < n; i++ {
+		f.Add(rng.Mix64(uint64(i) ^ 0xA5A5A5A5))
+	}
+	fp := 0
+	for i := 0; i < probes; i++ {
+		// Disjoint key space from the inserted keys.
+		key := rng.Mix64(uint64(i) ^ 0x5A5A5A5A00000000)
+		if f.Contains(key) {
+			fp++
+		}
+	}
+	return float64(fp) / float64(probes)
+}

@@ -1,0 +1,148 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	for _, mode := range []Mode{KIndependent, DoubleHashing} {
+		f := New(1<<16, 7, mode, 42)
+		keys := make([]uint64, 2000)
+		src := rng.NewXoshiro256(7)
+		for i := range keys {
+			keys[i] = src.Uint64()
+			f.Add(keys[i])
+		}
+		for _, k := range keys {
+			if !f.Contains(k) {
+				t.Fatalf("%v: false negative for %#x", mode, k)
+			}
+		}
+	}
+}
+
+func TestNoFalseNegativesQuick(t *testing.T) {
+	f := New(1<<12, 5, DoubleHashing, 1)
+	prop := func(key uint64) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	for _, mode := range []Mode{KIndependent, DoubleHashing} {
+		f := New(1<<12, 5, mode, 3)
+		src := rng.NewXoshiro256(11)
+		for i := 0; i < 1000; i++ {
+			if f.Contains(src.Uint64()) {
+				t.Fatalf("%v: empty filter claims membership", mode)
+			}
+		}
+	}
+}
+
+func TestFPRMatchesTheoryBothModes(t *testing.T) {
+	// m = 2^17 bits, n = 2^13 keys → m/n = 16 bits/key; with k = 8,
+	// theory gives FPR ≈ (1−e^{−0.5})^8 ≈ 5.7e-4. Confirm both modes
+	// land near theory and near each other (Kirsch–Mitzenmacher).
+	const mBits, n, k, probes = 1 << 17, 1 << 13, 8, 200000
+	want := TheoreticalFPR(n, mBits, k)
+	got := map[Mode]float64{}
+	for _, mode := range []Mode{KIndependent, DoubleHashing} {
+		f := New(mBits, k, mode, 99)
+		got[mode] = MeasureFPR(f, n, probes)
+		if got[mode] > 3*want+1e-4 || got[mode] < want/3-1e-4 {
+			t.Errorf("%v: measured FPR %.2e, theory %.2e", mode, got[mode], want)
+		}
+	}
+	// The two modes agree to within sampling noise (sd ≈ sqrt(p/probes)).
+	noise := 6 * math.Sqrt(want/probes)
+	if d := math.Abs(got[KIndependent] - got[DoubleHashing]); d > noise+2e-4 {
+		t.Errorf("modes differ by %.2e (noise %.2e): KM claim violated", d, noise)
+	}
+}
+
+func TestFillRatioMatchesTheory(t *testing.T) {
+	const mBits, n, k = 1 << 16, 1 << 12, 6
+	f := New(mBits, k, DoubleHashing, 5)
+	for i := int64(0); i < n; i++ {
+		f.Add(rng.Mix64(uint64(i)))
+	}
+	want := 1 - math.Exp(-float64(k*n)/float64(mBits))
+	if got := f.FillRatio(); math.Abs(got-want) > 0.01 {
+		t.Errorf("fill ratio %.4f, theory %.4f", got, want)
+	}
+}
+
+func TestBitsRoundedUpToPowerOfTwo(t *testing.T) {
+	f := New(1000, 3, KIndependent, 0)
+	if f.Bits() != 1024 {
+		t.Errorf("Bits() = %d, want 1024", f.Bits())
+	}
+	if f.K() != 3 {
+		t.Errorf("K() = %d", f.K())
+	}
+	f2 := New(1, 1, KIndependent, 0)
+	if f2.Bits() != 64 {
+		t.Errorf("minimum size = %d, want 64", f2.Bits())
+	}
+}
+
+func TestInsertedCount(t *testing.T) {
+	f := New(1<<10, 4, DoubleHashing, 0)
+	for i := 0; i < 17; i++ {
+		f.Add(uint64(i))
+	}
+	if f.Inserted() != 17 {
+		t.Errorf("Inserted = %d", f.Inserted())
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New(0, 3, KIndependent, 0) },
+		func() { New(64, 0, KIndependent, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTheoreticalFPRShape(t *testing.T) {
+	// More bits per key → lower FPR; k=0 keys → FPR 0.
+	if TheoreticalFPR(0, 1<<10, 4) != 0 {
+		t.Error("FPR with nothing inserted should be 0")
+	}
+	loose := TheoreticalFPR(1<<12, 1<<14, 4)
+	tight := TheoreticalFPR(1<<12, 1<<17, 4)
+	if tight >= loose {
+		t.Errorf("FPR did not drop with more bits: %v vs %v", tight, loose)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := New(1<<14, 5, DoubleHashing, 77)
+	b := New(1<<14, 5, DoubleHashing, 77)
+	fprA := MeasureFPR(a, 1<<10, 10000)
+	fprB := MeasureFPR(b, 1<<10, 10000)
+	if fprA != fprB {
+		t.Error("same seed produced different FPR")
+	}
+	c := New(1<<14, 5, DoubleHashing, 78)
+	if MeasureFPR(c, 1<<10, 10000) == fprA {
+		t.Log("different seed produced identical FPR (possible but unlikely)")
+	}
+}

@@ -1,0 +1,59 @@
+package choice
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// twoBlock implements the Kenthapadi–Panigrahy scheme the paper's related
+// work discusses: two uniform random choices, each expanded into a
+// contiguous block of d/2 bins, giving d candidates from two random values
+// — an alternative derandomization with the same O(log log n) maximum-load
+// guarantee. It is included so experiments can compare the paper's
+// arithmetic-progression derandomization against the block one.
+type twoBlock struct {
+	n, d int
+	src  rng.Source
+}
+
+// NewTwoBlock returns the two-block generator: candidates are
+// s1, s1+1, ..., s1+d/2−1 and s2, ..., s2+d/2−1 (mod n) for two uniform
+// starts s1, s2. It panics unless d is even, d >= 2 and d < n.
+func NewTwoBlock(n, d int, src rng.Source) Generator {
+	validate(n, d)
+	if d%2 != 0 {
+		panic(fmt.Sprintf("choice: two-block needs even d, got %d", d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("choice: two-block needs d < n, got d=%d n=%d", d, n))
+	}
+	return &twoBlock{n: n, d: d, src: src}
+}
+
+func (g *twoBlock) Draw(dst []int) {
+	checkDraw(dst, g.d, g.Name())
+	half := g.d / 2
+	s1 := rng.Intn(g.src, g.n)
+	s2 := rng.Intn(g.src, g.n)
+	v := s1
+	for k := 0; k < half; k++ {
+		dst[k] = v
+		v++
+		if v == g.n {
+			v = 0
+		}
+	}
+	v = s2
+	for k := half; k < g.d; k++ {
+		dst[k] = v
+		v++
+		if v == g.n {
+			v = 0
+		}
+	}
+}
+
+func (g *twoBlock) N() int       { return g.n }
+func (g *twoBlock) D() int       { return g.d }
+func (g *twoBlock) Name() string { return "two-block" }

@@ -1,0 +1,71 @@
+package choice
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTwoBlockStructure(t *testing.T) {
+	const n, d = 100, 6
+	g := NewTwoBlock(n, d, rng.NewXoshiro256(1))
+	dst := make([]int, d)
+	for i := 0; i < 5000; i++ {
+		g.Draw(dst)
+		for _, v := range dst {
+			if v < 0 || v >= n {
+				t.Fatalf("choice %d out of range", v)
+			}
+		}
+		// Each half is a consecutive run mod n.
+		for k := 1; k < d/2; k++ {
+			if dst[k] != (dst[k-1]+1)%n {
+				t.Fatalf("first block not contiguous: %v", dst)
+			}
+		}
+		for k := d/2 + 1; k < d; k++ {
+			if dst[k] != (dst[k-1]+1)%n {
+				t.Fatalf("second block not contiguous: %v", dst)
+			}
+		}
+	}
+}
+
+func TestTwoBlockMarginalUniformity(t *testing.T) {
+	const n, d, draws = 32, 4, 128000
+	g := NewTwoBlock(n, d, rng.NewXoshiro256(2))
+	counts := make([]int, n)
+	dst := make([]int, d)
+	for i := 0; i < draws; i++ {
+		g.Draw(dst)
+		for _, v := range dst {
+			counts[v]++
+		}
+	}
+	expected := float64(draws*d) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > 90 { // 31 dof; far tail
+		t.Errorf("two-block bin usage chi-square %.1f", chi2)
+	}
+}
+
+func TestTwoBlockValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewTwoBlock(10, 3, rng.NewSplitMix64(0)) }, // odd d
+		func() { NewTwoBlock(4, 4, rng.NewSplitMix64(0)) },  // d >= n
+		func() { NewTwoBlock(0, 2, rng.NewSplitMix64(0)) },  // bad n
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,242 @@
+// Package choice implements the ways a ball obtains its d candidate bins.
+//
+// The paper compares two generators:
+//
+//   - Fully random: d independent uniform bins (the experiments draw them
+//     without replacement, per Appendix A footnote 7).
+//   - Double hashing: two hash values f uniform over [0,n) and g uniform
+//     over residues coprime to n; the d choices are (f + k·g) mod n for
+//     k = 0..d−1. Coprimality of g guarantees the d choices are distinct
+//     for every d < n.
+//
+// The package also provides the d-left variants (one choice per subtable
+// of size n/d, per Vöcking's scheme), a one-choice baseline, and the
+// paper's cautionary "unrestricted stride" mode where g is uniform over
+// [1, n) without the coprimality restriction — on composite n that mode
+// can repeat bins, the simple example of a real difference the paper
+// alludes to.
+package choice
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// Generator produces the candidate bins for successive balls. A Generator
+// is stateful (it consumes its random source) and not safe for concurrent
+// use; parallel trials construct one per trial.
+type Generator interface {
+	// Draw fills dst with exactly D bin indices in [0, N), one candidate
+	// set for the next ball. It panics if len(dst) != D.
+	Draw(dst []int)
+	// N returns the number of bins.
+	N() int
+	// D returns the number of choices per ball.
+	D() int
+	// Name returns a short label used in tables and benchmark output.
+	Name() string
+}
+
+// Factory constructs a fresh Generator over n bins with d choices from a
+// random source. Experiments are parameterized by Factory so each parallel
+// trial gets an independent generator.
+type Factory func(n, d int, src rng.Source) Generator
+
+// checkDraw panics unless dst matches the generator's d.
+func checkDraw(dst []int, d int, name string) {
+	if len(dst) != d {
+		panic(fmt.Sprintf("choice: %s.Draw with len(dst)=%d, want %d", name, len(dst), d))
+	}
+}
+
+// validate panics on a parameter combination no scheme supports.
+func validate(n, d int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("choice: n=%d, must be positive", n))
+	}
+	if d <= 0 {
+		panic(fmt.Sprintf("choice: d=%d, must be positive", d))
+	}
+}
+
+// fullyRandom draws d independent uniform bins, optionally rejecting
+// duplicates (without replacement).
+type fullyRandom struct {
+	n, d        int
+	src         rng.Source
+	replacement bool
+}
+
+// NewFullyRandom returns the paper's "fully random" generator: d distinct
+// uniform bins per ball (sampling without replacement). It panics if
+// d > n, which makes distinctness impossible.
+func NewFullyRandom(n, d int, src rng.Source) Generator {
+	validate(n, d)
+	if d > n {
+		panic(fmt.Sprintf("choice: fully random without replacement needs d <= n, got d=%d n=%d", d, n))
+	}
+	return &fullyRandom{n: n, d: d, src: src}
+}
+
+// NewFullyRandomWithReplacement returns d independent uniform bins per
+// ball, duplicates allowed. The paper also examined this variant and found
+// the difference visible only at very small n; it is kept for the
+// replacement ablation.
+func NewFullyRandomWithReplacement(n, d int, src rng.Source) Generator {
+	validate(n, d)
+	return &fullyRandom{n: n, d: d, src: src, replacement: true}
+}
+
+func (g *fullyRandom) Draw(dst []int) {
+	checkDraw(dst, g.d, g.Name())
+	if g.replacement {
+		for i := range dst {
+			dst[i] = rng.Intn(g.src, g.n)
+		}
+		return
+	}
+	rng.SampleDistinct(g.src, g.n, dst)
+}
+
+func (g *fullyRandom) N() int { return g.n }
+func (g *fullyRandom) D() int { return g.d }
+func (g *fullyRandom) Name() string {
+	if g.replacement {
+		return "fully-random-wr"
+	}
+	return "fully-random"
+}
+
+// StrideMode selects the domain of the double-hashing stride g(j).
+type StrideMode int
+
+const (
+	// StrideCoprime draws g uniform over residues in [1, n) coprime to n:
+	// any value for prime n, odd values for power-of-two n, rejection
+	// sampling otherwise. This is the paper's scheme; choices are always
+	// distinct.
+	StrideCoprime StrideMode = iota
+	// StrideAny draws g uniform over [1, n) with no restriction. On
+	// composite n the probe sequence can revisit bins; the mode exists to
+	// demonstrate why coprimality matters.
+	StrideAny
+)
+
+// doubleHash draws f uniform over [0,n) and a stride g per StrideMode,
+// yielding choices (f + k·g) mod n.
+type doubleHash struct {
+	n, d       int
+	src        rng.Source
+	mode       StrideMode
+	prime      bool
+	powerOfTwo bool
+}
+
+// NewDoubleHash returns the paper's double-hashing generator with the
+// coprime stride. It panics if d >= n and n > 1, since n coprime strides
+// cannot produce d distinct values when d >= n.
+func NewDoubleHash(n, d int, src rng.Source) Generator {
+	return newDoubleHash(n, d, src, StrideCoprime)
+}
+
+// NewDoubleHashAnyStride returns double hashing with the unrestricted
+// stride g uniform over [1, n). Use only to demonstrate the failure mode
+// on composite n.
+func NewDoubleHashAnyStride(n, d int, src rng.Source) Generator {
+	return newDoubleHash(n, d, src, StrideAny)
+}
+
+func newDoubleHash(n, d int, src rng.Source, mode StrideMode) Generator {
+	validate(n, d)
+	if d >= n && n > 1 {
+		panic(fmt.Sprintf("choice: double hashing needs d < n for distinct choices, got d=%d n=%d", d, n))
+	}
+	return &doubleHash{
+		n: n, d: d, src: src, mode: mode,
+		prime:      numeric.IsPrime(uint64(n)),
+		powerOfTwo: numeric.IsPowerOfTwo(uint64(n)),
+	}
+}
+
+// stride draws g(j) according to the generator's mode.
+func (g *doubleHash) stride() int {
+	if g.n == 1 {
+		return 0
+	}
+	switch {
+	case g.mode == StrideAny:
+		return 1 + rng.Intn(g.src, g.n-1)
+	case g.prime:
+		// Every residue in [1, n) is coprime to prime n.
+		return 1 + rng.Intn(g.src, g.n-1)
+	case g.powerOfTwo:
+		// Odd residues are exactly the ones coprime to 2^k.
+		return 2*rng.Intn(g.src, g.n/2) + 1
+	default:
+		// General n: rejection sampling; acceptance probability is
+		// φ(n)/(n−1), which is Ω(1/log log n), so this terminates fast.
+		for {
+			s := 1 + rng.Intn(g.src, g.n-1)
+			if numeric.Coprime(uint64(s), uint64(g.n)) {
+				return s
+			}
+		}
+	}
+}
+
+func (g *doubleHash) Draw(dst []int) {
+	checkDraw(dst, g.d, g.Name())
+	if g.n == 1 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	f := rng.Intn(g.src, g.n)
+	s := g.stride()
+	v := f
+	for k := range dst {
+		dst[k] = v
+		v += s
+		if v >= g.n {
+			v -= g.n
+		}
+	}
+}
+
+func (g *doubleHash) N() int { return g.n }
+func (g *doubleHash) D() int { return g.d }
+func (g *doubleHash) Name() string {
+	if g.mode == StrideAny {
+		return "double-hash-anystride"
+	}
+	return "double-hash"
+}
+
+// oneChoice is the classical single uniform choice baseline, whose maximum
+// load is Θ(log n / log log n) rather than Θ(log log n).
+type oneChoice struct {
+	n   int
+	src rng.Source
+}
+
+// NewOneChoice returns the d=1 baseline generator. The d argument is
+// accepted (and must be 1) so it can serve as a Factory.
+func NewOneChoice(n, d int, src rng.Source) Generator {
+	validate(n, d)
+	if d != 1 {
+		panic(fmt.Sprintf("choice: one-choice requires d=1, got %d", d))
+	}
+	return &oneChoice{n: n, src: src}
+}
+
+func (g *oneChoice) Draw(dst []int) {
+	checkDraw(dst, 1, g.Name())
+	dst[0] = rng.Intn(g.src, g.n)
+}
+
+func (g *oneChoice) N() int       { return g.n }
+func (g *oneChoice) D() int       { return 1 }
+func (g *oneChoice) Name() string { return "one-choice" }

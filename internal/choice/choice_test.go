@@ -1,0 +1,323 @@
+package choice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// factories lists every generator under its display name, so contract
+// tests sweep all of them. d-left factories require d | n; tests using
+// them pick compatible parameters.
+var factories = map[string]Factory{
+	"fully-random":          NewFullyRandom,
+	"fully-random-wr":       NewFullyRandomWithReplacement,
+	"double-hash":           NewDoubleHash,
+	"double-hash-anystride": NewDoubleHashAnyStride,
+	"dleft-fully-random":    NewDLeftFullyRandom,
+	"dleft-double-hash":     NewDLeftDoubleHash,
+}
+
+func TestDrawInRange(t *testing.T) {
+	for name, f := range factories {
+		g := f(64, 4, rng.NewXoshiro256(1))
+		dst := make([]int, 4)
+		for i := 0; i < 5000; i++ {
+			g.Draw(dst)
+			for _, v := range dst {
+				if v < 0 || v >= 64 {
+					t.Fatalf("%s: choice %d out of [0,64)", name, v)
+				}
+			}
+		}
+		if g.N() != 64 || g.D() != 4 {
+			t.Fatalf("%s: N/D accessors wrong: %d/%d", name, g.N(), g.D())
+		}
+		if g.Name() == "" {
+			t.Fatalf("%q: empty name", name)
+		}
+	}
+}
+
+func TestDrawPanicsOnWrongLength(t *testing.T) {
+	g := NewDoubleHash(16, 3, rng.NewXoshiro256(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Draw with wrong dst length did not panic")
+		}
+	}()
+	g.Draw(make([]int, 2))
+}
+
+func TestDistinctness(t *testing.T) {
+	// Fully random (without replacement) and coprime-stride double hashing
+	// must always yield d distinct bins — for prime n, power-of-two n, and
+	// general composite n.
+	for _, n := range []int{5, 7, 16, 64, 100, 97, 210} {
+		for _, d := range []int{2, 3, 4} {
+			for name, f := range map[string]Factory{
+				"fully-random": NewFullyRandom,
+				"double-hash":  NewDoubleHash,
+			} {
+				g := f(n, d, rng.NewXoshiro256(uint64(n*d)))
+				dst := make([]int, d)
+				for i := 0; i < 3000; i++ {
+					g.Draw(dst)
+					for a := 0; a < d; a++ {
+						for b := a + 1; b < d; b++ {
+							if dst[a] == dst[b] {
+								t.Fatalf("%s n=%d d=%d: duplicate bins %v", name, n, d, dst)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAnyStrideCanRepeatOnCompositeN(t *testing.T) {
+	// The paper's cautionary example: with an unrestricted stride on
+	// composite n, a ball can see the same bin more than once (stride
+	// sharing a factor with n shortens the cycle). Verify the failure mode
+	// is real — it is why StrideCoprime is the default.
+	g := NewDoubleHashAnyStride(12, 4, rng.NewXoshiro256(3))
+	dst := make([]int, 4)
+	sawDup := false
+	for i := 0; i < 20000 && !sawDup; i++ {
+		g.Draw(dst)
+		seen := map[int]bool{}
+		for _, v := range dst {
+			if seen[v] {
+				sawDup = true
+			}
+			seen[v] = true
+		}
+	}
+	if !sawDup {
+		t.Error("unrestricted stride on n=12 never repeated a bin; expected repeats (e.g. stride 6, d=4)")
+	}
+}
+
+func TestMarginalUniformity(t *testing.T) {
+	// Each individual choice position must be uniform over the bins
+	// (chi-square, generous threshold). This is the first pairwise
+	// condition from §1 of the paper.
+	const n, d, draws = 16, 3, 200000
+	for name, f := range map[string]Factory{
+		"fully-random": NewFullyRandom,
+		"double-hash":  NewDoubleHash,
+	} {
+		g := f(n, d, rng.NewXoshiro256(7))
+		counts := make([][]int, d)
+		for k := range counts {
+			counts[k] = make([]int, n)
+		}
+		dst := make([]int, d)
+		for i := 0; i < draws; i++ {
+			g.Draw(dst)
+			for k, v := range dst {
+				counts[k][v]++
+			}
+		}
+		expected := float64(draws) / n
+		for k := 0; k < d; k++ {
+			chi2 := 0.0
+			for _, c := range counts[k] {
+				diff := float64(c) - expected
+				chi2 += diff * diff / expected
+			}
+			// 15 degrees of freedom; 60 is far out in the tail.
+			if chi2 > 60 {
+				t.Errorf("%s: position %d chi-square %.1f, non-uniform", name, k, chi2)
+			}
+		}
+	}
+}
+
+func TestPairwiseUniformity(t *testing.T) {
+	// The paper's sufficient condition (§1): for i != j, the pair
+	// (h_i, h_j) should be uniform over ordered pairs of distinct bins:
+	// Pr(h_i=b1, h_j=b2) = 1/(n(n-1)). Verify for double hashing on a
+	// prime n with a chi-square over all n(n-1) ordered pairs.
+	const n, d = 7, 3
+	const draws = 400000
+	g := NewDoubleHash(n, d, rng.NewXoshiro256(11))
+	dst := make([]int, d)
+	// Track pair (position 0, position 2) — a non-adjacent pair, the
+	// harder case since its gap is 2g.
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	for i := 0; i < draws; i++ {
+		g.Draw(dst)
+		counts[dst[0]][dst[2]]++
+	}
+	expected := float64(draws) / float64(n*(n-1))
+	chi2 := 0.0
+	for b1 := 0; b1 < n; b1++ {
+		for b2 := 0; b2 < n; b2++ {
+			if b1 == b2 {
+				if counts[b1][b2] != 0 {
+					t.Fatalf("double hashing produced equal bins in positions 0 and 2")
+				}
+				continue
+			}
+			diff := float64(counts[b1][b2]) - expected
+			chi2 += diff * diff / expected
+		}
+	}
+	// n(n-1)-1 = 41 degrees of freedom; mean 41, sd ~9. 110 is ~7.5 sd.
+	if chi2 > 110 {
+		t.Errorf("pairwise chi-square %.1f over %d cells; pairwise uniformity violated", chi2, n*(n-1))
+	}
+}
+
+func TestDoubleHashArithmeticStructure(t *testing.T) {
+	// Successive choices of one ball differ by a fixed stride mod n.
+	g := NewDoubleHash(97, 5, rng.NewXoshiro256(13))
+	dst := make([]int, 5)
+	for i := 0; i < 1000; i++ {
+		g.Draw(dst)
+		gap := ((dst[1]-dst[0])%97 + 97) % 97
+		for k := 1; k < 5; k++ {
+			want := (dst[0] + k*gap) % 97
+			if dst[k] != want {
+				t.Fatalf("choices %v are not an arithmetic progression mod 97", dst)
+			}
+		}
+		if gap == 0 {
+			t.Fatalf("zero stride drawn: %v", dst)
+		}
+	}
+}
+
+func TestDLeftChoicesStayInSubtables(t *testing.T) {
+	const n, d = 48, 4 // subtable size 12 (composite: exercises rejection)
+	for name, f := range map[string]Factory{
+		"dleft-fully-random": NewDLeftFullyRandom,
+		"dleft-double-hash":  NewDLeftDoubleHash,
+	} {
+		g := f(n, d, rng.NewXoshiro256(17))
+		dst := make([]int, d)
+		m := n / d
+		for i := 0; i < 10000; i++ {
+			g.Draw(dst)
+			for k, v := range dst {
+				if v < k*m || v >= (k+1)*m {
+					t.Fatalf("%s: choice %d for subtable %d outside [%d,%d)", name, v, k, k*m, (k+1)*m)
+				}
+			}
+		}
+	}
+}
+
+func TestDLeftMarginalUniformity(t *testing.T) {
+	const n, d, draws = 32, 4, 160000
+	m := n / d
+	for name, f := range map[string]Factory{
+		"dleft-fully-random": NewDLeftFullyRandom,
+		"dleft-double-hash":  NewDLeftDoubleHash,
+	} {
+		g := f(n, d, rng.NewXoshiro256(19))
+		counts := make([]int, n)
+		dst := make([]int, d)
+		for i := 0; i < draws; i++ {
+			g.Draw(dst)
+			for _, v := range dst {
+				counts[v]++
+			}
+		}
+		expected := float64(draws) / float64(m)
+		for bin, c := range counts {
+			z := (float64(c) - expected) / math.Sqrt(expected)
+			if math.Abs(z) > 5 {
+				t.Errorf("%s: bin %d count %d deviates %.1f sd from %f", name, bin, c, z, expected)
+			}
+		}
+	}
+}
+
+func TestDLeftPanicsOnIndivisible(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d-left with n % d != 0 did not panic")
+		}
+	}()
+	NewDLeftFullyRandom(10, 3, rng.NewXoshiro256(1))
+}
+
+func TestOneChoice(t *testing.T) {
+	g := NewOneChoice(100, 1, rng.NewXoshiro256(23))
+	dst := make([]int, 1)
+	for i := 0; i < 1000; i++ {
+		g.Draw(dst)
+		if dst[0] < 0 || dst[0] >= 100 {
+			t.Fatalf("one-choice out of range: %d", dst[0])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOneChoice with d != 1 did not panic")
+		}
+	}()
+	NewOneChoice(100, 2, rng.NewXoshiro256(23))
+}
+
+func TestValidationPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFullyRandom(0, 2, rng.NewSplitMix64(0)) },
+		func() { NewFullyRandom(4, 0, rng.NewSplitMix64(0)) },
+		func() { NewFullyRandom(2, 3, rng.NewSplitMix64(0)) },
+		func() { NewDoubleHash(3, 3, rng.NewSplitMix64(0)) },
+		func() { NewDLeftDoubleHash(4, 4, rng.NewSplitMix64(0)) }, // subtable size 1
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestQuickDistinctAndInRange(t *testing.T) {
+	// Property: for random (n, d, seed) with 2 <= d < n, double hashing
+	// yields d distinct in-range bins.
+	f := func(nRaw, dRaw uint16, seed uint64) bool {
+		n := int(nRaw)%2000 + 5
+		d := int(dRaw)%4 + 2
+		if d >= n {
+			d = n - 1
+		}
+		g := NewDoubleHash(n, d, rng.NewXoshiro256(seed))
+		dst := make([]int, d)
+		g.Draw(dst)
+		seen := map[int]bool{}
+		for _, v := range dst {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNEqualsOne(t *testing.T) {
+	g := NewDoubleHash(1, 1, rng.NewSplitMix64(0))
+	dst := []int{-1}
+	g.Draw(dst)
+	if dst[0] != 0 {
+		t.Fatalf("n=1 draw = %d, want 0", dst[0])
+	}
+}

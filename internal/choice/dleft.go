@@ -1,0 +1,110 @@
+package choice
+
+import (
+	"fmt"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// The d-left generators implement Vöcking's layout: the n bins are split
+// into d subtables of size m = n/d laid out left to right, and each ball
+// receives one candidate in each subtable. Draw returns global bin
+// indices; candidate k always lies in [k·m, (k+1)·m), so the placement
+// policy can recover the subtable from the slot position.
+//
+// For double hashing the candidate in subtable k is k·m + (f + k·g) mod m
+// with f uniform over [0, m) and g uniform over residues coprime to m —
+// the same derandomization applied inside the subtable index space.
+
+// dLeftFullyRandom draws one independent uniform candidate per subtable.
+type dLeftFullyRandom struct {
+	n, d, m int
+	src     rng.Source
+}
+
+// NewDLeftFullyRandom returns the fully random d-left generator over n
+// bins in d subtables. It panics unless d divides n.
+func NewDLeftFullyRandom(n, d int, src rng.Source) Generator {
+	m := dLeftSubtableSize(n, d)
+	return &dLeftFullyRandom{n: n, d: d, m: m, src: src}
+}
+
+func (g *dLeftFullyRandom) Draw(dst []int) {
+	checkDraw(dst, g.d, g.Name())
+	for k := range dst {
+		dst[k] = k*g.m + rng.Intn(g.src, g.m)
+	}
+}
+
+func (g *dLeftFullyRandom) N() int       { return g.n }
+func (g *dLeftFullyRandom) D() int       { return g.d }
+func (g *dLeftFullyRandom) Name() string { return "dleft-fully-random" }
+
+// dLeftDoubleHash derives all d subtable candidates from two hash values.
+type dLeftDoubleHash struct {
+	n, d, m    int
+	src        rng.Source
+	prime      bool
+	powerOfTwo bool
+}
+
+// NewDLeftDoubleHash returns the double-hashing d-left generator over n
+// bins in d subtables. It panics unless d divides n and the subtable size
+// exceeds 1.
+func NewDLeftDoubleHash(n, d int, src rng.Source) Generator {
+	m := dLeftSubtableSize(n, d)
+	if m < 2 {
+		panic(fmt.Sprintf("choice: d-left double hashing needs subtable size >= 2, got %d", m))
+	}
+	return &dLeftDoubleHash{
+		n: n, d: d, m: m, src: src,
+		prime:      numeric.IsPrime(uint64(m)),
+		powerOfTwo: numeric.IsPowerOfTwo(uint64(m)),
+	}
+}
+
+func (g *dLeftDoubleHash) Draw(dst []int) {
+	checkDraw(dst, g.d, g.Name())
+	f := rng.Intn(g.src, g.m)
+	s := g.stride()
+	v := f
+	for k := range dst {
+		dst[k] = k*g.m + v
+		v += s
+		if v >= g.m {
+			v -= g.m
+		}
+	}
+}
+
+// stride draws the per-ball stride uniform over residues coprime to the
+// subtable size.
+func (g *dLeftDoubleHash) stride() int {
+	switch {
+	case g.prime:
+		return 1 + rng.Intn(g.src, g.m-1)
+	case g.powerOfTwo:
+		return 2*rng.Intn(g.src, g.m/2) + 1
+	default:
+		for {
+			s := 1 + rng.Intn(g.src, g.m-1)
+			if numeric.Coprime(uint64(s), uint64(g.m)) {
+				return s
+			}
+		}
+	}
+}
+
+func (g *dLeftDoubleHash) N() int       { return g.n }
+func (g *dLeftDoubleHash) D() int       { return g.d }
+func (g *dLeftDoubleHash) Name() string { return "dleft-double-hash" }
+
+// dLeftSubtableSize validates the (n, d) pair and returns n/d.
+func dLeftSubtableSize(n, d int) int {
+	validate(n, d)
+	if n%d != 0 {
+		panic(fmt.Sprintf("choice: d-left needs d | n, got n=%d d=%d", n, d))
+	}
+	return n / d
+}

@@ -1,0 +1,54 @@
+package choice
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// onePlusBeta implements the (1+β)-choice process of Peres, Talwar and
+// Wieder (cited in the paper's related work, [36]): each ball uses two
+// uniform choices with probability β and a single uniform choice
+// otherwise. It interpolates between the one-choice and two-choice
+// processes and is the standard model for "partial" power of two choices;
+// the repository uses it to situate double hashing's behaviour between
+// the extremes.
+type onePlusBeta struct {
+	n    int
+	beta float64
+	src  rng.Source
+}
+
+// NewOnePlusBeta returns the (1+β)-choice generator. The generator always
+// reports D() == 2; with probability 1−β both candidates are the same bin,
+// which makes the least-loaded rule degenerate to a single choice. It
+// panics unless 0 <= beta <= 1 and n >= 2.
+func NewOnePlusBeta(n int, beta float64, src rng.Source) Generator {
+	validate(n, 2)
+	if n < 2 {
+		panic(fmt.Sprintf("choice: (1+β) needs n >= 2, got %d", n))
+	}
+	if beta < 0 || beta > 1 {
+		panic(fmt.Sprintf("choice: beta = %v outside [0,1]", beta))
+	}
+	return &onePlusBeta{n: n, beta: beta, src: src}
+}
+
+func (g *onePlusBeta) Draw(dst []int) {
+	checkDraw(dst, 2, g.Name())
+	first := rng.Intn(g.src, g.n)
+	dst[0] = first
+	if rng.Float64(g.src) < g.beta {
+		second := rng.Intn(g.src, g.n-1)
+		if second >= first {
+			second++
+		}
+		dst[1] = second
+		return
+	}
+	dst[1] = first
+}
+
+func (g *onePlusBeta) N() int       { return g.n }
+func (g *onePlusBeta) D() int       { return 2 }
+func (g *onePlusBeta) Name() string { return "one-plus-beta" }

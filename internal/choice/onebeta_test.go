@@ -1,0 +1,65 @@
+package choice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestOnePlusBetaExtremes(t *testing.T) {
+	// β = 0: both entries always identical. β = 1: always distinct.
+	dst := make([]int, 2)
+	g0 := NewOnePlusBeta(64, 0, rng.NewXoshiro256(1))
+	for i := 0; i < 2000; i++ {
+		g0.Draw(dst)
+		if dst[0] != dst[1] {
+			t.Fatalf("β=0 produced distinct bins %v", dst)
+		}
+	}
+	g1 := NewOnePlusBeta(64, 1, rng.NewXoshiro256(2))
+	for i := 0; i < 2000; i++ {
+		g1.Draw(dst)
+		if dst[0] == dst[1] {
+			t.Fatalf("β=1 produced equal bins %v", dst)
+		}
+	}
+}
+
+func TestOnePlusBetaMixRate(t *testing.T) {
+	const beta = 0.3
+	g := NewOnePlusBeta(128, beta, rng.NewXoshiro256(3))
+	dst := make([]int, 2)
+	const draws = 100000
+	distinct := 0
+	for i := 0; i < draws; i++ {
+		g.Draw(dst)
+		if dst[0] != dst[1] {
+			distinct++
+		}
+		if dst[0] < 0 || dst[0] >= 128 || dst[1] < 0 || dst[1] >= 128 {
+			t.Fatalf("out of range: %v", dst)
+		}
+	}
+	got := float64(distinct) / draws
+	if math.Abs(got-beta) > 0.01 {
+		t.Errorf("two-choice rate %v, want %v", got, beta)
+	}
+}
+
+func TestOnePlusBetaValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewOnePlusBeta(1, 0.5, rng.NewSplitMix64(0)) },
+		func() { NewOnePlusBeta(8, -0.1, rng.NewSplitMix64(0)) },
+		func() { NewOnePlusBeta(8, 1.5, rng.NewSplitMix64(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

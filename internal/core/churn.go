@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Churn extends the balanced-allocation process with deletions. The paper
+// notes (§2.2, following Vöcking) that the witness-tree bounds continue to
+// hold when insertions are interleaved with deletions; Churn lets
+// experiments verify empirically that the stationary load distribution
+// under churn remains identical for fully random and double hashing.
+//
+// The deletion model is the standard one: a ball chosen uniformly among
+// those present is removed. A churn step is one deletion followed by one
+// insertion, holding the ball count fixed.
+type Churn struct {
+	p     *Process
+	src   rng.Source
+	balls []int32 // bin of each live ball; unordered
+}
+
+// NewChurn wraps a Process for churn experiments. src drives the uniform
+// choice of which ball departs.
+func NewChurn(p *Process, src rng.Source) *Churn {
+	if src == nil {
+		panic("core: NewChurn requires a random source")
+	}
+	if p.Placed() != 0 {
+		panic("core: NewChurn requires a fresh process")
+	}
+	return &Churn{p: p, src: src}
+}
+
+// Insert places one new ball.
+func (c *Churn) Insert() {
+	bin := c.p.Place()
+	c.balls = append(c.balls, int32(bin))
+}
+
+// DeleteRandom removes a ball chosen uniformly among those present. It
+// panics if no balls are present.
+func (c *Churn) DeleteRandom() {
+	if len(c.balls) == 0 {
+		panic("core: DeleteRandom with no balls present")
+	}
+	i := rng.Intn(c.src, len(c.balls))
+	bin := int(c.balls[i])
+	last := len(c.balls) - 1
+	c.balls[i] = c.balls[last]
+	c.balls = c.balls[:last]
+	c.p.unplace(bin)
+}
+
+// Step performs one churn step: delete a uniform ball, insert a new one.
+func (c *Churn) Step() {
+	c.DeleteRandom()
+	c.Insert()
+}
+
+// Run inserts m balls and then performs steps churn steps.
+func (c *Churn) Run(m, steps int) {
+	for i := 0; i < m; i++ {
+		c.Insert()
+	}
+	for i := 0; i < steps; i++ {
+		c.Step()
+	}
+}
+
+// Balls returns the number of balls currently present.
+func (c *Churn) Balls() int { return len(c.balls) }
+
+// LoadHist returns the current bin-load histogram.
+func (c *Churn) LoadHist() *stats.Hist { return c.p.LoadHist() }
+
+// CurrentMaxLoad returns the maximum load over bins right now (the
+// Process's MaxLoad is a high-water mark and does not decrease on
+// deletion).
+func (c *Churn) CurrentMaxLoad() int {
+	max := 0
+	for _, l := range c.p.loads {
+		if int(l) > max {
+			max = int(l)
+		}
+	}
+	return max
+}
+
+// unplace removes one ball from bin b. MaxLoad remains a high-water mark.
+func (p *Process) unplace(b int) {
+	if p.loads[b] == 0 {
+		panic(fmt.Sprintf("core: unplace from empty bin %d", b))
+	}
+	p.loads[b]--
+	p.placed--
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/choice"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func newChurn(n, d int, hashing Hashing, seed uint64) *Churn {
+	var gen choice.Generator
+	src := rng.NewXoshiro256(seed)
+	switch hashing {
+	case FullyRandom:
+		gen = choice.NewFullyRandom(n, d, src)
+	case DoubleHash:
+		gen = choice.NewDoubleHash(n, d, src)
+	default:
+		panic("unsupported in test")
+	}
+	p := NewProcess(gen, TieRandom, rng.NewXoshiro256(seed+1))
+	return NewChurn(p, rng.NewXoshiro256(seed+2))
+}
+
+func TestChurnConservation(t *testing.T) {
+	c := newChurn(256, 3, DoubleHash, 1)
+	c.Run(256, 1000)
+	if c.Balls() != 256 {
+		t.Fatalf("balls = %d, want 256", c.Balls())
+	}
+	if got := c.p.TotalLoad(); got != 256 {
+		t.Fatalf("total load = %d, want 256", got)
+	}
+	h := c.LoadHist()
+	if h.Total() != 256 {
+		t.Fatalf("hist total = %d", h.Total())
+	}
+}
+
+func TestChurnDeleteAll(t *testing.T) {
+	c := newChurn(64, 2, FullyRandom, 3)
+	for i := 0; i < 50; i++ {
+		c.Insert()
+	}
+	for i := 0; i < 50; i++ {
+		c.DeleteRandom()
+	}
+	if c.Balls() != 0 || c.p.TotalLoad() != 0 {
+		t.Fatalf("balls=%d load=%d after deleting all", c.Balls(), c.p.TotalLoad())
+	}
+	if c.CurrentMaxLoad() != 0 {
+		t.Fatalf("current max load = %d on empty table", c.CurrentMaxLoad())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeleteRandom on empty did not panic")
+		}
+	}()
+	c.DeleteRandom()
+}
+
+func TestChurnStationaryDistributionFRvsDH(t *testing.T) {
+	// After heavy churn the stationary load distributions of the two
+	// hashings remain indistinguishable — the paper's claim extended to
+	// the deletion setting of §2.2.
+	const n, d = 1 << 11, 3
+	collect := func(hashing Hashing, seed uint64) *stats.Hist {
+		var pooled stats.Hist
+		for trial := 0; trial < 10; trial++ {
+			c := newChurn(n, d, hashing, seed+uint64(trial)*7)
+			c.Run(n, 4*n)
+			pooled.Merge(c.LoadHist())
+		}
+		return &pooled
+	}
+	fr := collect(FullyRandom, 100)
+	dh := collect(DoubleHash, 200)
+	res := stats.ChiSquareHomogeneity(fr, dh, 5)
+	if res.P < 1e-3 {
+		t.Errorf("churned FR vs DH distinguishable: p = %g (chi2=%.1f dof=%d)", res.P, res.Chi2, res.Dof)
+	}
+	if tv := stats.TotalVariation(fr, dh); tv > 0.01 {
+		t.Errorf("churned total variation = %g", tv)
+	}
+}
+
+func TestChurnKeepsMaxLoadBounded(t *testing.T) {
+	// Under stationary churn the current max load stays in the
+	// O(log log n) regime; it must not creep upward over time.
+	c := newChurn(1<<12, 3, DoubleHash, 9)
+	c.Run(1<<12, 1<<12)
+	after1 := c.CurrentMaxLoad()
+	for i := 0; i < 8*(1<<12); i++ {
+		c.Step()
+	}
+	after9 := c.CurrentMaxLoad()
+	if after9 > after1+2 {
+		t.Errorf("max load crept from %d to %d under churn", after1, after9)
+	}
+	if after9 > 7 {
+		t.Errorf("churned max load %d implausibly large for n=2^12, d=3", after9)
+	}
+}
+
+func TestNewChurnValidation(t *testing.T) {
+	gen := choice.NewFullyRandom(8, 2, rng.NewSplitMix64(1))
+	p := NewProcess(gen, TieRandom, rng.NewSplitMix64(2))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil source accepted")
+			}
+		}()
+		NewChurn(p, nil)
+	}()
+	p.Place()
+	defer func() {
+		if recover() == nil {
+			t.Error("used process accepted")
+		}
+	}()
+	NewChurn(p, rng.NewSplitMix64(3))
+}
+
+func TestUnplacePanicsOnEmptyBin(t *testing.T) {
+	gen := choice.NewFullyRandom(8, 2, rng.NewSplitMix64(4))
+	p := NewProcess(gen, TieRandom, rng.NewSplitMix64(5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unplace from empty bin did not panic")
+		}
+	}()
+	p.unplace(0)
+}

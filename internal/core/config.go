@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/choice"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Scheme selects the placement scheme.
+type Scheme int
+
+const (
+	// Classic is the standard balanced-allocation scheme: d candidate bins
+	// over the whole table, ties broken at random.
+	Classic Scheme = iota
+	// DLeft is Vöcking's scheme: d subtables of size n/d, one candidate in
+	// each, ties broken to the left.
+	DLeft
+)
+
+// String returns the scheme's display name.
+func (s Scheme) String() string {
+	switch s {
+	case Classic:
+		return "classic"
+	case DLeft:
+		return "d-left"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Hashing selects how a ball's d candidates are generated.
+type Hashing int
+
+const (
+	// FullyRandom draws d distinct uniform bins (without replacement).
+	FullyRandom Hashing = iota
+	// DoubleHash derives the d bins from two hash values with a coprime
+	// stride — the paper's scheme.
+	DoubleHash
+	// FullyRandomWR draws d independent uniform bins, duplicates allowed.
+	FullyRandomWR
+	// DoubleHashAnyStride uses an unrestricted stride in [1, n); on
+	// composite n candidates may repeat. Kept for the stride ablation.
+	DoubleHashAnyStride
+	// OneChoice is the single uniform choice baseline (requires D = 1).
+	OneChoice
+	// TwoBlock is the Kenthapadi–Panigrahy derandomization: two uniform
+	// choices expanded into contiguous blocks of d/2 bins (requires even D).
+	TwoBlock
+	// OnePlusBeta is the Peres–Talwar–Wieder mixed process: two uniform
+	// choices with probability Config.Beta, one otherwise (requires D = 2).
+	OnePlusBeta
+)
+
+// String returns the hashing mode's display name.
+func (h Hashing) String() string {
+	switch h {
+	case FullyRandom:
+		return "fully-random"
+	case DoubleHash:
+		return "double-hash"
+	case FullyRandomWR:
+		return "fully-random-wr"
+	case DoubleHashAnyStride:
+		return "double-hash-anystride"
+	case OneChoice:
+		return "one-choice"
+	case TwoBlock:
+		return "two-block"
+	case OnePlusBeta:
+		return "one-plus-beta"
+	default:
+		return fmt.Sprintf("Hashing(%d)", int(h))
+	}
+}
+
+// Config declares a balls-into-bins experiment. The zero value is not
+// runnable; N and D are required.
+type Config struct {
+	N int // number of bins (required, > 0)
+	M int // number of balls; 0 means N (the paper's default m = n)
+	D int // choices per ball (required, > 0)
+
+	Scheme  Scheme
+	Hashing Hashing
+	// Beta is the two-choice probability of the OnePlusBeta hashing mode;
+	// ignored otherwise.
+	Beta float64
+	// Tie applies to the Classic scheme only; DLeft always breaks ties to
+	// the left. Default TieRandom.
+	Tie TieBreak
+
+	Trials  int    // number of independent trials; 0 means 1
+	Seed    uint64 // base seed; trial i runs with rng.Stream(Seed, i)
+	Workers int    // parallel workers; 0 means GOMAXPROCS
+
+	// TrackLevels is the number of load levels recorded in the per-level
+	// across-trial statistics (paper Table 5). 0 derives a bound that
+	// safely exceeds any load the process can reach at this m/n.
+	TrackLevels int
+}
+
+// withDefaults returns a copy of cfg with defaults filled in, after
+// validation.
+func (cfg Config) withDefaults() Config {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("core: Config.N = %d, must be > 0", cfg.N))
+	}
+	if cfg.D <= 0 {
+		panic(fmt.Sprintf("core: Config.D = %d, must be > 0", cfg.D))
+	}
+	if cfg.M == 0 {
+		cfg.M = cfg.N
+	}
+	if cfg.M < 0 {
+		panic(fmt.Sprintf("core: Config.M = %d, must be >= 0", cfg.M))
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Trials < 0 {
+		panic(fmt.Sprintf("core: Config.Trials = %d, must be >= 0", cfg.Trials))
+	}
+	if cfg.Scheme == DLeft {
+		if cfg.N%cfg.D != 0 {
+			panic(fmt.Sprintf("core: d-left needs D | N, got N=%d D=%d", cfg.N, cfg.D))
+		}
+		cfg.Tie = TieFirst
+	}
+	if cfg.Hashing == OneChoice && cfg.D != 1 {
+		panic(fmt.Sprintf("core: one-choice hashing requires D = 1, got %d", cfg.D))
+	}
+	if cfg.Hashing == OnePlusBeta {
+		if cfg.D != 2 {
+			panic(fmt.Sprintf("core: one-plus-beta hashing requires D = 2, got %d", cfg.D))
+		}
+		if cfg.Beta < 0 || cfg.Beta > 1 {
+			panic(fmt.Sprintf("core: Beta = %v outside [0,1]", cfg.Beta))
+		}
+	}
+	if cfg.TrackLevels == 0 {
+		// Average load plus generous slack for the O(log log n) (or, for
+		// one choice, O(log n / log log n)) excess.
+		cfg.TrackLevels = cfg.M/cfg.N + 48
+	}
+	return cfg
+}
+
+// factory returns the choice.Factory matching the scheme and hashing mode.
+func (cfg Config) factory() choice.Factory {
+	switch cfg.Scheme {
+	case Classic:
+		switch cfg.Hashing {
+		case FullyRandom:
+			return choice.NewFullyRandom
+		case DoubleHash:
+			return choice.NewDoubleHash
+		case FullyRandomWR:
+			return choice.NewFullyRandomWithReplacement
+		case DoubleHashAnyStride:
+			return choice.NewDoubleHashAnyStride
+		case OneChoice:
+			return choice.NewOneChoice
+		case TwoBlock:
+			return choice.NewTwoBlock
+		case OnePlusBeta:
+			beta := cfg.Beta
+			return func(n, d int, src rng.Source) choice.Generator {
+				return choice.NewOnePlusBeta(n, beta, src)
+			}
+		}
+	case DLeft:
+		switch cfg.Hashing {
+		case FullyRandom:
+			return choice.NewDLeftFullyRandom
+		case DoubleHash:
+			return choice.NewDLeftDoubleHash
+		}
+	}
+	panic(fmt.Sprintf("core: unsupported scheme/hashing combination %v/%v", cfg.Scheme, cfg.Hashing))
+}
+
+// Factory returns the choice-generator constructor matching the
+// configuration's scheme and hashing mode, after validation. It lets
+// callers build generators directly (e.g. for churn experiments or the
+// queueing simulator) while staying consistent with Run.
+func (cfg Config) Factory() choice.Factory {
+	return cfg.withDefaults().factory()
+}
+
+// TrialResult is the outcome of a single trial.
+type TrialResult struct {
+	Hist    stats.Hist // bin-load histogram at the end of the trial
+	MaxLoad int
+}
+
+// Result aggregates all trials of one Config.
+type Result struct {
+	Config      Config         // the effective (default-filled) config
+	Pooled      stats.Hist     // bin loads pooled across every trial
+	PerLevel    stats.PerLevel // across-trial stats of bin counts per level
+	MaxLoadDist stats.Hist     // distribution of the per-trial maximum load
+}
+
+// RunTrial executes trial index `trial` of the configuration and returns
+// its raw outcome. Trials are deterministic: the same (Config, trial)
+// always produces the same result.
+func (cfg Config) RunTrial(trial int) TrialResult {
+	cfg = cfg.withDefaults()
+	return cfg.runTrialPrepared(trial)
+}
+
+// runTrialPrepared assumes cfg already passed withDefaults.
+func (cfg Config) runTrialPrepared(trial int) TrialResult {
+	seed := rng.Stream(cfg.Seed, trial)
+	genSrc := rng.NewXoshiro256(seed)
+	tieSrc := rng.NewXoshiro256(rng.Mix64(seed) ^ 0xD1B54A32D192ED03)
+	gen := cfg.factory()(cfg.N, cfg.D, genSrc)
+	p := NewProcess(gen, cfg.Tie, tieSrc)
+	p.PlaceN(cfg.M)
+	return TrialResult{Hist: *p.LoadHist(), MaxLoad: p.MaxLoad()}
+}
+
+// Run executes all trials of the configuration across the parallel
+// harness and merges them. The merged Result is identical for every
+// worker count.
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Config: cfg}
+	trials := par.Run(cfg.Workers, cfg.Trials, cfg.runTrialPrepared)
+	for i := range trials {
+		t := &trials[i]
+		res.Pooled.Merge(&t.Hist)
+		res.PerLevel.AddTrial(&t.Hist, cfg.TrackLevels-1)
+		res.MaxLoadDist.Add(t.MaxLoad)
+	}
+	return res
+}
+
+// FractionAtLoad returns the pooled fraction of bins with load exactly i —
+// the numbers in the paper's Tables 1, 3, 6 and 7.
+func (r Result) FractionAtLoad(i int) float64 { return r.Pooled.Fraction(i) }
+
+// TailFraction returns the pooled fraction of bins with load >= i — the
+// numbers in the paper's Table 2.
+func (r Result) TailFraction(i int) float64 { return r.Pooled.TailFraction(i) }
+
+// FracTrialsWithMaxLoad returns the fraction of trials whose maximum load
+// was exactly x — the numbers in the paper's Table 4.
+func (r Result) FracTrialsWithMaxLoad(x int) float64 { return r.MaxLoadDist.Fraction(x) }
+
+// MaxObservedLoad returns the largest load seen in any trial.
+func (r Result) MaxObservedLoad() int { return r.MaxLoadDist.MaxValue() }

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/choice"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestPlaceConservation(t *testing.T) {
+	gen := choice.NewDoubleHash(256, 3, rng.NewXoshiro256(1))
+	p := NewProcess(gen, TieRandom, rng.NewXoshiro256(2))
+	p.PlaceN(1000)
+	if p.Placed() != 1000 {
+		t.Fatalf("placed = %d", p.Placed())
+	}
+	if got := p.TotalLoad(); got != 1000 {
+		t.Fatalf("total load = %d, want 1000", got)
+	}
+	h := p.LoadHist()
+	if h.Total() != 256 {
+		t.Fatalf("histogram total = %d, want 256 bins", h.Total())
+	}
+	weighted := int64(0)
+	for v := 0; v <= h.MaxValue(); v++ {
+		weighted += int64(v) * h.Count(v)
+	}
+	if weighted != 1000 {
+		t.Fatalf("weighted histogram sum = %d, want 1000", weighted)
+	}
+	if h.MaxValue() != p.MaxLoad() {
+		t.Fatalf("MaxLoad = %d but histogram max = %d", p.MaxLoad(), h.MaxValue())
+	}
+}
+
+func TestPlaceReturnsChosenBin(t *testing.T) {
+	gen := choice.NewFullyRandom(64, 4, rng.NewXoshiro256(3))
+	p := NewProcess(gen, TieRandom, rng.NewXoshiro256(4))
+	loads := make([]int, 64)
+	for i := 0; i < 500; i++ {
+		b := p.Place()
+		loads[b]++
+		if got := p.Load(b); got != loads[b] {
+			t.Fatalf("ball %d: Load(%d) = %d, shadow says %d", i, b, got, loads[b])
+		}
+	}
+}
+
+func TestProcessPanicsWithoutTieSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TieRandom with nil source did not panic")
+		}
+	}()
+	NewProcess(choice.NewFullyRandom(8, 2, rng.NewSplitMix64(0)), TieRandom, nil)
+}
+
+func TestTieFirstIsDeterministicGivenDraws(t *testing.T) {
+	// With TieFirst and all-equal loads, the ball must land in the first
+	// candidate.
+	gen := choice.NewDoubleHash(16, 3, rng.NewXoshiro256(5))
+	p := NewProcess(gen, TieFirst, nil)
+	b := p.Place() // empty table: every candidate has load 0
+	// First candidate is f itself; re-derive by replaying the generator.
+	gen2 := choice.NewDoubleHash(16, 3, rng.NewXoshiro256(5))
+	dst := make([]int, 3)
+	gen2.Draw(dst)
+	if b != dst[0] {
+		t.Fatalf("TieFirst placed in %d, want first candidate %d", b, dst[0])
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	base := Config{N: 1 << 10, D: 3, Hashing: DoubleHash, Trials: 16, Seed: 99}
+	r1 := Run(base)
+	for _, w := range []int{1, 2, 7} {
+		cfg := base
+		cfg.Workers = w
+		r2 := Run(cfg)
+		for v := 0; v <= r1.Pooled.MaxValue(); v++ {
+			if r1.Pooled.Count(v) != r2.Pooled.Count(v) {
+				t.Fatalf("workers=%d: pooled count at load %d differs", w, v)
+			}
+		}
+		if r1.MaxLoadDist.Total() != r2.MaxLoadDist.Total() {
+			t.Fatalf("workers=%d: trial counts differ", w)
+		}
+	}
+}
+
+func TestRunSeedsIndependentTrials(t *testing.T) {
+	cfg := Config{N: 1 << 8, D: 3, Hashing: DoubleHash, Seed: 7}
+	a := cfg.RunTrial(0)
+	b := cfg.RunTrial(1)
+	same := a.Hist.Count(0) == b.Hist.Count(0) && a.Hist.Count(1) == b.Hist.Count(1) &&
+		a.Hist.Count(2) == b.Hist.Count(2)
+	if same {
+		t.Error("trials 0 and 1 produced identical histograms; seeding suspect")
+	}
+	// And trial 0 is reproducible.
+	c := cfg.RunTrial(0)
+	if a.Hist.Count(1) != c.Hist.Count(1) || a.MaxLoad != c.MaxLoad {
+		t.Error("trial 0 is not reproducible")
+	}
+}
+
+// fluidFractions returns the fluid-limit fractions of bins at each load
+// for m = n, d choices (solved with a fine Euler step; small enough code
+// to keep this package self-contained for testing).
+func fluidFractions(d int, levels int) []float64 {
+	x := make([]float64, levels+2) // x[i] = fraction with load >= i
+	x[0] = 1
+	const steps = 200000
+	dt := 1.0 / steps
+	for s := 0; s < steps; s++ {
+		for i := levels + 1; i >= 1; i-- {
+			x[i] += dt * (math.Pow(x[i-1], float64(d)) - math.Pow(x[i], float64(d)))
+		}
+	}
+	out := make([]float64, levels+1)
+	for i := 0; i <= levels; i++ {
+		out[i] = x[i] - x[i+1]
+	}
+	return out
+}
+
+func TestClassicMatchesFluidLimit(t *testing.T) {
+	// d=3, n=m=2^14: the paper's Table 1(a) fractions, which the fluid
+	// limit reproduces to ~4 decimals. Check both hashings against it.
+	want := fluidFractions(3, 3) // loads 0..3
+	for _, hashing := range []Hashing{FullyRandom, DoubleHash} {
+		r := Run(Config{N: 1 << 14, D: 3, Hashing: hashing, Trials: 20, Seed: 1234})
+		for load := 0; load <= 2; load++ {
+			got := r.FractionAtLoad(load)
+			if math.Abs(got-want[load]) > 0.004 {
+				t.Errorf("%v: fraction at load %d = %.5f, fluid limit %.5f", hashing, load, got, want[load])
+			}
+		}
+		// Load 3 is rare (~5e-4); just require the right order of magnitude.
+		if f3 := r.FractionAtLoad(3); f3 < 1e-4 || f3 > 2e-3 {
+			t.Errorf("%v: fraction at load 3 = %g, want ≈ 5e-4", hashing, f3)
+		}
+	}
+}
+
+func TestFRvsDHIndistinguishable(t *testing.T) {
+	// The headline claim: pooled load distributions under the two hashings
+	// are statistically indistinguishable. Chi-square homogeneity p-value
+	// must not be small, and total-variation distance must be tiny.
+	common := Config{N: 1 << 13, D: 3, Trials: 40, Seed: 2024}
+	frCfg := common
+	frCfg.Hashing = FullyRandom
+	dhCfg := common
+	dhCfg.Hashing = DoubleHash
+	dhCfg.Seed = 2025 // independent randomness
+	fr := Run(frCfg)
+	dh := Run(dhCfg)
+	res := stats.ChiSquareHomogeneity(&fr.Pooled, &dh.Pooled, 5)
+	if res.P < 1e-3 {
+		t.Errorf("FR vs DH chi-square p = %g (chi2=%.2f dof=%d); distributions differ", res.P, res.Chi2, res.Dof)
+	}
+	if tv := stats.TotalVariation(&fr.Pooled, &dh.Pooled); tv > 0.005 {
+		t.Errorf("FR vs DH total variation = %g, want < 0.005", tv)
+	}
+}
+
+func TestMaxLoadTwoChoicesSmall(t *testing.T) {
+	// log2 log2 2^16 = 4; with the +O(1) the max load should be far below
+	// the one-choice level. Both hashings.
+	for _, hashing := range []Hashing{FullyRandom, DoubleHash} {
+		r := Run(Config{N: 1 << 16, D: 2, Hashing: hashing, Trials: 5, Seed: 77})
+		if m := r.MaxObservedLoad(); m > 8 {
+			t.Errorf("%v: two-choice max load %d at n=2^16, expected <= 8", hashing, m)
+		}
+	}
+}
+
+func TestOneChoiceMuchWorse(t *testing.T) {
+	one := Run(Config{N: 1 << 14, D: 1, Hashing: OneChoice, Trials: 5, Seed: 31})
+	two := Run(Config{N: 1 << 14, D: 2, Hashing: DoubleHash, Trials: 5, Seed: 32})
+	if one.MaxObservedLoad() <= two.MaxObservedLoad() {
+		t.Errorf("one-choice max %d should exceed two-choice max %d",
+			one.MaxObservedLoad(), two.MaxObservedLoad())
+	}
+	if one.MaxObservedLoad() < 5 {
+		t.Errorf("one-choice max load %d at n=2^14 is implausibly small", one.MaxObservedLoad())
+	}
+}
+
+func TestMoreChoicesNeverWorse(t *testing.T) {
+	// Empirical counterpart of the paper's majorization remark: max load
+	// with d=4 is at most that with d=2 (same trials budget).
+	d2 := Run(Config{N: 1 << 12, D: 2, Hashing: DoubleHash, Trials: 10, Seed: 8})
+	d4 := Run(Config{N: 1 << 12, D: 4, Hashing: DoubleHash, Trials: 10, Seed: 9})
+	if d4.MaxObservedLoad() > d2.MaxObservedLoad() {
+		t.Errorf("d=4 max %d exceeds d=2 max %d", d4.MaxObservedLoad(), d2.MaxObservedLoad())
+	}
+}
+
+func TestHeavyLoadRegime(t *testing.T) {
+	// m = 16n (paper Table 6): average load 16, max load ≈ 18, and the
+	// distribution concentrates on 15..17.
+	for _, hashing := range []Hashing{FullyRandom, DoubleHash} {
+		r := Run(Config{N: 1 << 10, M: 1 << 14, D: 3, Hashing: hashing, Trials: 10, Seed: 55})
+		bulk := r.FractionAtLoad(15) + r.FractionAtLoad(16) + r.FractionAtLoad(17)
+		if bulk < 0.9 {
+			t.Errorf("%v: loads 15..17 hold only %.3f of bins", hashing, bulk)
+		}
+		if m := r.MaxObservedLoad(); m < 17 || m > 22 {
+			t.Errorf("%v: heavy-load max %d outside plausible [17,22]", hashing, m)
+		}
+	}
+}
+
+func TestDLeft(t *testing.T) {
+	for _, hashing := range []Hashing{FullyRandom, DoubleHash} {
+		r := Run(Config{N: 1 << 12, D: 4, Scheme: DLeft, Hashing: hashing, Trials: 20, Seed: 66})
+		// Paper Table 7: fractions ≈ 0.1242 / 0.7516 / 0.1242 at loads
+		// 0/1/2 and (at this n) max load 2.
+		if got := r.FractionAtLoad(1); math.Abs(got-0.7516) > 0.01 {
+			t.Errorf("%v d-left: fraction at load 1 = %.4f, want ≈ 0.7516", hashing, got)
+		}
+		if m := r.MaxObservedLoad(); m > 3 {
+			t.Errorf("%v d-left: max load %d, want <= 3", hashing, m)
+		}
+	}
+}
+
+func TestDLeftForcesTieFirst(t *testing.T) {
+	cfg := Config{N: 64, D: 4, Scheme: DLeft, Hashing: FullyRandom, Tie: TieRandom}
+	eff := cfg.withDefaults()
+	if eff.Tie != TieFirst {
+		t.Error("d-left did not force break-to-the-left")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, D: 2},
+		{N: 8, D: 0},
+		{N: 8, D: 3, M: -1},
+		{N: 8, D: 3, Trials: -2},
+		{N: 10, D: 3, Scheme: DLeft},                    // 3 does not divide 10
+		{N: 8, D: 2, Hashing: OneChoice},                // one-choice needs D=1
+		{N: 8, D: 2, Scheme: DLeft, Hashing: OneChoice}, // unsupported combo
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic: %+v", i, cfg)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestPerLevelTracksTable5Shape(t *testing.T) {
+	r := Run(Config{N: 1 << 10, D: 4, Hashing: DoubleHash, Trials: 30, Seed: 100})
+	l1 := r.PerLevel.Level(1)
+	if l1.Count() != 30 {
+		t.Fatalf("level 1 has %d observations, want 30", l1.Count())
+	}
+	// Fraction ≈ 0.718 of 1024 bins ≈ 735.
+	if l1.Mean() < 700 || l1.Mean() > 770 {
+		t.Errorf("level-1 mean %f implausible", l1.Mean())
+	}
+	if l1.Min() > l1.Mean() || l1.Max() < l1.Mean() {
+		t.Error("min/mean/max ordering broken")
+	}
+	if l1.StdDev() <= 0 {
+		t.Error("across-trial std dev should be positive")
+	}
+}
+
+func TestMaxLoadGrowthIsDoublyLogarithmic(t *testing.T) {
+	// Max load for d=3 should grow extremely slowly: going from n=2^8 to
+	// n=2^16 (256× more bins) should add at most 2 to the max load.
+	small := Run(Config{N: 1 << 8, D: 3, Hashing: DoubleHash, Trials: 10, Seed: 3})
+	large := Run(Config{N: 1 << 16, D: 3, Hashing: DoubleHash, Trials: 10, Seed: 4})
+	if large.MaxObservedLoad() > small.MaxObservedLoad()+2 {
+		t.Errorf("max load grew from %d to %d over 256× scale-up",
+			small.MaxObservedLoad(), large.MaxObservedLoad())
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Coupling is the coupled pair of processes from the proof of the paper's
+// Theorem 2. Process X places each ball in the less loaded of two distinct
+// uniform bins; process Y places each ball in the least loaded of d bins
+// chosen by double hashing. Both load vectors are maintained in
+// non-increasing order, and the coupling draws the two sorted *positions*
+// (a, b): X uses positions a and b, while Y uses the arithmetic
+// progression a, b, 2b−a, ... (mod n) in position space — the stride is
+// b−a, exactly as in the paper.
+//
+// The theorem states X stochastically majorizes Y; the test suite checks
+// the majorization invariant after every coupled step, which is the
+// mechanical content of the proof (via Lemma 1).
+type Coupling struct {
+	n, d int
+	x, y []int // load vectors, non-increasing
+	src  rng.Source
+}
+
+// NewCoupling returns a coupling over n bins where Y uses d > 2 choices.
+func NewCoupling(n, d int, src rng.Source) *Coupling {
+	if n < 2 {
+		panic(fmt.Sprintf("core: coupling needs n >= 2, got %d", n))
+	}
+	if d <= 2 {
+		panic(fmt.Sprintf("core: coupling needs d > 2, got %d", d))
+	}
+	if d >= n {
+		panic(fmt.Sprintf("core: coupling needs d < n, got d=%d n=%d", d, n))
+	}
+	return &Coupling{n: n, d: d, x: make([]int, n), y: make([]int, n), src: src}
+}
+
+// Step places one coupled ball in each process.
+func (c *Coupling) Step() {
+	// Draw two distinct sorted positions a < b.
+	a := rng.Intn(c.src, c.n)
+	b := rng.Intn(c.src, c.n-1)
+	if b >= a {
+		b++
+	}
+	if a > b {
+		a, b = b, a
+	}
+	// X: the less loaded of positions a and b is the later one in
+	// non-increasing order, position b.
+	incrementSorted(c.x, b)
+	// Y: double hashing in position space with stride b−a; the least
+	// loaded choice is the largest position.
+	gap := b - a
+	best := a
+	cur := a
+	for k := 1; k < c.d; k++ {
+		cur += gap
+		if cur >= c.n {
+			cur -= c.n
+		}
+		if cur > best {
+			best = cur
+		}
+	}
+	incrementSorted(c.y, best)
+}
+
+// incrementSorted adds one ball at sorted position j and restores
+// non-increasing order by moving the increment to the leftmost position
+// holding the same value (the standard re-sort trick: the resulting vector
+// is the sorted version of v + e_j).
+func incrementSorted(v []int, j int) {
+	val := v[j]
+	k := j
+	for k > 0 && v[k-1] == val {
+		k--
+	}
+	v[k]++
+}
+
+// XMajorizesY reports whether the current X load vector majorizes the
+// current Y load vector: equal totals and every prefix sum of X at least
+// that of Y.
+func (c *Coupling) XMajorizesY() bool {
+	sx, sy := 0, 0
+	for i := 0; i < c.n; i++ {
+		sx += c.x[i]
+		sy += c.y[i]
+		if sx < sy {
+			return false
+		}
+	}
+	return sx == sy
+}
+
+// MaxX returns the maximum load of process X (two random choices).
+func (c *Coupling) MaxX() int { return c.x[0] }
+
+// MaxY returns the maximum load of process Y (d double-hashing choices).
+func (c *Coupling) MaxY() int { return c.y[0] }
+
+// Sorted reports whether both internal vectors are in non-increasing
+// order; it exists for invariant checks in tests.
+func (c *Coupling) Sorted() bool {
+	for i := 1; i < c.n; i++ {
+		if c.x[i] > c.x[i-1] || c.y[i] > c.y[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestCouplingMajorizationInvariant(t *testing.T) {
+	// The mechanical content of Theorem 2: under the coupling, the
+	// two-random-choice load vector majorizes the d-double-hashing load
+	// vector after every step.
+	for _, d := range []int{3, 4, 5} {
+		c := NewCoupling(128, d, rng.NewXoshiro256(uint64(d)))
+		for step := 0; step < 128*8; step++ {
+			c.Step()
+			if !c.Sorted() {
+				t.Fatalf("d=%d step %d: load vectors lost sorted order", d, step)
+			}
+			if !c.XMajorizesY() {
+				t.Fatalf("d=%d step %d: majorization violated", d, step)
+			}
+		}
+		if c.MaxX() < c.MaxY() {
+			t.Errorf("d=%d: max load of X (%d) below Y (%d), contradicting majorization",
+				d, c.MaxX(), c.MaxY())
+		}
+	}
+}
+
+func TestCouplingMajorizationQuick(t *testing.T) {
+	// Property: for random small (n, d, seed, steps) the invariant holds
+	// throughout.
+	f := func(nRaw, dRaw uint8, seed uint64) bool {
+		n := int(nRaw)%60 + 8
+		d := int(dRaw)%3 + 3 // 3..5
+		if d >= n {
+			d = n - 1
+		}
+		c := NewCoupling(n, d, rng.NewXoshiro256(seed))
+		for step := 0; step < 4*n; step++ {
+			c.Step()
+			if !c.XMajorizesY() || !c.Sorted() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCouplingBallConservation(t *testing.T) {
+	c := NewCoupling(32, 3, rng.NewXoshiro256(1))
+	const steps = 100
+	for i := 0; i < steps; i++ {
+		c.Step()
+	}
+	sumX, sumY := 0, 0
+	for i := 0; i < 32; i++ {
+		sumX += c.x[i]
+		sumY += c.y[i]
+	}
+	if sumX != steps || sumY != steps {
+		t.Fatalf("ball counts x=%d y=%d, want %d", sumX, sumY, steps)
+	}
+}
+
+func TestCouplingValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewCoupling(1, 3, rng.NewSplitMix64(0)) },
+		func() { NewCoupling(10, 2, rng.NewSplitMix64(0)) },
+		func() { NewCoupling(4, 5, rng.NewSplitMix64(0)) },
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			c()
+		}()
+	}
+}
+
+func TestIncrementSortedKeepsOrder(t *testing.T) {
+	v := []int{5, 3, 3, 3, 1, 0}
+	incrementSorted(v, 3) // a 3 becomes 4; must move left of the other 3s
+	want := []int{5, 4, 3, 3, 1, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("got %v, want %v", v, want)
+		}
+	}
+	incrementSorted(v, 0) // head increments in place
+	if v[0] != 6 {
+		t.Fatalf("head increment wrong: %v", v)
+	}
+	incrementSorted(v, 5) // tail zero becomes 1, moves before nothing (stays, ties with v[4])
+	if v[5] != 0 && v[4] != 1 {
+		t.Fatalf("tail increment wrong: %v", v)
+	}
+	// Explicit order check.
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[i-1] {
+			t.Fatalf("order lost: %v", v)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fluid"
+)
+
+func TestOnePlusBetaMatchesFluidLimit(t *testing.T) {
+	// The (1+β) process's load fractions must track its own fluid limit
+	// dx_i/dt = (1−β)(x_{i−1}−x_i) + β(x_{i−1}²−x_i²).
+	for _, beta := range []float64{0.25, 0.75} {
+		r := Run(Config{N: 1 << 13, D: 2, Hashing: OnePlusBeta, Beta: beta, Trials: 20, Seed: 11})
+		want := fluid.SolveOnePlusBeta(beta, 1, 12)
+		for i := 1; i <= 3; i++ {
+			got := r.TailFraction(i)
+			if math.Abs(got-want[i]) > 0.005 {
+				t.Errorf("β=%v tail %d: sim %.5f vs ODE %.5f", beta, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestOnePlusBetaInterpolatesMaxLoad(t *testing.T) {
+	// Max load decreases as β rises from 0 (one choice) to 1 (two
+	// choices).
+	max := func(beta float64, seed uint64) int {
+		return Run(Config{N: 1 << 13, D: 2, Hashing: OnePlusBeta, Beta: beta, Trials: 5, Seed: seed}).MaxObservedLoad()
+	}
+	m0 := max(0, 21)
+	m1 := max(1, 23)
+	if m1 >= m0 {
+		t.Errorf("β=1 max %d not below β=0 max %d", m1, m0)
+	}
+	mHalf := max(0.5, 22)
+	if mHalf > m0 || mHalf < m1 {
+		t.Errorf("β=0.5 max %d outside [%d, %d]", mHalf, m1, m0)
+	}
+}
+
+func TestOnePlusBetaValidationInConfig(t *testing.T) {
+	for i, cfg := range []Config{
+		{N: 8, D: 3, Hashing: OnePlusBeta, Beta: 0.5}, // D must be 2
+		{N: 8, D: 2, Hashing: OnePlusBeta, Beta: -1},
+		{N: 8, D: 2, Hashing: OnePlusBeta, Beta: 2},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}

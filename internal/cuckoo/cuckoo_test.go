@@ -1,0 +1,140 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func newTable(t *testing.T, capacity, d int, mode Mode, seed uint64) *Table {
+	t.Helper()
+	return New(capacity, d, mode, seed, rng.NewXoshiro256(seed^0xABCD))
+}
+
+func TestInsertContainsRoundTrip(t *testing.T) {
+	for _, mode := range []Mode{Independent, DoubleHashed} {
+		tb := newTable(t, 1<<12, 3, mode, 5)
+		src := rng.NewXoshiro256(9)
+		keys := make([]uint64, 1<<11) // α = 0.5, far below threshold
+		for i := range keys {
+			keys[i] = src.Uint64()
+			if _, ok := tb.Insert(keys[i]); !ok {
+				t.Fatalf("%v: insert %d failed at α=0.5", mode, i)
+			}
+		}
+		for _, k := range keys {
+			if !tb.Contains(k) {
+				t.Fatalf("%v: stored key missing", mode)
+			}
+		}
+		if tb.Contains(0x1234567890) {
+			t.Fatalf("%v: phantom key", mode)
+		}
+		if tb.Len() != len(keys) {
+			t.Fatalf("%v: Len = %d", mode, tb.Len())
+		}
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tb := newTable(t, 1024, 3, DoubleHashed, 1)
+	tb.Insert(42)
+	if k, ok := tb.Insert(42); !ok || k != 0 {
+		t.Fatalf("reinsert: kicks=%d ok=%v", k, ok)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestHighLoadSucceedsBelowThreshold(t *testing.T) {
+	// d=3 random-walk cuckoo supports loads up to ≈ 0.91; α = 0.85 must
+	// succeed for both hashing modes.
+	capacity := 1 << 13
+	for _, mode := range []Mode{Independent, DoubleHashed} {
+		tb := newTable(t, capacity, 3, mode, 7)
+		r := tb.Fill(int(0.85*float64(capacity)), rng.NewXoshiro256(13))
+		if r.Failed != 0 {
+			t.Errorf("%v: failed after %d inserts at α=0.85", mode, r.Inserted)
+		}
+	}
+}
+
+func TestOverloadFails(t *testing.T) {
+	// Far beyond the d=2 threshold (0.5): inserting to α = 0.9 with d=2
+	// must hit a failure.
+	tb := newTable(t, 1<<10, 2, DoubleHashed, 3)
+	r := tb.Fill(921, rng.NewXoshiro256(17))
+	if r.Failed == 0 {
+		t.Error("d=2 fill to α=0.9 unexpectedly succeeded")
+	}
+}
+
+func TestModesComparableEffort(t *testing.T) {
+	// The reproduction claim: insertion effort under double hashing is
+	// close to independent hashing at moderate load.
+	capacity := 1 << 13
+	kicks := map[Mode]float64{}
+	for _, mode := range []Mode{Independent, DoubleHashed} {
+		tb := newTable(t, capacity, 3, mode, 11)
+		r := tb.Fill(int(0.8*float64(capacity)), rng.NewXoshiro256(23))
+		if r.Failed != 0 {
+			t.Fatalf("%v: fill failed", mode)
+		}
+		kicks[mode] = r.MeanKicks()
+	}
+	a, b := kicks[Independent], kicks[DoubleHashed]
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi > 3*lo+0.05 {
+		t.Errorf("mean kicks differ wildly: independent %.3f vs double-hashed %.3f", a, b)
+	}
+}
+
+func TestCompositeCapacity(t *testing.T) {
+	tb := newTable(t, 1000, 3, DoubleHashed, 19)
+	r := tb.Fill(700, rng.NewXoshiro256(29))
+	if r.Failed != 0 {
+		t.Fatalf("composite capacity fill failed after %d", r.Inserted)
+	}
+}
+
+func TestSetMaxKicks(t *testing.T) {
+	tb := newTable(t, 64, 3, Independent, 2)
+	tb.SetMaxKicks(1)
+	// With a tiny budget, dense fills fail quickly but the call works.
+	r := tb.Fill(60, rng.NewXoshiro256(31))
+	if r.Inserted+r.Failed != r.Attempted {
+		t.Fatalf("accounting broken: %+v", r)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	src := rng.NewSplitMix64(0)
+	tb := newTable(t, 64, 3, Independent, 0)
+	for i, fn := range []func(){
+		func() { New(1, 2, Independent, 0, src) },
+		func() { New(64, 1, Independent, 0, src) },
+		func() { New(64, 64, Independent, 0, src) },
+		func() { New(64, 2, Independent, 0, nil) },
+		func() { tb.SetMaxKicks(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMeanKicksEmptyFill(t *testing.T) {
+	var r FillResult
+	if r.MeanKicks() != 0 {
+		t.Error("empty fill mean kicks should be 0")
+	}
+}

@@ -1,0 +1,356 @@
+// Package experiments regenerates every table of the paper's evaluation
+// (Tables 1–8; the paper has no figures). Each TableN function runs the
+// fully-random and double-hashing variants of the corresponding workload
+// and renders output in the paper's layout, so numbers can be compared
+// side by side.
+//
+// The paper's scale is 10,000 trials per configuration (100 simulations
+// for Table 8). Options.Scale divides those counts — and, for Table 8,
+// the queue count and horizon — so the whole suite runs in minutes on a
+// laptop while preserving the shape of every comparison. Scale = 1
+// reproduces the paper's exact workload sizes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/choice"
+	"repro/internal/core"
+	"repro/internal/fluid"
+	"repro/internal/queueing"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// Options control the execution scale of all experiments.
+type Options struct {
+	// Scale >= 1 divides the paper's trial counts (10,000 per table,
+	// 100 sims for Table 8). Scale 1 is the paper's full workload.
+	Scale int
+	// Seed is the base seed; every table derives per-config seeds from it.
+	Seed uint64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults validates and fills defaults.
+func (o Options) withDefaults() Options {
+	if o.Scale == 0 {
+		o.Scale = 1
+	}
+	if o.Scale < 0 {
+		panic(fmt.Sprintf("experiments: Scale = %d", o.Scale))
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5EED
+	}
+	return o
+}
+
+// trials returns the scaled trial count with a floor.
+func (o Options) trials(paper int) int {
+	t := paper / o.Scale
+	if t < 4 {
+		t = 4
+	}
+	return t
+}
+
+// Rendered is one generated table.
+type Rendered struct {
+	ID   string // "table1a", "table8", ...
+	Text string // paper-style rendering, ready to print
+}
+
+// seedFor derives a per-configuration seed so each experiment's hashing
+// variants use independent randomness.
+func (o Options) seedFor(parts ...int) uint64 {
+	s := o.Seed
+	for _, p := range parts {
+		s = s*1099511628211 + uint64(p) + 1
+	}
+	return s
+}
+
+// runPair executes the same workload under fully random and double
+// hashing, returning both results.
+func (o Options) runPair(cfg core.Config, tag int) (fr, dh core.Result) {
+	frCfg := cfg
+	frCfg.Hashing = core.FullyRandom
+	frCfg.Seed = o.seedFor(tag, 1)
+	frCfg.Workers = o.Workers
+	dhCfg := cfg
+	dhCfg.Hashing = core.DoubleHash
+	dhCfg.Seed = o.seedFor(tag, 2)
+	dhCfg.Workers = o.Workers
+	return core.Run(frCfg), core.Run(dhCfg)
+}
+
+// loadDistTable renders the paper's standard two-column load-fraction
+// comparison for one (n, m, d) configuration.
+func loadDistTable(id, caption string, fr, dh core.Result) Rendered {
+	maxLoad := fr.Pooled.MaxValue()
+	if m := dh.Pooled.MaxValue(); m > maxLoad {
+		maxLoad = m
+	}
+	tbl := table.New("Load", "Fully Random", "Double Hashing").SetCaption("%s", caption)
+	for v := 0; v <= maxLoad; v++ {
+		tbl.AddRow(fmt.Sprint(v), table.Prob(fr.FractionAtLoad(v)), table.Prob(dh.FractionAtLoad(v)))
+	}
+	return Rendered{ID: id, Text: tbl.String()}
+}
+
+// Table1 reproduces the paper's Table 1: load distribution for d = 3 and
+// d = 4 with n = m = 2^14.
+func Table1(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	var out []Rendered
+	for idx, d := range []int{3, 4} {
+		cfg := core.Config{N: 1 << 14, D: d, Trials: trials}
+		fr, dh := o.runPair(cfg, 100+idx)
+		caption := fmt.Sprintf("Table 1(%c): %d choices, n = 2^14 balls and bins (%d trials)",
+			'a'+idx, d, trials)
+		out = append(out, loadDistTable(fmt.Sprintf("table1%c", 'a'+idx), caption, fr, dh))
+	}
+	return out
+}
+
+// Table2 reproduces the paper's Table 2: fluid-limit tail fractions vs
+// simulation for d = 3, n = 2^14.
+func Table2(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	cfg := core.Config{N: 1 << 14, D: 3, Trials: trials}
+	fr, dh := o.runPair(cfg, 200)
+	tails := fluid.SolveBallsBins(3, 1, 6)
+	tbl := table.New("Tail load", "Fluid Limit", "Fully Random", "Double Hashing").
+		SetCaption("Table 2: 3 choices, fluid limit (n = ∞) vs n = 2^14 balls and bins (%d trials)", trials)
+	for i := 1; i <= 3; i++ {
+		tbl.AddRow(fmt.Sprintf(">= %d", i),
+			table.Prob(tails[i]),
+			table.Prob(fr.TailFraction(i)),
+			table.Prob(dh.TailFraction(i)))
+	}
+	return []Rendered{{ID: "table2", Text: tbl.String()}}
+}
+
+// Table3 reproduces the paper's Table 3: load distributions at n = 2^16
+// and n = 2^18 for d = 3, 4.
+func Table3(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	var out []Rendered
+	idx := 0
+	for _, logN := range []int{16, 18} {
+		for _, d := range []int{3, 4} {
+			cfg := core.Config{N: 1 << logN, D: d, Trials: trials}
+			fr, dh := o.runPair(cfg, 300+idx)
+			caption := fmt.Sprintf("Table 3(%c): %d choices, n = 2^%d balls and bins (%d trials)",
+				'a'+idx, d, logN, trials)
+			out = append(out, loadDistTable(fmt.Sprintf("table3%c", 'a'+idx), caption, fr, dh))
+			idx++
+		}
+	}
+	return out
+}
+
+// Table4 reproduces the paper's Table 4: the percentage of trials whose
+// maximum load is exactly 3, across n.
+func Table4(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	var out []Rendered
+	specs := []struct {
+		d     int
+		logNs []int
+	}{
+		{3, []int{10, 11, 12, 13, 14, 15}},
+		{4, []int{10, 12, 14, 16, 18, 20}},
+	}
+	for idx, spec := range specs {
+		tbl := table.New("n", "Fully Random", "Double Hashing").
+			SetCaption("Table 4(%c): %d choices, %% of %d trials with maximum load 3",
+				'a'+idx, spec.d, trials)
+		for j, logN := range spec.logNs {
+			cfg := core.Config{N: 1 << logN, D: spec.d, Trials: trials}
+			fr, dh := o.runPair(cfg, 400+10*idx+j)
+			tbl.AddRow(fmt.Sprintf("2^%d", logN),
+				table.Percent(fr.FracTrialsWithMaxLoad(3)),
+				table.Percent(dh.FracTrialsWithMaxLoad(3)))
+		}
+		out = append(out, Rendered{ID: fmt.Sprintf("table4%c", 'a'+idx), Text: tbl.String()})
+	}
+	return out
+}
+
+// Table5 reproduces the paper's Table 5: min/avg/max/std.dev of the number
+// of bins at each load across trials, d = 4, n = 2^18.
+func Table5(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	cfg := core.Config{N: 1 << 18, D: 4, Trials: trials}
+	fr, dh := o.runPair(cfg, 500)
+	var out []Rendered
+	for idx, r := range []struct {
+		name string
+		res  core.Result
+	}{{"Fully random", fr}, {"Double hashing", dh}} {
+		tbl := table.New("Load", "min", "avg", "max", "std.dev.").
+			SetCaption("Table 5(%c): %s, load distribution over %d trials (4 choices, 2^18 balls and bins)",
+				'a'+idx, r.name, trials)
+		maxLoad := r.res.MaxObservedLoad()
+		for v := 0; v <= maxLoad; v++ {
+			l := r.res.PerLevel.Level(v)
+			tbl.AddRow(fmt.Sprint(v),
+				fmt.Sprintf("%.0f", l.Min()),
+				fmt.Sprintf("%.2f", l.Mean()),
+				fmt.Sprintf("%.0f", l.Max()),
+				fmt.Sprintf("%.2f", l.StdDev()))
+		}
+		out = append(out, Rendered{ID: fmt.Sprintf("table5%c", 'a'+idx), Text: tbl.String()})
+	}
+	return out
+}
+
+// Table6 reproduces the paper's Table 6: the heavy-load regime, 2^18 balls
+// into 2^14 bins.
+func Table6(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	var out []Rendered
+	for idx, d := range []int{3, 4} {
+		cfg := core.Config{N: 1 << 14, M: 1 << 18, D: d, Trials: trials}
+		fr, dh := o.runPair(cfg, 600+idx)
+		caption := fmt.Sprintf("Table 6(%c): %d choices, 2^18 balls and 2^14 bins (%d trials)",
+			'a'+idx, d, trials)
+		out = append(out, loadDistTable(fmt.Sprintf("table6%c", 'a'+idx), caption, fr, dh))
+	}
+	return out
+}
+
+// Table7 reproduces the paper's Table 7: Vöcking's d-left scheme with
+// d = 4 at n = 2^14 and n = 2^18.
+func Table7(o Options) []Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	var out []Rendered
+	for idx, logN := range []int{14, 18} {
+		cfg := core.Config{N: 1 << logN, D: 4, Scheme: core.DLeft, Trials: trials}
+		fr, dh := o.runPair(cfg, 700+idx)
+		caption := fmt.Sprintf("Table 7(%c): d-left, 4 choices, n = 2^%d balls and bins (%d trials)",
+			'a'+idx, logN, trials)
+		out = append(out, loadDistTable(fmt.Sprintf("table7%c", 'a'+idx), caption, fr, dh))
+	}
+	return out
+}
+
+// Table8 reproduces the paper's Table 8: the queueing (supermarket) model,
+// mean time in system. Paper scale: n = 2^14 queues, 100 simulations of
+// 10,000 seconds with a burn-in of 1,000. Scale divides the queue count,
+// the horizon and the simulation count.
+func Table8(o Options) []Rendered {
+	o = o.withDefaults()
+	sims := 100 / o.Scale
+	if sims < 2 {
+		sims = 2
+	}
+	n := (1 << 14) / o.Scale
+	if n < 1<<11 {
+		n = 1 << 11
+	}
+	horizon := 10000.0 / float64(o.Scale)
+	if horizon < 1000 {
+		horizon = 1000
+	}
+	burnin := horizon / 10
+
+	tbl := table.New("λ", "Choices", "Fluid Limit", "Fully Random", "Double Hashing").
+		SetCaption("Table 8: n = %d queues, average time in system (%d sims × %.0fs, burn-in %.0fs)",
+			n, sims, horizon, burnin)
+	tag := 0
+	for _, lambda := range []float64{0.9, 0.99} {
+		for _, d := range []int{3, 4} {
+			run := func(factory choice.Factory, seed uint64) float64 {
+				return queueing.Run(queueing.Config{
+					N: n, D: d, Lambda: lambda,
+					Factory: factory,
+					Horizon: horizon, Burnin: burnin,
+					Trials: sims, Seed: seed, Workers: o.Workers,
+				}).PooledMeanSojourn()
+			}
+			fr := run(choice.NewFullyRandom, o.seedFor(800+tag, 1))
+			dh := run(choice.NewDoubleHash, o.seedFor(800+tag, 2))
+			tbl.AddRow(
+				fmt.Sprintf("%.2f", lambda),
+				fmt.Sprint(d),
+				table.Fixed(fluid.ExpectedSojourn(lambda, d), 5),
+				table.Fixed(fr, 5),
+				table.Fixed(dh, 5))
+			tag++
+		}
+	}
+	return []Rendered{{ID: "table8", Text: tbl.String()}}
+}
+
+// Indistinguishability runs the statistical comparison behind the paper's
+// "essentially indistinguishable" claim at the given n, d: chi-square
+// homogeneity p-value and total-variation distance between the pooled FR
+// and DH load distributions.
+func Indistinguishability(o Options, n, d int) Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000)
+	cfg := core.Config{N: n, D: d, Trials: trials}
+	fr, dh := o.runPair(cfg, 900+d)
+	chi := stats.ChiSquareHomogeneity(&fr.Pooled, &dh.Pooled, 5)
+	tv := stats.TotalVariation(&fr.Pooled, &dh.Pooled)
+	tbl := table.New("Statistic", "Value").
+		SetCaption("Indistinguishability check: n = %d, d = %d, %d trials per hashing", n, d, trials)
+	tbl.AddRow("chi-square", fmt.Sprintf("%.3f", chi.Chi2))
+	tbl.AddRow("dof", fmt.Sprint(chi.Dof))
+	tbl.AddRow("p-value", fmt.Sprintf("%.4f", chi.P))
+	tbl.AddRow("total variation", fmt.Sprintf("%.3e", tv))
+	return Rendered{ID: "indistinguishability", Text: tbl.String()}
+}
+
+// All regenerates every table in paper order.
+func All(o Options) []Rendered {
+	var out []Rendered
+	out = append(out, Table1(o)...)
+	out = append(out, Table2(o)...)
+	out = append(out, Table3(o)...)
+	out = append(out, Table4(o)...)
+	out = append(out, Table5(o)...)
+	out = append(out, Table6(o)...)
+	out = append(out, Table7(o)...)
+	out = append(out, Table8(o)...)
+	return out
+}
+
+// ByName returns the tables selected by a comma-free spec: "1".."8" or
+// "all". It returns an error for anything else.
+func ByName(name string, o Options) ([]Rendered, error) {
+	switch strings.TrimSpace(name) {
+	case "1":
+		return Table1(o), nil
+	case "2":
+		return Table2(o), nil
+	case "3":
+		return Table3(o), nil
+	case "4":
+		return Table4(o), nil
+	case "5":
+		return Table5(o), nil
+	case "6":
+		return Table6(o), nil
+	case "7":
+		return Table7(o), nil
+	case "8":
+		return Table8(o), nil
+	case "all":
+		return All(o), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown table %q (want 1..8 or all)", name)
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// heavyScale keeps experiment tests fast: paper trial counts divide by
+// 2500, giving 4-trial runs that still exercise every code path.
+var heavyScale = Options{Scale: 2500, Seed: 42}
+
+func TestTable1ShapeAndValues(t *testing.T) {
+	out := Table1(heavyScale)
+	if len(out) != 2 {
+		t.Fatalf("Table1 returned %d tables", len(out))
+	}
+	a := out[0].Text
+	if !strings.Contains(a, "Table 1(a): 3 choices") {
+		t.Errorf("caption missing:\n%s", a)
+	}
+	// The load-1 fraction is ≈ 0.6466 for d=3; both columns must show 0.64x.
+	if !strings.Contains(a, "0.64") {
+		t.Errorf("expected ≈0.646 load-1 fractions:\n%s", a)
+	}
+	if out[1].ID != "table1b" {
+		t.Errorf("ID = %q", out[1].ID)
+	}
+}
+
+func TestTable2IncludesFluidColumn(t *testing.T) {
+	out := Table2(heavyScale)
+	if len(out) != 1 {
+		t.Fatalf("Table2 returned %d tables", len(out))
+	}
+	txt := out[0].Text
+	for _, want := range []string{"Fluid Limit", ">= 1", ">= 2", ">= 3", "0.82", "0.17"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("missing %q in:\n%s", want, txt)
+		}
+	}
+}
+
+func TestTable4PercentRows(t *testing.T) {
+	// Restrict to a cheap scale; Table 4(b) reaches n = 2^20, so use a
+	// large divisor.
+	out := Table4(Options{Scale: 2500, Seed: 7})
+	if len(out) != 2 {
+		t.Fatalf("Table4 returned %d tables", len(out))
+	}
+	if !strings.Contains(out[0].Text, "2^10") || !strings.Contains(out[1].Text, "2^20") {
+		t.Errorf("row labels missing:\n%s\n%s", out[0].Text, out[1].Text)
+	}
+}
+
+func TestTable8RunsAndIncludesFluid(t *testing.T) {
+	out := Table8(Options{Scale: 100, Seed: 3})
+	txt := out[0].Text
+	for _, want := range []string{"0.90", "0.99", "Fluid Limit", "2.02", "1.77"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("missing %q in:\n%s", want, txt)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("nope", heavyScale); err == nil {
+		t.Error("unknown table accepted")
+	}
+	out, err := ByName("2", heavyScale)
+	if err != nil || len(out) != 1 {
+		t.Errorf("ByName(2): %v, %d tables", err, len(out))
+	}
+}
+
+func TestIndistinguishability(t *testing.T) {
+	r := Indistinguishability(Options{Scale: 1000, Seed: 5}, 1<<12, 3)
+	if !strings.Contains(r.Text, "p-value") || !strings.Contains(r.Text, "total variation") {
+		t.Errorf("missing statistics:\n%s", r.Text)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative scale accepted")
+		}
+	}()
+	Table1(Options{Scale: -1})
+}
+
+func TestDeterministicRendering(t *testing.T) {
+	a := Table2(heavyScale)[0].Text
+	b := Table2(heavyScale)[0].Text
+	if a != b {
+		t.Error("same options rendered differently")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ancestry"
+	"repro/internal/bloom"
+	"repro/internal/choice"
+	"repro/internal/core"
+	"repro/internal/cuckoo"
+	"repro/internal/fluid"
+	"repro/internal/openaddr"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+// This file renders the experiments that go beyond the paper's tables:
+// the ancestry-list measurements behind the fluid-limit proof, and the
+// extension settings the paper's conclusion points at (Bloom filters,
+// open addressing, cuckoo hashing, churn, the (1+β) process).
+
+// ExtraAncestry measures Lemma 6 (list sizes flat in n) and Lemma 7
+// (disjointness approaching 1).
+func ExtraAncestry(o Options) Rendered {
+	o = o.withDefaults()
+	const d = 2
+	tbl := table.New("n", "mean size", "max size", "disjoint fraction").
+		SetCaption("Ancestry lists (Lemmas 6-7): d=%d, m=n, branching mean ≈ %.1f",
+			d, math.Exp(float64(d*(d-1))))
+	for _, logN := range []int{9, 10, 11, 12} {
+		n := 1 << logN
+		gen := choice.NewDoubleHash(n, d, rng.NewXoshiro256(o.seedFor(1000, logN)))
+		tr := ancestry.Record(gen, n)
+		s := tr.SampleSizes(n / 128)
+		probe := choice.NewDoubleHash(n, d, rng.NewXoshiro256(o.seedFor(1001, logN)))
+		disj := tr.DisjointFraction(probe, 300)
+		tbl.AddRow(fmt.Sprintf("2^%d", logN),
+			fmt.Sprintf("%.1f", s.MeanSize), fmt.Sprint(s.MaxSize), fmt.Sprintf("%.3f", disj))
+	}
+	return Rendered{ID: "extra-ancestry", Text: tbl.String()}
+}
+
+// ExtraBloom reproduces the Kirsch–Mitzenmacher comparison: FPR of
+// k-independent vs double hashing vs theory.
+func ExtraBloom(o Options) Rendered {
+	o = o.withDefaults()
+	const mBits, n, probes = 1 << 19, 1 << 15, 1 << 17
+	tbl := table.New("k", "Theory", "k-independent", "double-hashing").
+		SetCaption("Bloom filter FPR: m=2^19 bits, n=2^15 keys, %d probes", probes)
+	for _, k := range []int{4, 6, 8} {
+		theory := bloom.TheoreticalFPR(n, mBits, k)
+		ind := bloom.MeasureFPR(bloom.New(mBits, k, bloom.KIndependent, o.seedFor(1100, k)), n, probes)
+		dbl := bloom.MeasureFPR(bloom.New(mBits, k, bloom.DoubleHashing, o.seedFor(1101, k)), n, probes)
+		tbl.AddRow(fmt.Sprint(k), table.Prob(theory), table.Prob(ind), table.Prob(dbl))
+	}
+	return Rendered{ID: "extra-bloom", Text: tbl.String()}
+}
+
+// ExtraOpenAddr reproduces the classical unsuccessful-search comparison:
+// double hashing ≈ uniform probing ≈ 1/(1−α), linear probing worse.
+func ExtraOpenAddr(o Options) Rendered {
+	o = o.withDefaults()
+	capacity := 16411
+	tbl := table.New("α", "1/(1-α)", "double-hash", "uniform", "linear").
+		SetCaption("Open addressing: mean unsuccessful-search probes (capacity %d)", capacity)
+	for _, alpha := range []float64{0.5, 0.7, 0.9} {
+		row := []string{fmt.Sprintf("%.1f", alpha), fmt.Sprintf("%.2f", 1/(1-alpha))}
+		for i, probe := range []openaddr.Probe{openaddr.DoubleHash, openaddr.Uniform, openaddr.Linear} {
+			t := openaddr.New(capacity, probe, o.seedFor(1200, i))
+			t.FillTo(alpha, rng.NewXoshiro256(o.seedFor(1201, i)))
+			cost := t.UnsuccessfulSearchCost(20000, rng.NewXoshiro256(o.seedFor(1202, i)))
+			row = append(row, fmt.Sprintf("%.2f", cost))
+		}
+		tbl.AddRow(row...)
+	}
+	return Rendered{ID: "extra-openaddr", Text: tbl.String()}
+}
+
+// ExtraCuckoo reproduces the follow-up paper's empirical claim: d-ary
+// cuckoo hashing insertion effort is the same under double hashing.
+func ExtraCuckoo(o Options) Rendered {
+	o = o.withDefaults()
+	const capacity, d = 1 << 13, 3
+	tbl := table.New("α", "independent kicks/insert", "double-hashed kicks/insert").
+		SetCaption("Cuckoo hashing (d=%d, capacity 2^13): mean evictions per insert", d)
+	for _, alpha := range []float64{0.5, 0.7, 0.85} {
+		row := []string{fmt.Sprintf("%.2f", alpha)}
+		for i, mode := range []cuckoo.Mode{cuckoo.Independent, cuckoo.DoubleHashed} {
+			t := cuckoo.New(capacity, d, mode, o.seedFor(1300, i), rng.NewXoshiro256(o.seedFor(1301, i)))
+			r := t.Fill(int(alpha*capacity), rng.NewXoshiro256(o.seedFor(1302, i)))
+			if r.Failed != 0 {
+				row = append(row, "FAILED")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.4f", r.MeanKicks()))
+		}
+		tbl.AddRow(row...)
+	}
+	return Rendered{ID: "extra-cuckoo", Text: tbl.String()}
+}
+
+// ExtraChurn compares the stationary load distribution under heavy
+// insert/delete churn (paper §2.2's deletion setting).
+func ExtraChurn(o Options) Rendered {
+	o = o.withDefaults()
+	const n, d = 1 << 12, 3
+	trials := o.trials(10000) / 10
+	if trials < 4 {
+		trials = 4
+	}
+	collect := func(hashing core.Hashing, seed uint64) *stats.Hist {
+		var pooled stats.Hist
+		for trial := 0; trial < trials; trial++ {
+			cfg := core.Config{N: n, D: d, Hashing: hashing}
+			gen := cfg.Factory()(n, d, rng.NewXoshiro256(rng.Stream(seed, trial)))
+			p := core.NewProcess(gen, core.TieRandom, rng.NewXoshiro256(rng.Stream(seed, trial)+1))
+			c := core.NewChurn(p, rng.NewXoshiro256(rng.Stream(seed, trial)+2))
+			c.Run(n, 4*n)
+			pooled.Merge(c.LoadHist())
+		}
+		return &pooled
+	}
+	fr := collect(core.FullyRandom, o.seedFor(1400))
+	dh := collect(core.DoubleHash, o.seedFor(1401))
+	tbl := table.New("Load", "Fully Random", "Double Hashing").
+		SetCaption("Churn (n=m=2^12, d=3, 4n delete+insert steps, %d trials): stationary loads", trials)
+	maxLoad := fr.MaxValue()
+	if dh.MaxValue() > maxLoad {
+		maxLoad = dh.MaxValue()
+	}
+	for v := 0; v <= maxLoad; v++ {
+		tbl.AddRow(fmt.Sprint(v), table.Prob(fr.Fraction(v)), table.Prob(dh.Fraction(v)))
+	}
+	chi := stats.ChiSquareHomogeneity(fr, dh, 5)
+	tbl.AddRow("p-value", fmt.Sprintf("%.4f", chi.P), "")
+	return Rendered{ID: "extra-churn", Text: tbl.String()}
+}
+
+// ExtraOnePlusBeta shows the (1+β) interpolation against its fluid limit.
+func ExtraOnePlusBeta(o Options) Rendered {
+	o = o.withDefaults()
+	trials := o.trials(10000) / 10
+	if trials < 4 {
+		trials = 4
+	}
+	tbl := table.New("β", "tail>=2 (sim)", "tail>=2 (ODE)", "tail>=3 (sim)", "tail>=3 (ODE)").
+		SetCaption("(1+β)-choice process, n=2^13, %d trials", trials)
+	for _, beta := range []float64{0, 0.5, 1} {
+		r := core.Run(core.Config{
+			N: 1 << 13, D: 2, Hashing: core.OnePlusBeta, Beta: beta,
+			Trials: trials, Seed: o.seedFor(1500, int(beta*100)), Workers: o.Workers,
+		})
+		ode := fluid.SolveOnePlusBeta(beta, 1, 10)
+		tbl.AddRow(fmt.Sprintf("%.1f", beta),
+			table.Prob(r.TailFraction(2)), table.Prob(ode[2]),
+			table.Prob(r.TailFraction(3)), table.Prob(ode[3]))
+	}
+	return Rendered{ID: "extra-onebeta", Text: tbl.String()}
+}
+
+// Extras renders every beyond-the-paper experiment.
+func Extras(o Options) []Rendered {
+	return []Rendered{
+		ExtraAncestry(o),
+		ExtraBloom(o),
+		ExtraOpenAddr(o),
+		ExtraCuckoo(o),
+		ExtraChurn(o),
+		ExtraOnePlusBeta(o),
+	}
+}

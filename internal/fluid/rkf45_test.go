@@ -1,0 +1,123 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRKF45Exponential(t *testing.T) {
+	got, steps := RKF45(expSystem{}, []float64{1}, 0, 1, 1e-10)
+	if math.Abs(got[0]-math.E) > 1e-8 {
+		t.Fatalf("e = %v (err %g)", got[0], math.Abs(got[0]-math.E))
+	}
+	if steps == 0 {
+		t.Fatal("no steps taken")
+	}
+}
+
+func TestRKF45Oscillator(t *testing.T) {
+	got, _ := RKF45(oscillator{}, []float64{1, 0}, 0, 2*math.Pi, 1e-10)
+	if math.Abs(got[0]-1) > 1e-6 || math.Abs(got[1]) > 1e-6 {
+		t.Fatalf("after one period: %v", got)
+	}
+}
+
+func TestRKF45MatchesRK4OnBallsBins(t *testing.T) {
+	sys := BallsBins{D: 3, Levels: 8}
+	fixed := RK4(sys, make([]float64, 8), 0, 1, 1e-4)
+	adaptive, steps := RKF45(sys, make([]float64, 8), 0, 1, 1e-10)
+	for i := range fixed {
+		if math.Abs(fixed[i]-adaptive[i]) > 1e-7 {
+			t.Fatalf("component %d: RK4 %v vs RKF45 %v", i, fixed[i], adaptive[i])
+		}
+	}
+	// The adaptive method should need far fewer steps than RK4's 10^4.
+	if steps > 2000 {
+		t.Errorf("RKF45 took %d steps; adaptivity not working", steps)
+	}
+}
+
+func TestRKF45LongSupermarketTransient(t *testing.T) {
+	// The supermarket transient to near-equilibrium: adaptive stepping
+	// must land on the fixed point.
+	sys := Supermarket{D: 3, Lambda: 0.9, Levels: 12}
+	got, _ := RKF45(sys, make([]float64, 12), 0, 200, 1e-10)
+	want := EquilibriumTails(0.9, 3, 12)
+	for i := 0; i < 12; i++ {
+		if math.Abs(got[i]-want[i+1]) > 1e-6 {
+			t.Fatalf("s_%d = %v, fixed point %v", i+1, got[i], want[i+1])
+		}
+	}
+}
+
+func TestRKF45Validation(t *testing.T) {
+	for i, f := range []func(){
+		func() { RKF45(expSystem{}, []float64{1, 2}, 0, 1, 1e-6) },
+		func() { RKF45(expSystem{}, []float64{1}, 0, 1, 0) },
+		func() { RKF45(expSystem{}, []float64{1}, 1, 0, 1e-6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRKF45ZeroInterval(t *testing.T) {
+	got, steps := RKF45(expSystem{}, []float64{3}, 2, 2, 1e-8)
+	if got[0] != 3 || steps != 0 {
+		t.Fatalf("zero interval changed state: %v, %d steps", got, steps)
+	}
+}
+
+func TestOnePlusBetaFluid(t *testing.T) {
+	// β = 1 must equal the two-choice system; β = 0 the one-choice system.
+	two := SolveBallsBins(2, 1, 10)
+	mix1 := SolveOnePlusBeta(1, 1, 10)
+	for i := range two {
+		if math.Abs(two[i]-mix1[i]) > 1e-9 {
+			t.Fatalf("β=1 tail %d: %v vs two-choice %v", i, mix1[i], two[i])
+		}
+	}
+	one := SolveBallsBins(1, 1, 10)
+	mix0 := SolveOnePlusBeta(0, 1, 10)
+	for i := range one {
+		if math.Abs(one[i]-mix0[i]) > 1e-9 {
+			t.Fatalf("β=0 tail %d: %v vs one-choice %v", i, mix0[i], one[i])
+		}
+	}
+	// Intermediate β interpolates: tail-2 strictly between the extremes.
+	mid := SolveOnePlusBeta(0.5, 1, 10)
+	if !(two[2] < mid[2] && mid[2] < one[2]) {
+		t.Errorf("β=0.5 tail-2 %v not between %v and %v", mid[2], two[2], one[2])
+	}
+	// Mass conservation.
+	mass := 0.0
+	for i := 1; i < len(mid); i++ {
+		mass += mid[i]
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		t.Errorf("mass %v", mass)
+	}
+}
+
+func TestSolveOnePlusBetaValidation(t *testing.T) {
+	for i, f := range []func(){
+		func() { SolveOnePlusBeta(-0.1, 1, 4) },
+		func() { SolveOnePlusBeta(1.1, 1, 4) },
+		func() { SolveOnePlusBeta(0.5, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,185 @@
+// Package hashes provides the keyed hash functions a deployment of
+// double hashing needs when items are real byte strings rather than
+// simulation indices: SipHash-2-4 (a keyed, DoS-resistant PRF — the hash
+// family routers and hash tables should use against adversarial keys) and
+// FNV-1a (the classic cheap byte mixer), plus the derivation of a
+// balanced-allocation candidate set (f, g) from a single 64-bit digest.
+//
+// The simulators in this repository draw (f, g) directly from a PRNG —
+// legitimate because hash values of distinct keys are modeled as random —
+// but a downstream hash table, load balancer or Bloom filter hashes
+// concrete keys. DeriveChoices closes that gap: one SipHash call yields
+// the paper's two hash values, and therefore all d candidates.
+package hashes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/numeric"
+	"repro/internal/rng"
+)
+
+// SipKey is a 128-bit SipHash key.
+type SipKey struct {
+	K0, K1 uint64
+}
+
+// SipKeyFromSeed expands a 64-bit seed into a SipHash key.
+func SipKeyFromSeed(seed uint64) SipKey {
+	return SipKey{K0: rng.Mix64(seed), K1: rng.Mix64(seed + 0x9E3779B97F4A7C15)}
+}
+
+// SipHash24 returns the SipHash-2-4 PRF of data under key — the reference
+// algorithm of Aumasson and Bernstein, producing a 64-bit tag.
+func SipHash24(key SipKey, data []byte) uint64 {
+	v0 := key.K0 ^ 0x736F6D6570736575
+	v1 := key.K1 ^ 0x646F72616E646F6D
+	v2 := key.K0 ^ 0x6C7967656E657261
+	v3 := key.K1 ^ 0x7465646279746573
+
+	round := func() {
+		v0 += v1
+		v1 = bits.RotateLeft64(v1, 13)
+		v1 ^= v0
+		v0 = bits.RotateLeft64(v0, 32)
+		v2 += v3
+		v3 = bits.RotateLeft64(v3, 16)
+		v3 ^= v2
+		v0 += v3
+		v3 = bits.RotateLeft64(v3, 21)
+		v3 ^= v0
+		v2 += v1
+		v1 = bits.RotateLeft64(v1, 17)
+		v1 ^= v2
+		v2 = bits.RotateLeft64(v2, 32)
+	}
+
+	n := len(data)
+	for len(data) >= 8 {
+		m := binary.LittleEndian.Uint64(data)
+		v3 ^= m
+		round()
+		round()
+		v0 ^= m
+		data = data[8:]
+	}
+	// Final block: remaining bytes plus the length in the top byte.
+	var last uint64
+	for i, b := range data {
+		last |= uint64(b) << (8 * uint(i))
+	}
+	last |= uint64(n&0xFF) << 56
+	v3 ^= last
+	round()
+	round()
+	v0 ^= last
+	v2 ^= 0xFF
+	round()
+	round()
+	round()
+	round()
+	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// FNV-1a constants (64-bit).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// FNV1a returns the 64-bit FNV-1a hash of data.
+func FNV1a(data []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// FNV1aString is FNV1a over a string without allocation.
+func FNV1aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Choices holds a key's derived balanced-allocation parameters.
+type Choices struct {
+	F int // first probe, uniform over [0, n)
+	G int // stride, coprime to n (0 when n == 1)
+}
+
+// Candidate returns the key's k-th candidate bin, (F + k·G) mod n.
+func (c Choices) Candidate(k, n int) int {
+	return (c.F + k*c.G%n) % n
+}
+
+// Deriver maps 64-bit digests to double-hashing candidate parameters over
+// a fixed table size, using the fast paths for prime and power-of-two n.
+type Deriver struct {
+	n     int
+	prime bool
+	pow2  bool
+}
+
+// NewDeriver returns a Deriver for tables of n bins. It panics if n <= 0.
+func NewDeriver(n int) *Deriver {
+	if n <= 0 {
+		panic(fmt.Sprintf("hashes: n = %d", n))
+	}
+	return &Deriver{
+		n:     n,
+		prime: numeric.IsPrime(uint64(n)),
+		pow2:  numeric.IsPowerOfTwo(uint64(n)),
+	}
+}
+
+// N returns the table size.
+func (d *Deriver) N() int { return d.n }
+
+// DeriveChoices splits a digest into the paper's two hash values: f
+// uniform over [0, n) from the low half, and g over residues coprime to n
+// from the high half (odd for power-of-two n, any non-zero residue for
+// prime n, coprime-by-remixing otherwise).
+func (d *Deriver) DeriveChoices(digest uint64) Choices {
+	if d.n == 1 {
+		return Choices{F: 0, G: 0}
+	}
+	n := uint64(d.n)
+	f := int((digest & 0xFFFFFFFF) % n)
+	hi := digest >> 32
+	var g uint64
+	switch {
+	case d.prime:
+		g = 1 + hi%(n-1)
+	case d.pow2:
+		g = (hi%(n/2))*2 + 1
+	default:
+		g = 1 + hi%(n-1)
+		for !numeric.Coprime(g, n) {
+			hi = rng.Mix64(hi)
+			g = 1 + hi%(n-1)
+		}
+	}
+	return Choices{F: f, G: int(g)}
+}
+
+// CandidateBins writes the key's d candidate bins into dst, deriving them
+// from a single digest. Candidates are distinct whenever len(dst) < n.
+func (d *Deriver) CandidateBins(digest uint64, dst []int) {
+	c := d.DeriveChoices(digest)
+	v := c.F
+	for k := range dst {
+		dst[k] = v
+		v += c.G
+		if v >= d.n {
+			v -= d.n
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package hashes
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/numeric"
+)
+
+// TestSipHash24ReferenceVectors checks against the canonical test vectors
+// from the SipHash reference implementation: key bytes 00..0f, message
+// bytes 00..len−1, for len = 0..15.
+func TestSipHash24ReferenceVectors(t *testing.T) {
+	key := SipKey{K0: 0x0706050403020100, K1: 0x0F0E0D0C0B0A0908}
+	want := []uint64{
+		0x726FDB47DD0E0E31, 0x74F839C593DC67FD, 0x0D6C8009D9A94F5A, 0x85676696D7FB7E2D,
+		0xCF2794E0277187B7, 0x18765564CD99A68D, 0xCBC9466E58FEE3CE, 0xAB0200F58B01D137,
+		0x93F5F5799A932462, 0x9E0082DF0BA9E4B0, 0x7A5DBBC594DDB9F3, 0xF4B32F46226BADA7,
+		0x751E8FBC860EE5FB, 0x14EA5627C0843D90, 0xF723CA908E7AF2EE, 0xA129CA6149BE45E5,
+	}
+	msg := make([]byte, 0, 16)
+	for i, w := range want {
+		if got := SipHash24(key, msg); got != w {
+			t.Fatalf("SipHash24 len %d = %#016x, want %#016x", i, got, w)
+		}
+		msg = append(msg, byte(i))
+	}
+}
+
+func TestSipHash24LongInput(t *testing.T) {
+	// Multi-block input exercises the 8-byte loop; check determinism and
+	// key sensitivity.
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	k1 := SipKeyFromSeed(1)
+	k2 := SipKeyFromSeed(2)
+	a := SipHash24(k1, data)
+	b := SipHash24(k1, data)
+	c := SipHash24(k2, data)
+	if a != b {
+		t.Error("SipHash not deterministic")
+	}
+	if a == c {
+		t.Error("different keys collided (astronomically unlikely)")
+	}
+}
+
+func TestSipHash24AvalancheQuick(t *testing.T) {
+	key := SipKeyFromSeed(42)
+	f := func(data []byte, flipAt uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		h1 := SipHash24(key, data)
+		i := int(flipAt) % len(data)
+		data[i] ^= 1
+		h2 := SipHash24(key, data)
+		return h1 != h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFNV1aKnownValues(t *testing.T) {
+	// Canonical FNV-1a 64-bit values.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0xCBF29CE484222325},
+		{"a", 0xAF63DC4C8601EC8C},
+		{"foobar", 0x85944171F73967E8},
+	}
+	for _, c := range cases {
+		if got := FNV1aString(c.in); got != c.want {
+			t.Errorf("FNV1aString(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+		if got := FNV1a([]byte(c.in)); got != c.want {
+			t.Errorf("FNV1a(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDeriveChoicesContracts(t *testing.T) {
+	// For prime, power-of-two and composite n: F in range, G coprime to n.
+	for _, n := range []int{16411, 1 << 14, 12000} {
+		d := NewDeriver(n)
+		if d.N() != n {
+			t.Fatalf("N() = %d", d.N())
+		}
+		digest := uint64(0x0123456789ABCDEF)
+		for i := 0; i < 5000; i++ {
+			c := d.DeriveChoices(digest)
+			if c.F < 0 || c.F >= n {
+				t.Fatalf("n=%d: F = %d out of range", n, c.F)
+			}
+			if c.G < 1 || c.G >= n {
+				t.Fatalf("n=%d: G = %d out of range", n, c.G)
+			}
+			if !numeric.Coprime(uint64(c.G), uint64(n)) {
+				t.Fatalf("n=%d: G = %d not coprime", n, c.G)
+			}
+			digest = digest*6364136223846793005 + 1442695040888963407
+		}
+	}
+}
+
+func TestCandidateBinsDistinct(t *testing.T) {
+	d := NewDeriver(97)
+	dst := make([]int, 5)
+	digest := uint64(7)
+	for i := 0; i < 2000; i++ {
+		d.CandidateBins(digest, dst)
+		seen := map[int]bool{}
+		for _, v := range dst {
+			if v < 0 || v >= 97 || seen[v] {
+				t.Fatalf("candidates invalid: %v", dst)
+			}
+			seen[v] = true
+		}
+		digest = digest*2862933555777941757 + 3037000493
+	}
+}
+
+func TestCandidateBinsArithmetic(t *testing.T) {
+	d := NewDeriver(1 << 10)
+	dst := make([]int, 4)
+	d.CandidateBins(0xDEADBEEFCAFEF00D, dst)
+	c := d.DeriveChoices(0xDEADBEEFCAFEF00D)
+	for k, v := range dst {
+		want := (c.F + k*c.G) % (1 << 10)
+		if v != want {
+			t.Fatalf("candidate %d = %d, want %d", k, v, want)
+		}
+	}
+	if c.G%2 == 0 {
+		t.Fatal("power-of-two stride must be odd")
+	}
+}
+
+func TestDeriverNOne(t *testing.T) {
+	d := NewDeriver(1)
+	c := d.DeriveChoices(12345)
+	if c.F != 0 || c.G != 0 {
+		t.Fatalf("n=1 choices = %+v", c)
+	}
+	dst := make([]int, 3)
+	d.CandidateBins(99, dst)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatalf("n=1 candidate %d", v)
+		}
+	}
+}
+
+func TestDeriverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n <= 0")
+		}
+	}()
+	NewDeriver(0)
+}
+
+func TestDeriveChoicesUniformity(t *testing.T) {
+	// Marginal uniformity of F over a small prime n using sequential
+	// digests through SipHash (the realistic pipeline).
+	const n = 17
+	d := NewDeriver(n)
+	key := SipKeyFromSeed(9)
+	counts := make([]int, n)
+	var buf [8]byte
+	const draws = 170000
+	for i := 0; i < draws; i++ {
+		buf[0], buf[1], buf[2], buf[3] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+		c := d.DeriveChoices(SipHash24(key, buf[:]))
+		counts[c.F]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > 60 { // 16 dof; far tail
+		t.Errorf("F chi-square %.1f over %d cells", chi2, n)
+	}
+}

@@ -1,0 +1,85 @@
+package mchtable
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStashDrainsAfterDeletes(t *testing.T) {
+	// Overfill a small table so the stash is populated, then delete
+	// bucketed keys; stashed keys must migrate back into freed slots.
+	tb := New(Config{Buckets: 8, SlotsPerBucket: 2, D: 2, Mode: DoubleHashing, Seed: 1, StashSize: 16})
+	src := rng.NewXoshiro256(2)
+	var keys []uint64
+	for len(keys) < 16 { // capacity exactly 16 slots
+		k := src.Uint64()
+		if tb.Put(k, k) {
+			keys = append(keys, k)
+		}
+	}
+	for tb.StashLen() == 0 {
+		k := src.Uint64()
+		if tb.Put(k, k) {
+			keys = append(keys, k)
+		}
+	}
+	before := tb.StashLen()
+	// Delete bucketed keys until the stash shrinks.
+	drained := false
+	for _, k := range keys {
+		if tb.Delete(k) && tb.StashLen() < before {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		t.Fatal("stash never drained after deletes freed slots")
+	}
+	// Everything still stored must be retrievable.
+	live := 0
+	for _, k := range keys {
+		if _, ok := tb.Get(k); ok {
+			live++
+		}
+	}
+	if live != tb.Len() {
+		t.Fatalf("Len %d but %d keys retrievable", tb.Len(), live)
+	}
+}
+
+func TestModelBasedWithDrain(t *testing.T) {
+	// Re-run the model check at high pressure so drains happen constantly.
+	tb := New(Config{Buckets: 16, SlotsPerBucket: 2, D: 2, Mode: DoubleHashing, Seed: 3, StashSize: 8})
+	model := map[uint64]uint64{}
+	src := rng.NewXoshiro256(4)
+	for op := 0; op < 40000; op++ {
+		key := uint64(rng.Intn(src, 48)) // pressure above capacity
+		switch rng.Intn(src, 2) {
+		case 0:
+			val := src.Uint64()
+			if tb.Put(key, val) {
+				model[key] = val
+			} else if _, exists := model[key]; exists {
+				t.Fatalf("op %d: put rejected for existing key", op)
+			}
+		case 1:
+			ok := tb.Delete(key)
+			_, mok := model[key]
+			if ok != mok {
+				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, key, ok, mok)
+			}
+			delete(model, key)
+		}
+		if tb.Len() != len(model) {
+			t.Fatalf("op %d: Len %d != model %d", op, tb.Len(), len(model))
+		}
+		// Spot-check a few random keys.
+		probe := uint64(rng.Intn(src, 48))
+		v, ok := tb.Get(probe)
+		mv, mok := model[probe]
+		if ok != mok || (ok && v != mv) {
+			t.Fatalf("op %d: Get(%d) = (%d,%v), model (%d,%v)", op, probe, v, ok, mv, mok)
+		}
+	}
+}

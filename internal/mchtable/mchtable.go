@@ -1,0 +1,273 @@
+// Package mchtable is a multiple-choice hash table: the data structure
+// the paper's introduction motivates for routers and other hardware hash
+// tables. Keys live in buckets of a fixed number of slots; each key has d
+// candidate buckets and is stored in the least loaded (ties to the first),
+// so bucket occupancy follows the balanced-allocation load distribution
+// and overflow can be provisioned from the paper's tables.
+//
+// The table supports both hashing disciplines:
+//
+//   - IndependentHashes: d separately keyed SipHash evaluations per key —
+//     the fully random model.
+//   - DoubleHashing: one SipHash evaluation split into (f, g), candidates
+//     f + k·g mod buckets — the paper's scheme, one hash instead of d.
+//
+// Keys that overflow all d candidate buckets go to a small stash, mirroring
+// hardware designs; the paper's load tables predict how rarely that
+// happens (e.g. with 4 choices and 3 slots per bucket at full occupancy,
+// the overflow fraction is ~2·10^-5 per Table 1(b)).
+package mchtable
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/hashes"
+	"repro/internal/stats"
+)
+
+// HashMode selects how candidate buckets are derived from a key.
+type HashMode int
+
+const (
+	// IndependentHashes uses d independently keyed hash evaluations.
+	IndependentHashes HashMode = iota
+	// DoubleHashing derives all candidates from one hash evaluation.
+	DoubleHashing
+)
+
+// String returns the mode's display name.
+func (m HashMode) String() string {
+	switch m {
+	case IndependentHashes:
+		return "independent-hashes"
+	case DoubleHashing:
+		return "double-hashing"
+	default:
+		return fmt.Sprintf("HashMode(%d)", int(m))
+	}
+}
+
+// Config declares a table.
+type Config struct {
+	Buckets        int      // number of buckets (required, > 0)
+	SlotsPerBucket int      // slots per bucket (required, > 0)
+	D              int      // candidate buckets per key (required, > 0)
+	Mode           HashMode // hashing discipline
+	Seed           uint64   // hash key material
+	StashSize      int      // overflow stash capacity; 0 means 32
+}
+
+// Table is a multiple-choice hash table from uint64 keys to uint64 values.
+// It is not safe for concurrent use.
+type Table struct {
+	cfg     Config
+	keys    []uint64
+	vals    []uint64
+	used    []bool
+	counts  []uint16 // occupied slots per bucket
+	deriver *hashes.Deriver
+	sipKeys []hashes.SipKey
+	stash   map[uint64]uint64
+	size    int
+	scratch []int
+}
+
+// New returns an empty table. It panics on invalid configuration.
+func New(cfg Config) *Table {
+	if cfg.Buckets <= 0 {
+		panic(fmt.Sprintf("mchtable: Buckets = %d", cfg.Buckets))
+	}
+	if cfg.SlotsPerBucket <= 0 {
+		panic(fmt.Sprintf("mchtable: SlotsPerBucket = %d", cfg.SlotsPerBucket))
+	}
+	if cfg.D <= 0 || (cfg.D > 1 && cfg.D >= cfg.Buckets) {
+		panic(fmt.Sprintf("mchtable: D = %d with %d buckets", cfg.D, cfg.Buckets))
+	}
+	if cfg.StashSize == 0 {
+		cfg.StashSize = 32
+	}
+	if cfg.StashSize < 0 {
+		panic(fmt.Sprintf("mchtable: StashSize = %d", cfg.StashSize))
+	}
+	total := cfg.Buckets * cfg.SlotsPerBucket
+	t := &Table{
+		cfg:     cfg,
+		keys:    make([]uint64, total),
+		vals:    make([]uint64, total),
+		used:    make([]bool, total),
+		counts:  make([]uint16, cfg.Buckets),
+		deriver: hashes.NewDeriver(cfg.Buckets),
+		stash:   make(map[uint64]uint64),
+		scratch: make([]int, cfg.D),
+	}
+	nKeys := 1
+	if cfg.Mode == IndependentHashes {
+		nKeys = cfg.D
+	}
+	for i := 0; i < nKeys; i++ {
+		t.sipKeys = append(t.sipKeys, hashes.SipKeyFromSeed(cfg.Seed+uint64(i)*0x9E3779B97F4A7C15))
+	}
+	return t
+}
+
+// digest hashes key with sip key i.
+func (t *Table) digest(key uint64, i int) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return hashes.SipHash24(t.sipKeys[i], buf[:])
+}
+
+// candidates fills t.scratch with key's candidate buckets.
+func (t *Table) candidates(key uint64) []int {
+	switch t.cfg.Mode {
+	case IndependentHashes:
+		for i := range t.scratch {
+			t.scratch[i] = int(t.digest(key, i) % uint64(t.cfg.Buckets))
+		}
+	case DoubleHashing:
+		t.deriver.CandidateBins(t.digest(key, 0), t.scratch)
+	}
+	return t.scratch
+}
+
+// slot returns the flat index of bucket b, slot s.
+func (t *Table) slot(b, s int) int { return b*t.cfg.SlotsPerBucket + s }
+
+// findInBucket returns the slot of key in bucket b, or -1.
+func (t *Table) findInBucket(key uint64, b int) int {
+	for s := 0; s < t.cfg.SlotsPerBucket; s++ {
+		idx := t.slot(b, s)
+		if t.used[idx] && t.keys[idx] == key {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Put stores key → val, updating in place if key is present. It reports
+// whether the pair is stored; false means every candidate bucket and the
+// stash were full (the insertion is rejected, table unchanged).
+func (t *Table) Put(key, val uint64) bool {
+	cands := t.candidates(key)
+	// Update in place, wherever the key already lives.
+	for _, b := range cands {
+		if idx := t.findInBucket(key, b); idx >= 0 {
+			t.vals[idx] = val
+			return true
+		}
+	}
+	if _, ok := t.stash[key]; ok {
+		t.stash[key] = val
+		return true
+	}
+	// Place in the least-loaded candidate bucket, ties to the first —
+	// exactly the balanced-allocation rule.
+	best := -1
+	bestCount := uint16(t.cfg.SlotsPerBucket)
+	for _, b := range cands {
+		if c := t.counts[b]; c < bestCount {
+			best, bestCount = b, c
+		}
+	}
+	if best >= 0 {
+		for s := 0; s < t.cfg.SlotsPerBucket; s++ {
+			idx := t.slot(best, s)
+			if !t.used[idx] {
+				t.used[idx] = true
+				t.keys[idx] = key
+				t.vals[idx] = val
+				t.counts[best]++
+				t.size++
+				return true
+			}
+		}
+	}
+	// All candidates full: stash.
+	if len(t.stash) < t.cfg.StashSize {
+		t.stash[key] = val
+		t.size++
+		return true
+	}
+	return false
+}
+
+// Get returns the value stored for key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	for _, b := range t.candidates(key) {
+		if idx := t.findInBucket(key, b); idx >= 0 {
+			return t.vals[idx], true
+		}
+	}
+	v, ok := t.stash[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present. Freeing a bucket
+// slot triggers a stash drain: any stashed key with that bucket among its
+// candidates moves back into the table, so transient overflow does not
+// pin stash capacity forever.
+func (t *Table) Delete(key uint64) bool {
+	for _, b := range t.candidates(key) {
+		if idx := t.findInBucket(key, b); idx >= 0 {
+			t.used[idx] = false
+			t.counts[b]--
+			t.size--
+			t.drainStashInto(b)
+			return true
+		}
+	}
+	if _, ok := t.stash[key]; ok {
+		delete(t.stash, key)
+		t.size--
+		return true
+	}
+	return false
+}
+
+// drainStashInto moves one stashed key whose candidate set covers bucket b
+// into b, if b has a free slot.
+func (t *Table) drainStashInto(b int) {
+	if len(t.stash) == 0 || int(t.counts[b]) >= t.cfg.SlotsPerBucket {
+		return
+	}
+	for key, val := range t.stash {
+		for _, cb := range t.candidates(key) {
+			if cb != b {
+				continue
+			}
+			for s := 0; s < t.cfg.SlotsPerBucket; s++ {
+				idx := t.slot(b, s)
+				if !t.used[idx] {
+					t.used[idx] = true
+					t.keys[idx] = key
+					t.vals[idx] = val
+					t.counts[b]++
+					delete(t.stash, key)
+					return
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of stored pairs (including stashed ones).
+func (t *Table) Len() int { return t.size }
+
+// StashLen returns the number of stashed pairs — the overflow count.
+func (t *Table) StashLen() int { return len(t.stash) }
+
+// Occupancy returns stored pairs divided by total slot capacity.
+func (t *Table) Occupancy() float64 {
+	return float64(t.size) / float64(t.cfg.Buckets*t.cfg.SlotsPerBucket)
+}
+
+// BucketLoadHist returns the histogram of occupied slots per bucket — the
+// quantity the paper's load tables predict.
+func (t *Table) BucketLoadHist() *stats.Hist {
+	var h stats.Hist
+	for _, c := range t.counts {
+		h.Add(int(c))
+	}
+	return &h
+}

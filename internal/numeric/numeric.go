@@ -1,0 +1,257 @@
+// Package numeric supplies the number theory the double-hashing scheme
+// depends on: the stride g(j) must be uniform over residues coprime to the
+// table size n for the probe sequence f + k·g mod n to visit distinct
+// bins. The paper recommends n prime (every g in [1,n) works) or n a power
+// of two (every odd g works); this package supports those fast paths and,
+// via coprimality testing, arbitrary n.
+package numeric
+
+import "math/bits"
+
+// GCD returns the greatest common divisor of a and b using the binary
+// (Stein) algorithm. GCD(0, 0) == 0.
+func GCD(a, b uint64) uint64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	az := bits.TrailingZeros64(a)
+	bz := bits.TrailingZeros64(b)
+	shift := min(az, bz)
+	a >>= az
+	for {
+		b >>= bits.TrailingZeros64(b)
+		if a > b {
+			a, b = b, a
+		}
+		b -= a
+		if b == 0 {
+			return a << shift
+		}
+	}
+}
+
+// Coprime reports whether a and b share no common factor greater than 1.
+func Coprime(a, b uint64) bool {
+	return GCD(a, b) == 1
+}
+
+// IsPowerOfTwo reports whether n is a power of two (n > 0 with a single
+// set bit).
+func IsPowerOfTwo(n uint64) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// MulMod returns a*b mod m using 128-bit intermediate arithmetic, so it is
+// exact for all 64-bit inputs. It panics if m == 0.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// PowMod returns base^exp mod m by square-and-multiply. It panics if
+// m == 0; PowMod(x, 0, m) == 1 mod m.
+func PowMod(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = MulMod(result, base, m)
+		}
+		base = MulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// millerRabinBases is a base set proven sufficient for deterministic
+// primality testing of every 64-bit integer (Sinclair, 2011-class result
+// as used in practice; the first twelve primes suffice for n < 3.3e24).
+var millerRabinBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// IsPrime reports whether n is prime. The test is deterministic for all
+// uint64 values: small cases by trial division, the rest by Miller–Rabin
+// with a base set that covers the full 64-bit range.
+func IsPrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n%2 == 0:
+		return false
+	}
+	for _, p := range [...]uint64{3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	// Write n-1 = d·2^r with d odd.
+	d := n - 1
+	r := bits.TrailingZeros64(d)
+	d >>= uint(r)
+	for _, a := range millerRabinBases {
+		x := PowMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = MulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n. It panics if no prime fits in
+// a uint64 (n beyond 18446744073709551557).
+func NextPrime(n uint64) uint64 {
+	const largestPrime64 = 18446744073709551557
+	if n > largestPrime64 {
+		panic("numeric: NextPrime beyond largest 64-bit prime")
+	}
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}
+
+// PrevPrime returns the largest prime <= n. It panics if n < 2.
+func PrevPrime(n uint64) uint64 {
+	if n < 2 {
+		panic("numeric: PrevPrime below 2")
+	}
+	if n == 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n--
+	}
+	for !IsPrime(n) {
+		n -= 2
+	}
+	return n
+}
+
+// Factor returns the prime factorization of n as (prime, exponent) pairs
+// in increasing prime order. Factor(0) and Factor(1) return nil. It uses
+// trial division for small factors and Pollard's rho (Brent variant) for
+// the remainder, so it is practical for any 64-bit input.
+func Factor(n uint64) []PrimePower {
+	if n < 2 {
+		return nil
+	}
+	var f []PrimePower
+	appendFactor := func(p uint64) {
+		for i := range f {
+			if f[i].P == p {
+				f[i].K++
+				return
+			}
+		}
+		f = append(f, PrimePower{P: p, K: 1})
+	}
+	for _, p := range [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		for n%p == 0 {
+			appendFactor(p)
+			n /= p
+		}
+	}
+	// Recursive split of the remaining part using rho.
+	var split func(m uint64)
+	split = func(m uint64) {
+		if m == 1 {
+			return
+		}
+		if IsPrime(m) {
+			appendFactor(m)
+			return
+		}
+		d := pollardRho(m)
+		split(d)
+		split(m / d)
+	}
+	split(n)
+	sortPrimePowers(f)
+	return f
+}
+
+// PrimePower is one term p^k of a factorization.
+type PrimePower struct {
+	P uint64 // prime
+	K int    // exponent, >= 1
+}
+
+func sortPrimePowers(f []PrimePower) {
+	// Insertion sort: factorizations have at most 15 distinct primes.
+	for i := 1; i < len(f); i++ {
+		for j := i; j > 0 && f[j].P < f[j-1].P; j-- {
+			f[j], f[j-1] = f[j-1], f[j]
+		}
+	}
+}
+
+// pollardRho returns a non-trivial factor of composite odd n using Brent's
+// cycle-finding variant of Pollard's rho.
+func pollardRho(n uint64) uint64 {
+	if n%2 == 0 {
+		return 2
+	}
+	// Deterministic sequence of polynomial offsets; each failure retries
+	// with the next offset, which terminates for every composite 64-bit n
+	// in practice.
+	for c := uint64(1); ; c++ {
+		f := func(x uint64) uint64 { return (MulMod(x, x, n) + c) % n }
+		x, y, d := uint64(2), uint64(2), uint64(1)
+		for d == 1 {
+			x = f(x)
+			y = f(f(y))
+			diff := x - y
+			if x < y {
+				diff = y - x
+			}
+			if diff == 0 {
+				break // cycle without factor; retry with new c
+			}
+			d = GCD(diff, n)
+		}
+		if d != 1 && d != n {
+			return d
+		}
+	}
+}
+
+// Totient returns Euler's totient φ(n), the count of integers in [1, n]
+// coprime to n. Totient(0) == 0.
+func Totient(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	result := n
+	for _, pp := range Factor(n) {
+		result -= result / pp.P
+	}
+	return result
+}

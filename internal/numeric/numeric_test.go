@@ -1,0 +1,264 @@
+package numeric
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// isPrimeSlow is an independent trial-division oracle for cross-checks.
+func isPrimeSlow(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := uint64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIsPrimeSmallExhaustive(t *testing.T) {
+	for n := uint64(0); n < 10000; n++ {
+		if got, want := IsPrime(n), isPrimeSlow(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeKnownValues(t *testing.T) {
+	primes := []uint64{
+		2, 3, 5, 7, 2147483647, // 2^31-1, Mersenne
+		4294967291,           // largest prime < 2^32
+		(1 << 61) - 1,        // Mersenne prime 2^61-1
+		18446744073709551557, // largest 64-bit prime
+		1000000007, 998244353,
+	}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("IsPrime(%d) = false, want true", p)
+		}
+	}
+	composites := []uint64{
+		0, 1, 561, 1105, 1729, 2465, 6601, // Carmichael numbers
+		25326001, 3215031751, // strong pseudoprime milestones
+		(1 << 62), 18446744073709551615, // 2^64-1 = 3·5·17·257·641·65537·6700417
+		1000000007 * 2,
+	}
+	for _, c := range composites {
+		if IsPrime(c) {
+			t.Errorf("IsPrime(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestIsPrimeAgainstBigInt(t *testing.T) {
+	// Cross-check against math/big's ProbablyPrime (deterministic for
+	// 64-bit with the Baillie-PSW it includes) across scattered values.
+	x := uint64(1)
+	for i := 0; i < 3000; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		n := x >> 8
+		want := new(big.Int).SetUint64(n).ProbablyPrime(0)
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, big.Int says %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPrevPrime(t *testing.T) {
+	cases := []struct{ in, next uint64 }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11}, {14, 17},
+		{1 << 14, 16411}, {1 << 16, 65537}, {1 << 18, 262147},
+	}
+	for _, c := range cases {
+		if got := NextPrime(c.in); got != c.next {
+			t.Errorf("NextPrime(%d) = %d, want %d", c.in, got, c.next)
+		}
+	}
+	prev := []struct{ in, want uint64 }{
+		{2, 2}, {3, 3}, {4, 3}, {10, 7}, {16411, 16411}, {16410, 16381},
+	}
+	for _, c := range prev {
+		if got := PrevPrime(c.in); got != c.want {
+			t.Errorf("PrevPrime(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextPrimeProperties(t *testing.T) {
+	f := func(n uint32) bool {
+		p := NextPrime(uint64(n))
+		if p < uint64(n) || !IsPrime(p) {
+			return false
+		}
+		// No prime strictly between n and p.
+		for q := uint64(n); q < p; q++ {
+			if IsPrime(q) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	if g := GCD(0, 0); g != 0 {
+		t.Errorf("GCD(0,0) = %d, want 0", g)
+	}
+	if g := GCD(0, 7); g != 7 {
+		t.Errorf("GCD(0,7) = %d, want 7", g)
+	}
+	if g := GCD(12, 18); g != 6 {
+		t.Errorf("GCD(12,18) = %d, want 6", g)
+	}
+	f := func(a, b uint64) bool {
+		g := GCD(a, b)
+		if g != GCD(b, a) {
+			return false
+		}
+		if a != 0 && (g == 0 || a%g != 0) {
+			return false
+		}
+		if b != 0 && (g == 0 || b%g != 0) {
+			return false
+		}
+		// Divided-out values are coprime.
+		if g != 0 && !Coprime(a/g, b/g) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDAgainstBigInt(t *testing.T) {
+	f := func(a, b uint64) bool {
+		want := new(big.Int).GCD(nil, nil,
+			new(big.Int).SetUint64(a), new(big.Int).SetUint64(b)).Uint64()
+		return GCD(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulModAgainstBigInt(t *testing.T) {
+	f := func(a, b, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		bm := new(big.Int).SetUint64(m)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, bm)
+		return MulMod(a, b, m) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowModAgainstBigInt(t *testing.T) {
+	f := func(base, exp uint64, m uint64) bool {
+		if m == 0 {
+			m = 1
+		}
+		exp %= 1 << 20 // keep big.Int exponentiation fast
+		want := new(big.Int).Exp(
+			new(big.Int).SetUint64(base),
+			new(big.Int).SetUint64(exp),
+			new(big.Int).SetUint64(m)).Uint64()
+		return PowMod(base, exp, m) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorRoundTrip(t *testing.T) {
+	f := func(n uint64) bool {
+		n >>= 16 // keep rho fast in a property test
+		fac := Factor(n)
+		if n < 2 {
+			return fac == nil
+		}
+		prod := uint64(1)
+		var last uint64
+		for _, pp := range fac {
+			if !IsPrime(pp.P) || pp.K < 1 || pp.P <= last {
+				return false
+			}
+			last = pp.P
+			for i := 0; i < pp.K; i++ {
+				prod *= pp.P
+			}
+		}
+		return prod == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorKnown(t *testing.T) {
+	got := Factor(360) // 2^3 · 3^2 · 5
+	want := []PrimePower{{2, 3}, {3, 2}, {5, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Factor(360) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Factor(360) = %v, want %v", got, want)
+		}
+	}
+	// Semiprime with two large factors exercises rho.
+	n := uint64(1000003) * 999983
+	fac := Factor(n)
+	if len(fac) != 2 || fac[0].P != 999983 || fac[1].P != 1000003 {
+		t.Fatalf("Factor(%d) = %v", n, fac)
+	}
+}
+
+func TestTotient(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {10, 4}, {12, 4},
+		{17, 16}, {1 << 14, 1 << 13}, {16411, 16410}, {360, 96},
+	}
+	for _, c := range cases {
+		if got := Totient(c.n); got != c.want {
+			t.Errorf("Totient(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	// Brute-force cross-check for small n.
+	for n := uint64(1); n <= 300; n++ {
+		count := uint64(0)
+		for k := uint64(1); k <= n; k++ {
+			if Coprime(k, n) {
+				count++
+			}
+		}
+		if got := Totient(n); got != count {
+			t.Fatalf("Totient(%d) = %d, brute force %d", n, got, count)
+		}
+	}
+}
+
+func TestIsPowerOfTwo(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		if !IsPowerOfTwo(1 << uint(i)) {
+			t.Errorf("IsPowerOfTwo(2^%d) = false", i)
+		}
+	}
+	for _, n := range []uint64{0, 3, 5, 6, 7, 9, 12, 1<<20 + 1} {
+		if IsPowerOfTwo(n) {
+			t.Errorf("IsPowerOfTwo(%d) = true", n)
+		}
+	}
+}

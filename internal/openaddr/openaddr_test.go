@@ -1,0 +1,159 @@
+package openaddr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
+		tb := New(1<<12, probe, 42)
+		src := rng.NewXoshiro256(1)
+		keys := make([]uint64, 1<<11) // fill to α = 0.5
+		for i := range keys {
+			keys[i] = src.Uint64()
+			if _, ok := tb.Insert(keys[i]); !ok {
+				t.Fatalf("%v: insert %d failed", probe, i)
+			}
+		}
+		for _, k := range keys {
+			if found, _ := tb.Lookup(k); !found {
+				t.Fatalf("%v: stored key not found", probe)
+			}
+		}
+		if found, _ := tb.Lookup(0xDEADBEEF); found {
+			t.Fatalf("%v: phantom key found", probe)
+		}
+		if tb.Len() != len(keys) {
+			t.Fatalf("%v: Len = %d, want %d", probe, tb.Len(), len(keys))
+		}
+	}
+}
+
+func TestInsertIdempotent(t *testing.T) {
+	tb := New(97, DoubleHash, 3)
+	tb.Insert(12345)
+	tb.Insert(12345)
+	if tb.Len() != 1 {
+		t.Fatalf("duplicate insert grew table: %d", tb.Len())
+	}
+}
+
+func TestUnsuccessfulSearchCostMatchesTheory(t *testing.T) {
+	// Classical result: at load α, unsuccessful search under double
+	// hashing costs ≈ 1/(1−α), matching idealized uniform probing.
+	capacity := 16411 // prime near 2^14
+	for _, alpha := range []float64{0.3, 0.5, 0.7, 0.85} {
+		want := 1 / (1 - alpha)
+		for _, probe := range []Probe{DoubleHash, Uniform} {
+			tb := New(capacity, probe, 7)
+			tb.FillTo(alpha, rng.NewXoshiro256(11))
+			got := tb.UnsuccessfulSearchCost(20000, rng.NewXoshiro256(13))
+			if math.Abs(got-want)/want > 0.06 {
+				t.Errorf("%v α=%.2f: cost %.3f, want ≈ %.3f", probe, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestLinearProbingClusters(t *testing.T) {
+	// Linear probing's unsuccessful search cost is (1+(1/(1−α))²)/2,
+	// much worse than 1/(1−α) at high load.
+	const alpha = 0.85
+	capacity := 16384
+	lin := New(capacity, Linear, 7)
+	lin.FillTo(alpha, rng.NewXoshiro256(17))
+	dh := New(capacity, DoubleHash, 7)
+	dh.FillTo(alpha, rng.NewXoshiro256(17))
+	linCost := lin.UnsuccessfulSearchCost(20000, rng.NewXoshiro256(19))
+	dhCost := dh.UnsuccessfulSearchCost(20000, rng.NewXoshiro256(19))
+	if linCost < 2*dhCost {
+		t.Errorf("linear probing cost %.2f not ≫ double hashing %.2f at α=%.2f", linCost, dhCost, alpha)
+	}
+	wantLin := (1 + 1/((1-alpha)*(1-alpha))) / 2
+	if math.Abs(linCost-wantLin)/wantLin > 0.25 {
+		t.Errorf("linear cost %.2f, theory ≈ %.2f", linCost, wantLin)
+	}
+}
+
+func TestFullTableBehaviour(t *testing.T) {
+	tb := New(7, DoubleHash, 1)
+	src := rng.NewXoshiro256(5)
+	inserted := make([]uint64, 0, 7)
+	for len(inserted) < 7 {
+		k := src.Uint64()
+		if _, ok := tb.Insert(k); ok {
+			inserted = append(inserted, k)
+		}
+	}
+	if tb.LoadFactor() != 1 {
+		t.Fatalf("load factor %v", tb.LoadFactor())
+	}
+	// A new key cannot be inserted.
+	if _, ok := tb.Insert(0x123456789); ok {
+		t.Error("insert into full table succeeded")
+	}
+	// Existing keys still found; absent keys terminate.
+	for _, k := range inserted {
+		if found, _ := tb.Lookup(k); !found {
+			t.Error("stored key lost at full load")
+		}
+	}
+	if found, p := tb.Lookup(0x987654321); found || p > 7 {
+		t.Errorf("full-table miss: found=%v probes=%d", found, p)
+	}
+}
+
+func TestCompositeCapacityDoubleHash(t *testing.T) {
+	// Capacity 1000 (neither prime nor power of two) exercises the
+	// coprime-stride fallback.
+	tb := New(1000, DoubleHash, 9)
+	src := rng.NewXoshiro256(21)
+	for i := 0; i < 900; i++ {
+		if _, ok := tb.Insert(src.Uint64()); !ok {
+			t.Fatalf("insert %d failed at composite capacity", i)
+		}
+	}
+	if tb.Len() != 900 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	tb := New(509, DoubleHash, 33)
+	f := func(key uint64) bool {
+		if tb.LoadFactor() > 0.9 {
+			return true // stop stressing a nearly full table
+		}
+		if _, ok := tb.Insert(key); !ok {
+			return false
+		}
+		found, _ := tb.Lookup(key)
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	tb := New(97, DoubleHash, 0)
+	for i, fn := range []func(){
+		func() { New(1, DoubleHash, 0) },
+		func() { tb.FillTo(1.0, rng.NewSplitMix64(0)) },
+		func() { tb.FillTo(-0.1, rng.NewSplitMix64(0)) },
+		func() { tb.UnsuccessfulSearchCost(0, rng.NewSplitMix64(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

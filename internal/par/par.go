@@ -1,0 +1,88 @@
+// Package par runs independent simulation trials across a worker pool
+// while keeping results bit-for-bit deterministic: trial i always uses the
+// same derived seed regardless of scheduling, results are collected into a
+// slice indexed by trial, and reductions happen sequentially in trial
+// order. Changing the worker count can therefore never change a reported
+// number — a property the experiment harness tests rely on.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Run executes fn(trial) for every trial in [0, trials) on up to workers
+// goroutines and returns the results indexed by trial. workers <= 0 means
+// runtime.GOMAXPROCS(0). If any fn panics, Run panics on the calling
+// goroutine with the first panic value after all workers have stopped.
+func Run[T any](workers, trials int, fn func(trial int) T) []T {
+	if trials < 0 {
+		panic(fmt.Sprintf("par: negative trial count %d", trials))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+	results := make([]T, trials)
+	if trials == 0 {
+		return results
+	}
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			results[i] = fn(i)
+		}
+		return results
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicVal any
+		panicked bool
+	)
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if !panicked {
+					panicked = true
+					panicVal = r
+				}
+				panicMu.Unlock()
+			}
+		}()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= trials {
+				return
+			}
+			results[i] = fn(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return results
+}
+
+// MapReduce runs fn across the worker pool and folds the results into acc
+// with merge, in trial order. The fold is sequential, so any
+// order-sensitive accumulator (floating-point sums, Welford merges) gets
+// the same answer for every worker count.
+func MapReduce[T, A any](workers, trials int, fn func(trial int) T, acc A, merge func(A, T) A) A {
+	for _, r := range Run(workers, trials, fn) {
+		acc = merge(acc, r)
+	}
+	return acc
+}

@@ -1,0 +1,81 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunOrderAndCompleteness(t *testing.T) {
+	got := Run(4, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(i int) float64 { return float64(i) * 1.0000001 }
+	base := MapReduce(1, 500, fn, 0.0, func(a float64, x float64) float64 { return a + x })
+	for _, w := range []int{2, 3, 8, 16} {
+		got := MapReduce(w, 500, fn, 0.0, func(a float64, x float64) float64 { return a + x })
+		if got != base {
+			t.Fatalf("workers=%d sum %v != sequential %v", w, got, base)
+		}
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	got := Run(4, 0, func(i int) int { t.Fatal("fn called"); return 0 })
+	if len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	var calls atomic.Int64
+	Run(0, 50, func(i int) struct{} { calls.Add(1); return struct{}{} })
+	if calls.Load() != 50 {
+		t.Fatalf("calls = %d, want 50", calls.Load())
+	}
+}
+
+func TestRunNegativeTrialsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for negative trials")
+		}
+	}()
+	Run(1, -1, func(i int) int { return 0 })
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Run(4, 100, func(i int) int {
+		if i == 37 {
+			panic("boom 37")
+		}
+		return i
+	})
+}
+
+func TestRunActuallyParallel(t *testing.T) {
+	// With 8 workers and 8 sleeping trials, wall time must be well under
+	// the 8× sequential time.
+	const d = 20 * time.Millisecond
+	start := time.Now()
+	Run(8, 8, func(i int) int { time.Sleep(d); return i })
+	if elapsed := time.Since(start); elapsed > 6*d {
+		t.Errorf("8 trials on 8 workers took %v, want ≪ %v", elapsed, 8*d)
+	}
+}

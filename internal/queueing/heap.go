@@ -1,0 +1,104 @@
+package queueing
+
+// event is one scheduled simulation event. seq breaks time ties
+// deterministically (events at identical times fire in schedule order),
+// which keeps trials bit-for-bit reproducible.
+type event struct {
+	time  float64
+	seq   uint64
+	kind  eventKind
+	queue int
+}
+
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+)
+
+// before orders events by (time, seq).
+func (e event) before(o event) bool {
+	if e.time != o.time {
+		return e.time < o.time
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a binary min-heap of events ordered by before. The zero
+// value is an empty heap.
+type eventHeap struct {
+	items []event
+}
+
+// Len returns the number of pending events.
+func (h *eventHeap) Len() int { return len(h.items) }
+
+// Push inserts an event.
+func (h *eventHeap) Push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].before(h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the earliest event. It panics on an empty heap.
+func (h *eventHeap) Pop() event {
+	if len(h.items) == 0 {
+		panic("queueing: pop from empty event heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].before(h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].before(h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// fifo is a first-in-first-out queue of job arrival times with an
+// amortized-O(1) pop via a moving head index.
+type fifo struct {
+	items []float64
+	head  int
+}
+
+// Len returns the number of queued jobs.
+func (f *fifo) Len() int { return len(f.items) - f.head }
+
+// Push appends a job's arrival time.
+func (f *fifo) Push(t float64) { f.items = append(f.items, t) }
+
+// Pop removes and returns the oldest arrival time. It panics when empty.
+func (f *fifo) Pop() float64 {
+	if f.Len() == 0 {
+		panic("queueing: pop from empty fifo")
+	}
+	t := f.items[f.head]
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.items) {
+		f.items = append(f.items[:0], f.items[f.head:]...)
+		f.head = 0
+	}
+	return t
+}

@@ -1,0 +1,248 @@
+// Package queueing is the discrete-event simulator behind the paper's
+// Table 8: the supermarket model. Customers arrive as a Poisson process of
+// rate λn to a bank of n FIFO queues with exponential(1) service times;
+// each arrival samples d queues with a pluggable choice generator (fully
+// random or double hashing) and joins the one holding the fewest jobs.
+//
+// The simulator reports the mean time in system over customers arriving
+// after a burn-in period, matching the paper's methodology ("recording the
+// average time over all packets after time 1000"), plus the queue-length
+// tail fractions at the horizon for comparison against the fluid limit.
+package queueing
+
+import (
+	"fmt"
+
+	"repro/internal/choice"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config declares a supermarket-model experiment.
+type Config struct {
+	N      int     // number of queues (required, > 0)
+	D      int     // choices per arrival (required, > 0)
+	Lambda float64 // arrival rate per queue; 0 < Lambda < 1 for stability
+
+	// Factory builds the choice generator; nil means fully random
+	// (choice.NewFullyRandom for D >= 2, one-choice for D == 1).
+	Factory choice.Factory
+
+	Horizon float64 // simulated time; arrivals stop at Horizon (required, > 0)
+	Burnin  float64 // sojourns of jobs arriving before Burnin are discarded
+
+	TrackLevels int // queue-length tail levels recorded; 0 means 24
+
+	// SampleTimes, when non-empty, records the queue-length tail vector
+	// each time the simulation clock passes one of these instants (must be
+	// increasing and within [0, Horizon]). Used to compare the transient
+	// against the fluid-limit ODE trajectory.
+	SampleTimes []float64
+
+	Trials  int    // independent simulations; 0 means 1
+	Seed    uint64 // base seed; trial i uses rng.Stream(Seed, i)
+	Workers int    // parallel workers; 0 means GOMAXPROCS
+}
+
+// withDefaults validates cfg and fills defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("queueing: N = %d", cfg.N))
+	}
+	if cfg.D <= 0 {
+		panic(fmt.Sprintf("queueing: D = %d", cfg.D))
+	}
+	if cfg.Lambda <= 0 || cfg.Lambda >= 1 {
+		panic(fmt.Sprintf("queueing: Lambda = %v, need 0 < λ < 1", cfg.Lambda))
+	}
+	if cfg.Horizon <= 0 {
+		panic(fmt.Sprintf("queueing: Horizon = %v", cfg.Horizon))
+	}
+	if cfg.Burnin < 0 || cfg.Burnin >= cfg.Horizon {
+		panic(fmt.Sprintf("queueing: Burnin = %v outside [0, Horizon)", cfg.Burnin))
+	}
+	if cfg.Factory == nil {
+		if cfg.D == 1 {
+			cfg.Factory = choice.NewOneChoice
+		} else {
+			cfg.Factory = choice.NewFullyRandom
+		}
+	}
+	if cfg.TrackLevels == 0 {
+		cfg.TrackLevels = 24
+	}
+	if cfg.Trials == 0 {
+		cfg.Trials = 1
+	}
+	if cfg.Trials < 0 {
+		panic(fmt.Sprintf("queueing: Trials = %d", cfg.Trials))
+	}
+	for i, s := range cfg.SampleTimes {
+		if s < 0 || s > cfg.Horizon || (i > 0 && s <= cfg.SampleTimes[i-1]) {
+			panic(fmt.Sprintf("queueing: SampleTimes must be increasing within [0, Horizon], got %v", cfg.SampleTimes))
+		}
+	}
+	return cfg
+}
+
+// TrialResult is the outcome of one simulation run.
+type TrialResult struct {
+	SumSojourn float64   // total time-in-system over counted jobs
+	Completed  int64     // counted jobs (arrived after burn-in, departed by horizon)
+	QueueTails []float64 // fraction of queues with >= i jobs at the horizon
+
+	// Samples[i] is the tail vector recorded at Config.SampleTimes[i]
+	// (nil when no sample times were configured).
+	Samples [][]float64
+}
+
+// MeanSojourn returns the trial's average time in system.
+func (t TrialResult) MeanSojourn() float64 {
+	if t.Completed == 0 {
+		return 0
+	}
+	return t.SumSojourn / float64(t.Completed)
+}
+
+// Result aggregates the trials of one Config.
+type Result struct {
+	Config    Config
+	PerTrial  stats.Welford // across-trial distribution of mean sojourns
+	Completed int64         // total counted jobs
+	sumSoj    float64
+	Tails     []float64 // queue-length tails averaged over trials
+}
+
+// PooledMeanSojourn returns the job-weighted mean sojourn over all trials.
+func (r Result) PooledMeanSojourn() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.sumSoj / float64(r.Completed)
+}
+
+// RunTrial executes one deterministic simulation trial.
+func (cfg Config) RunTrial(trial int) TrialResult {
+	cfg = cfg.withDefaults()
+	return cfg.runTrialPrepared(trial)
+}
+
+func (cfg Config) runTrialPrepared(trial int) TrialResult {
+	seed := rng.Stream(cfg.Seed, trial)
+	src := rng.NewXoshiro256(seed)
+	gen := cfg.Factory(cfg.N, cfg.D, src)
+
+	queues := make([]fifo, cfg.N)
+	var h eventHeap
+	var seq uint64
+	schedule := func(t float64, kind eventKind, q int) {
+		h.Push(event{time: t, seq: seq, kind: kind, queue: q})
+		seq++
+	}
+
+	arrivalRate := cfg.Lambda * float64(cfg.N)
+	schedule(rng.Exp(src, arrivalRate), evArrival, -1)
+
+	dst := make([]int, cfg.D)
+	ties := make([]int, 0, cfg.D)
+	var res TrialResult
+	nextSample := 0
+	for h.Len() > 0 {
+		e := h.Pop()
+		// The state is piecewise constant between events, so the tails at
+		// any sample instant before this event equal the current tails.
+		for nextSample < len(cfg.SampleTimes) && cfg.SampleTimes[nextSample] < e.time {
+			res.Samples = append(res.Samples, tailsOf(queues, cfg.TrackLevels))
+			nextSample++
+		}
+		if e.time > cfg.Horizon {
+			break
+		}
+		now := e.time
+		switch e.kind {
+		case evArrival:
+			schedule(now+rng.Exp(src, arrivalRate), evArrival, -1)
+			gen.Draw(dst)
+			best := dst[0]
+			bestLen := queues[best].Len()
+			ties = append(ties[:0], best)
+			for _, q := range dst[1:] {
+				switch l := queues[q].Len(); {
+				case l < bestLen:
+					best, bestLen = q, l
+					ties = append(ties[:0], q)
+				case l == bestLen:
+					ties = append(ties, q)
+				}
+			}
+			if len(ties) > 1 {
+				best = ties[rng.Intn(src, len(ties))]
+			}
+			queues[best].Push(now)
+			if queues[best].Len() == 1 {
+				schedule(now+rng.Exp(src, 1), evDeparture, best)
+			}
+		case evDeparture:
+			q := e.queue
+			arrived := queues[q].Pop()
+			if arrived >= cfg.Burnin {
+				res.SumSojourn += now - arrived
+				res.Completed++
+			}
+			if queues[q].Len() > 0 {
+				schedule(now+rng.Exp(src, 1), evDeparture, q)
+			}
+		}
+	}
+
+	// Flush sample instants the event stream never reached.
+	for nextSample < len(cfg.SampleTimes) {
+		res.Samples = append(res.Samples, tailsOf(queues, cfg.TrackLevels))
+		nextSample++
+	}
+	// Queue-length tails at the horizon.
+	res.QueueTails = tailsOf(queues, cfg.TrackLevels)
+	return res
+}
+
+// tailsOf returns the fraction of queues with at least i jobs, i =
+// 0..levels.
+func tailsOf(queues []fifo, levels int) []float64 {
+	tails := make([]float64, levels+1)
+	for i := range queues {
+		l := queues[i].Len()
+		if l > levels {
+			l = levels
+		}
+		for j := 0; j <= l; j++ {
+			tails[j]++
+		}
+	}
+	n := float64(len(queues))
+	for j := range tails {
+		tails[j] /= n
+	}
+	return tails
+}
+
+// Run executes all trials across the parallel harness and aggregates them
+// deterministically (identical output for every worker count).
+func Run(cfg Config) Result {
+	cfg = cfg.withDefaults()
+	res := Result{Config: cfg, Tails: make([]float64, cfg.TrackLevels+1)}
+	trials := par.Run(cfg.Workers, cfg.Trials, cfg.runTrialPrepared)
+	for i := range trials {
+		t := &trials[i]
+		res.PerTrial.Add(t.MeanSojourn())
+		res.Completed += t.Completed
+		res.sumSoj += t.SumSojourn
+		for j := range res.Tails {
+			res.Tails[j] += t.QueueTails[j]
+		}
+	}
+	for j := range res.Tails {
+		res.Tails[j] /= float64(len(trials))
+	}
+	return res
+}

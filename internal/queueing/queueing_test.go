@@ -1,0 +1,261 @@
+package queueing
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/choice"
+	"repro/internal/fluid"
+	"repro/internal/rng"
+)
+
+func TestEventHeapOrders(t *testing.T) {
+	var h eventHeap
+	times := []float64{5, 1, 3, 2, 4, 0.5, 3}
+	for i, tm := range times {
+		h.Push(event{time: tm, seq: uint64(i)})
+	}
+	sorted := append([]float64(nil), times...)
+	sort.Float64s(sorted)
+	for i, want := range sorted {
+		got := h.Pop()
+		if got.time != want {
+			t.Fatalf("pop %d: time %v, want %v", i, got.time, want)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty")
+	}
+}
+
+func TestEventHeapTieBreaksBySeq(t *testing.T) {
+	var h eventHeap
+	h.Push(event{time: 1, seq: 2})
+	h.Push(event{time: 1, seq: 0})
+	h.Push(event{time: 1, seq: 1})
+	for want := uint64(0); want < 3; want++ {
+		if got := h.Pop().seq; got != want {
+			t.Fatalf("seq order broken: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestEventHeapQuickSorted(t *testing.T) {
+	f := func(raw []float64) bool {
+		var h eventHeap
+		for i, v := range raw {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			h.Push(event{time: v, seq: uint64(i)})
+		}
+		prev := math.Inf(-1)
+		for h.Len() > 0 {
+			e := h.Pop()
+			if e.time < prev {
+				return false
+			}
+			prev = e.time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventHeapPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var h eventHeap
+	h.Pop()
+}
+
+func TestFifo(t *testing.T) {
+	var f fifo
+	const n = 500
+	for i := 0; i < n; i++ {
+		f.Push(float64(i))
+	}
+	for i := 0; i < n; i++ {
+		if got := f.Pop(); got != float64(i) {
+			t.Fatalf("pop %d: got %v", i, got)
+		}
+		// Interleave pushes to exercise compaction.
+		if i%3 == 0 {
+			f.Push(float64(n + i))
+		}
+	}
+	// Remaining pushed values still come out in order.
+	prev := -1.0
+	for f.Len() > 0 {
+		v := f.Pop()
+		if v <= prev {
+			t.Fatalf("fifo order broken: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFifoPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	var f fifo
+	f.Pop()
+}
+
+func TestMM1SojournMatchesTheory(t *testing.T) {
+	// d = 1 reduces to n independent M/M/1 queues with mean sojourn
+	// 1/(1−λ).
+	const lambda = 0.7
+	r := Run(Config{
+		N: 256, D: 1, Lambda: lambda,
+		Horizon: 2500, Burnin: 300,
+		Trials: 4, Seed: 11,
+	})
+	want := 1 / (1 - lambda)
+	got := r.PooledMeanSojourn()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("M/M/1 sojourn %v, want %v ± 5%%", got, want)
+	}
+	if r.Completed < 100000 {
+		t.Errorf("only %d jobs completed; simulation too short", r.Completed)
+	}
+}
+
+func TestTwoChoicesMatchesFluidLimit(t *testing.T) {
+	const lambda = 0.7
+	want := fluid.ExpectedSojourn(lambda, 2)
+	for name, factory := range map[string]choice.Factory{
+		"fully-random": choice.NewFullyRandom,
+		"double-hash":  choice.NewDoubleHash,
+	} {
+		r := Run(Config{
+			N: 512, D: 2, Lambda: lambda,
+			Factory: factory,
+			Horizon: 1500, Burnin: 200,
+			Trials: 3, Seed: 21,
+		})
+		got := r.PooledMeanSojourn()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Errorf("%s: sojourn %v, fluid limit %v", name, got, want)
+		}
+	}
+}
+
+func TestFRvsDHSojournsClose(t *testing.T) {
+	// The Table 8 claim: the two hashings differ by far less than 0.1%
+	// asymptotically; at small n and short horizons allow 2%.
+	common := Config{
+		N: 512, D: 3, Lambda: 0.8,
+		Horizon: 1200, Burnin: 200, Trials: 4, Seed: 33,
+	}
+	frCfg := common
+	frCfg.Factory = choice.NewFullyRandom
+	dhCfg := common
+	dhCfg.Factory = choice.NewDoubleHash
+	dhCfg.Seed = 34
+	fr := Run(frCfg)
+	dh := Run(dhCfg)
+	a, b := fr.PooledMeanSojourn(), dh.PooledMeanSojourn()
+	if math.Abs(a-b)/a > 0.02 {
+		t.Errorf("FR %v vs DH %v differ by more than 2%%", a, b)
+	}
+}
+
+func TestQueueTailsDecreasingAndPlausible(t *testing.T) {
+	r := Run(Config{
+		N: 512, D: 2, Lambda: 0.7,
+		Horizon: 800, Burnin: 100, Trials: 3, Seed: 41,
+	})
+	if r.Tails[0] != 1 {
+		t.Errorf("tail 0 = %v, want 1", r.Tails[0])
+	}
+	for i := 1; i < len(r.Tails); i++ {
+		if r.Tails[i] > r.Tails[i-1]+1e-12 {
+			t.Fatalf("tails increase at %d: %v", i, r.Tails[:i+1])
+		}
+	}
+	// Equilibrium s_1 = λ = 0.7 (fraction of busy queues).
+	if math.Abs(r.Tails[1]-0.7) > 0.08 {
+		t.Errorf("busy fraction %v, want ≈ 0.7", r.Tails[1])
+	}
+}
+
+func TestDeterministicAcrossWorkers(t *testing.T) {
+	base := Config{
+		N: 128, D: 2, Lambda: 0.6,
+		Horizon: 300, Burnin: 50, Trials: 6, Seed: 55,
+	}
+	r1 := Run(base)
+	cfg := base
+	cfg.Workers = 3
+	r2 := Run(cfg)
+	if r1.PooledMeanSojourn() != r2.PooledMeanSojourn() || r1.Completed != r2.Completed {
+		t.Error("results depend on worker count")
+	}
+	// And a repeated run is identical.
+	r3 := Run(base)
+	if r1.PooledMeanSojourn() != r3.PooledMeanSojourn() {
+		t.Error("repeated run differs")
+	}
+}
+
+func TestMoreChoicesShorterSojourn(t *testing.T) {
+	mk := func(d int, seed uint64) float64 {
+		return Run(Config{
+			N: 256, D: d, Lambda: 0.85,
+			Horizon: 800, Burnin: 100, Trials: 3, Seed: seed,
+		}).PooledMeanSojourn()
+	}
+	one := mk(1, 61)
+	two := mk(2, 62)
+	three := mk(3, 63)
+	if !(one > two && two > three) {
+		t.Errorf("sojourns not decreasing in d: %v %v %v", one, two, three)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{N: 0, D: 2, Lambda: 0.5, Horizon: 10},
+		{N: 8, D: 0, Lambda: 0.5, Horizon: 10},
+		{N: 8, D: 2, Lambda: 0, Horizon: 10},
+		{N: 8, D: 2, Lambda: 1, Horizon: 10},
+		{N: 8, D: 2, Lambda: 0.5, Horizon: 0},
+		{N: 8, D: 2, Lambda: 0.5, Horizon: 10, Burnin: 10},
+		{N: 8, D: 2, Lambda: 0.5, Horizon: 10, Trials: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestTrialReproducible(t *testing.T) {
+	cfg := Config{N: 64, D: 2, Lambda: 0.5, Horizon: 100, Burnin: 10, Seed: 9}
+	a := cfg.RunTrial(0)
+	b := cfg.RunTrial(0)
+	if a.SumSojourn != b.SumSojourn || a.Completed != b.Completed {
+		t.Error("trial not reproducible")
+	}
+	c := cfg.RunTrial(1)
+	if a.SumSojourn == c.SumSojourn {
+		t.Error("distinct trials suspiciously identical")
+	}
+	_ = rng.Stream(0, 0) // keep rng imported for clarity of intent
+}

@@ -1,0 +1,84 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/choice"
+	"repro/internal/fluid"
+)
+
+// TestTransientFollowsFluidODE is the queueing analogue of the Theorem 8
+// trajectory check: starting from empty queues, the sampled tail fractions
+// must track the supermarket ODE ds_i/dt = λ(s_{i−1}^d − s_i^d) −
+// (s_i − s_{i+1}) through the transient, for both hashings.
+func TestTransientFollowsFluidODE(t *testing.T) {
+	const (
+		n      = 1 << 12
+		d      = 2
+		lambda = 0.8
+	)
+	sampleTimes := []float64{1, 2, 4, 8, 16}
+	for name, factory := range map[string]choice.Factory{
+		"fully-random": choice.NewFullyRandom,
+		"double-hash":  choice.NewDoubleHash,
+	} {
+		r := Config{
+			N: n, D: d, Lambda: lambda,
+			Factory:     factory,
+			Horizon:     17,
+			SampleTimes: sampleTimes,
+			TrackLevels: 12,
+			Seed:        5,
+		}.RunTrial(0)
+		if len(r.Samples) != len(sampleTimes) {
+			t.Fatalf("%s: %d samples, want %d", name, len(r.Samples), len(sampleTimes))
+		}
+		for i, T := range sampleTimes {
+			ode := fluid.SolveSupermarket(lambda, d, T, 12)
+			for level := 1; level <= 3; level++ {
+				got := r.Samples[i][level]
+				want := ode[level]
+				// Single trial: fluctuation O(1/sqrt(n)) ≈ 0.016; allow 4 sd.
+				if math.Abs(got-want) > 0.065 {
+					t.Errorf("%s: tail %d at t=%v: sim %.4f vs ODE %.4f", name, level, T, got, want)
+				}
+			}
+		}
+		// Transient monotonicity from empty: busy fraction grows.
+		if !(r.Samples[0][1] < r.Samples[len(r.Samples)-1][1]) {
+			t.Errorf("%s: busy fraction did not grow from empty", name)
+		}
+	}
+}
+
+func TestSampleTimesValidation(t *testing.T) {
+	base := Config{N: 8, D: 2, Lambda: 0.5, Horizon: 10}
+	for i, samples := range [][]float64{
+		{-1},
+		{5, 3},   // not increasing
+		{3, 3},   // not strictly increasing
+		{5, 100}, // beyond horizon
+	} {
+		cfg := base
+		cfg.SampleTimes = samples
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic for %v", i, samples)
+				}
+			}()
+			Run(cfg)
+		}()
+	}
+}
+
+func TestNoSamplesByDefault(t *testing.T) {
+	r := Config{N: 16, D: 2, Lambda: 0.5, Horizon: 20, Seed: 1}.RunTrial(0)
+	if r.Samples != nil {
+		t.Fatalf("unexpected samples: %d", len(r.Samples))
+	}
+	if r.QueueTails[0] != 1 {
+		t.Fatalf("tails[0] = %v", r.QueueTails[0])
+	}
+}

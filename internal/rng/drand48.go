@@ -1,0 +1,61 @@
+package rng
+
+// Drand48 reproduces the C standard library drand48 family bit-for-bit:
+// the 48-bit linear congruential generator
+//
+//	x_{k+1} = (a·x_k + c) mod 2^48,  a = 0x5DEECE66D, c = 0xB,
+//
+// which the paper uses as its proxy for fully random hash values
+// ("generating successive random values using the drand48 function in C").
+// Keeping an exact reimplementation lets fidelity runs use precisely the
+// paper's randomness source.
+type Drand48 struct {
+	x uint64 // low 48 bits hold the state
+}
+
+const (
+	drandA    = 0x5DEECE66D
+	drandC    = 0xB
+	drandMask = 1<<48 - 1
+)
+
+// NewDrand48 returns a generator initialized exactly as C srand48(seed):
+// the high 32 bits of the state are the low 32 bits of the seed and the
+// low 16 bits are 0x330E.
+func NewDrand48(seed int32) *Drand48 {
+	return &Drand48{x: uint64(uint32(seed))<<16 | 0x330E}
+}
+
+// next48 advances the LCG and returns the new 48-bit state.
+func (d *Drand48) next48() uint64 {
+	d.x = (d.x*drandA + drandC) & drandMask
+	return d.x
+}
+
+// Float64 returns the next value exactly as C drand48 would: the full
+// 48-bit state scaled into [0, 1).
+func (d *Drand48) Float64() float64 {
+	return float64(d.next48()) / (1 << 48)
+}
+
+// Lrand48 returns the next value exactly as C lrand48 would: the high
+// 31 bits of the state, a value in [0, 2^31).
+func (d *Drand48) Lrand48() int64 {
+	return int64(d.next48() >> 17)
+}
+
+// Mrand48 returns the next value exactly as C mrand48 would: the high
+// 32 bits of the state interpreted as a signed 32-bit integer.
+func (d *Drand48) Mrand48() int64 {
+	return int64(int32(d.next48() >> 16))
+}
+
+// Uint64 adapts the 48-bit generator to the Source interface by
+// concatenating the high 32 bits of two successive states. Using only the
+// high bits avoids the well-known weakness of the low-order bits of
+// power-of-two-modulus LCGs.
+func (d *Drand48) Uint64() uint64 {
+	hi := d.next48() >> 16
+	lo := d.next48() >> 16
+	return hi<<32 | lo
+}

@@ -1,0 +1,46 @@
+package rng
+
+import "math/bits"
+
+// PCG64 is O'Neill's permuted congruential generator PCG XSL RR 128/64:
+// a 128-bit linear congruential state with an xor-shift-low/random-rotate
+// output permutation. It is included as a third independent generator
+// family for the PRNG ablation study.
+type PCG64 struct {
+	hi, lo uint64 // 128-bit state, hi:lo
+}
+
+// The default PCG 128-bit multiplier and increment (the increment must be
+// odd; this is the reference stream constant).
+const (
+	pcgMulHi = 2549297995355413924
+	pcgMulLo = 4865540595714422341
+	pcgIncHi = 6364136223846793005
+	pcgIncLo = 1442695040888963407
+)
+
+// NewPCG64 returns a PCG64 whose state is expanded from seed with
+// SplitMix64 and then advanced once, matching the reference
+// initialization discipline (seed, add increment, step).
+func NewPCG64(seed uint64) *PCG64 {
+	sm := NewSplitMix64(seed)
+	p := &PCG64{hi: sm.Uint64(), lo: sm.Uint64()}
+	p.step()
+	return p
+}
+
+// step advances the 128-bit LCG state.
+func (p *PCG64) step() {
+	hi, lo := bits.Mul64(p.lo, pcgMulLo)
+	hi += p.hi*pcgMulLo + p.lo*pcgMulHi
+	lo, carry := bits.Add64(lo, pcgIncLo, 0)
+	hi, _ = bits.Add64(hi, pcgIncHi, carry)
+	p.hi, p.lo = hi, lo
+}
+
+// Uint64 returns the next value of the stream.
+func (p *PCG64) Uint64() uint64 {
+	p.step()
+	// XSL RR output function: xor the halves, rotate by the top 6 bits.
+	return bits.RotateLeft64(p.hi^p.lo, -int(p.hi>>58))
+}

@@ -1,0 +1,156 @@
+// Package rng is the pseudo-random number generation substrate for every
+// simulator in this repository.
+//
+// The paper's experiments use the C library drand48 generator "initially
+// seeded by time" as the proxy for fully random hash values; Drand48
+// reproduces that generator bit-for-bit. Because a 48-bit LCG is a weak
+// generator by modern standards, the package also provides SplitMix64,
+// xoshiro256** and PCG64 so experiments can demonstrate that results are
+// not artifacts of the generator family (see BenchmarkAblationPRNG).
+//
+// All generators implement Source, a minimal 64-bit interface. Free
+// functions (Uint64n, Float64, Exp, Poisson, ...) build the derived
+// distributions the simulators need, so each generator implements exactly
+// one method. Generators are not safe for concurrent use; the parallel
+// trial harness (internal/par) gives each trial its own seeded generator.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a stream of uniformly distributed 64-bit values.
+//
+// Implementations in this package: *SplitMix64, *Xoshiro256, *PCG64,
+// *Drand48. A Source is deliberately single-method so tests can substitute
+// scripted streams.
+type Source interface {
+	// Uint64 returns the next 64-bit value of the stream.
+	Uint64() uint64
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+//
+// It uses Lemire's nearly-divisionless multiply-shift rejection method,
+// which is unbiased for every n and performs no division in the common
+// case; this matters because bin selection is the innermost loop of every
+// balls-and-bins experiment.
+func Uint64n(s Source, n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(s.Uint64(), n)
+	if lo < n {
+		thresh := -n % n // == (2^64 - n) mod n
+		for lo < thresh {
+			hi, lo = bits.Mul64(s.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func Intn(s Source, n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(Uint64n(s, uint64(n)))
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func Float64(s Source) float64 {
+	return float64(s.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate), using inverse-transform sampling. It panics if rate <= 0.
+func Exp(s Source, rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with rate <= 0")
+	}
+	// 1 - Float64 lies in (0, 1], so the logarithm is finite.
+	return -math.Log(1-Float64(s)) / rate
+}
+
+// Poisson returns a Poisson-distributed value with the given mean.
+// It panics if mean < 0.
+//
+// For small means it uses Knuth's product method; for large means, where
+// the product method would need O(mean) draws, it uses a normal
+// approximation with continuity correction, which is accurate to well
+// under the sampling noise of every experiment in this repository.
+func Poisson(s Source, mean float64) int64 {
+	switch {
+	case mean < 0:
+		panic("rng: Poisson with mean < 0")
+	case mean == 0:
+		return 0
+	case mean < 64:
+		l := math.Exp(-mean)
+		k := int64(-1)
+		p := 1.0
+		for p > l {
+			k++
+			p *= Float64(s)
+		}
+		return k
+	default:
+		for {
+			v := mean + math.Sqrt(mean)*Norm(s) + 0.5
+			if v >= 0 {
+				return int64(v)
+			}
+		}
+	}
+}
+
+// Norm returns a standard normal variate using the Box–Muller transform.
+func Norm(s Source) float64 {
+	// Draw u1 in (0,1] so the logarithm is finite.
+	u1 := 1 - Float64(s)
+	u2 := Float64(s)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// SampleDistinct fills dst with len(dst) distinct uniform values from
+// [0, n), i.e. a uniform sample without replacement. It panics if
+// n < len(dst). The method is rejection against the already-chosen prefix,
+// which is the right trade-off for the small d (2..8) used throughout.
+func SampleDistinct(s Source, n int, dst []int) {
+	if n < len(dst) {
+		panic("rng: SampleDistinct with n < len(dst)")
+	}
+	for i := range dst {
+	retry:
+		for {
+			v := Intn(s, n)
+			for j := 0; j < i; j++ {
+				if dst[j] == v {
+					continue retry
+				}
+			}
+			dst[i] = v
+			break
+		}
+	}
+}
+
+// Shuffle randomizes the order of the n elements addressed by swap using
+// the Fisher–Yates algorithm.
+func Shuffle(s Source, n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := Intn(s, i+1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func Perm(s Source, n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	Shuffle(s, n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

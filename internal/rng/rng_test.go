@@ -1,0 +1,336 @@
+package rng
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// allSources returns one instance of every generator family, freshly
+// seeded, so generic contract tests can sweep all of them.
+func allSources(seed uint64) map[string]Source {
+	return map[string]Source{
+		"splitmix64": NewSplitMix64(seed),
+		"xoshiro256": NewXoshiro256(seed),
+		"pcg64":      NewPCG64(seed),
+		"drand48":    NewDrand48(int32(seed)),
+	}
+}
+
+func TestSplitMix64KnownVector(t *testing.T) {
+	// Reference outputs of SplitMix64 for seed 0 (Vigna's splitmix64.c).
+	s := NewSplitMix64(0)
+	want := []uint64{0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Fatalf("SplitMix64(0) output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDrand48MatchesBigIntLCG(t *testing.T) {
+	// Cross-check the 48-bit LCG against an independent big.Int
+	// implementation of x' = (a x + c) mod 2^48 with srand48 seeding.
+	const seed = 12345
+	d := NewDrand48(seed)
+	x := new(big.Int).SetUint64(uint64(uint32(seed))<<16 | 0x330E)
+	a := new(big.Int).SetUint64(drandA)
+	c := new(big.Int).SetUint64(drandC)
+	mod := new(big.Int).Lsh(big.NewInt(1), 48)
+	for i := 0; i < 1000; i++ {
+		x.Mul(x, a)
+		x.Add(x, c)
+		x.Mod(x, mod)
+		want := float64(x.Uint64()) / (1 << 48)
+		if got := d.Float64(); got != want {
+			t.Fatalf("drand48 step %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestDrand48Lrand48Range(t *testing.T) {
+	d := NewDrand48(99)
+	for i := 0; i < 10000; i++ {
+		v := d.Lrand48()
+		if v < 0 || v >= 1<<31 {
+			t.Fatalf("Lrand48 out of [0, 2^31): %d", v)
+		}
+	}
+}
+
+func TestXoshiroJumpDisjoint(t *testing.T) {
+	// After a jump, the stream must differ from the unjumped stream and
+	// remain deterministic.
+	a := NewXoshiro256(7)
+	b := NewXoshiro256(7)
+	b.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("jumped stream collides with original %d/1000 times", same)
+	}
+	// Jump is deterministic.
+	c := NewXoshiro256(7)
+	c.Jump()
+	d := NewXoshiro256(7)
+	d.Jump()
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("Jump is not deterministic")
+		}
+	}
+}
+
+func TestDeterminismPerSeed(t *testing.T) {
+	for name := range allSources(1) {
+		s1 := allSources(42)[name]
+		s2 := allSources(42)[name]
+		for i := 0; i < 256; i++ {
+			if a, b := s1.Uint64(), s2.Uint64(); a != b {
+				t.Fatalf("%s: same seed diverged at step %d: %#x vs %#x", name, i, a, b)
+			}
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	for name := range allSources(1) {
+		s1 := allSources(1)[name]
+		s2 := allSources(2)[name]
+		same := 0
+		for i := 0; i < 1000; i++ {
+			if s1.Uint64() == s2.Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("%s: seeds 1 and 2 collide %d/1000 times", name, same)
+		}
+	}
+}
+
+func TestUint64nBounds(t *testing.T) {
+	s := NewXoshiro256(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 20, 1<<63 + 12345} {
+		for i := 0; i < 2000; i++ {
+			if v := Uint64n(s, n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+	if v := Uint64n(s, 1); v != 0 {
+		t.Fatalf("Uint64n(1) = %d, want 0", v)
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	Uint64n(NewSplitMix64(0), 0)
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Intn(%d) did not panic", n)
+				}
+			}()
+			Intn(NewSplitMix64(0), n)
+		}()
+	}
+}
+
+func TestUint64nUniform(t *testing.T) {
+	// Coarse chi-square against uniformity over 16 buckets. With 160000
+	// samples the statistic has 15 degrees of freedom; 50 is far beyond any
+	// plausible fluctuation (p < 1e-5) while robust to seed choice.
+	for name, s := range allSources(11) {
+		const buckets, samples = 16, 160000
+		var counts [buckets]int
+		for i := 0; i < samples; i++ {
+			counts[Uint64n(s, buckets)]++
+		}
+		expected := float64(samples) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > 50 {
+			t.Errorf("%s: chi-square %.1f over 16 buckets, wildly non-uniform", name, chi2)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	for name, s := range allSources(5) {
+		for i := 0; i < 10000; i++ {
+			v := Float64(s)
+			if v < 0 || v >= 1 {
+				t.Fatalf("%s: Float64 = %v out of [0,1)", name, v)
+			}
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewXoshiro256(17)
+	for _, rate := range []float64{0.5, 1, 4} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := Exp(s, rate)
+			if v < 0 {
+				t.Fatalf("Exp(rate=%v) negative: %v", rate, v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := 1 / rate
+		// Std error of the mean is (1/rate)/sqrt(n) ≈ 0.0022/rate.
+		if math.Abs(mean-want) > 6*want/math.Sqrt(n) {
+			t.Errorf("Exp(rate=%v) sample mean %v, want ≈ %v", rate, mean, want)
+		}
+	}
+}
+
+func TestExpPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(rate=0) did not panic")
+		}
+	}()
+	Exp(NewSplitMix64(0), 0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := NewXoshiro256(23)
+	for _, mean := range []float64{0.1, 1, 9, 100} {
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(Poisson(s, mean))
+			if v < 0 {
+				t.Fatalf("Poisson(%v) negative", mean)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / n
+		v := sumSq/n - m*m
+		se := math.Sqrt(mean / n)
+		if math.Abs(m-mean) > 6*se+1e-9 {
+			t.Errorf("Poisson(%v) sample mean %v", mean, m)
+		}
+		// Variance of a Poisson equals its mean; allow 10% slack plus
+		// floor for tiny means.
+		if math.Abs(v-mean) > 0.1*mean+0.05 {
+			t.Errorf("Poisson(%v) sample variance %v", mean, v)
+		}
+	}
+	if got := Poisson(s, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := NewXoshiro256(29)
+	dst := make([]int, 8)
+	for trial := 0; trial < 2000; trial++ {
+		SampleDistinct(s, 16, dst)
+		seen := map[int]bool{}
+		for _, v := range dst {
+			if v < 0 || v >= 16 {
+				t.Fatalf("value %d out of range", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d in %v", v, dst)
+			}
+			seen[v] = true
+		}
+	}
+	// Exact-fill case: d == n must yield a permutation.
+	full := make([]int, 5)
+	SampleDistinct(s, 5, full)
+	seen := map[int]bool{}
+	for _, v := range full {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("SampleDistinct(5, len 5) not a permutation: %v", full)
+	}
+}
+
+func TestSampleDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SampleDistinct with n < len(dst) did not panic")
+		}
+	}()
+	SampleDistinct(NewSplitMix64(0), 2, make([]int, 3))
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewXoshiro256(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := Perm(s, n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Property: distinct inputs produce distinct outputs (injectivity on a
+	// random sample attests to bijectivity of the finalizer).
+	f := func(a, b uint64) bool {
+		if a == b {
+			return true
+		}
+		return Mix64(a) != Mix64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamSeedsDistinct(t *testing.T) {
+	seen := map[uint64]int{}
+	for i := 0; i < 10000; i++ {
+		s := Stream(42, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("Stream(42, %d) collides with Stream(42, %d)", i, prev)
+		}
+		seen[s] = i
+	}
+}
+
+func TestUint64nQuickInRange(t *testing.T) {
+	s := NewPCG64(101)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return Uint64n(s, n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package stats provides the statistical machinery the experiments report
+// with: online moment accumulation (Welford), load histograms and their
+// across-trial summaries (paper Table 5), and the significance tests used
+// to decide whether fully random hashing and double hashing are
+// "essentially indistinguishable" — two-proportion z-tests, chi-square
+// homogeneity tests with p-values, and total-variation distance.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates count, mean, variance, min and max of a stream in a
+// single pass using Welford's numerically stable recurrence. The zero
+// value is ready to use. Merge combines two accumulators exactly (Chan et
+// al.'s pairwise update), which the parallel harness relies on.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Merge folds the observations summarized by other into w, as if every
+// observation had been Added to w directly.
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n1, n2 := float64(w.n), float64(other.n)
+	delta := other.mean - w.mean
+	total := n1 + n2
+	w.mean += delta * n2 / total
+	w.m2 += other.m2 + delta*delta*n1*n2/total
+	w.n += other.n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+}
+
+// Count returns the number of observations.
+func (w Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (w Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (dividing by n−1), or 0
+// with fewer than two observations.
+func (w Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (w Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest observation, or 0 with no observations.
+func (w Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// StdErr returns the standard error of the mean.
+func (w Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// String summarizes the accumulator for debugging output.
+func (w Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%g sd=%g min=%g max=%g", w.n, w.Mean(), w.StdDev(), w.Min(), w.Max())
+}
+
+// Hist counts observations of small non-negative integer values — bin
+// loads throughout this repository. It grows on demand and merges exactly.
+// The zero value is ready to use.
+type Hist struct {
+	counts []int64
+	total  int64
+}
+
+// Add counts a single observation of value v. It panics if v < 0.
+func (h *Hist) Add(v int) { h.AddN(v, 1) }
+
+// AddN counts k observations of value v. It panics if v < 0 or k < 0.
+func (h *Hist) AddN(v int, k int64) {
+	if v < 0 {
+		panic("stats: negative histogram value")
+	}
+	if k < 0 {
+		panic("stats: negative histogram count")
+	}
+	for v >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v] += k
+	h.total += k
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for v, c := range other.counts {
+		if c != 0 {
+			h.AddN(v, c)
+		}
+	}
+}
+
+// Count returns how many observations had value v (0 if v is beyond the
+// largest recorded value).
+func (h *Hist) Count(v int) int64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the total number of observations.
+func (h *Hist) Total() int64 { return h.total }
+
+// MaxValue returns the largest value with a nonzero count, or -1 if the
+// histogram is empty.
+func (h *Hist) MaxValue() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] != 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Fraction returns the fraction of observations with value exactly v.
+func (h *Hist) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// TailFraction returns the fraction of observations with value >= v —
+// the x_i of the fluid-limit analysis.
+func (h *Hist) TailFraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var tail int64
+	for i := v; i < len(h.counts); i++ {
+		if i >= 0 {
+			tail += h.counts[i]
+		}
+	}
+	if v < 0 {
+		tail = h.total
+	}
+	return float64(tail) / float64(h.total)
+}
+
+// Fractions returns the full fraction vector indexed by value, up to
+// MaxValue.
+func (h *Hist) Fractions() []float64 {
+	out := make([]float64, h.MaxValue()+1)
+	for v := range out {
+		out[v] = h.Fraction(v)
+	}
+	return out
+}
+
+// PerLevel summarizes, for each load level, the distribution across trials
+// of the *number of bins* at that level — exactly the min/avg/max/std.dev
+// view of the paper's Table 5. Levels grow on demand.
+type PerLevel struct {
+	levels []Welford
+}
+
+// AddTrial folds one trial's histogram in: for every level up to maxLevel
+// (inclusive) the bin count at that level becomes one observation.
+// Passing maxLevel >= the largest level that ever occurs keeps zero counts
+// observable (a trial with no bins of load 3 contributes the value 0).
+func (p *PerLevel) AddTrial(h *Hist, maxLevel int) {
+	for len(p.levels) <= maxLevel {
+		p.levels = append(p.levels, Welford{})
+	}
+	for v := 0; v <= maxLevel; v++ {
+		p.levels[v].Add(float64(h.Count(v)))
+	}
+}
+
+// Level returns the across-trial summary for one load level. Levels never
+// observed return a zero-valued accumulator.
+func (p *PerLevel) Level(v int) Welford {
+	if v < 0 || v >= len(p.levels) {
+		return Welford{}
+	}
+	return p.levels[v]
+}
+
+// NumLevels returns the number of tracked levels.
+func (p *PerLevel) NumLevels() int { return len(p.levels) }
+
+// Merge folds other into p level-by-level. Both sides must have been fed
+// with the same maxLevel for the level counts to stay aligned.
+func (p *PerLevel) Merge(other *PerLevel) {
+	for len(p.levels) < len(other.levels) {
+		p.levels = append(p.levels, Welford{})
+	}
+	for v := range other.levels {
+		p.levels[v].Merge(other.levels[v])
+	}
+}

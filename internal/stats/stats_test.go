@@ -1,0 +1,353 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestWelfordAgainstNaive(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Naive sample variance: Σ(x-5)² = 32, /7.
+	if !almostEqual(w.Variance(), 32.0/7, 1e-12) {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.Min() != 0 || w.Max() != 0 || w.StdErr() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 || w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Error("single observation mishandled")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(a, b []float64) bool {
+		var whole, left, right Welford
+		for _, x := range a {
+			clean := math.Mod(x, 1e6)
+			if math.IsNaN(clean) {
+				clean = 0
+			}
+			whole.Add(clean)
+			left.Add(clean)
+		}
+		for _, x := range b {
+			clean := math.Mod(x, 1e6)
+			if math.IsNaN(clean) {
+				clean = 0
+			}
+			whole.Add(clean)
+			right.Add(clean)
+		}
+		left.Merge(right)
+		if left.Count() != whole.Count() {
+			return false
+		}
+		if whole.Count() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		if !almostEqual(left.Mean(), whole.Mean(), 1e-9*scale) {
+			return false
+		}
+		vscale := math.Max(1, whole.Variance())
+		if !almostEqual(left.Variance(), whole.Variance(), 1e-6*vscale) {
+			return false
+		}
+		return left.Min() == whole.Min() && left.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	h.Add(0)
+	h.Add(2)
+	h.AddN(2, 3)
+	h.Add(5)
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(2) != 4 || h.Count(1) != 0 || h.Count(99) != 0 {
+		t.Errorf("counts wrong: %d %d %d", h.Count(2), h.Count(1), h.Count(99))
+	}
+	if h.MaxValue() != 5 {
+		t.Errorf("max value = %d", h.MaxValue())
+	}
+	if !almostEqual(h.Fraction(2), 4.0/6, 1e-15) {
+		t.Errorf("fraction(2) = %v", h.Fraction(2))
+	}
+	if !almostEqual(h.TailFraction(2), 5.0/6, 1e-15) {
+		t.Errorf("tail(2) = %v", h.TailFraction(2))
+	}
+	if h.TailFraction(0) != 1 {
+		t.Errorf("tail(0) = %v", h.TailFraction(0))
+	}
+	if h.TailFraction(6) != 0 {
+		t.Errorf("tail(6) = %v", h.TailFraction(6))
+	}
+	fr := h.Fractions()
+	if len(fr) != 6 || !almostEqual(fr[5], 1.0/6, 1e-15) {
+		t.Errorf("fractions = %v", fr)
+	}
+}
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.MaxValue() != -1 || h.Total() != 0 || h.Fraction(0) != 0 || h.TailFraction(0) != 0 {
+		t.Error("empty histogram misbehaves")
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.AddN(0, 10)
+	a.AddN(1, 5)
+	b.AddN(1, 2)
+	b.AddN(3, 1)
+	a.Merge(&b)
+	if a.Total() != 18 || a.Count(1) != 7 || a.Count(3) != 1 {
+		t.Errorf("merge wrong: total=%d c1=%d c3=%d", a.Total(), a.Count(1), a.Count(3))
+	}
+}
+
+func TestHistPanics(t *testing.T) {
+	var h Hist
+	for _, f := range []func(){
+		func() { h.Add(-1) },
+		func() { h.AddN(0, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPerLevel(t *testing.T) {
+	var p PerLevel
+	var t1, t2 Hist
+	t1.AddN(0, 100)
+	t1.AddN(1, 50)
+	t2.AddN(0, 90)
+	t2.AddN(1, 60)
+	t2.AddN(2, 3)
+	p.AddTrial(&t1, 3)
+	p.AddTrial(&t2, 3)
+	l0 := p.Level(0)
+	if l0.Count() != 2 || !almostEqual(l0.Mean(), 95, 1e-12) || l0.Min() != 90 || l0.Max() != 100 {
+		t.Errorf("level 0 summary wrong: %v", l0.String())
+	}
+	l2 := p.Level(2)
+	if l2.Count() != 2 || !almostEqual(l2.Mean(), 1.5, 1e-12) {
+		t.Errorf("level 2 summary wrong: mean=%v", l2.Mean())
+	}
+	// Level 3 was never hit but was within maxLevel: two zero observations.
+	l3 := p.Level(3)
+	if l3.Count() != 2 || l3.Mean() != 0 {
+		t.Errorf("level 3 should have two zero observations: %v", l3.String())
+	}
+	if p.Level(17).Count() != 0 {
+		t.Error("out-of-range level should be empty")
+	}
+}
+
+func TestPerLevelMerge(t *testing.T) {
+	var a, b PerLevel
+	var h Hist
+	h.AddN(0, 10)
+	a.AddTrial(&h, 1)
+	b.AddTrial(&h, 1)
+	b.AddTrial(&h, 1)
+	a.Merge(&b)
+	if a.Level(0).Count() != 3 {
+		t.Errorf("merged count = %d, want 3", a.Level(0).Count())
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.z, got, c.want)
+		}
+		if got := NormalSurvival(c.z); !almostEqual(got, 1-c.want, 1e-9) {
+			t.Errorf("NormalSurvival(%v) = %v, want %v", c.z, got, 1-c.want)
+		}
+	}
+}
+
+func TestGammaQKnownValues(t *testing.T) {
+	// Q(1, x) = e^{-x}; chi-square with 2 dof has survival e^{-x/2}.
+	for _, x := range []float64{0.1, 1, 2.5, 10} {
+		if got, want := GammaQ(1, x), math.Exp(-x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("GammaQ(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// Q(1/2, x) = erfc(sqrt(x)).
+	for _, x := range []float64{0.2, 1, 4} {
+		if got, want := GammaQ(0.5, x), math.Erfc(math.Sqrt(x)); !almostEqual(got, want, 1e-10) {
+			t.Errorf("GammaQ(0.5,%v) = %v, want %v", x, got, want)
+		}
+	}
+	if GammaQ(2, 0) != 1 {
+		t.Error("GammaQ(a, 0) should be 1")
+	}
+	if !math.IsNaN(GammaQ(-1, 1)) || !math.IsNaN(GammaQ(1, -1)) {
+		t.Error("invalid arguments should yield NaN")
+	}
+}
+
+func TestChiSquareSurvival(t *testing.T) {
+	// Known: with 1 dof, P(X >= 3.841) ≈ 0.05; with 10 dof, P(X >= 18.307) ≈ 0.05.
+	if got := ChiSquareSurvival(3.8414588206941236, 1); !almostEqual(got, 0.05, 1e-6) {
+		t.Errorf("chi2(1 dof) p = %v, want 0.05", got)
+	}
+	if got := ChiSquareSurvival(18.307038053275146, 10); !almostEqual(got, 0.05, 1e-6) {
+		t.Errorf("chi2(10 dof) p = %v, want 0.05", got)
+	}
+	if got := ChiSquareSurvival(0, 5); got != 1 {
+		t.Errorf("chi2 survival at 0 = %v, want 1", got)
+	}
+}
+
+func TestTwoProportionZ(t *testing.T) {
+	// Identical proportions: z = 0, p = 1.
+	r := TwoProportionZ(50, 100, 500, 1000)
+	if !almostEqual(r.Z, 0, 1e-12) || !almostEqual(r.P, 1, 1e-12) {
+		t.Errorf("equal proportions: z=%v p=%v", r.Z, r.P)
+	}
+	// Textbook example: 60/100 vs 40/100 → pooled p=0.5, se=sqrt(0.5*0.5*0.02)
+	// = 0.0707; z = 0.2/0.0707 ≈ 2.828.
+	r = TwoProportionZ(60, 100, 40, 100)
+	if !almostEqual(r.Z, 2.8284271247461903, 1e-9) {
+		t.Errorf("z = %v, want 2.828", r.Z)
+	}
+	if r.P >= 0.005 || r.P <= 0.004 {
+		t.Errorf("p = %v, want ≈ 0.0047", r.P)
+	}
+	// Degenerate inputs.
+	if r := TwoProportionZ(0, 0, 1, 10); !math.IsNaN(r.Z) {
+		t.Error("n=0 should give NaN")
+	}
+	if r := TwoProportionZ(0, 10, 0, 10); r.P != 1 {
+		t.Error("both-zero proportions should be indistinguishable")
+	}
+}
+
+func TestChiSquareHomogeneitySameDistribution(t *testing.T) {
+	// Two large samples from identical distributions: p should not be tiny.
+	var a, b Hist
+	for v, c := range []int64{17000, 65000, 17000, 60} {
+		a.AddN(v, c)
+		b.AddN(v, c+int64(v)) // minuscule perturbation
+	}
+	r := ChiSquareHomogeneity(&a, &b, 5)
+	if r.P < 0.5 {
+		t.Errorf("nearly identical hists got p=%v (chi2=%v dof=%d)", r.P, r.Chi2, r.Dof)
+	}
+}
+
+func TestChiSquareHomogeneityDifferent(t *testing.T) {
+	var a, b Hist
+	a.AddN(0, 5000)
+	a.AddN(1, 5000)
+	b.AddN(0, 6000)
+	b.AddN(1, 4000)
+	r := ChiSquareHomogeneity(&a, &b, 5)
+	if r.P > 1e-6 {
+		t.Errorf("clearly different hists got p=%v", r.P)
+	}
+	if r.Dof < 1 {
+		t.Errorf("dof = %d", r.Dof)
+	}
+}
+
+func TestChiSquarePoolsSparseTail(t *testing.T) {
+	// A tail cell with expected count below the threshold must be pooled,
+	// not tested raw.
+	var a, b Hist
+	a.AddN(0, 10000)
+	a.AddN(5, 2)
+	b.AddN(0, 10000)
+	b.AddN(5, 1)
+	r := ChiSquareHomogeneity(&a, &b, 5)
+	if math.IsNaN(r.P) {
+		t.Fatal("p is NaN")
+	}
+	if r.P < 0.01 {
+		t.Errorf("sparse-tail difference of one observation got p=%v", r.P)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	var a, b Hist
+	a.AddN(0, 50)
+	a.AddN(1, 50)
+	b.AddN(0, 50)
+	b.AddN(1, 50)
+	if tv := TotalVariation(&a, &b); tv != 0 {
+		t.Errorf("identical hists TV = %v", tv)
+	}
+	var c Hist
+	c.AddN(2, 100)
+	if tv := TotalVariation(&a, &c); !almostEqual(tv, 1, 1e-15) {
+		t.Errorf("disjoint hists TV = %v, want 1", tv)
+	}
+	var d Hist
+	d.AddN(0, 100)
+	if tv := TotalVariation(&a, &d); !almostEqual(tv, 0.5, 1e-15) {
+		t.Errorf("TV = %v, want 0.5", tv)
+	}
+}
+
+func TestTotalVariationQuickBounds(t *testing.T) {
+	f := func(ca, cb [6]uint8) bool {
+		var a, b Hist
+		for v := range ca {
+			a.AddN(v, int64(ca[v]))
+			b.AddN(v, int64(cb[v]))
+		}
+		if a.Total() == 0 || b.Total() == 0 {
+			return true
+		}
+		tv := TotalVariation(&a, &b)
+		return tv >= 0 && tv <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,241 @@
+package stats
+
+import "math"
+
+// This file implements the significance machinery used to compare the
+// fully random and double hashing load distributions: normal tails,
+// the regularized incomplete gamma function (for chi-square p-values),
+// a two-proportion z-test, a chi-square homogeneity test over paired
+// histograms, and total-variation distance.
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalSurvival returns P(Z > z) for a standard normal Z.
+func NormalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a) for a > 0, x >= 0. Q(a, 0) = 1 and Q(a, ∞) = 0.
+// It uses the power series for x < a+1 and a Lentz continued fraction
+// otherwise, the classical numerically stable split.
+func GammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0 || x < 0 || math.IsNaN(a) || math.IsNaN(x):
+		return math.NaN()
+	case x == 0:
+		return 1
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series for P(a,x); Q = 1 - P.
+		ap := a
+		sum := 1.0 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		p := sum * math.Exp(-x+a*math.Log(x)-lg)
+		return 1 - p
+	}
+	// Continued fraction for Q(a,x) by modified Lentz.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return h * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// ChiSquareSurvival returns P(X >= chi2) for a chi-square distribution
+// with dof degrees of freedom — the p-value of a chi-square statistic.
+func ChiSquareSurvival(chi2 float64, dof int) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	if chi2 <= 0 {
+		return 1
+	}
+	return GammaQ(float64(dof)/2, chi2/2)
+}
+
+// ZTest2Prop is the result of a two-proportion z-test.
+type ZTest2Prop struct {
+	Z float64 // test statistic
+	P float64 // two-sided p-value
+}
+
+// TwoProportionZ tests H0: the underlying proportions behind x1/n1 and
+// x2/n2 are equal, using the pooled two-proportion z statistic. This is
+// the natural test for "is the fraction of trials with max load 3 the same
+// under both hashings" (paper Table 4).
+func TwoProportionZ(x1, n1, x2, n2 int64) ZTest2Prop {
+	if n1 <= 0 || n2 <= 0 {
+		return ZTest2Prop{Z: math.NaN(), P: math.NaN()}
+	}
+	p1 := float64(x1) / float64(n1)
+	p2 := float64(x2) / float64(n2)
+	pool := float64(x1+x2) / float64(n1+n2)
+	se := math.Sqrt(pool * (1 - pool) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		if p1 == p2 {
+			return ZTest2Prop{Z: 0, P: 1}
+		}
+		return ZTest2Prop{Z: math.Inf(1), P: 0}
+	}
+	z := (p1 - p2) / se
+	return ZTest2Prop{Z: z, P: 2 * NormalSurvival(math.Abs(z))}
+}
+
+// ChiSquareResult is the result of a chi-square homogeneity test.
+type ChiSquareResult struct {
+	Chi2 float64
+	Dof  int
+	P    float64
+}
+
+// ChiSquareHomogeneity tests H0: two histograms are draws from the same
+// distribution, pooling cells from the high end until every pooled cell
+// has expected count >= minExpected in both samples (the standard validity
+// fix for sparse tails such as load-3 bins). It is the omnibus test behind
+// the paper's claim that the FR and DH load distributions are
+// statistically indistinguishable.
+func ChiSquareHomogeneity(a, b *Hist, minExpected float64) ChiSquareResult {
+	na, nb := float64(a.Total()), float64(b.Total())
+	if na == 0 || nb == 0 {
+		return ChiSquareResult{P: math.NaN()}
+	}
+	maxV := a.MaxValue()
+	if mv := b.MaxValue(); mv > maxV {
+		maxV = mv
+	}
+	// Build pooled cells left to right; accumulate the sparse tail into
+	// the final cell.
+	type cell struct{ ca, cb float64 }
+	var cells []cell
+	var cur cell
+	flush := func() {
+		if cur.ca+cur.cb > 0 {
+			cells = append(cells, cur)
+			cur = cell{}
+		}
+	}
+	for v := 0; v <= maxV; v++ {
+		cur.ca += float64(a.Count(v))
+		cur.cb += float64(b.Count(v))
+		total := cur.ca + cur.cb
+		expA := na * total / (na + nb)
+		expB := nb * total / (na + nb)
+		if expA >= minExpected && expB >= minExpected {
+			flush()
+		}
+	}
+	// Remaining sparse tail joins the last cell.
+	if cur.ca+cur.cb > 0 {
+		if len(cells) == 0 {
+			flush()
+		} else {
+			cells[len(cells)-1].ca += cur.ca
+			cells[len(cells)-1].cb += cur.cb
+		}
+	}
+	if len(cells) < 2 {
+		return ChiSquareResult{Chi2: 0, Dof: 0, P: 1}
+	}
+	chi2 := 0.0
+	for _, c := range cells {
+		total := c.ca + c.cb
+		expA := na * total / (na + nb)
+		expB := nb * total / (na + nb)
+		da := c.ca - expA
+		db := c.cb - expB
+		chi2 += da*da/expA + db*db/expB
+	}
+	dof := len(cells) - 1
+	return ChiSquareResult{Chi2: chi2, Dof: dof, P: ChiSquareSurvival(chi2, dof)}
+}
+
+// KolmogorovSmirnov returns the Kolmogorov–Smirnov statistic between two
+// histograms viewed as distributions: the maximum absolute difference of
+// their CDFs, a number in [0, 1]. For load histograms this is a
+// shift-sensitive complement to TotalVariation.
+func KolmogorovSmirnov(a, b *Hist) float64 {
+	maxV := a.MaxValue()
+	if mv := b.MaxValue(); mv > maxV {
+		maxV = mv
+	}
+	var cdfA, cdfB, ks float64
+	for v := 0; v <= maxV; v++ {
+		cdfA += a.Fraction(v)
+		cdfB += b.Fraction(v)
+		if d := math.Abs(cdfA - cdfB); d > ks {
+			ks = d
+		}
+	}
+	return ks
+}
+
+// WilsonInterval returns the Wilson score interval for a binomial
+// proportion: x successes in n trials at confidence z standard units
+// (z = 1.96 for 95%). It is the right interval for the rare-event
+// fractions in the paper's Table 4.
+func WilsonInterval(x, n int64, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	p := float64(x) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// TotalVariation returns the total-variation distance between two
+// histograms viewed as probability distributions:
+// ½ Σ_v |p(v) − q(v)|, a number in [0, 1].
+func TotalVariation(a, b *Hist) float64 {
+	maxV := a.MaxValue()
+	if mv := b.MaxValue(); mv > maxV {
+		maxV = mv
+	}
+	sum := 0.0
+	for v := 0; v <= maxV; v++ {
+		sum += math.Abs(a.Fraction(v) - b.Fraction(v))
+	}
+	return sum / 2
+}

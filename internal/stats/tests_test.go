@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKolmogorovSmirnov(t *testing.T) {
+	var a, b Hist
+	a.AddN(0, 50)
+	a.AddN(1, 50)
+	b.AddN(0, 50)
+	b.AddN(1, 50)
+	if ks := KolmogorovSmirnov(&a, &b); ks != 0 {
+		t.Errorf("identical hists KS = %v", ks)
+	}
+	var c Hist
+	c.AddN(2, 100)
+	if ks := KolmogorovSmirnov(&a, &c); math.Abs(ks-1) > 1e-15 {
+		t.Errorf("disjoint shifted hists KS = %v, want 1", ks)
+	}
+	// Shift sensitivity: moving half the mass one level right gives CDF
+	// gap 0.5 at level 0.
+	var d Hist
+	d.AddN(1, 50)
+	d.AddN(2, 50)
+	if ks := KolmogorovSmirnov(&a, &d); math.Abs(ks-0.5) > 1e-15 {
+		t.Errorf("KS = %v, want 0.5", ks)
+	}
+}
+
+func TestKSBoundsTV(t *testing.T) {
+	// KS <= TV always (TV is the sup over all events, KS over threshold
+	// events).
+	var a, b Hist
+	a.AddN(0, 30)
+	a.AddN(1, 50)
+	a.AddN(3, 20)
+	b.AddN(0, 25)
+	b.AddN(2, 60)
+	b.AddN(3, 15)
+	ks := KolmogorovSmirnov(&a, &b)
+	tv := TotalVariation(&a, &b)
+	if ks > tv+1e-12 {
+		t.Errorf("KS %v exceeds TV %v", ks, tv)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// Known value: 50/100 at z=1.96 → approximately (0.404, 0.596).
+	lo, hi := WilsonInterval(50, 100, 1.96)
+	if math.Abs(lo-0.404) > 0.003 || math.Abs(hi-0.596) > 0.003 {
+		t.Errorf("Wilson(50/100) = (%.4f, %.4f), want ≈ (0.404, 0.596)", lo, hi)
+	}
+	// Extreme cases stay in [0,1] and bracket the point estimate.
+	lo, hi = WilsonInterval(0, 200, 1.96)
+	if lo != 0 || hi < 0.005 || hi > 0.05 {
+		t.Errorf("Wilson(0/200) = (%v, %v)", lo, hi)
+	}
+	lo, hi = WilsonInterval(200, 200, 1.96)
+	if hi != 1 || lo > 0.999 || lo < 0.95 {
+		t.Errorf("Wilson(200/200) = (%v, %v)", lo, hi)
+	}
+	if lo, _ := WilsonInterval(1, 0, 1.96); !math.IsNaN(lo) {
+		t.Error("n=0 should give NaN")
+	}
+}
+
+func TestWilsonMonotoneInN(t *testing.T) {
+	// More trials at the same proportion narrow the interval.
+	lo1, hi1 := WilsonInterval(10, 100, 1.96)
+	lo2, hi2 := WilsonInterval(100, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("interval did not narrow: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}

@@ -1,0 +1,116 @@
+// Package table renders the paper-style text tables the experiment
+// binaries and benchmarks print: aligned columns, probability formatting
+// that mimics the paper (five decimal places, switching to scientific
+// notation for rare-event fractions like 2.25e-05), and captions.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	caption string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers.
+func New(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// SetCaption attaches a caption printed above the table.
+func (t *Table) SetCaption(format string, args ...any) *Table {
+	t.caption = fmt.Sprintf(format, args...)
+	return t
+}
+
+// AddRow appends a row; missing cells render empty, extra cells widen the
+// table.
+func (t *Table) AddRow(cells ...string) *Table {
+	t.rows = append(t.rows, cells)
+	return t
+}
+
+// String renders the table with space-padded columns and a rule under the
+// header.
+func (t *Table) String() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.caption != "" {
+		b.WriteString(t.caption)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			line.WriteString(cell)
+			line.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(rule)
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Prob formats a probability or fraction the way the paper's tables do:
+// zero as "0", values at least 1e-4 with five decimal places, and smaller
+// values in two-digit scientific notation (e.g. 2.25e-05).
+func Prob(p float64) string {
+	switch {
+	case p == 0:
+		return "0"
+	case p >= 1e-4:
+		return fmt.Sprintf("%.5f", p)
+	default:
+		return fmt.Sprintf("%.2e", p)
+	}
+}
+
+// Fixed formats v with the given number of decimal places.
+func Fixed(v float64, places int) string {
+	return fmt.Sprintf("%.*f", places, v)
+}
+
+// Percent formats a fraction in [0,1] as a percentage with two decimals,
+// matching the paper's Table 4 ("39.78", "100.00").
+func Percent(p float64) string {
+	return fmt.Sprintf("%.2f", 100*p)
+}

@@ -1,0 +1,74 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := New("Load", "Fully Random", "Double Hashing").
+		AddRow("0", "0.17693", "0.17691").
+		AddRow("10", "2.25e-05", "2.29e-05")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Load") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule missing: %q", lines[1])
+	}
+	// Columns align: "Fully Random" starts at the same offset in every row.
+	off := strings.Index(lines[0], "Fully Random")
+	if strings.Index(lines[2], "0.17693") != off {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+	for _, l := range lines {
+		if strings.HasSuffix(l, " ") {
+			t.Errorf("trailing whitespace in %q", l)
+		}
+	}
+}
+
+func TestTableCaptionAndRaggedRows(t *testing.T) {
+	out := New("a", "b").SetCaption("Table %d: demo", 7).AddRow("x").AddRow("1", "2", "3").String()
+	if !strings.HasPrefix(out, "Table 7: demo\n") {
+		t.Errorf("caption missing:\n%s", out)
+	}
+	if !strings.Contains(out, "3") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+}
+
+func TestProb(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{0.17693, "0.17693"},
+		{1, "1.00000"},
+		{0.00051, "0.00051"},
+		{2.25e-5, "2.25e-05"},
+		{7.63e-10, "7.63e-10"},
+	}
+	for _, c := range cases {
+		if got := Prob(c.in); got != c.want {
+			t.Errorf("Prob(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPercentAndFixed(t *testing.T) {
+	if got := Percent(0.3978); got != "39.78" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Percent(1); got != "100.00" {
+		t.Errorf("Percent(1) = %q", got)
+	}
+	if got := Fixed(2.028051, 5); got != "2.02805" {
+		t.Errorf("Fixed = %q", got)
+	}
+}
