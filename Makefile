@@ -1,0 +1,33 @@
+# Build/test/bench entry points. The bench target emits Go benchfmt
+# output (machine-readable; benchstat- and BENCH_*.json-tooling ready).
+
+GO ?= go
+BENCH_OUT ?= bench.out
+BENCH_PATTERN ?= .
+BENCH_TIME ?= 1s
+
+.PHONY: all build vet test check bench bench-smoke clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet test
+
+# Full benchmark sweep; benchfmt output saved for tracking.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . ./internal/... | tee $(BENCH_OUT)
+
+# Fast smoke pass over the hot-path benchmarks (used by CI).
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Place|GeneratorCost|GeneratorBatchCost' -benchmem -benchtime 100x .
+
+clean:
+	rm -f $(BENCH_OUT)

@@ -64,9 +64,9 @@ func BenchmarkTable6(b *testing.B) { benchTable(b, "t6", 2000, experiments.Table
 func BenchmarkTable7(b *testing.B) { benchTable(b, "t7", 2000, experiments.Table7) }
 func BenchmarkTable8(b *testing.B) { benchTable(b, "t8", 200, experiments.Table8) }
 
-// BenchmarkGeneratorCost measures ns per candidate-set draw — the
-// practical motivation of the paper: double hashing needs two PRNG draws
-// per ball where fully random needs d.
+// BenchmarkGeneratorCost measures ns per candidate-set draw through the
+// per-ball Draw contract — the practical motivation of the paper: double
+// hashing needs two PRNG draws per ball where fully random needs d.
 func BenchmarkGeneratorCost(b *testing.B) {
 	const n, d = 1 << 16, 4
 	for name, factory := range map[string]choice.Factory{
@@ -78,7 +78,7 @@ func BenchmarkGeneratorCost(b *testing.B) {
 	} {
 		b.Run(name, func(b *testing.B) {
 			gen := factory(n, d, rng.NewXoshiro256(1))
-			dst := make([]int, d)
+			dst := make([]uint32, d)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				gen.Draw(dst)
@@ -87,7 +87,34 @@ func BenchmarkGeneratorCost(b *testing.B) {
 	}
 }
 
-// BenchmarkPlace measures ns per ball placement for the full process loop.
+// BenchmarkGeneratorBatchCost measures ns per candidate set through the
+// batched DrawBatch fast path (512 balls per call), which amortizes the
+// generator dispatch and bulk PRNG refill — the engine's hot path.
+func BenchmarkGeneratorBatchCost(b *testing.B) {
+	const n, d, balls = 1 << 16, 4, 512
+	for name, factory := range map[string]choice.Factory{
+		"fully-random-d4": choice.NewFullyRandom,
+		"double-hash-d4":  choice.NewDoubleHash,
+		"dleft-double-d4": choice.NewDLeftDoubleHash,
+	} {
+		b.Run(name, func(b *testing.B) {
+			gen := factory(n, d, rng.NewXoshiro256(1))
+			dst := make([]uint32, balls*d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += balls {
+				c := balls
+				if b.N-done < c {
+					c = b.N - done
+				}
+				gen.DrawBatch(dst[:c*d], c)
+			}
+		})
+	}
+}
+
+// BenchmarkPlace measures ns per ball through the batched placement loop
+// (engine.Placer.PlaceN) — the unified hot path every experiment runs on.
 func BenchmarkPlace(b *testing.B) {
 	const n = 1 << 16
 	cases := []struct {
@@ -105,10 +132,23 @@ func BenchmarkPlace(b *testing.B) {
 			gen := c.factory(n, c.d, rng.NewXoshiro256(2))
 			p := core.NewProcess(gen, c.tie, rng.NewXoshiro256(3))
 			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				p.Place()
-			}
+			b.ResetTimer()
+			p.PlaceN(b.N)
 		})
+	}
+}
+
+// BenchmarkPlaceSingle measures ns per ball through the incremental Place
+// contract (one dynamic dispatch per ball), quantifying what batching
+// saves.
+func BenchmarkPlaceSingle(b *testing.B) {
+	const n = 1 << 16
+	gen := choice.NewDoubleHash(n, 3, rng.NewXoshiro256(2))
+	p := core.NewProcess(gen, core.TieRandom, rng.NewXoshiro256(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Place()
 	}
 }
 
@@ -122,7 +162,7 @@ func BenchmarkAblationReplacement(b *testing.B) {
 	} {
 		b.Run(name, func(b *testing.B) {
 			gen := factory(n, d, rng.NewXoshiro256(4))
-			dst := make([]int, d)
+			dst := make([]uint32, d)
 			for i := 0; i < b.N; i++ {
 				gen.Draw(dst)
 			}
@@ -158,7 +198,7 @@ func BenchmarkAblationStride(b *testing.B) {
 	} {
 		b.Run(name, func(b *testing.B) {
 			gen := factory(n, d, rng.NewXoshiro256(7))
-			dst := make([]int, d)
+			dst := make([]uint32, d)
 			for i := 0; i < b.N; i++ {
 				gen.Draw(dst)
 			}

@@ -25,17 +25,24 @@ type Trace struct {
 	choices []int32 // ball t's candidates at [t*d, (t+1)*d)
 }
 
-// Record draws m candidate sets from gen and stores them.
+// Record draws m candidate sets from gen through the batched fast path
+// and stores them.
 func Record(gen choice.Generator, m int) *Trace {
 	if m < 0 {
 		panic(fmt.Sprintf("ancestry: m = %d", m))
 	}
-	tr := &Trace{n: gen.N(), d: gen.D(), choices: make([]int32, m*gen.D())}
-	dst := make([]int, gen.D())
-	for t := 0; t < m; t++ {
-		gen.Draw(dst)
-		for k, v := range dst {
-			tr.choices[t*gen.D()+k] = int32(v)
+	d := gen.D()
+	tr := &Trace{n: gen.N(), d: d, choices: make([]int32, m*d)}
+	const chunk = 512 // balls per DrawBatch
+	dst := make([]uint32, chunk*d)
+	for t := 0; t < m; t += chunk {
+		c := chunk
+		if m-t < c {
+			c = m - t
+		}
+		gen.DrawBatch(dst[:c*d], c)
+		for i, v := range dst[:c*d] {
+			tr.choices[t*d+i] = int32(v)
 		}
 	}
 	return tr
@@ -190,12 +197,16 @@ func (tr *Trace) DisjointFraction(gen choice.Generator, draws int) float64 {
 	if draws <= 0 {
 		panic(fmt.Sprintf("ancestry: draws = %d", draws))
 	}
-	dst := make([]int, tr.d)
+	dst := make([]uint32, tr.d)
+	bins := make([]int, tr.d)
 	t := tr.Balls()
 	disjoint := 0
 	for i := 0; i < draws; i++ {
 		gen.Draw(dst)
-		if tr.ListsDisjoint(dst, t) {
+		for k, v := range dst {
+			bins[k] = int(v)
+		}
+		if tr.ListsDisjoint(bins, t) {
 			disjoint++
 		}
 	}

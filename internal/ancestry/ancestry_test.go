@@ -15,10 +15,19 @@ type scriptedGen struct {
 	next   int
 }
 
-func (g *scriptedGen) Draw(dst []int) {
-	copy(dst, g.script[g.next])
+func (g *scriptedGen) Draw(dst []uint32) {
+	for i, v := range g.script[g.next] {
+		dst[i] = uint32(v)
+	}
 	g.next++
 }
+
+func (g *scriptedGen) DrawBatch(dst []uint32, count int) {
+	for b := 0; b < count; b++ {
+		g.Draw(dst[b*g.d : (b+1)*g.d])
+	}
+}
+
 func (g *scriptedGen) N() int       { return g.n }
 func (g *scriptedGen) D() int       { return g.d }
 func (g *scriptedGen) Name() string { return "scripted" }

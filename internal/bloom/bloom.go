@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -42,14 +43,16 @@ func (m Mode) String() string {
 
 // Filter is a Bloom filter over uint64 keys. The bit count is rounded up
 // to a power of two so positions reduce by masking and odd strides are
-// automatically coprime.
+// automatically coprime. A Filter is not safe for concurrent use (probe
+// positions are staged in a scratch buffer).
 type Filter struct {
 	bits []uint64
 	mask uint64 // bit-count − 1
 	k    int
 	mode Mode
 	seed uint64
-	n    int64 // inserted keys
+	n    int64    // inserted keys
+	pos  []uint64 // scratch: the k probe positions of the current key
 }
 
 // New returns a filter with at least mBits bits and k probes per key.
@@ -71,6 +74,7 @@ func New(mBits uint64, k int, mode Mode, seed uint64) *Filter {
 		k:    k,
 		mode: mode,
 		seed: seed,
+		pos:  make([]uint64, k),
 	}
 }
 
@@ -83,53 +87,63 @@ func (f *Filter) K() int { return f.k }
 // Inserted returns the number of keys added.
 func (f *Filter) Inserted() int64 { return f.n }
 
-// positions streams the k probe positions for key to fn; fn returning
-// false stops early.
-func (f *Filter) positions(key uint64, fn func(pos uint64) bool) {
+// positions fills f.pos with the k probe positions for key and returns
+// it. Double hashing expands (h1, h2) with the engine's shared masked
+// progression — the same arithmetic the placement generators use, in
+// power-of-two index space.
+func (f *Filter) positions(key uint64) []uint64 {
 	switch f.mode {
 	case KIndependent:
-		for i := 0; i < f.k; i++ {
-			h := rng.Mix64(key ^ rng.Stream(f.seed, i))
-			if !fn(h & f.mask) {
-				return
-			}
+		for i := range f.pos {
+			f.pos[i] = rng.Mix64(key^rng.Stream(f.seed, i)) & f.mask
 		}
 	case DoubleHashing:
 		h1 := rng.Mix64(key ^ f.seed)
 		h2 := rng.Mix64(h1) | 1 // odd stride: coprime to the power-of-two size
+		engine.MaskedProgression(f.pos, h1, h2, f.mask)
+	default:
+		panic(fmt.Sprintf("bloom: unknown mode %d", int(f.mode)))
+	}
+	return f.pos
+}
+
+// Add inserts key.
+func (f *Filter) Add(key uint64) {
+	for _, pos := range f.positions(key) {
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.n++
+}
+
+// Contains reports whether key may have been inserted. False positives
+// occur with the usual Bloom probability; false negatives never.
+//
+// Unlike Add, Contains derives probe positions lazily so a negative
+// lookup — the common case — stops at the first zero bit instead of
+// paying for all k hashes up front.
+func (f *Filter) Contains(key uint64) bool {
+	switch f.mode {
+	case KIndependent:
+		for i := 0; i < f.k; i++ {
+			pos := rng.Mix64(key^rng.Stream(f.seed, i)) & f.mask
+			if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+				return false
+			}
+		}
+	case DoubleHashing:
+		h1 := rng.Mix64(key ^ f.seed)
+		h2 := rng.Mix64(h1) | 1
 		pos := h1 & f.mask
 		for i := 0; i < f.k; i++ {
-			if !fn(pos) {
-				return
+			if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+				return false
 			}
 			pos = (pos + h2) & f.mask
 		}
 	default:
 		panic(fmt.Sprintf("bloom: unknown mode %d", int(f.mode)))
 	}
-}
-
-// Add inserts key.
-func (f *Filter) Add(key uint64) {
-	f.positions(key, func(pos uint64) bool {
-		f.bits[pos/64] |= 1 << (pos % 64)
-		return true
-	})
-	f.n++
-}
-
-// Contains reports whether key may have been inserted. False positives
-// occur with the usual Bloom probability; false negatives never.
-func (f *Filter) Contains(key uint64) bool {
-	hit := true
-	f.positions(key, func(pos uint64) bool {
-		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
-			hit = false
-			return false
-		}
-		return true
-	})
-	return hit
+	return true
 }
 
 // FillRatio returns the fraction of set bits.

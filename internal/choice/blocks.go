@@ -3,6 +3,7 @@ package choice
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -13,8 +14,9 @@ import (
 // guarantee. It is included so experiments can compare the paper's
 // arithmetic-progression derandomization against the block one.
 type twoBlock struct {
-	n, d int
-	src  rng.Source
+	n, d   int
+	src    rng.Source
+	stream rawStream
 }
 
 // NewTwoBlock returns the two-block generator: candidates are
@@ -28,29 +30,36 @@ func NewTwoBlock(n, d int, src rng.Source) Generator {
 	if d >= n {
 		panic(fmt.Sprintf("choice: two-block needs d < n, got d=%d n=%d", d, n))
 	}
-	return &twoBlock{n: n, d: d, src: src}
+	g := &twoBlock{n: n, d: d, src: src}
+	g.stream.init(src)
+	return g
 }
 
-func (g *twoBlock) Draw(dst []int) {
+func (g *twoBlock) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
 	half := g.d / 2
-	s1 := rng.Intn(g.src, g.n)
-	s2 := rng.Intn(g.src, g.n)
-	v := s1
-	for k := 0; k < half; k++ {
-		dst[k] = v
-		v++
-		if v == g.n {
-			v = 0
-		}
-	}
-	v = s2
-	for k := half; k < g.d; k++ {
-		dst[k] = v
-		v++
-		if v == g.n {
-			v = 0
-		}
+	n := uint32(g.n)
+	s1 := uint32(rng.Uint64n(g.src, uint64(g.n)))
+	s2 := uint32(rng.Uint64n(g.src, uint64(g.n)))
+	// A block is an arithmetic progression with stride 1.
+	engine.Progression(dst[:half], s1, 1, n)
+	engine.Progression(dst[half:], s2, 1, n)
+}
+
+func (g *twoBlock) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, g.d, g.Name())
+	half := g.d / 2
+	n := uint64(g.n)
+	n32 := uint32(g.n)
+	d := g.d
+	st := &g.stream
+	for b := 0; b < count; b++ {
+		st.reserve(2)
+		s1 := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		s2 := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		set := dst[b*d : b*d+d]
+		engine.Progression(set[:half], s1, 1, n32)
+		engine.Progression(set[half:], s2, 1, n32)
 	}
 }
 

@@ -9,11 +9,11 @@ import (
 func TestTwoBlockStructure(t *testing.T) {
 	const n, d = 100, 6
 	g := NewTwoBlock(n, d, rng.NewXoshiro256(1))
-	dst := make([]int, d)
+	dst := make([]uint32, d)
 	for i := 0; i < 5000; i++ {
 		g.Draw(dst)
 		for _, v := range dst {
-			if v < 0 || v >= n {
+			if v >= n {
 				t.Fatalf("choice %d out of range", v)
 			}
 		}
@@ -35,7 +35,7 @@ func TestTwoBlockMarginalUniformity(t *testing.T) {
 	const n, d, draws = 32, 4, 128000
 	g := NewTwoBlock(n, d, rng.NewXoshiro256(2))
 	counts := make([]int, n)
-	dst := make([]int, d)
+	dst := make([]uint32, d)
 	for i := 0; i < draws; i++ {
 		g.Draw(dst)
 		for _, v := range dst {

@@ -15,39 +15,89 @@
 // [1, n) without the coprimality restriction — on composite n that mode
 // can repeat bins, the simple example of a real difference the paper
 // alludes to.
+//
+// Every generator implements engine.Generator: the per-ball Draw contract
+// plus the batched DrawBatch fast path, which prefetches raw 64-bit PRNG
+// values in bulk (one dynamic dispatch per refill instead of one per
+// value) and maps them to bins inline. Draw and DrawBatch advance the
+// same logical stream; interleaving them is deterministic per seed.
 package choice
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/engine"
 	"repro/internal/numeric"
 	"repro/internal/rng"
 )
 
-// Generator produces the candidate bins for successive balls. A Generator
-// is stateful (it consumes its random source) and not safe for concurrent
-// use; parallel trials construct one per trial.
-type Generator interface {
-	// Draw fills dst with exactly D bin indices in [0, N), one candidate
-	// set for the next ball. It panics if len(dst) != D.
-	Draw(dst []int)
-	// N returns the number of bins.
-	N() int
-	// D returns the number of choices per ball.
-	D() int
-	// Name returns a short label used in tables and benchmark output.
-	Name() string
-}
+// Generator is the candidate-generation contract, defined canonically in
+// internal/engine. It is aliased here so constructors, factories and
+// consumers can keep importing the choice package alone.
+type Generator = engine.Generator
 
 // Factory constructs a fresh Generator over n bins with d choices from a
 // random source. Experiments are parameterized by Factory so each parallel
 // trial gets an independent generator.
 type Factory func(n, d int, src rng.Source) Generator
 
+// rawLen is the capacity of a generator's prefetched raw-value buffer.
+// One refill covers 128 balls of double hashing (2 raws per ball); the
+// buffer is 2 KiB, comfortably L1-resident.
+const rawLen = 256
+
+// rawStream prefetches raw 64-bit values from a source so batched draws
+// pay one rng.Uint64s dispatch per rawLen values. take must be preceded
+// by reserve, which guarantees the requested values are buffered; the
+// rare paths that need an unbounded number of values (rejection loops)
+// fall back to the source directly.
+type rawStream struct {
+	src rng.Source
+	buf [rawLen]uint64
+	pos int
+}
+
+func (st *rawStream) init(src rng.Source) {
+	st.src = src
+	st.pos = rawLen
+}
+
+// reserve ensures at least k buffered values remain. k must be <= rawLen.
+func (st *rawStream) reserve(k int) {
+	if st.pos+k > rawLen {
+		st.refill()
+	}
+}
+
+// refill discards nothing: it tops the buffer back up from the source.
+// Values already consumed are gone; unconsumed values are preserved by
+// never refilling until reserve detects a shortfall, at which point the
+// remaining tail is moved to the front.
+func (st *rawStream) refill() {
+	tail := copy(st.buf[:], st.buf[st.pos:])
+	rng.Uint64s(st.src, st.buf[tail:])
+	st.pos = 0
+}
+
+// take returns the next buffered raw value. Callers must reserve first.
+func (st *rawStream) take() uint64 {
+	v := st.buf[st.pos]
+	st.pos++
+	return v
+}
+
 // checkDraw panics unless dst matches the generator's d.
-func checkDraw(dst []int, d int, name string) {
+func checkDraw(dst []uint32, d int, name string) {
 	if len(dst) != d {
 		panic(fmt.Sprintf("choice: %s.Draw with len(dst)=%d, want %d", name, len(dst), d))
+	}
+}
+
+// checkBatch panics unless dst holds exactly count candidate sets.
+func checkBatch(dst []uint32, count, d int, name string) {
+	if count < 0 || len(dst) != count*d {
+		panic(fmt.Sprintf("choice: %s.DrawBatch with len(dst)=%d count=%d, want len = count*%d", name, len(dst), count, d))
 	}
 }
 
@@ -59,6 +109,9 @@ func validate(n, d int) {
 	if d <= 0 {
 		panic(fmt.Sprintf("choice: d=%d, must be positive", d))
 	}
+	if int64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("choice: n=%d exceeds the 32-bit bin-index space", n))
+	}
 }
 
 // fullyRandom draws d independent uniform bins, optionally rejecting
@@ -66,6 +119,7 @@ func validate(n, d int) {
 type fullyRandom struct {
 	n, d        int
 	src         rng.Source
+	stream      rawStream
 	replacement bool
 }
 
@@ -77,7 +131,9 @@ func NewFullyRandom(n, d int, src rng.Source) Generator {
 	if d > n {
 		panic(fmt.Sprintf("choice: fully random without replacement needs d <= n, got d=%d n=%d", d, n))
 	}
-	return &fullyRandom{n: n, d: d, src: src}
+	g := &fullyRandom{n: n, d: d, src: src}
+	g.stream.init(src)
+	return g
 }
 
 // NewFullyRandomWithReplacement returns d independent uniform bins per
@@ -86,18 +142,59 @@ func NewFullyRandom(n, d int, src rng.Source) Generator {
 // replacement ablation.
 func NewFullyRandomWithReplacement(n, d int, src rng.Source) Generator {
 	validate(n, d)
-	return &fullyRandom{n: n, d: d, src: src, replacement: true}
+	g := &fullyRandom{n: n, d: d, src: src, replacement: true}
+	g.stream.init(src)
+	return g
 }
 
-func (g *fullyRandom) Draw(dst []int) {
+func (g *fullyRandom) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
 	if g.replacement {
 		for i := range dst {
-			dst[i] = rng.Intn(g.src, g.n)
+			dst[i] = uint32(rng.Uint64n(g.src, uint64(g.n)))
 		}
 		return
 	}
 	rng.SampleDistinct(g.src, g.n, dst)
+}
+
+func (g *fullyRandom) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, g.d, g.Name())
+	n := uint64(g.n)
+	d := g.d
+	st := &g.stream
+	if g.replacement {
+		for i := range dst {
+			st.reserve(1)
+			dst[i] = uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		}
+		return
+	}
+	for b := 0; b < count; b++ {
+		set := dst[b*d : b*d+d]
+		for i := range set {
+			// Reserve per value rather than per ball: a duplicate redraw
+			// (probability ~d/n) consumes extra stream values, so a
+			// per-ball reservation would not cover the tail of the set.
+			st.reserve(1)
+			v := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+			for dup(set[:i], v) {
+				st.reserve(1)
+				v = uint32(rng.Uint64nFrom(g.src, st.take(), n))
+			}
+			set[i] = v
+		}
+	}
+}
+
+// dup reports whether v occurs in prefix.
+func dup(prefix []uint32, v uint32) bool {
+	for _, p := range prefix {
+		if p == v {
+			return true
+		}
+	}
+	return false
 }
 
 func (g *fullyRandom) N() int { return g.n }
@@ -129,6 +226,7 @@ const (
 type doubleHash struct {
 	n, d       int
 	src        rng.Source
+	stream     rawStream
 	mode       StrideMode
 	prime      bool
 	powerOfTwo bool
@@ -153,40 +251,42 @@ func newDoubleHash(n, d int, src rng.Source, mode StrideMode) Generator {
 	if d >= n && n > 1 {
 		panic(fmt.Sprintf("choice: double hashing needs d < n for distinct choices, got d=%d n=%d", d, n))
 	}
-	return &doubleHash{
+	g := &doubleHash{
 		n: n, d: d, src: src, mode: mode,
 		prime:      numeric.IsPrime(uint64(n)),
 		powerOfTwo: numeric.IsPowerOfTwo(uint64(n)),
 	}
+	g.stream.init(src)
+	return g
 }
 
-// stride draws g(j) according to the generator's mode.
-func (g *doubleHash) stride() int {
-	if g.n == 1 {
-		return 0
-	}
+// strideFrom maps one raw value to a stride according to the generator's
+// mode, drawing more values from src in the coprimality rejection loop.
+func (g *doubleHash) strideFrom(raw uint64) uint32 {
+	n := uint64(g.n)
 	switch {
 	case g.mode == StrideAny:
-		return 1 + rng.Intn(g.src, g.n-1)
+		return 1 + uint32(rng.Uint64nFrom(g.src, raw, n-1))
 	case g.prime:
 		// Every residue in [1, n) is coprime to prime n.
-		return 1 + rng.Intn(g.src, g.n-1)
+		return 1 + uint32(rng.Uint64nFrom(g.src, raw, n-1))
 	case g.powerOfTwo:
 		// Odd residues are exactly the ones coprime to 2^k.
-		return 2*rng.Intn(g.src, g.n/2) + 1
+		return 2*uint32(rng.Uint64nFrom(g.src, raw, n/2)) + 1
 	default:
 		// General n: rejection sampling; acceptance probability is
 		// φ(n)/(n−1), which is Ω(1/log log n), so this terminates fast.
 		for {
-			s := 1 + rng.Intn(g.src, g.n-1)
-			if numeric.Coprime(uint64(s), uint64(g.n)) {
-				return s
+			s := 1 + rng.Uint64nFrom(g.src, raw, n-1)
+			if numeric.Coprime(s, n) {
+				return uint32(s)
 			}
+			raw = g.src.Uint64()
 		}
 	}
 }
 
-func (g *doubleHash) Draw(dst []int) {
+func (g *doubleHash) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
 	if g.n == 1 {
 		for i := range dst {
@@ -194,14 +294,49 @@ func (g *doubleHash) Draw(dst []int) {
 		}
 		return
 	}
-	f := rng.Intn(g.src, g.n)
-	s := g.stride()
-	v := f
-	for k := range dst {
-		dst[k] = v
-		v += s
-		if v >= g.n {
-			v -= g.n
+	f := uint32(rng.Uint64n(g.src, uint64(g.n)))
+	s := g.strideFrom(g.src.Uint64())
+	engine.Progression(dst, f, s, uint32(g.n))
+}
+
+func (g *doubleHash) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, g.d, g.Name())
+	if g.n == 1 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	n := uint64(g.n)
+	n32 := uint32(g.n)
+	d := g.d
+	st := &g.stream
+	// The stride-mode dispatch is hoisted out of the ball loop so each
+	// specialized loop body is free of per-ball calls (Uint64nFrom and
+	// Progression both inline).
+	switch {
+	case g.prime && g.mode == StrideCoprime, g.mode == StrideAny:
+		// Uniform stride over [1, n): prime n under the coprime rule, or
+		// any n under the unrestricted rule.
+		for b := 0; b < count; b++ {
+			st.reserve(2)
+			f := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+			s := 1 + uint32(rng.Uint64nFrom(g.src, st.take(), n-1))
+			engine.Progression(dst[b*d:b*d+d], f, s, n32)
+		}
+	case g.powerOfTwo:
+		for b := 0; b < count; b++ {
+			st.reserve(2)
+			f := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+			s := 2*uint32(rng.Uint64nFrom(g.src, st.take(), n/2)) + 1
+			engine.Progression(dst[b*d:b*d+d], f, s, n32)
+		}
+	default:
+		for b := 0; b < count; b++ {
+			st.reserve(2)
+			f := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+			s := g.strideFrom(st.take())
+			engine.Progression(dst[b*d:b*d+d], f, s, n32)
 		}
 	}
 }
@@ -218,8 +353,9 @@ func (g *doubleHash) Name() string {
 // oneChoice is the classical single uniform choice baseline, whose maximum
 // load is Θ(log n / log log n) rather than Θ(log log n).
 type oneChoice struct {
-	n   int
-	src rng.Source
+	n      int
+	src    rng.Source
+	stream rawStream
 }
 
 // NewOneChoice returns the d=1 baseline generator. The d argument is
@@ -229,12 +365,24 @@ func NewOneChoice(n, d int, src rng.Source) Generator {
 	if d != 1 {
 		panic(fmt.Sprintf("choice: one-choice requires d=1, got %d", d))
 	}
-	return &oneChoice{n: n, src: src}
+	g := &oneChoice{n: n, src: src}
+	g.stream.init(src)
+	return g
 }
 
-func (g *oneChoice) Draw(dst []int) {
+func (g *oneChoice) Draw(dst []uint32) {
 	checkDraw(dst, 1, g.Name())
-	dst[0] = rng.Intn(g.src, g.n)
+	dst[0] = uint32(rng.Uint64n(g.src, uint64(g.n)))
+}
+
+func (g *oneChoice) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, 1, g.Name())
+	n := uint64(g.n)
+	st := &g.stream
+	for i := range dst {
+		st.reserve(1)
+		dst[i] = uint32(rng.Uint64nFrom(g.src, st.take(), n))
+	}
 }
 
 func (g *oneChoice) N() int       { return g.n }

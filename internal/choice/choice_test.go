@@ -23,11 +23,11 @@ var factories = map[string]Factory{
 func TestDrawInRange(t *testing.T) {
 	for name, f := range factories {
 		g := f(64, 4, rng.NewXoshiro256(1))
-		dst := make([]int, 4)
+		dst := make([]uint32, 4)
 		for i := 0; i < 5000; i++ {
 			g.Draw(dst)
 			for _, v := range dst {
-				if v < 0 || v >= 64 {
+				if v >= 64 {
 					t.Fatalf("%s: choice %d out of [0,64)", name, v)
 				}
 			}
@@ -41,6 +41,85 @@ func TestDrawInRange(t *testing.T) {
 	}
 }
 
+func TestDrawBatchInRangeAndStructured(t *testing.T) {
+	// The batched path must satisfy every per-ball structural invariant:
+	// in-range everywhere, distinct for the distinct generators, and one
+	// candidate per subtable for the d-left layouts.
+	const n, d, balls = 64, 4, 3000
+	m := n / d
+	for name, f := range factories {
+		g := f(n, d, rng.NewXoshiro256(2))
+		dst := make([]uint32, balls*d)
+		g.DrawBatch(dst, balls)
+		distinct := name == "fully-random" || name == "double-hash" || name == "dleft-fully-random" || name == "dleft-double-hash"
+		dleft := name == "dleft-fully-random" || name == "dleft-double-hash"
+		for b := 0; b < balls; b++ {
+			set := dst[b*d : (b+1)*d]
+			for k, v := range set {
+				if v >= n {
+					t.Fatalf("%s ball %d: choice %d out of range", name, b, v)
+				}
+				if dleft {
+					if lo, hi := uint32(k*m), uint32((k+1)*m); v < lo || v >= hi {
+						t.Fatalf("%s ball %d: choice %d outside subtable %d", name, b, v, k)
+					}
+				}
+			}
+			if distinct {
+				for a := 0; a < d; a++ {
+					for c := a + 1; c < d; c++ {
+						if set[a] == set[c] {
+							t.Fatalf("%s ball %d: duplicate bins %v", name, b, set)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDrawBatchMarginalsMatchDraw(t *testing.T) {
+	// Draw and DrawBatch sample the same per-ball distribution; compare
+	// position-0 marginals with a generous chi-square.
+	const n, d, balls = 16, 3, 120000
+	for _, name := range []string{"fully-random", "double-hash"} {
+		f := factories[name]
+		single := f(n, d, rng.NewXoshiro256(31))
+		batched := f(n, d, rng.NewXoshiro256(32))
+		one := make([]uint32, d)
+		countsSingle := make([]float64, n)
+		for i := 0; i < balls; i++ {
+			single.Draw(one)
+			countsSingle[one[0]]++
+		}
+		buf := make([]uint32, balls*d)
+		batched.DrawBatch(buf, balls)
+		countsBatch := make([]float64, n)
+		for b := 0; b < balls; b++ {
+			countsBatch[buf[b*d]]++
+		}
+		chi2 := 0.0
+		for v := 0; v < n; v++ {
+			diff := countsSingle[v] - countsBatch[v]
+			exp := (countsSingle[v] + countsBatch[v]) / 2
+			chi2 += diff * diff / (2 * exp)
+		}
+		if chi2 > 60 { // 15 dof, far tail
+			t.Errorf("%s: Draw vs DrawBatch marginals differ, chi2 = %.1f", name, chi2)
+		}
+	}
+}
+
+func TestDrawBatchPanicsOnLengthMismatch(t *testing.T) {
+	g := NewDoubleHash(16, 3, rng.NewXoshiro256(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DrawBatch with mismatched dst length did not panic")
+		}
+	}()
+	g.DrawBatch(make([]uint32, 7), 2) // want 6
+}
+
 func TestDrawPanicsOnWrongLength(t *testing.T) {
 	g := NewDoubleHash(16, 3, rng.NewXoshiro256(1))
 	defer func() {
@@ -48,7 +127,7 @@ func TestDrawPanicsOnWrongLength(t *testing.T) {
 			t.Fatal("Draw with wrong dst length did not panic")
 		}
 	}()
-	g.Draw(make([]int, 2))
+	g.Draw(make([]uint32, 2))
 }
 
 func TestDistinctness(t *testing.T) {
@@ -62,7 +141,7 @@ func TestDistinctness(t *testing.T) {
 				"double-hash":  NewDoubleHash,
 			} {
 				g := f(n, d, rng.NewXoshiro256(uint64(n*d)))
-				dst := make([]int, d)
+				dst := make([]uint32, d)
 				for i := 0; i < 3000; i++ {
 					g.Draw(dst)
 					for a := 0; a < d; a++ {
@@ -84,11 +163,11 @@ func TestAnyStrideCanRepeatOnCompositeN(t *testing.T) {
 	// sharing a factor with n shortens the cycle). Verify the failure mode
 	// is real — it is why StrideCoprime is the default.
 	g := NewDoubleHashAnyStride(12, 4, rng.NewXoshiro256(3))
-	dst := make([]int, 4)
+	dst := make([]uint32, 4)
 	sawDup := false
 	for i := 0; i < 20000 && !sawDup; i++ {
 		g.Draw(dst)
-		seen := map[int]bool{}
+		seen := map[uint32]bool{}
 		for _, v := range dst {
 			if seen[v] {
 				sawDup = true
@@ -115,7 +194,7 @@ func TestMarginalUniformity(t *testing.T) {
 		for k := range counts {
 			counts[k] = make([]int, n)
 		}
-		dst := make([]int, d)
+		dst := make([]uint32, d)
 		for i := 0; i < draws; i++ {
 			g.Draw(dst)
 			for k, v := range dst {
@@ -145,7 +224,7 @@ func TestPairwiseUniformity(t *testing.T) {
 	const n, d = 7, 3
 	const draws = 400000
 	g := NewDoubleHash(n, d, rng.NewXoshiro256(11))
-	dst := make([]int, d)
+	dst := make([]uint32, d)
 	// Track pair (position 0, position 2) — a non-adjacent pair, the
 	// harder case since its gap is 2g.
 	counts := make([][]int, n)
@@ -179,13 +258,13 @@ func TestPairwiseUniformity(t *testing.T) {
 func TestDoubleHashArithmeticStructure(t *testing.T) {
 	// Successive choices of one ball differ by a fixed stride mod n.
 	g := NewDoubleHash(97, 5, rng.NewXoshiro256(13))
-	dst := make([]int, 5)
+	dst := make([]uint32, 5)
 	for i := 0; i < 1000; i++ {
 		g.Draw(dst)
-		gap := ((dst[1]-dst[0])%97 + 97) % 97
+		gap := (int(dst[1]) - int(dst[0]) + 97) % 97
 		for k := 1; k < 5; k++ {
-			want := (dst[0] + k*gap) % 97
-			if dst[k] != want {
+			want := (int(dst[0]) + k*gap) % 97
+			if int(dst[k]) != want {
 				t.Fatalf("choices %v are not an arithmetic progression mod 97", dst)
 			}
 		}
@@ -202,12 +281,12 @@ func TestDLeftChoicesStayInSubtables(t *testing.T) {
 		"dleft-double-hash":  NewDLeftDoubleHash,
 	} {
 		g := f(n, d, rng.NewXoshiro256(17))
-		dst := make([]int, d)
+		dst := make([]uint32, d)
 		m := n / d
 		for i := 0; i < 10000; i++ {
 			g.Draw(dst)
 			for k, v := range dst {
-				if v < k*m || v >= (k+1)*m {
+				if v < uint32(k*m) || v >= uint32((k+1)*m) {
 					t.Fatalf("%s: choice %d for subtable %d outside [%d,%d)", name, v, k, k*m, (k+1)*m)
 				}
 			}
@@ -224,7 +303,7 @@ func TestDLeftMarginalUniformity(t *testing.T) {
 	} {
 		g := f(n, d, rng.NewXoshiro256(19))
 		counts := make([]int, n)
-		dst := make([]int, d)
+		dst := make([]uint32, d)
 		for i := 0; i < draws; i++ {
 			g.Draw(dst)
 			for _, v := range dst {
@@ -252,10 +331,10 @@ func TestDLeftPanicsOnIndivisible(t *testing.T) {
 
 func TestOneChoice(t *testing.T) {
 	g := NewOneChoice(100, 1, rng.NewXoshiro256(23))
-	dst := make([]int, 1)
+	dst := make([]uint32, 1)
 	for i := 0; i < 1000; i++ {
 		g.Draw(dst)
-		if dst[0] < 0 || dst[0] >= 100 {
+		if dst[0] >= 100 {
 			t.Fatalf("one-choice out of range: %d", dst[0])
 		}
 	}
@@ -289,7 +368,7 @@ func TestValidationPanics(t *testing.T) {
 
 func TestQuickDistinctAndInRange(t *testing.T) {
 	// Property: for random (n, d, seed) with 2 <= d < n, double hashing
-	// yields d distinct in-range bins.
+	// yields d distinct in-range bins — through both draw paths.
 	f := func(nRaw, dRaw uint16, seed uint64) bool {
 		n := int(nRaw)%2000 + 5
 		d := int(dRaw)%4 + 2
@@ -297,14 +376,17 @@ func TestQuickDistinctAndInRange(t *testing.T) {
 			d = n - 1
 		}
 		g := NewDoubleHash(n, d, rng.NewXoshiro256(seed))
-		dst := make([]int, d)
-		g.Draw(dst)
-		seen := map[int]bool{}
-		for _, v := range dst {
-			if v < 0 || v >= n || seen[v] {
-				return false
+		dst := make([]uint32, 2*d)
+		g.Draw(dst[:d])
+		g.DrawBatch(dst[d:], 1)
+		for _, set := range [][]uint32{dst[:d], dst[d:]} {
+			seen := map[uint32]bool{}
+			for _, v := range set {
+				if v >= uint32(n) || seen[v] {
+					return false
+				}
+				seen[v] = true
 			}
-			seen[v] = true
 		}
 		return true
 	}
@@ -313,11 +395,35 @@ func TestQuickDistinctAndInRange(t *testing.T) {
 	}
 }
 
+func TestDrawBatchHugeD(t *testing.T) {
+	// d larger than the raw-value prefetch buffer must not overrun it
+	// (regression: a single reserve(d) may not exceed the buffer size).
+	const n, d = 1024, 512
+	g := NewDLeftFullyRandom(n, d, rng.NewXoshiro256(41))
+	dst := make([]uint32, 3*d)
+	g.DrawBatch(dst, 3)
+	m := n / d
+	for b := 0; b < 3; b++ {
+		for k, v := range dst[b*d : (b+1)*d] {
+			if v < uint32(k*m) || v >= uint32((k+1)*m) {
+				t.Fatalf("ball %d: candidate %d = %d outside subtable", b, k, v)
+			}
+		}
+	}
+}
+
 func TestNEqualsOne(t *testing.T) {
 	g := NewDoubleHash(1, 1, rng.NewSplitMix64(0))
-	dst := []int{-1}
+	dst := []uint32{99}
 	g.Draw(dst)
 	if dst[0] != 0 {
 		t.Fatalf("n=1 draw = %d, want 0", dst[0])
+	}
+	batch := []uint32{99, 99, 99}
+	g.DrawBatch(batch, 3)
+	for _, v := range batch {
+		if v != 0 {
+			t.Fatalf("n=1 batch draw = %d, want 0", v)
+		}
 	}
 }

@@ -3,6 +3,7 @@ package choice
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/numeric"
 	"repro/internal/rng"
 )
@@ -21,19 +22,44 @@ import (
 type dLeftFullyRandom struct {
 	n, d, m int
 	src     rng.Source
+	stream  rawStream
 }
 
 // NewDLeftFullyRandom returns the fully random d-left generator over n
 // bins in d subtables. It panics unless d divides n.
 func NewDLeftFullyRandom(n, d int, src rng.Source) Generator {
 	m := dLeftSubtableSize(n, d)
-	return &dLeftFullyRandom{n: n, d: d, m: m, src: src}
+	g := &dLeftFullyRandom{n: n, d: d, m: m, src: src}
+	g.stream.init(src)
+	return g
 }
 
-func (g *dLeftFullyRandom) Draw(dst []int) {
+func (g *dLeftFullyRandom) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
+	base := uint32(0)
+	m := uint64(g.m)
 	for k := range dst {
-		dst[k] = k*g.m + rng.Intn(g.src, g.m)
+		dst[k] = base + uint32(rng.Uint64n(g.src, m))
+		base += uint32(g.m)
+	}
+}
+
+func (g *dLeftFullyRandom) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, g.d, g.Name())
+	m := uint64(g.m)
+	m32 := uint32(g.m)
+	d := g.d
+	st := &g.stream
+	for b := 0; b < count; b++ {
+		base := uint32(0)
+		set := dst[b*d : b*d+d]
+		for k := range set {
+			// Reserve per value: d may exceed the stream's buffer, which
+			// a single reserve(d) is not allowed to cover.
+			st.reserve(1)
+			set[k] = base + uint32(rng.Uint64nFrom(g.src, st.take(), m))
+			base += m32
+		}
 	}
 }
 
@@ -45,6 +71,7 @@ func (g *dLeftFullyRandom) Name() string { return "dleft-fully-random" }
 type dLeftDoubleHash struct {
 	n, d, m    int
 	src        rng.Source
+	stream     rawStream
 	prime      bool
 	powerOfTwo bool
 }
@@ -57,41 +84,53 @@ func NewDLeftDoubleHash(n, d int, src rng.Source) Generator {
 	if m < 2 {
 		panic(fmt.Sprintf("choice: d-left double hashing needs subtable size >= 2, got %d", m))
 	}
-	return &dLeftDoubleHash{
+	g := &dLeftDoubleHash{
 		n: n, d: d, m: m, src: src,
 		prime:      numeric.IsPrime(uint64(m)),
 		powerOfTwo: numeric.IsPowerOfTwo(uint64(m)),
 	}
+	g.stream.init(src)
+	return g
 }
 
-func (g *dLeftDoubleHash) Draw(dst []int) {
+func (g *dLeftDoubleHash) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
-	f := rng.Intn(g.src, g.m)
-	s := g.stride()
-	v := f
-	for k := range dst {
-		dst[k] = k*g.m + v
-		v += s
-		if v >= g.m {
-			v -= g.m
-		}
+	f := uint32(rng.Uint64n(g.src, uint64(g.m)))
+	s := g.strideFrom(g.src.Uint64())
+	engine.SubtableProgression(dst, f, s, uint32(g.m))
+}
+
+func (g *dLeftDoubleHash) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, g.d, g.Name())
+	m := uint64(g.m)
+	m32 := uint32(g.m)
+	d := g.d
+	st := &g.stream
+	for b := 0; b < count; b++ {
+		st.reserve(2)
+		f := uint32(rng.Uint64nFrom(g.src, st.take(), m))
+		s := g.strideFrom(st.take())
+		engine.SubtableProgression(dst[b*d:b*d+d], f, s, m32)
 	}
 }
 
-// stride draws the per-ball stride uniform over residues coprime to the
-// subtable size.
-func (g *dLeftDoubleHash) stride() int {
+// strideFrom maps one raw value to a per-ball stride uniform over residues
+// coprime to the subtable size, drawing more values from src in the
+// rejection loop.
+func (g *dLeftDoubleHash) strideFrom(raw uint64) uint32 {
+	m := uint64(g.m)
 	switch {
 	case g.prime:
-		return 1 + rng.Intn(g.src, g.m-1)
+		return 1 + uint32(rng.Uint64nFrom(g.src, raw, m-1))
 	case g.powerOfTwo:
-		return 2*rng.Intn(g.src, g.m/2) + 1
+		return 2*uint32(rng.Uint64nFrom(g.src, raw, m/2)) + 1
 	default:
 		for {
-			s := 1 + rng.Intn(g.src, g.m-1)
-			if numeric.Coprime(uint64(s), uint64(g.m)) {
-				return s
+			s := 1 + rng.Uint64nFrom(g.src, raw, m-1)
+			if numeric.Coprime(s, m) {
+				return uint32(s)
 			}
+			raw = g.src.Uint64()
 		}
 	}
 }

@@ -14,9 +14,10 @@ import (
 // the repository uses it to situate double hashing's behaviour between
 // the extremes.
 type onePlusBeta struct {
-	n    int
-	beta float64
-	src  rng.Source
+	n      int
+	beta   float64
+	src    rng.Source
+	stream rawStream
 }
 
 // NewOnePlusBeta returns the (1+β)-choice generator. The generator always
@@ -31,15 +32,17 @@ func NewOnePlusBeta(n int, beta float64, src rng.Source) Generator {
 	if beta < 0 || beta > 1 {
 		panic(fmt.Sprintf("choice: beta = %v outside [0,1]", beta))
 	}
-	return &onePlusBeta{n: n, beta: beta, src: src}
+	g := &onePlusBeta{n: n, beta: beta, src: src}
+	g.stream.init(src)
+	return g
 }
 
-func (g *onePlusBeta) Draw(dst []int) {
+func (g *onePlusBeta) Draw(dst []uint32) {
 	checkDraw(dst, 2, g.Name())
-	first := rng.Intn(g.src, g.n)
+	first := uint32(rng.Uint64n(g.src, uint64(g.n)))
 	dst[0] = first
 	if rng.Float64(g.src) < g.beta {
-		second := rng.Intn(g.src, g.n-1)
+		second := uint32(rng.Uint64n(g.src, uint64(g.n)-1))
 		if second >= first {
 			second++
 		}
@@ -47,6 +50,28 @@ func (g *onePlusBeta) Draw(dst []int) {
 		return
 	}
 	dst[1] = first
+}
+
+func (g *onePlusBeta) DrawBatch(dst []uint32, count int) {
+	checkBatch(dst, count, 2, g.Name())
+	n := uint64(g.n)
+	st := &g.stream
+	for b := 0; b < count; b++ {
+		// A ball consumes 2 raws (one-choice branch) or 3 (two-choice).
+		st.reserve(3)
+		first := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		dst[2*b] = first
+		// The same uniform coin as Draw's rng.Float64, from a prefetched raw.
+		if rng.Float64From(st.take()) < g.beta {
+			second := uint32(rng.Uint64nFrom(g.src, st.take(), n-1))
+			if second >= first {
+				second++
+			}
+			dst[2*b+1] = second
+			continue
+		}
+		dst[2*b+1] = first
+	}
 }
 
 func (g *onePlusBeta) N() int       { return g.n }

@@ -9,7 +9,7 @@ import (
 
 func TestOnePlusBetaExtremes(t *testing.T) {
 	// β = 0: both entries always identical. β = 1: always distinct.
-	dst := make([]int, 2)
+	dst := make([]uint32, 2)
 	g0 := NewOnePlusBeta(64, 0, rng.NewXoshiro256(1))
 	for i := 0; i < 2000; i++ {
 		g0.Draw(dst)
@@ -29,7 +29,7 @@ func TestOnePlusBetaExtremes(t *testing.T) {
 func TestOnePlusBetaMixRate(t *testing.T) {
 	const beta = 0.3
 	g := NewOnePlusBeta(128, beta, rng.NewXoshiro256(3))
-	dst := make([]int, 2)
+	dst := make([]uint32, 2)
 	const draws = 100000
 	distinct := 0
 	for i := 0; i < draws; i++ {
@@ -37,7 +37,7 @@ func TestOnePlusBetaMixRate(t *testing.T) {
 		if dst[0] != dst[1] {
 			distinct++
 		}
-		if dst[0] < 0 || dst[0] >= 128 || dst[1] < 0 || dst[1] >= 128 {
+		if dst[0] >= 128 || dst[1] >= 128 {
 			t.Fatalf("out of range: %v", dst)
 		}
 	}

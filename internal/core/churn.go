@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/rng"
 	"repro/internal/stats"
 )
@@ -51,7 +49,7 @@ func (c *Churn) DeleteRandom() {
 	last := len(c.balls) - 1
 	c.balls[i] = c.balls[last]
 	c.balls = c.balls[:last]
-	c.p.unplace(bin)
+	c.p.Unplace(bin)
 }
 
 // Step performs one churn step: delete a uniform ball, insert a new one.
@@ -81,19 +79,10 @@ func (c *Churn) LoadHist() *stats.Hist { return c.p.LoadHist() }
 // deletion).
 func (c *Churn) CurrentMaxLoad() int {
 	max := 0
-	for _, l := range c.p.loads {
+	for _, l := range c.p.Loads() {
 		if int(l) > max {
 			max = int(l)
 		}
 	}
 	return max
-}
-
-// unplace removes one ball from bin b. MaxLoad remains a high-water mark.
-func (p *Process) unplace(b int) {
-	if p.loads[b] == 0 {
-		panic(fmt.Sprintf("core: unplace from empty bin %d", b))
-	}
-	p.loads[b]--
-	p.placed--
 }

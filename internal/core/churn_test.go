@@ -131,5 +131,5 @@ func TestUnplacePanicsOnEmptyBin(t *testing.T) {
 			t.Fatal("unplace from empty bin did not panic")
 		}
 	}()
-	p.unplace(0)
+	p.Unplace(0)
 }

@@ -7,7 +7,9 @@
 //
 // The package separates three layers:
 //
-//   - Process: one run of the ball placement loop over a bin table.
+//   - Process: one run of the ball placement loop over a bin table. The
+//     loop itself lives in internal/engine (Process is an alias of
+//     engine.Placer); core contributes the experiment wiring around it.
 //   - Config/Run: a declarative experiment — n, m, d, scheme, hashing,
 //     trial count — executed across the parallel harness with
 //     deterministic per-trial seeding and merged into a Result.
@@ -16,139 +18,34 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/choice"
+	"repro/internal/engine"
 	"repro/internal/rng"
-	"repro/internal/stats"
 )
 
 // TieBreak selects which of several equally loaded candidate bins
-// receives the ball.
-type TieBreak int
+// receives the ball. It is engine.TieBreak, re-exported so experiment
+// configuration needs only this package.
+type TieBreak = engine.TieBreak
 
 const (
 	// TieRandom picks uniformly among the minimum-load candidates — the
 	// classic scheme as analyzed in the paper's Theorem 8.
-	TieRandom TieBreak = iota
-	// TieFirst picks the earliest minimum in choice order. With a d-left
-	// generator, whose choice k lies in subtable k laid out left to right,
-	// this is exactly Vöcking's "ties broken to the left".
-	TieFirst
+	TieRandom = engine.TieRandom
+	// TieFirst picks the earliest minimum in choice order — Vöcking's
+	// "ties broken to the left" under a d-left generator.
+	TieFirst = engine.TieFirst
 )
-
-// String returns the tie-break rule's display name.
-func (t TieBreak) String() string {
-	switch t {
-	case TieRandom:
-		return "tie-random"
-	case TieFirst:
-		return "tie-first"
-	default:
-		return fmt.Sprintf("TieBreak(%d)", int(t))
-	}
-}
 
 // Process is one run of the sequential placement loop: each Place draws a
 // candidate set from the generator and puts a ball in the least loaded
-// candidate. A Process is not safe for concurrent use.
-type Process struct {
-	gen     choice.Generator
-	tie     TieBreak
-	src     rng.Source // tie-break randomness; may be nil with TieFirst
-	loads   []uint32
-	dst     []int // scratch: candidate bins of the current ball
-	ties    []int // scratch: minimum-load candidates
-	placed  int
-	maxLoad int
-}
+// candidate; PlaceN is the batched fast path. A Process is not safe for
+// concurrent use. It is an alias of engine.Placer — the single placement
+// loop shared by every simulator and data structure in the repository.
+type Process = engine.Placer
 
 // NewProcess returns a Process over gen's bins. src supplies tie-break
 // randomness and must be non-nil when tie is TieRandom.
 func NewProcess(gen choice.Generator, tie TieBreak, src rng.Source) *Process {
-	if tie == TieRandom && src == nil {
-		panic("core: TieRandom requires a random source")
-	}
-	d := gen.D()
-	return &Process{
-		gen:   gen,
-		tie:   tie,
-		src:   src,
-		loads: make([]uint32, gen.N()),
-		dst:   make([]int, d),
-		ties:  make([]int, 0, d),
-	}
-}
-
-// Place throws one ball and returns the bin it landed in.
-func (p *Process) Place() int {
-	p.gen.Draw(p.dst)
-	best := p.dst[0]
-	bestLoad := p.loads[best]
-	if p.tie == TieFirst {
-		for _, b := range p.dst[1:] {
-			if l := p.loads[b]; l < bestLoad {
-				best, bestLoad = b, l
-			}
-		}
-	} else {
-		p.ties = append(p.ties[:0], best)
-		for _, b := range p.dst[1:] {
-			switch l := p.loads[b]; {
-			case l < bestLoad:
-				best, bestLoad = b, l
-				p.ties = append(p.ties[:0], b)
-			case l == bestLoad:
-				p.ties = append(p.ties, b)
-			}
-		}
-		if len(p.ties) > 1 {
-			best = p.ties[rng.Intn(p.src, len(p.ties))]
-		}
-	}
-	p.loads[best]++
-	if int(p.loads[best]) > p.maxLoad {
-		p.maxLoad = int(p.loads[best])
-	}
-	p.placed++
-	return best
-}
-
-// PlaceN throws m balls.
-func (p *Process) PlaceN(m int) {
-	for i := 0; i < m; i++ {
-		p.Place()
-	}
-}
-
-// N returns the number of bins.
-func (p *Process) N() int { return len(p.loads) }
-
-// Placed returns the number of balls thrown so far.
-func (p *Process) Placed() int { return p.placed }
-
-// MaxLoad returns the current maximum bin load.
-func (p *Process) MaxLoad() int { return p.maxLoad }
-
-// Load returns the current load of bin b.
-func (p *Process) Load(b int) int { return int(p.loads[b]) }
-
-// LoadHist returns the histogram of current bin loads: entry i counts the
-// bins holding exactly i balls.
-func (p *Process) LoadHist() *stats.Hist {
-	var h stats.Hist
-	for _, l := range p.loads {
-		h.Add(int(l))
-	}
-	return &h
-}
-
-// TotalLoad returns the sum of all bin loads (always equal to Placed; the
-// accessor exists so tests can verify conservation independently).
-func (p *Process) TotalLoad() int {
-	total := 0
-	for _, l := range p.loads {
-		total += int(l)
-	}
-	return total
+	return engine.NewPlacer(gen, tie, src)
 }

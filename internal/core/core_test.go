@@ -65,9 +65,9 @@ func TestTieFirstIsDeterministicGivenDraws(t *testing.T) {
 	b := p.Place() // empty table: every candidate has load 0
 	// First candidate is f itself; re-derive by replaying the generator.
 	gen2 := choice.NewDoubleHash(16, 3, rng.NewXoshiro256(5))
-	dst := make([]int, 3)
+	dst := make([]uint32, 3)
 	gen2.Draw(dst)
-	if b != dst[0] {
+	if b != int(dst[0]) {
 		t.Fatalf("TieFirst placed in %d, want first candidate %d", b, dst[0])
 	}
 }

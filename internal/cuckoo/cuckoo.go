@@ -10,7 +10,8 @@ package cuckoo
 import (
 	"fmt"
 
-	"repro/internal/numeric"
+	"repro/internal/engine"
+	"repro/internal/hashes"
 	"repro/internal/rng"
 )
 
@@ -38,19 +39,20 @@ func (m Mode) String() string {
 }
 
 // Table is a d-ary cuckoo hash table of uint64 keys, one key per slot,
-// using random-walk eviction.
+// using random-walk eviction. Slot occupancy is a uint8 0/1 array so the
+// "first free candidate" rule is literally the engine's least-loaded
+// selection with ties to the first.
 type Table struct {
 	keys     []uint64
-	occupied []bool
+	occupied []uint8 // 0 free, 1 occupied
 	d        int
 	mode     Mode
 	seed     uint64
 	src      rng.Source
 	size     int
 	maxKicks int
-	prime    bool
-	pow2     bool
-	scratch  []int
+	deriver  *hashes.Deriver
+	scratch  []uint32
 }
 
 // New returns a cuckoo table with the given capacity, d >= 2 candidate
@@ -68,15 +70,14 @@ func New(capacity, d int, mode Mode, seed uint64, src rng.Source) *Table {
 	}
 	return &Table{
 		keys:     make([]uint64, capacity),
-		occupied: make([]bool, capacity),
+		occupied: make([]uint8, capacity),
 		d:        d,
 		mode:     mode,
 		seed:     seed,
 		src:      src,
 		maxKicks: 500,
-		prime:    numeric.IsPrime(uint64(capacity)),
-		pow2:     numeric.IsPowerOfTwo(uint64(capacity)),
-		scratch:  make([]int, d),
+		deriver:  hashes.NewDeriver(capacity),
+		scratch:  make([]uint32, d),
 	}
 }
 
@@ -97,47 +98,22 @@ func (t *Table) Cap() int { return len(t.keys) }
 // LoadFactor returns size/capacity.
 func (t *Table) LoadFactor() float64 { return float64(t.size) / float64(len(t.keys)) }
 
-// candidates fills dst with key's d slots.
-func (t *Table) candidates(key uint64, dst []int) {
-	n := uint64(len(t.keys))
+// candidates fills dst with key's d slots. Double hashing routes through
+// the shared hashes.Deriver: one mixed digest splits into (f, g) with g
+// coprime to the capacity, expanded by the engine's progression — the
+// identical construction the multiple-choice hash table uses.
+func (t *Table) candidates(key uint64, dst []uint32) {
 	switch t.mode {
 	case Independent:
+		n := uint64(len(t.keys))
 		for i := range dst {
-			dst[i] = int(rng.Mix64(key^rng.Stream(t.seed, i)) % n)
+			dst[i] = uint32(rng.Mix64(key^rng.Stream(t.seed, i)) % n)
 		}
 	case DoubleHashed:
-		f := rng.Mix64(key^t.seed) % n
-		g := t.strideFor(key)
-		v := f
-		for i := range dst {
-			dst[i] = int(v)
-			v += g
-			if v >= n {
-				v -= n
-			}
-		}
+		c := t.deriver.DeriveChoices(rng.Mix64(key ^ t.seed))
+		engine.Progression(dst, c.F, c.G, uint32(len(t.keys)))
 	default:
 		panic(fmt.Sprintf("cuckoo: unknown mode %d", int(t.mode)))
-	}
-}
-
-// strideFor derives the key's coprime stride.
-func (t *Table) strideFor(key uint64) uint64 {
-	n := uint64(len(t.keys))
-	h := rng.Mix64(key ^ rng.Mix64(t.seed^0xBF58476D1CE4E5B9))
-	switch {
-	case t.prime:
-		return 1 + h%(n-1)
-	case t.pow2:
-		return h%(n/2)*2 + 1
-	default:
-		for {
-			s := 1 + h%(n-1)
-			if numeric.Coprime(s, n) {
-				return s
-			}
-			h = rng.Mix64(h)
-		}
 	}
 }
 
@@ -145,7 +121,7 @@ func (t *Table) strideFor(key uint64) uint64 {
 func (t *Table) Contains(key uint64) bool {
 	t.candidates(key, t.scratch)
 	for _, s := range t.scratch {
-		if t.occupied[s] && t.keys[s] == key {
+		if t.occupied[s] != 0 && t.keys[s] == key {
 			return true
 		}
 	}
@@ -165,13 +141,13 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 	cur := key
 	for kicks = 0; kicks <= t.maxKicks; kicks++ {
 		t.candidates(cur, t.scratch)
-		for _, s := range t.scratch {
-			if !t.occupied[s] {
-				t.occupied[s] = true
-				t.keys[s] = cur
-				t.size++
-				return kicks, true
-			}
+		// "First free candidate" is least-loaded selection over 0/1
+		// occupancy with ties to the first — the engine's shared rule.
+		if s, occ := engine.LeastLoadedFirst(t.occupied, t.scratch); occ == 0 {
+			t.occupied[s] = 1
+			t.keys[s] = cur
+			t.size++
+			return kicks, true
 		}
 		// All candidates occupied: evict a random one and continue with
 		// the displaced key.

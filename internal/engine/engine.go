@@ -1,0 +1,76 @@
+// Package engine owns the balanced-allocation placement hot path: the
+// candidate-generation contract, the least-loaded/tie-break selection
+// rules, the arithmetic-progression candidate fills of double hashing,
+// and the batched ball-placement loop.
+//
+// Every simulator and data structure in this repository that places an
+// item in "the least loaded of d candidates" routes through this package:
+//
+//   - internal/core's Process is an alias of Placer;
+//   - internal/choice's generators implement Generator;
+//   - internal/mchtable and internal/cuckoo select buckets/slots with
+//     LeastLoadedFirst;
+//   - internal/queueing selects queues with LeastLoadedRandom;
+//   - internal/hashes, internal/bloom and the double-hashing choice
+//     generators expand (f, g) pairs with the Progression helpers.
+//
+// The whole path is 32-bit (bin indices are uint32, as are loads) and
+// allocation-free after construction. Batching matters because candidate
+// generation is the innermost loop of every experiment: DrawBatch lets a
+// generator amortize one dynamic dispatch and one bulk PRNG refill over
+// hundreds of balls, where the per-ball Draw contract pays both per ball.
+package engine
+
+import "fmt"
+
+// Generator produces the candidate bins for successive balls. A Generator
+// is stateful (it consumes its random source) and not safe for concurrent
+// use; parallel trials construct one per trial.
+//
+// Draw and DrawBatch advance the same underlying stream, so any
+// deterministic mix of calls yields a deterministic simulation; batched
+// draws may consume raw PRNG values in a different order than the
+// equivalent sequence of single draws, so the two access patterns are two
+// (individually reproducible) samples of the same process.
+type Generator interface {
+	// Draw fills dst with exactly D bin indices in [0, N), one candidate
+	// set for the next ball. It panics if len(dst) != D.
+	Draw(dst []uint32)
+	// DrawBatch fills dst with the candidate sets of the next count balls:
+	// ball b's candidates land at dst[b*D : (b+1)*D]. It panics unless
+	// len(dst) == count*D. Implementations amortize PRNG and dispatch
+	// overhead across the batch; this is the placement hot path.
+	DrawBatch(dst []uint32, count int)
+	// N returns the number of bins.
+	N() int
+	// D returns the number of choices per ball.
+	D() int
+	// Name returns a short label used in tables and benchmark output.
+	Name() string
+}
+
+// TieBreak selects which of several equally loaded candidate bins
+// receives the ball.
+type TieBreak int
+
+const (
+	// TieRandom picks uniformly among the minimum-load candidates — the
+	// classic scheme as analyzed in the paper's Theorem 8.
+	TieRandom TieBreak = iota
+	// TieFirst picks the earliest minimum in choice order. With a d-left
+	// generator, whose choice k lies in subtable k laid out left to right,
+	// this is exactly Vöcking's "ties broken to the left".
+	TieFirst
+)
+
+// String returns the tie-break rule's display name.
+func (t TieBreak) String() string {
+	switch t {
+	case TieRandom:
+		return "tie-random"
+	case TieFirst:
+		return "tie-first"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(t))
+	}
+}

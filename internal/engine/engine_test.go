@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// scriptedGen replays fixed candidate sets, so placement tests control
+// exactly which bins each ball sees.
+type scriptedGen struct {
+	n, d int
+	sets [][]uint32
+	i    int
+}
+
+func (g *scriptedGen) Draw(dst []uint32) {
+	copy(dst, g.sets[g.i%len(g.sets)])
+	g.i++
+}
+
+func (g *scriptedGen) DrawBatch(dst []uint32, count int) {
+	for b := 0; b < count; b++ {
+		g.Draw(dst[b*g.d : (b+1)*g.d])
+	}
+}
+
+func (g *scriptedGen) N() int       { return g.n }
+func (g *scriptedGen) D() int       { return g.d }
+func (g *scriptedGen) Name() string { return "scripted" }
+
+func TestLeastLoadedFirst(t *testing.T) {
+	loads := []uint16{3, 1, 1, 0, 2}
+	cases := []struct {
+		cands    []uint32
+		wantBin  uint32
+		wantLoad uint16
+	}{
+		{[]uint32{0, 4}, 4, 2},
+		{[]uint32{1, 2}, 1, 1}, // tie goes to the first
+		{[]uint32{2, 1}, 2, 1},
+		{[]uint32{0, 1, 3}, 3, 0},
+		{[]uint32{0}, 0, 3},
+		{[]uint32{4, 4, 4}, 4, 2},
+	}
+	for _, c := range cases {
+		bin, load := LeastLoadedFirst(loads, c.cands)
+		if bin != c.wantBin || load != c.wantLoad {
+			t.Errorf("LeastLoadedFirst(%v) = (%d, %d), want (%d, %d)",
+				c.cands, bin, load, c.wantBin, c.wantLoad)
+		}
+	}
+}
+
+func TestLeastLoadedRandomNoTieConsumesNoRandomness(t *testing.T) {
+	loads := []uint32{5, 2, 7}
+	src := rng.NewXoshiro256(1)
+	probe := rng.NewXoshiro256(1)
+	if got := LeastLoadedRandom(loads, []uint32{0, 1, 2}, src); got != 1 {
+		t.Fatalf("unique minimum: got bin %d, want 1", got)
+	}
+	// src must be untouched: its next value equals a fresh twin's first.
+	if src.Uint64() != probe.Uint64() {
+		t.Error("LeastLoadedRandom consumed randomness despite a unique minimum")
+	}
+}
+
+func TestLeastLoadedRandomUniformOverTies(t *testing.T) {
+	// Bins 1, 3, 4 tie at load 0; bin 0 is higher. Each tied bin must be
+	// picked ~1/3 of the time.
+	loads := []uint32{9, 0, 5, 0, 0}
+	cands := []uint32{0, 1, 3, 4}
+	src := rng.NewXoshiro256(7)
+	counts := map[uint32]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		counts[LeastLoadedRandom(loads, cands, src)]++
+	}
+	if counts[0] != 0 || counts[2] != 0 {
+		t.Fatalf("non-minimum bin selected: %v", counts)
+	}
+	for _, b := range []uint32{1, 3, 4} {
+		frac := float64(counts[b]) / trials
+		if frac < 0.30 || frac > 0.37 {
+			t.Errorf("tied bin %d picked with frequency %.3f, want ≈ 1/3", b, frac)
+		}
+	}
+}
+
+func TestLeastLoadedRandomMatchesTieListSemantics(t *testing.T) {
+	// The two-pass implementation must pick the same bin as the classic
+	// scratch-tie-list implementation given the same single Intn draw.
+	loads := []uint8{2, 1, 1, 3, 1}
+	cands := []uint32{3, 1, 2, 4, 0}
+	for seed := uint64(0); seed < 200; seed++ {
+		got := LeastLoadedRandom(loads, cands, rng.NewXoshiro256(seed))
+		// Reference: collect ties in candidate order, index by Intn.
+		ties := []uint32{}
+		bestLoad := loads[cands[0]]
+		for _, c := range cands {
+			switch l := loads[c]; {
+			case l < bestLoad:
+				bestLoad = l
+				ties = ties[:0]
+				ties = append(ties, c)
+			case l == bestLoad:
+				ties = append(ties, c)
+			}
+		}
+		want := ties[0]
+		if len(ties) > 1 {
+			want = ties[rng.Intn(rng.NewXoshiro256(seed), len(ties))]
+		}
+		if got != want {
+			t.Fatalf("seed %d: got bin %d, reference %d", seed, got, want)
+		}
+	}
+}
+
+func TestProgression(t *testing.T) {
+	dst := make([]uint32, 4)
+	Progression(dst, 5, 3, 7)
+	for k, want := range []uint32{5, 1, 4, 0} {
+		if dst[k] != want {
+			t.Fatalf("Progression = %v, want [5 1 4 0]", dst)
+		}
+	}
+	// Stride 1 yields a contiguous wrapped block.
+	Progression(dst, 6, 1, 7)
+	for k, want := range []uint32{6, 0, 1, 2} {
+		if dst[k] != want {
+			t.Fatalf("block Progression = %v, want [6 0 1 2]", dst)
+		}
+	}
+}
+
+func TestSubtableProgression(t *testing.T) {
+	dst := make([]uint32, 3)
+	SubtableProgression(dst, 4, 2, 5) // subtables [0,5) [5,10) [10,15)
+	for k, want := range []uint32{4, 5 + 1, 10 + 3} {
+		if dst[k] != want {
+			t.Fatalf("SubtableProgression = %v, want [4 6 13]", dst)
+		}
+	}
+	// Candidate k must stay inside subtable k.
+	for m := uint32(2); m <= 9; m++ {
+		for f := uint32(0); f < m; f++ {
+			for g := uint32(0); g < m; g++ {
+				SubtableProgression(dst, f, g, m)
+				for k, v := range dst {
+					lo, hi := uint32(k)*m, uint32(k+1)*m
+					if v < lo || v >= hi {
+						t.Fatalf("m=%d f=%d g=%d: candidate %d = %d outside [%d,%d)", m, f, g, k, v, lo, hi)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaskedProgression(t *testing.T) {
+	dst := make([]uint64, 5)
+	MaskedProgression(dst, 14, 3, 15) // table size 16
+	for k, want := range []uint64{14, 1, 4, 7, 10} {
+		if dst[k] != want {
+			t.Fatalf("MaskedProgression = %v", dst)
+		}
+	}
+}
+
+func TestPlacerTieFirstScripted(t *testing.T) {
+	gen := &scriptedGen{n: 4, d: 2, sets: [][]uint32{{0, 1}, {0, 1}, {0, 2}}}
+	p := NewPlacer(gen, TieFirst, nil)
+	if b := p.Place(); b != 0 { // empty table: tie to the first
+		t.Fatalf("ball 0 landed in %d, want 0", b)
+	}
+	if b := p.Place(); b != 1 { // bin 0 now loaded
+		t.Fatalf("ball 1 landed in %d, want 1", b)
+	}
+	if b := p.Place(); b != 2 { // 0 has load 1, 2 has 0
+		t.Fatalf("ball 2 landed in %d, want 2", b)
+	}
+	if p.Placed() != 3 || p.MaxLoad() != 1 || p.TotalLoad() != 3 {
+		t.Fatalf("bookkeeping: placed=%d max=%d total=%d", p.Placed(), p.MaxLoad(), p.TotalLoad())
+	}
+}
+
+func TestPlacerPlaceNConservation(t *testing.T) {
+	// Batched placement must conserve balls across batch boundaries and
+	// keep the histogram, max load and per-bin loads consistent.
+	gen := &scriptedGen{n: 16, d: 3, sets: [][]uint32{
+		{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {1, 5, 9}, {2, 6, 10}, {0, 8, 15},
+	}}
+	p := NewPlacer(gen, TieFirst, nil)
+	const m = batchBalls*3 + 17 // straddles batch boundaries
+	p.PlaceN(m)
+	if p.Placed() != m || p.TotalLoad() != m {
+		t.Fatalf("placed=%d total=%d, want %d", p.Placed(), p.TotalLoad(), m)
+	}
+	h := p.LoadHist()
+	if h.Total() != 16 {
+		t.Fatalf("histogram over %d bins, want 16", h.Total())
+	}
+	if h.MaxValue() != p.MaxLoad() {
+		t.Fatalf("hist max %d != MaxLoad %d", h.MaxValue(), p.MaxLoad())
+	}
+	sum := 0
+	for b := 0; b < 16; b++ {
+		sum += p.Load(b)
+	}
+	if sum != m {
+		t.Fatalf("per-bin loads sum to %d, want %d", sum, m)
+	}
+}
+
+func TestPlacerUnplace(t *testing.T) {
+	gen := &scriptedGen{n: 4, d: 1, sets: [][]uint32{{2}}}
+	p := NewPlacer(gen, TieFirst, nil)
+	p.Place()
+	p.Unplace(2)
+	if p.Placed() != 0 || p.Load(2) != 0 {
+		t.Fatalf("after unplace: placed=%d load=%d", p.Placed(), p.Load(2))
+	}
+	if p.MaxLoad() != 1 {
+		t.Fatalf("MaxLoad should stay a high-water mark, got %d", p.MaxLoad())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unplace from empty bin did not panic")
+		}
+	}()
+	p.Unplace(3)
+}
+
+func TestPlacerPanicsWithoutTieSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TieRandom with nil source did not panic")
+		}
+	}()
+	NewPlacer(&scriptedGen{n: 2, d: 1, sets: [][]uint32{{0}}}, TieRandom, nil)
+}

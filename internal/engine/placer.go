@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// batchBalls is the number of candidate sets drawn per DrawBatch call in
+// PlaceN. 256 balls amortize the generator dispatch and PRNG refill to
+// noise while keeping the scratch buffer (256·d uint32) well inside L1.
+const batchBalls = 256
+
+// Placer is one run of the sequential placement loop: each Place draws a
+// candidate set from the generator and puts a ball in the least loaded
+// candidate. PlaceN is the batched fast path: candidates are drawn
+// batchBalls at a time, so the per-ball cost is the selection loop plus
+// an amortized fraction of a bulk draw. A Placer is not safe for
+// concurrent use.
+type Placer struct {
+	gen     Generator
+	tie     TieBreak
+	src     rng.Source // tie-break randomness; may be nil with TieFirst
+	loads   []uint32
+	batch   []uint32 // scratch: batchBalls candidate sets
+	salts   []uint32 // scratch: per-candidate tie-break salts (TieRandom)
+	saltRaw []uint64 // scratch: bulk-drawn raw values behind salts
+	d       int
+	placed  int
+	maxLoad int
+}
+
+// NewPlacer returns a Placer over gen's bins. src supplies tie-break
+// randomness and must be non-nil when tie is TieRandom.
+func NewPlacer(gen Generator, tie TieBreak, src rng.Source) *Placer {
+	if tie == TieRandom && src == nil {
+		panic("engine: TieRandom requires a random source")
+	}
+	d := gen.D()
+	p := &Placer{
+		gen:   gen,
+		tie:   tie,
+		src:   src,
+		loads: make([]uint32, gen.N()),
+		batch: make([]uint32, batchBalls*d),
+		d:     d,
+	}
+	if tie == TieRandom {
+		p.salts = make([]uint32, batchBalls*d)
+		p.saltRaw = make([]uint64, (batchBalls*d+1)/2)
+	}
+	return p
+}
+
+// fillSalts bulk-draws count fresh 32-bit salts into p.salts, two per raw
+// 64-bit value.
+func (p *Placer) fillSalts(count int) {
+	raw := p.saltRaw[:(count+1)/2]
+	rng.Uint64s(p.src, raw)
+	for i, r := range raw {
+		p.salts[2*i] = uint32(r)
+		p.salts[2*i+1] = uint32(r >> 32)
+	}
+}
+
+// bump records one ball landing in bin best. The caller accounts for
+// placed counts (hoisted out of the batched loop).
+func (p *Placer) bump(best uint32) {
+	l := p.loads[best] + 1
+	p.loads[best] = l
+	if int(l) > p.maxLoad {
+		p.maxLoad = int(l)
+	}
+}
+
+// Place throws one ball and returns the bin it landed in.
+func (p *Placer) Place() int {
+	cands := p.batch[:p.d]
+	p.gen.Draw(cands)
+	var best uint32
+	if p.tie == TieFirst {
+		best, _ = LeastLoadedFirst(p.loads, cands)
+	} else {
+		best = LeastLoadedRandom(p.loads, cands, p.src)
+	}
+	p.bump(best)
+	p.placed++
+	return int(best)
+}
+
+// PlaceN throws m balls through the batched path: one DrawBatch per
+// batchBalls candidate sets, then a tie-mode-specialized selection loop.
+// TieRandom uses the salted branch-free selection with bulk-drawn salts;
+// TieFirst needs no randomness at all.
+func (p *Placer) PlaceN(m int) {
+	d := p.d
+	for m > 0 {
+		c := m
+		if c > batchBalls {
+			c = batchBalls
+		}
+		batch := p.batch[:c*d]
+		p.gen.DrawBatch(batch, c)
+		if p.tie == TieFirst {
+			loads := p.loads
+			for b := 0; b < c; b++ {
+				best, _ := LeastLoadedFirst(loads, batch[b*d:b*d+d])
+				p.bump(best)
+			}
+		} else {
+			p.fillSalts(c * d)
+			loads, salts := p.loads, p.salts
+			for b := 0; b < c; b++ {
+				best := LeastLoadedSalted(loads, batch[b*d:b*d+d], salts[b*d:b*d+d])
+				p.bump(best)
+			}
+		}
+		p.placed += c
+		m -= c
+	}
+}
+
+// Unplace removes one ball from bin b (used by churn experiments).
+// MaxLoad remains a high-water mark.
+func (p *Placer) Unplace(b int) {
+	if p.loads[b] == 0 {
+		panic(fmt.Sprintf("engine: Unplace from empty bin %d", b))
+	}
+	p.loads[b]--
+	p.placed--
+}
+
+// N returns the number of bins.
+func (p *Placer) N() int { return len(p.loads) }
+
+// Placed returns the number of balls currently placed.
+func (p *Placer) Placed() int { return p.placed }
+
+// MaxLoad returns the maximum bin load ever reached (a high-water mark;
+// it does not decrease on Unplace).
+func (p *Placer) MaxLoad() int { return p.maxLoad }
+
+// Load returns the current load of bin b.
+func (p *Placer) Load(b int) int { return int(p.loads[b]) }
+
+// Loads returns the live load vector (a view; callers must not modify).
+func (p *Placer) Loads() []uint32 { return p.loads }
+
+// LoadHist returns the histogram of current bin loads: entry i counts the
+// bins holding exactly i balls.
+func (p *Placer) LoadHist() *stats.Hist {
+	var h stats.Hist
+	for _, l := range p.loads {
+		h.Add(int(l))
+	}
+	return &h
+}
+
+// TotalLoad returns the sum of all bin loads (always equal to Placed; the
+// accessor exists so tests can verify conservation independently).
+func (p *Placer) TotalLoad() int {
+	total := 0
+	for _, l := range p.loads {
+		total += int(l)
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+package engine
+
+// Progression fills dst with the arithmetic progression
+// (f + k·g) mod n for k = 0..len(dst)−1 — the paper's double-hashing
+// candidate expansion. It assumes f < n and g < n (one conditional
+// subtraction replaces the modulo). With g coprime to n the values are
+// distinct whenever len(dst) <= n; g == 1 yields the contiguous block
+// used by the Kenthapadi–Panigrahy two-block scheme.
+func Progression(dst []uint32, f, g, n uint32) {
+	v := f
+	for k := range dst {
+		dst[k] = v
+		v += g
+		if v >= n {
+			v -= n
+		}
+	}
+}
+
+// SubtableProgression fills dst with Vöcking's d-left layout of the same
+// progression: candidate k is k·m + ((f + k·g) mod m), one candidate per
+// subtable of size m. It assumes f < m and g < m.
+func SubtableProgression(dst []uint32, f, g, m uint32) {
+	v := f
+	base := uint32(0)
+	for k := range dst {
+		dst[k] = base + v
+		base += m
+		v += g
+		if v >= m {
+			v -= m
+		}
+	}
+}
+
+// MaskedProgression fills dst with (f + k·g) & mask for a power-of-two
+// table of size mask+1 — the Kirsch–Mitzenmacher Bloom-filter probe
+// sequence, where g odd guarantees distinct probes. Positions are uint64
+// because Bloom filters index bits, not bins, and may exceed 2^32 bits.
+func MaskedProgression(dst []uint64, f, g, mask uint64) {
+	v := f & mask
+	for k := range dst {
+		dst[k] = v
+		v = (v + g) & mask
+	}
+}

@@ -1,0 +1,93 @@
+package engine
+
+import "repro/internal/rng"
+
+// Load is the set of occupancy-counter widths the selection functions
+// operate over: process loads are uint32, hash-table bucket counts are
+// uint16, and 0/1 slot occupancy is uint8. Each width gets its own
+// compiled instantiation, so the selection loop stays direct calls over
+// flat arrays.
+type Load interface {
+	~uint8 | ~uint16 | ~uint32
+}
+
+// LeastLoadedFirst returns the candidate with the minimum load, breaking
+// ties toward the earliest candidate in order (Vöcking's "ties to the
+// left"), together with that load. cands must be non-empty; every
+// candidate must index loads.
+//
+// This function and LeastLoadedRandom are the repository's only
+// implementations of the balanced-allocation selection rule; every
+// consumer (core process, multiple-choice hash table, cuckoo table,
+// supermarket queues) calls one of them.
+func LeastLoadedFirst[L Load](loads []L, cands []uint32) (best uint32, bestLoad L) {
+	best = cands[0]
+	bestLoad = loads[best]
+	for _, c := range cands[1:] {
+		if l := loads[c]; l < bestLoad {
+			best, bestLoad = c, l
+		}
+	}
+	return best, bestLoad
+}
+
+// LeastLoadedRandom returns the candidate with the minimum load, breaking
+// ties uniformly at random among the tied candidates using src. It
+// consumes exactly one value from src when two or more candidates tie for
+// the minimum and none otherwise, so callers sharing src with other draws
+// stay deterministic.
+//
+// The tied winner is located with a second pass over cands instead of a
+// scratch tie list: d is small (2..8 throughout), the candidates are hot
+// in cache, and skipping the per-candidate stores keeps the common
+// no-tie case branch-only.
+func LeastLoadedRandom[L Load](loads []L, cands []uint32, src rng.Source) uint32 {
+	best := cands[0]
+	bestLoad := loads[best]
+	ties := 1
+	for _, c := range cands[1:] {
+		switch l := loads[c]; {
+		case l < bestLoad:
+			best, bestLoad, ties = c, l, 1
+		case l == bestLoad:
+			ties++
+		}
+	}
+	if ties > 1 {
+		k := rng.Intn(src, ties)
+		for _, c := range cands {
+			if loads[c] == bestLoad {
+				if k == 0 {
+					return c
+				}
+				k--
+			}
+		}
+	}
+	return best
+}
+
+// LeastLoadedSalted is the batched implementation of the uniform-random
+// tie-break: candidate i competes with the composite key
+// (load(cands[i]) << 32) | salts[i], and the minimum key wins. With
+// salts drawn fresh and uniform per ball, the minimum-salt candidate
+// among the tied minimum-load candidates is uniform — the same rule
+// LeastLoadedRandom implements — but the comparison is a single
+// branch-free 64-bit min, which matters in the placement hot loop where
+// load-equality branches are data-dependent and mispredict constantly.
+// (Equal salts fall back to the earlier candidate; for 32-bit salts that
+// is a ~2^-32 perturbation, far below any observable in this repository's
+// experiments.) salts must hold len(cands) values.
+func LeastLoadedSalted(loads []uint32, cands []uint32, salts []uint32) uint32 {
+	best := cands[0]
+	bestKey := uint64(loads[best])<<32 | uint64(salts[0])
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		key := uint64(loads[c])<<32 | uint64(salts[i])
+		if key < bestKey {
+			bestKey = key
+			best = c
+		}
+	}
+	return best
+}

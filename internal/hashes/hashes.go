@@ -15,8 +15,10 @@ package hashes
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/bits"
 
+	"repro/internal/engine"
 	"repro/internal/numeric"
 	"repro/internal/rng"
 )
@@ -109,29 +111,36 @@ func FNV1aString(s string) uint64 {
 	return h
 }
 
-// Choices holds a key's derived balanced-allocation parameters.
+// Choices holds a key's derived balanced-allocation parameters. Indices
+// are uint32 to match the engine's 32-bit placement hot path.
 type Choices struct {
-	F int // first probe, uniform over [0, n)
-	G int // stride, coprime to n (0 when n == 1)
+	F uint32 // first probe, uniform over [0, n)
+	G uint32 // stride, coprime to n (0 when n == 1)
 }
 
 // Candidate returns the key's k-th candidate bin, (F + k·G) mod n.
 func (c Choices) Candidate(k, n int) int {
-	return (c.F + k*c.G%n) % n
+	return (int(c.F) + k*int(c.G)%n) % n
 }
 
 // Deriver maps 64-bit digests to double-hashing candidate parameters over
 // a fixed table size, using the fast paths for prime and power-of-two n.
+// It is the single digest → (f, g) construction shared by the hash-table,
+// cuckoo and open-addressing extensions.
 type Deriver struct {
 	n     int
 	prime bool
 	pow2  bool
 }
 
-// NewDeriver returns a Deriver for tables of n bins. It panics if n <= 0.
+// NewDeriver returns a Deriver for tables of n bins. It panics unless
+// 0 < n <= 2^32 (bin indices are 32-bit throughout the hot path).
 func NewDeriver(n int) *Deriver {
 	if n <= 0 {
 		panic(fmt.Sprintf("hashes: n = %d", n))
+	}
+	if int64(n) > math.MaxUint32 {
+		panic(fmt.Sprintf("hashes: n = %d exceeds the 32-bit bin-index space", n))
 	}
 	return &Deriver{
 		n:     n,
@@ -152,7 +161,7 @@ func (d *Deriver) DeriveChoices(digest uint64) Choices {
 		return Choices{F: 0, G: 0}
 	}
 	n := uint64(d.n)
-	f := int((digest & 0xFFFFFFFF) % n)
+	f := (digest & math.MaxUint32) % n
 	hi := digest >> 32
 	var g uint64
 	switch {
@@ -167,19 +176,13 @@ func (d *Deriver) DeriveChoices(digest uint64) Choices {
 			g = 1 + hi%(n-1)
 		}
 	}
-	return Choices{F: f, G: int(g)}
+	return Choices{F: uint32(f), G: uint32(g)}
 }
 
 // CandidateBins writes the key's d candidate bins into dst, deriving them
-// from a single digest. Candidates are distinct whenever len(dst) < n.
-func (d *Deriver) CandidateBins(digest uint64, dst []int) {
+// from a single digest and expanding with the engine's shared progression.
+// Candidates are distinct whenever len(dst) < n.
+func (d *Deriver) CandidateBins(digest uint64, dst []uint32) {
 	c := d.DeriveChoices(digest)
-	v := c.F
-	for k := range dst {
-		dst[k] = v
-		v += c.G
-		if v >= d.n {
-			v -= d.n
-		}
-	}
+	engine.Progression(dst, c.F, c.G, uint32(d.n))
 }

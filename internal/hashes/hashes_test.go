@@ -94,10 +94,10 @@ func TestDeriveChoicesContracts(t *testing.T) {
 		digest := uint64(0x0123456789ABCDEF)
 		for i := 0; i < 5000; i++ {
 			c := d.DeriveChoices(digest)
-			if c.F < 0 || c.F >= n {
+			if c.F >= uint32(n) {
 				t.Fatalf("n=%d: F = %d out of range", n, c.F)
 			}
-			if c.G < 1 || c.G >= n {
+			if c.G < 1 || c.G >= uint32(n) {
 				t.Fatalf("n=%d: G = %d out of range", n, c.G)
 			}
 			if !numeric.Coprime(uint64(c.G), uint64(n)) {
@@ -108,31 +108,93 @@ func TestDeriveChoicesContracts(t *testing.T) {
 	}
 }
 
-func TestCandidateBinsDistinct(t *testing.T) {
-	d := NewDeriver(97)
-	dst := make([]int, 5)
-	digest := uint64(7)
-	for i := 0; i < 2000; i++ {
-		d.CandidateBins(digest, dst)
-		seen := map[int]bool{}
-		for _, v := range dst {
-			if v < 0 || v >= 97 || seen[v] {
-				t.Fatalf("candidates invalid: %v", dst)
+func TestDeriveChoicesCoprimeOnCompositeN(t *testing.T) {
+	// The coprimality guarantee on a sweep of composite n: even, odd
+	// composite, prime powers, highly composite, and a composite just
+	// above a power of two. The stride must always be coprime — this is
+	// what makes every probe sequence a full cycle (paper §1).
+	composites := []int{4, 6, 9, 10, 12, 49, 100, 210, 360, 1024 + 1_000, 2310, 6561, 12000, 1 << 16, 3 * (1 << 14)}
+	for _, n := range composites {
+		d := NewDeriver(n)
+		digest := uint64(n) * 0x9E3779B97F4A7C15
+		for i := 0; i < 3000; i++ {
+			c := d.DeriveChoices(digest)
+			if !numeric.Coprime(uint64(c.G), uint64(n)) {
+				t.Fatalf("n=%d digest=%#x: G = %d shares a factor with n", n, digest, c.G)
 			}
-			seen[v] = true
+			if c.G < 1 || c.G >= uint32(n) {
+				t.Fatalf("n=%d: G = %d outside [1, n)", n, c.G)
+			}
+			digest = digest*2862933555777941757 + 3037000493
 		}
-		digest = digest*2862933555777941757 + 3037000493
+	}
+}
+
+func TestCandidateBinsDistinct(t *testing.T) {
+	// All d candidates distinct, for d up to 8 across prime, power-of-two
+	// and composite table sizes.
+	for _, n := range []int{97, 128, 210, 12000} {
+		der := NewDeriver(n)
+		for _, d := range []int{2, 3, 5, 8} {
+			dst := make([]uint32, d)
+			digest := uint64(7 + n + d)
+			for i := 0; i < 2000; i++ {
+				der.CandidateBins(digest, dst)
+				seen := map[uint32]bool{}
+				for _, v := range dst {
+					if v >= uint32(n) || seen[v] {
+						t.Fatalf("n=%d d=%d: candidates invalid: %v", n, d, dst)
+					}
+					seen[v] = true
+				}
+				digest = digest*2862933555777941757 + 3037000493
+			}
+		}
+	}
+}
+
+func TestDeriveChoicesSplitMatchesConstruction(t *testing.T) {
+	// The (f, g) split is exactly the paper's construction: f is the low
+	// 32 bits of the digest reduced mod n, and g comes from the high 32
+	// bits — any non-zero residue for prime n, odd residues for
+	// power-of-two n.
+	const prime = 16411
+	dp := NewDeriver(prime)
+	const pow2 = 1 << 12
+	d2 := NewDeriver(pow2)
+	digest := uint64(0xFEEDFACE12345678)
+	for i := 0; i < 5000; i++ {
+		lo := digest & 0xFFFFFFFF
+		hi := digest >> 32
+		cp := dp.DeriveChoices(digest)
+		if want := uint32(lo % prime); cp.F != want {
+			t.Fatalf("prime n: F = %d, want low-half reduction %d", cp.F, want)
+		}
+		if want := uint32(1 + hi%(prime-1)); cp.G != want {
+			t.Fatalf("prime n: G = %d, want 1 + hi mod (n-1) = %d", cp.G, want)
+		}
+		c2 := d2.DeriveChoices(digest)
+		if want := uint32(lo % pow2); c2.F != want {
+			t.Fatalf("pow2 n: F = %d, want %d", c2.F, want)
+		}
+		if c2.G%2 == 0 {
+			t.Fatalf("pow2 n: G = %d must be odd", c2.G)
+		}
+		if want := uint32((hi%(pow2/2))*2 + 1); c2.G != want {
+			t.Fatalf("pow2 n: G = %d, want %d", c2.G, want)
+		}
+		digest = digest*6364136223846793005 + 1442695040888963407
 	}
 }
 
 func TestCandidateBinsArithmetic(t *testing.T) {
 	d := NewDeriver(1 << 10)
-	dst := make([]int, 4)
+	dst := make([]uint32, 4)
 	d.CandidateBins(0xDEADBEEFCAFEF00D, dst)
 	c := d.DeriveChoices(0xDEADBEEFCAFEF00D)
 	for k, v := range dst {
-		want := (c.F + k*c.G) % (1 << 10)
-		if v != want {
+		want := (int(c.F) + k*int(c.G)) % (1 << 10)
+		if int(v) != want {
 			t.Fatalf("candidate %d = %d, want %d", k, v, want)
 		}
 	}
@@ -147,7 +209,7 @@ func TestDeriverNOne(t *testing.T) {
 	if c.F != 0 || c.G != 0 {
 		t.Fatalf("n=1 choices = %+v", c)
 	}
-	dst := make([]int, 3)
+	dst := make([]uint32, 3)
 	d.CandidateBins(99, dst)
 	for _, v := range dst {
 		if v != 0 {

@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/hashes"
 	"repro/internal/stats"
 )
@@ -70,7 +71,7 @@ type Table struct {
 	sipKeys []hashes.SipKey
 	stash   map[uint64]uint64
 	size    int
-	scratch []int
+	scratch []uint32
 }
 
 // New returns an empty table. It panics on invalid configuration.
@@ -99,7 +100,7 @@ func New(cfg Config) *Table {
 		counts:  make([]uint16, cfg.Buckets),
 		deriver: hashes.NewDeriver(cfg.Buckets),
 		stash:   make(map[uint64]uint64),
-		scratch: make([]int, cfg.D),
+		scratch: make([]uint32, cfg.D),
 	}
 	nKeys := 1
 	if cfg.Mode == IndependentHashes {
@@ -119,11 +120,11 @@ func (t *Table) digest(key uint64, i int) uint64 {
 }
 
 // candidates fills t.scratch with key's candidate buckets.
-func (t *Table) candidates(key uint64) []int {
+func (t *Table) candidates(key uint64) []uint32 {
 	switch t.cfg.Mode {
 	case IndependentHashes:
 		for i := range t.scratch {
-			t.scratch[i] = int(t.digest(key, i) % uint64(t.cfg.Buckets))
+			t.scratch[i] = uint32(t.digest(key, i) % uint64(t.cfg.Buckets))
 		}
 	case DoubleHashing:
 		t.deriver.CandidateBins(t.digest(key, 0), t.scratch)
@@ -152,7 +153,7 @@ func (t *Table) Put(key, val uint64) bool {
 	cands := t.candidates(key)
 	// Update in place, wherever the key already lives.
 	for _, b := range cands {
-		if idx := t.findInBucket(key, b); idx >= 0 {
+		if idx := t.findInBucket(key, int(b)); idx >= 0 {
 			t.vals[idx] = val
 			return true
 		}
@@ -162,17 +163,11 @@ func (t *Table) Put(key, val uint64) bool {
 		return true
 	}
 	// Place in the least-loaded candidate bucket, ties to the first —
-	// exactly the balanced-allocation rule.
-	best := -1
-	bestCount := uint16(t.cfg.SlotsPerBucket)
-	for _, b := range cands {
-		if c := t.counts[b]; c < bestCount {
-			best, bestCount = b, c
-		}
-	}
-	if best >= 0 {
+	// exactly the balanced-allocation rule, via the engine's shared
+	// selection.
+	if best, count := engine.LeastLoadedFirst(t.counts, cands); int(count) < t.cfg.SlotsPerBucket {
 		for s := 0; s < t.cfg.SlotsPerBucket; s++ {
-			idx := t.slot(best, s)
+			idx := t.slot(int(best), s)
 			if !t.used[idx] {
 				t.used[idx] = true
 				t.keys[idx] = key
@@ -195,7 +190,7 @@ func (t *Table) Put(key, val uint64) bool {
 // Get returns the value stored for key.
 func (t *Table) Get(key uint64) (uint64, bool) {
 	for _, b := range t.candidates(key) {
-		if idx := t.findInBucket(key, b); idx >= 0 {
+		if idx := t.findInBucket(key, int(b)); idx >= 0 {
 			return t.vals[idx], true
 		}
 	}
@@ -209,11 +204,11 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 // pin stash capacity forever.
 func (t *Table) Delete(key uint64) bool {
 	for _, b := range t.candidates(key) {
-		if idx := t.findInBucket(key, b); idx >= 0 {
+		if idx := t.findInBucket(key, int(b)); idx >= 0 {
 			t.used[idx] = false
 			t.counts[b]--
 			t.size--
-			t.drainStashInto(b)
+			t.drainStashInto(int(b))
 			return true
 		}
 	}
@@ -233,7 +228,7 @@ func (t *Table) drainStashInto(b int) {
 	}
 	for key, val := range t.stash {
 		for _, cb := range t.candidates(key) {
-			if cb != b {
+			if int(cb) != b {
 				continue
 			}
 			for s := 0; s < t.cfg.SlotsPerBucket; s++ {

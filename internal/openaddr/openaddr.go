@@ -13,7 +13,7 @@ package openaddr
 import (
 	"fmt"
 
-	"repro/internal/numeric"
+	"repro/internal/hashes"
 	"repro/internal/rng"
 )
 
@@ -51,8 +51,7 @@ type Table struct {
 	size     int
 	probe    Probe
 	seed     uint64
-	prime    bool
-	pow2     bool
+	deriver  *hashes.Deriver
 }
 
 // New returns a table with the given capacity and probe discipline. For
@@ -67,8 +66,7 @@ func New(capacity int, probe Probe, seed uint64) *Table {
 		occupied: make([]bool, capacity),
 		probe:    probe,
 		seed:     seed,
-		prime:    numeric.IsPrime(uint64(capacity)),
-		pow2:     numeric.IsPowerOfTwo(uint64(capacity)),
+		deriver:  hashes.NewDeriver(capacity),
 	}
 }
 
@@ -81,30 +79,11 @@ func (t *Table) Cap() int { return len(t.keys) }
 // LoadFactor returns size/capacity.
 func (t *Table) LoadFactor() float64 { return float64(t.size) / float64(len(t.keys)) }
 
-// start returns the initial slot f(x).
-func (t *Table) start(key uint64) int {
-	return int(rng.Mix64(key^t.seed) % uint64(len(t.keys)))
-}
-
-// stride returns the double-hashing stride g(x), coprime to the capacity.
-func (t *Table) stride(key uint64) int {
-	n := uint64(len(t.keys))
-	h := rng.Mix64(key ^ rng.Mix64(t.seed^0x9E3779B97F4A7C15))
-	switch {
-	case t.prime:
-		return int(1 + h%(n-1))
-	case t.pow2:
-		return int(h%(n/2)*2 + 1)
-	default:
-		// Derive successive candidates from h until one is coprime.
-		for {
-			s := 1 + h%(n-1)
-			if numeric.Coprime(s, n) {
-				return int(s)
-			}
-			h = rng.Mix64(h)
-		}
-	}
+// choices derives the key's (f, g) probe parameters from one mixed digest
+// via the shared hashes.Deriver — the same digest → (start, coprime
+// stride) construction used by the cuckoo and multiple-choice tables.
+func (t *Table) choices(key uint64) hashes.Choices {
+	return t.deriver.DeriveChoices(rng.Mix64(key ^ t.seed))
 }
 
 // probeSeq streams the probe sequence for key to fn until fn returns
@@ -114,8 +93,8 @@ func (t *Table) probeSeq(key uint64, fn func(slot int) bool) {
 	n := len(t.keys)
 	switch t.probe {
 	case DoubleHash:
-		slot := t.start(key)
-		step := t.stride(key)
+		c := t.choices(key)
+		slot, step := int(c.F), int(c.G)
 		for {
 			if !fn(slot) {
 				return
@@ -126,7 +105,7 @@ func (t *Table) probeSeq(key uint64, fn func(slot int) bool) {
 			}
 		}
 	case Linear:
-		slot := t.start(key)
+		slot := int(t.choices(key).F)
 		for {
 			if !fn(slot) {
 				return

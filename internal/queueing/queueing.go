@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/choice"
+	"repro/internal/engine"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
@@ -134,6 +135,9 @@ func (cfg Config) runTrialPrepared(trial int) TrialResult {
 	gen := cfg.Factory(cfg.N, cfg.D, src)
 
 	queues := make([]fifo, cfg.N)
+	// lens mirrors queues[i].Len() as a flat uint32 array so arrivals can
+	// use the engine's shared least-loaded selection over it.
+	lens := make([]uint32, cfg.N)
 	var h eventHeap
 	var seq uint64
 	schedule := func(t float64, kind eventKind, q int) {
@@ -144,8 +148,7 @@ func (cfg Config) runTrialPrepared(trial int) TrialResult {
 	arrivalRate := cfg.Lambda * float64(cfg.N)
 	schedule(rng.Exp(src, arrivalRate), evArrival, -1)
 
-	dst := make([]int, cfg.D)
-	ties := make([]int, 0, cfg.D)
+	dst := make([]uint32, cfg.D)
 	var res TrialResult
 	nextSample := 0
 	for h.Len() > 0 {
@@ -164,28 +167,18 @@ func (cfg Config) runTrialPrepared(trial int) TrialResult {
 		case evArrival:
 			schedule(now+rng.Exp(src, arrivalRate), evArrival, -1)
 			gen.Draw(dst)
-			best := dst[0]
-			bestLen := queues[best].Len()
-			ties = append(ties[:0], best)
-			for _, q := range dst[1:] {
-				switch l := queues[q].Len(); {
-				case l < bestLen:
-					best, bestLen = q, l
-					ties = append(ties[:0], q)
-				case l == bestLen:
-					ties = append(ties, q)
-				}
-			}
-			if len(ties) > 1 {
-				best = ties[rng.Intn(src, len(ties))]
-			}
+			// Join the shortest of the d sampled queues, ties uniform —
+			// the same selection rule as ball placement, via the engine.
+			best := int(engine.LeastLoadedRandom(lens, dst, src))
 			queues[best].Push(now)
+			lens[best]++
 			if queues[best].Len() == 1 {
 				schedule(now+rng.Exp(src, 1), evDeparture, best)
 			}
 		case evDeparture:
 			q := e.queue
 			arrived := queues[q].Pop()
+			lens[q]--
 			if arrived >= cfg.Burnin {
 				res.SumSojourn += now - arrived
 				res.Completed++

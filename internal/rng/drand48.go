@@ -59,3 +59,16 @@ func (d *Drand48) Uint64() uint64 {
 	lo := d.next48() >> 16
 	return hi<<32 | lo
 }
+
+// uint64s fills dst with successive values, keeping the 48-bit state in a
+// local for the whole batch (the bulkSource fast path used by Uint64s).
+func (d *Drand48) uint64s(dst []uint64) {
+	x := d.x
+	for i := range dst {
+		x = (x*drandA + drandC) & drandMask
+		hi := x >> 16
+		x = (x*drandA + drandC) & drandMask
+		dst[i] = hi<<32 | x>>16
+	}
+	d.x = x
+}

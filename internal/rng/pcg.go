@@ -44,3 +44,18 @@ func (p *PCG64) Uint64() uint64 {
 	// XSL RR output function: xor the halves, rotate by the top 6 bits.
 	return bits.RotateLeft64(p.hi^p.lo, -int(p.hi>>58))
 }
+
+// uint64s fills dst with successive values, keeping the 128-bit state in
+// locals for the whole batch (the bulkSource fast path used by Uint64s).
+func (p *PCG64) uint64s(dst []uint64) {
+	sHi, sLo := p.hi, p.lo
+	for i := range dst {
+		hi, lo := bits.Mul64(sLo, pcgMulLo)
+		hi += sHi*pcgMulLo + sLo*pcgMulHi
+		lo, carry := bits.Add64(lo, pcgIncLo, 0)
+		hi, _ = bits.Add64(hi, pcgIncHi, carry)
+		sHi, sLo = hi, lo
+		dst[i] = bits.RotateLeft64(sHi^sLo, -int(sHi>>58))
+	}
+	p.hi, p.lo = sHi, sLo
+}

@@ -245,12 +245,12 @@ func TestPoissonMoments(t *testing.T) {
 
 func TestSampleDistinct(t *testing.T) {
 	s := NewXoshiro256(29)
-	dst := make([]int, 8)
+	dst := make([]uint32, 8)
 	for trial := 0; trial < 2000; trial++ {
 		SampleDistinct(s, 16, dst)
-		seen := map[int]bool{}
+		seen := map[uint32]bool{}
 		for _, v := range dst {
-			if v < 0 || v >= 16 {
+			if v >= 16 {
 				t.Fatalf("value %d out of range", v)
 			}
 			if seen[v] {
@@ -260,9 +260,9 @@ func TestSampleDistinct(t *testing.T) {
 		}
 	}
 	// Exact-fill case: d == n must yield a permutation.
-	full := make([]int, 5)
+	full := make([]uint32, 5)
 	SampleDistinct(s, 5, full)
-	seen := map[int]bool{}
+	seen := map[uint32]bool{}
 	for _, v := range full {
 		seen[v] = true
 	}
@@ -277,7 +277,71 @@ func TestSampleDistinctPanics(t *testing.T) {
 			t.Fatal("SampleDistinct with n < len(dst) did not panic")
 		}
 	}()
-	SampleDistinct(NewSplitMix64(0), 2, make([]int, 3))
+	SampleDistinct(NewSplitMix64(0), 2, make([]uint32, 3))
+}
+
+// scriptedSource replays a fixed slice, standing in for a Source from
+// outside this package (it must take the Uint64s fallback path).
+type scriptedSource struct {
+	vals []uint64
+	i    int
+}
+
+func (s *scriptedSource) Uint64() uint64 {
+	v := s.vals[s.i%len(s.vals)]
+	s.i++
+	return v
+}
+
+func TestUint64sMatchesSequentialCalls(t *testing.T) {
+	// The bulk fill must produce exactly the values repeated Uint64 calls
+	// would, for every source family, across refill-boundary sizes, and
+	// interleaved with single draws.
+	for name := range allSources(1) {
+		bulk := allSources(77)[name]
+		seq := allSources(77)[name]
+		for _, size := range []int{1, 2, 7, 64, 257} {
+			got := make([]uint64, size)
+			Uint64s(bulk, got)
+			for i, g := range got {
+				if w := seq.Uint64(); g != w {
+					t.Fatalf("%s size %d: bulk[%d] = %#x, sequential = %#x", name, size, i, g, w)
+				}
+			}
+			// Interleave a single draw between batches.
+			if g, w := bulk.Uint64(), seq.Uint64(); g != w {
+				t.Fatalf("%s: single draw after bulk diverged: %#x vs %#x", name, g, w)
+			}
+		}
+	}
+}
+
+func TestUint64sForeignSourceFallback(t *testing.T) {
+	vals := []uint64{3, 1, 4, 1, 5, 9, 2, 6}
+	s := &scriptedSource{vals: vals}
+	got := make([]uint64, 8)
+	Uint64s(s, got)
+	for i, v := range vals {
+		if got[i] != v {
+			t.Fatalf("fallback fill[%d] = %d, want %d", i, got[i], v)
+		}
+	}
+}
+
+func TestUint64nFromMatchesUint64n(t *testing.T) {
+	// Mapping a raw value drawn by the caller must agree with Uint64n
+	// drawing it itself (away from the astronomically rare rejection zone,
+	// which deterministic equality over 4000 draws never hits for these n).
+	a := NewXoshiro256(5)
+	b := NewXoshiro256(5)
+	for _, n := range []uint64{1, 2, 10, 1 << 16, 1<<40 + 7} {
+		for i := 0; i < 1000; i++ {
+			want := Uint64n(a, n)
+			if got := Uint64nFrom(b, b.Uint64(), n); got != want {
+				t.Fatalf("n=%d draw %d: Uint64nFrom = %d, Uint64n = %d", n, i, got, want)
+			}
+		}
+	}
 }
 
 func TestPermIsPermutation(t *testing.T) {

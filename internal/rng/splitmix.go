@@ -27,6 +27,20 @@ func (s *SplitMix64) Uint64() uint64 {
 	return z ^ (z >> 31)
 }
 
+// uint64s fills dst with successive values, advancing the counter state in
+// a local for the whole batch (the bulkSource fast path used by Uint64s).
+func (s *SplitMix64) uint64s(dst []uint64) {
+	state := s.state
+	for i := range dst {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		dst[i] = z ^ (z >> 31)
+	}
+	s.state = state
+}
+
 // Mix64 applies the SplitMix64 output finalizer to x. It is a bijective
 // avalanche function: flipping any input bit flips each output bit with
 // probability close to 1/2. It backs deterministic seed derivation.

@@ -37,6 +37,23 @@ func (x *Xoshiro256) Uint64() uint64 {
 	return result
 }
 
+// uint64s fills dst with successive values, keeping the 256-bit state in
+// locals for the whole batch (the bulkSource fast path used by Uint64s).
+func (x *Xoshiro256) uint64s(dst []uint64) {
+	s0, s1, s2, s3 := x.s[0], x.s[1], x.s[2], x.s[3]
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}
+
 // Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
 // Uint64. It partitions the period into non-overlapping subsequences so
 // long-running parallel simulations can share one logical stream.

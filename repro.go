@@ -18,9 +18,14 @@
 //     double hashing, and cuckoo hashing (subpackage re-exports below).
 //
 // This root package is a facade: the implementation lives in internal/
-// packages, and the aliases here form the supported public API. Every
-// simulation is deterministic given a seed and independent of the worker
-// count.
+// packages, and the aliases here form the supported public API. The
+// placement hot path — candidate generation, least-loaded selection and
+// the batched ball loop — is owned by internal/engine and shared by every
+// simulator and data structure (core process, multiple-choice hash table,
+// cuckoo table, supermarket queues); internal/choice supplies the
+// generators, which implement both a per-ball Draw and a batched
+// DrawBatch fast path over uint32 bin indices. Every simulation is
+// deterministic given a seed and independent of the worker count.
 //
 // Quick start:
 //

@@ -111,11 +111,11 @@ func TestFacadeMCHTableAndHashes(t *testing.T) {
 	// Keyed pipeline: SipHash digest → candidate bins.
 	key := repro.SipKeyFromSeed(7)
 	der := repro.NewChoiceDeriver(16411)
-	dst := make([]int, 4)
+	dst := make([]uint32, 4)
 	der.CandidateBins(repro.SipHash24(key, []byte("flow:10.0.0.1:443")), dst)
-	seen := map[int]bool{}
+	seen := map[uint32]bool{}
 	for _, v := range dst {
-		if v < 0 || v >= 16411 || seen[v] {
+		if v >= 16411 || seen[v] {
 			t.Fatalf("bad candidates %v", dst)
 		}
 		seen[v] = true
