@@ -6,7 +6,7 @@ BENCH_OUT ?= bench.out
 BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 
-.PHONY: all build vet test check bench bench-smoke clean
+.PHONY: all build vet test race check bench bench-smoke clean
 
 all: check
 
@@ -18,6 +18,12 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass; required for internal/cmap (concurrent shard locks).
+# Kept out of `check` so the default target stays fast — CI runs it as its
+# own job, and it re-executes the same suite `test` already covers.
+race:
+	$(GO) test -race ./...
 
 check: build vet test
 

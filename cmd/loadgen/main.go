@@ -1,0 +1,118 @@
+// Command loadgen stress-drives the sharded concurrent multiple-choice
+// hash map (internal/cmap) with a mixed Put/Get/Delete workload across
+// many goroutines and reports throughput plus the occupancy statistics
+// the paper's load tables predict: ops/sec, per-shard skew, stash
+// pressure and the aggregated bucket-load histogram.
+//
+// Two knobs shape the contention profile:
+//
+//	-keys  size of the key space (smaller = hotter keys, more same-shard
+//	       lock traffic and update-in-place)
+//	-read  fraction of operations that are Gets (reads share a shard's
+//	       RWMutex, so high read fractions scale with GOMAXPROCS)
+//
+// Examples:
+//
+//	loadgen                                  # defaults: 16 shards, 75% reads
+//	loadgen -workers 32 -read 0             # pure write storm
+//	loadgen -keys 1024 -shards 4            # hot-key shard contention
+//	loadgen -shards 1                       # single-lock baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cmap"
+	"repro/internal/rng"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		shards  = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
+		buckets = flag.Int("buckets", 1<<12, "buckets per shard")
+		slots   = flag.Int("slots", 4, "slots per bucket")
+		d       = flag.Int("d", 3, "candidate buckets per key")
+		stash   = flag.Int("stash", 32, "overflow stash capacity per shard")
+		workers = flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
+		ops     = flag.Int("ops", 2_000_000, "total operations across all workers")
+		keys    = flag.Int("keys", 0, "key-space size (0 = 75% of slot capacity)")
+		read    = flag.Float64("read", 0.75, "fraction of ops that are Gets")
+		del     = flag.Float64("delete", 0.05, "fraction of ops that are Deletes")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	if *read < 0 || *del < 0 || *read+*del > 1 {
+		fmt.Fprintln(os.Stderr, "need read >= 0, delete >= 0 and read+delete <= 1")
+		os.Exit(2)
+	}
+	if *workers == 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+	capacity := *shards * *buckets * *slots
+	if *keys == 0 {
+		*keys = int(0.75 * float64(capacity))
+	}
+
+	m := cmap.New(cmap.Config{
+		Shards: *shards, BucketsPerShard: *buckets, SlotsPerBucket: *slots,
+		D: *d, Seed: *seed, StashPerShard: *stash,
+	})
+	fmt.Printf("cmap: %d shards × %d buckets × %d slots (capacity %d), d=%d, one SipHash per op\n",
+		m.Shards(), *buckets, *slots, capacity, *d)
+	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put)\n\n",
+		*ops, *workers, *keys, *read*100, *del*100, (1-*read-*del)*100)
+
+	var rejected atomic.Int64
+	perWorker := *ops / *workers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := rng.NewXoshiro256(rng.Mix64(*seed + uint64(w)*0x9E3779B97F4A7C15))
+			keySpace := uint64(*keys)
+			for i := 0; i < perWorker; i++ {
+				k := 1 + src.Uint64()%keySpace
+				switch p := rng.Float64(src); {
+				case p < *read:
+					m.Get(k)
+				case p < *read+*del:
+					m.Delete(k)
+				default:
+					if !m.Put(k, uint64(i)) {
+						rejected.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	done := perWorker * *workers
+	fmt.Printf("%d ops in %v  →  %.2f Mops/sec (GOMAXPROCS=%d)\n",
+		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds()/1e6, runtime.GOMAXPROCS(0))
+	if r := rejected.Load(); r > 0 {
+		fmt.Printf("rejected puts (all candidates + stash full): %d\n", r)
+	}
+
+	st := m.Stats()
+	fmt.Printf("\noccupancy %.3f  (%d pairs / %d slots), stash %d, shard len min/max %d/%d\n",
+		st.Occupancy, st.Len, st.Capacity, st.Stashed, st.MinShardLen, st.MaxShardLen)
+
+	fmt.Println("\nBucket-load histogram (all shards aggregated):")
+	tw := table.New("load", "buckets", "fraction")
+	for v := 0; v <= st.BucketLoads.MaxValue(); v++ {
+		tw.AddRow(fmt.Sprint(v), fmt.Sprint(st.BucketLoads.Count(v)), table.Prob(st.BucketLoads.Fraction(v)))
+	}
+	fmt.Print(tw.String())
+}

@@ -1,67 +1,100 @@
-// Dedupstore: dimensioning the bucket size of a d-left fingerprint index,
+// Dedupstore: dimensioning and then actually serving a fingerprint index,
 // the ChunkStash-style deduplication scenario the paper's introduction
 // cites as a deployed user of multiple-choice hashing with double hashing
 // in hardware-friendly form ([11] Debnath–Sengupta–Li).
 //
 // A dedup store keeps an in-memory index mapping chunk fingerprints to
-// flash locations. The index is a d-left hash table: 4 subtables, each
-// fingerprint hashed to one bucket per subtable, stored in the
-// least-loaded (ties to the left). Buckets hold a fixed number of slots,
-// so the design question is: how many slots per bucket guarantee that
-// overflow is negligible at the target occupancy?
+// flash locations. Ingest is parallel — several streams chunk and hash
+// data at once — so the index here is a repro.CMap: fingerprints route by
+// one SipHash digest to a shard and to d candidate buckets inside it,
+// writers on different shards never contend, and bucket occupancy inside
+// every shard follows the paper's balanced-allocation tables.
 //
-// This program answers it by simulating the bucket-load distribution at
-// 100% occupancy (as many fingerprints as buckets) under fully random and
-// double-hashing choices, showing (a) one slot is not enough, two slots
-// overflow never, and (b) the cheap double-hashing variant is just as
-// safe — the paper's Table 7 in systems clothing.
+// The program first *dimensions* the buckets with the balls-into-bins
+// simulator (what fraction of buckets would exceed c slots at full
+// occupancy?), then *builds* the index: concurrent ingest streams insert
+// fingerprints until the map holds one per bucket on average, and the
+// measured bucket-load distribution is printed next to the simulator's
+// prediction — the dimensioning transfers to the live structure because
+// each shard is exactly the simulated process.
 //
 // Run with: go run ./examples/dedupstore
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro"
 )
 
 func main() {
 	const (
-		buckets      = 1 << 16 // total buckets across the 4 subtables
-		subtables    = 4
-		fingerprints = buckets // occupancy 1.0: one fingerprint per bucket on average
-		trials       = 50
+		shards   = 8
+		buckets  = 1 << 13 // per shard; 65536 buckets total
+		slots    = 4       // generous; the question is how few are needed
+		d        = 4
+		trials   = 20
+		totalBkt = shards * buckets
 	)
 
-	fr := repro.Run(repro.Config{
-		N: buckets, M: fingerprints, D: subtables,
-		Scheme: repro.DLeft, Hashing: repro.FullyRandom,
-		Trials: trials, Seed: 1,
-	})
-	dh := repro.Run(repro.Config{
-		N: buckets, M: fingerprints, D: subtables,
-		Scheme: repro.DLeft, Hashing: repro.DoubleHash,
-		Trials: trials, Seed: 2,
+	// Phase 1 — dimension: the classic d=4 double-hashing load profile at
+	// one fingerprint per bucket, from the paper's simulator.
+	sim := repro.Run(repro.Config{
+		N: totalBkt, M: totalBkt, D: d,
+		Hashing: repro.DoubleHash, Trials: trials, Seed: 1,
 	})
 
-	fmt.Printf("d-left fingerprint index: %d buckets in %d subtables, %d fingerprints, %d trials\n\n",
-		buckets, subtables, fingerprints, trials)
-	fmt.Println("Bucket load  Fully random  Double hashing")
-	maxLoad := fr.MaxObservedLoad()
-	if dh.MaxObservedLoad() > maxLoad {
-		maxLoad = dh.MaxObservedLoad()
+	// Phase 2 — build: concurrent ingest streams fill the live index to
+	// the same occupancy (one fingerprint per bucket on average).
+	idx := repro.NewCMap(repro.CMapConfig{
+		Shards: shards, BucketsPerShard: buckets, SlotsPerBucket: slots,
+		D: d, Seed: 7, StashPerShard: 64,
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	perWorker := totalBkt / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := repro.NewRandomSource(uint64(w)*13 + 5)
+			for stored := 0; stored < perWorker; {
+				fp := src.Uint64()             // the chunk fingerprint
+				loc := fp >> 20                // its synthetic flash location
+				if idx.Put(fp, loc) {
+					stored++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := idx.Stats()
+
+	fmt.Printf("fingerprint index: %d shards × %d buckets, d=%d, %d ingest streams, %d fingerprints\n\n",
+		shards, buckets, d, workers, st.Len)
+	fmt.Println("Bucket load  Simulated (classic d=4)  Measured (live cmap)")
+	maxLoad := sim.MaxObservedLoad()
+	if st.BucketLoads.MaxValue() > maxLoad {
+		maxLoad = st.BucketLoads.MaxValue()
 	}
 	for l := 0; l <= maxLoad; l++ {
-		fmt.Printf("%11d  %12.5f  %14.5f\n", l, fr.FractionAtLoad(l), dh.FractionAtLoad(l))
+		fmt.Printf("%11d  %23.5f  %20.5f\n", l, sim.FractionAtLoad(l), st.BucketLoads.Fraction(l))
 	}
 
-	fmt.Println("\nOverflow probability by bucket capacity (fraction of buckets exceeding c slots):")
-	fmt.Println("Capacity c  Fully random  Double hashing")
+	fmt.Println("\nOverflow by bucket capacity (fraction of buckets exceeding c slots):")
+	fmt.Println("Capacity c  Simulated  Measured")
 	for c := 1; c <= 3; c++ {
-		fmt.Printf("%10d  %12.2e  %14.2e\n", c, fr.TailFraction(c+1), dh.TailFraction(c+1))
+		fmt.Printf("%10d  %9.2e  %8.2e\n", c, sim.TailFraction(c+1), st.BucketLoads.TailFraction(c+1))
 	}
+	fmt.Printf("\nstash holds %d of %d fingerprints; shard fill min/max %d/%d\n",
+		st.Stashed, st.Len, st.MinShardLen, st.MaxShardLen)
 
-	fmt.Println("\nTwo slots per bucket suffice at full occupancy, and deriving all four")
-	fmt.Println("bucket choices from two hash values (double hashing) is equally safe —")
-	fmt.Println("the index needs half the hashing bandwidth in hardware.")
+	fmt.Println("\nThe live concurrent index reproduces the simulated distribution:")
+	fmt.Println("dimension the buckets from the paper's tables, then serve parallel")
+	fmt.Println("ingest from the same math — one hash per fingerprint end to end.")
 }

@@ -1,86 +1,113 @@
-// Flowtable: a router flow table built on the multiple-choice hash table —
-// the hardware scenario the paper's introduction targets ("multiple-choice
-// hashing is used in several hardware systems (such as routers), and
-// double hashing both requires less (pseudo-)randomness and is extremely
-// conducive to implementation in hardware").
+// Flowtable: a router flow table built on the concurrent sharded
+// multiple-choice hash map — the hardware scenario the paper's
+// introduction targets ("multiple-choice hashing is used in several
+// hardware systems (such as routers), and double hashing both requires
+// less (pseudo-)randomness and is extremely conducive to implementation
+// in hardware"), now served by many packet-processing cores at once.
 //
-// Flows (5-tuples, here synthesized) are inserted into a table of buckets
-// with 4 slots each, d = 3 candidate buckets per flow. A hardware pipeline
-// computes either three independent hash functions per packet, or one —
-// split into (f, g) by double hashing. This program runs both pipelines
-// through a realistic churn workload (flows arrive and expire) and shows
-// that occupancy, overflow-to-stash and lookup behaviour are identical,
-// while the double-hashing pipeline needs one hash unit instead of three.
+// Flows (5-tuples, here synthesized) live in a repro.CMap: one SipHash
+// digest per packet routes the flow to a shard (high bits) and derives
+// its d=3 candidate buckets inside the shard (remaining bits), so the
+// whole pipeline needs one hash unit — the paper's payoff — while each
+// shard keeps the balanced-allocation occupancy guarantees of the
+// least-loaded rule. This program runs a concurrent churn workload
+// (flows arrive and expire on every worker simultaneously), verifies no
+// flow is ever lost, and prints throughput plus the occupancy stats a
+// router's provisioning would be dimensioned from.
 //
 // Run with: go run ./examples/flowtable
 package main
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	const (
-		buckets   = 1 << 12
+		shards    = 16
+		buckets   = 1 << 8 // per shard; 16×256 = 4096 buckets total
 		slots     = 4
 		d         = 3
-		capacity  = buckets * slots
+		capacity  = shards * buckets * slots
 		occupancy = 0.75 // steady-state flows / capacity
-		churnOps  = 400000
+		churnOps  = 100000
 	)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	flowsPerWorker := int(occupancy*capacity) / workers
 
-	flows := int(occupancy * capacity)
-	fmt.Printf("flow table: %d buckets × %d slots, d=%d, steady state %d flows (%.0f%% full)\n\n",
-		buckets, slots, d, flows, occupancy*100)
-	fmt.Println("Pipeline             Stored   Stash  Max bucket  Hash units")
+	t := repro.NewCMap(repro.CMapConfig{
+		Shards: shards, BucketsPerShard: buckets, SlotsPerBucket: slots,
+		D: d, Seed: 1, StashPerShard: 16,
+	})
+	fmt.Printf("flow table: %d shards × %d buckets × %d slots, d=%d, %d workers, steady state %d flows (%.0f%% full)\n\n",
+		shards, buckets, slots, d, workers, flowsPerWorker*workers, occupancy*100)
 
-	for _, mode := range []repro.MCHHashMode{repro.MCHIndependent, repro.MCHDoubleHashing} {
-		t := repro.NewMCHTable(repro.MCHConfig{
-			Buckets: buckets, SlotsPerBucket: slots, D: d,
-			Mode: mode, Seed: uint64(mode) + 1, StashSize: 64,
-		})
-		src := repro.NewRandomSource(uint64(mode) + 99)
+	var totalOps atomic.Int64 // map operations actually performed, all phases
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := repro.NewRandomSource(uint64(w) + 99)
+			ops := 0
 
-		// Warm up to the steady state.
-		live := make([]uint64, 0, flows)
-		for len(live) < flows {
-			f := src.Uint64()
-			if t.Put(f, uint64(len(live))) {
-				live = append(live, f)
-			}
-		}
-		// Churn: expire a random flow, admit a new one.
-		for op := 0; op < churnOps; op++ {
-			i := int(src.Uint64() % uint64(len(live)))
-			if !t.Delete(live[i]) {
-				panic("live flow missing")
-			}
-			for {
+			// Warm up this worker's share of the steady state.
+			live := make([]uint64, 0, flowsPerWorker)
+			for len(live) < flowsPerWorker {
 				f := src.Uint64()
-				if t.Put(f, uint64(op)) {
-					live[i] = f
-					break
+				ops++
+				if t.Put(f, uint64(len(live))) {
+					live = append(live, f)
 				}
 			}
-		}
-		// Verify lookups after churn.
-		for _, f := range live[:1000] {
-			if _, ok := t.Get(f); !ok {
-				panic("lookup failed after churn")
+			// Churn: expire a random flow, admit a new one — concurrently
+			// with every other worker doing the same.
+			for op := 0; op < churnOps/workers; op++ {
+				i := int(src.Uint64() % uint64(len(live)))
+				ops++
+				if !t.Delete(live[i]) {
+					panic("live flow missing")
+				}
+				for {
+					f := src.Uint64()
+					ops++
+					if t.Put(f, uint64(op)) {
+						live[i] = f
+						break
+					}
+				}
 			}
-		}
-
-		hashUnits := d
-		units := fmt.Sprint(hashUnits)
-		if mode == repro.MCHDoubleHashing {
-			units = "1 (f,g split)"
-		}
-		fmt.Printf("%-19s  %6d  %6d  %10d  %s\n",
-			mode, t.Len(), t.StashLen(), t.BucketLoadHist().MaxValue(), units)
+			// Verify lookups after churn.
+			for _, f := range live {
+				ops++
+				if _, ok := t.Get(f); !ok {
+					panic("lookup failed after churn")
+				}
+			}
+			totalOps.Add(int64(ops))
+		}(w)
 	}
+	wg.Wait()
+	elapsed := time.Since(start)
 
-	fmt.Println("\nSame occupancy, same overflow, same worst bucket — with a third of")
-	fmt.Println("the hashing hardware. That is the paper's practical payoff.")
+	st := t.Stats()
+	fmt.Printf("Stored    Stash  Occupancy  Shard min/max  Max bucket  Hash units\n")
+	fmt.Printf("%6d  %7d  %9.3f  %6d/%-6d  %10d  1 (shard + f,g from one digest)\n\n",
+		st.Len, st.Stashed, st.Occupancy, st.MinShardLen, st.MaxShardLen, st.BucketLoads.MaxValue())
+	fmt.Printf("throughput: %.2f Mops/sec (%d puts/gets/deletes) across %d workers (GOMAXPROCS=%d)\n\n",
+		float64(totalOps.Load())/elapsed.Seconds()/1e6, totalOps.Load(), workers, runtime.GOMAXPROCS(0))
+
+	fmt.Println("Every flow admitted by any core stays resident until expired, bucket")
+	fmt.Println("occupancy follows the paper's balanced-allocation tables within each")
+	fmt.Println("shard, and the whole concurrent pipeline spends one hash per packet.")
 }

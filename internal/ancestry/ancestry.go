@@ -22,7 +22,7 @@ import (
 // Trace records the candidate bins of every ball thrown by a generator.
 type Trace struct {
 	n, d    int
-	choices []int32 // ball t's candidates at [t*d, (t+1)*d)
+	choices []uint32 // ball t's candidates at [t*d, (t+1)*d)
 }
 
 // Record draws m candidate sets from gen through the batched fast path
@@ -32,18 +32,14 @@ func Record(gen choice.Generator, m int) *Trace {
 		panic(fmt.Sprintf("ancestry: m = %d", m))
 	}
 	d := gen.D()
-	tr := &Trace{n: gen.N(), d: d, choices: make([]int32, m*d)}
+	tr := &Trace{n: gen.N(), d: d, choices: make([]uint32, m*d)}
 	const chunk = 512 // balls per DrawBatch
-	dst := make([]uint32, chunk*d)
 	for t := 0; t < m; t += chunk {
 		c := chunk
 		if m-t < c {
 			c = m - t
 		}
-		gen.DrawBatch(dst[:c*d], c)
-		for i, v := range dst[:c*d] {
-			tr.choices[t*d+i] = int32(v)
-		}
+		gen.DrawBatch(tr.choices[t*d:t*d+c*d], c)
 	}
 	return tr
 }
@@ -57,8 +53,10 @@ func (tr *Trace) N() int { return tr.n }
 // D returns the number of choices per ball.
 func (tr *Trace) D() int { return tr.d }
 
-// Choices returns ball t's candidate bins (a view; do not modify).
-func (tr *Trace) Choices(t int) []int32 {
+// Choices returns ball t's candidate bins (a view; do not modify). Bins
+// are uint32 — the full 32-bit index space choice.validate admits — so
+// bins at or above 2^31 round-trip without wrapping negative.
+func (tr *Trace) Choices(t int) []uint32 {
 	return tr.choices[t*tr.d : (t+1)*tr.d]
 }
 
@@ -69,9 +67,9 @@ func (tr *Trace) Choices(t int) []int32 {
 // already in the set, all its candidates join the set — later balls can
 // only be recruited by bins that entered the set at even later times, so
 // the time-ordering side conditions of the definition hold automatically.
-func (tr *Trace) listInto(b, t int, inSet []bool, touched *[]int32) int {
+func (tr *Trace) listInto(b, t int, inSet []bool, touched *[]uint32) int {
 	inSet[b] = true
-	*touched = append(*touched, int32(b))
+	*touched = append(*touched, uint32(b))
 	size := 1
 	for ball := t - 1; ball >= 0; ball-- {
 		cs := tr.choices[ball*tr.d : ball*tr.d+tr.d]
@@ -101,7 +99,7 @@ func (tr *Trace) listInto(b, t int, inSet []bool, touched *[]int32) int {
 func (tr *Trace) ListSize(b, t int) int {
 	tr.check(b, t)
 	inSet := make([]bool, tr.n)
-	var touched []int32
+	var touched []uint32
 	return tr.listInto(b, t, inSet, &touched)
 }
 
@@ -109,7 +107,7 @@ func (tr *Trace) ListSize(b, t int) int {
 func (tr *Trace) ListBins(b, t int) []int {
 	tr.check(b, t)
 	inSet := make([]bool, tr.n)
-	var touched []int32
+	var touched []uint32
 	tr.listInto(b, t, inSet, &touched)
 	out := make([]int, len(touched))
 	for i, v := range touched {
@@ -124,7 +122,7 @@ func (tr *Trace) ListBins(b, t int) []int {
 func (tr *Trace) ListsDisjoint(bins []int, t int) bool {
 	seen := make(map[int]bool)
 	inSet := make([]bool, tr.n)
-	var touched []int32
+	var touched []uint32
 	for _, b := range bins {
 		tr.check(b, t)
 		touched = touched[:0]
@@ -165,7 +163,7 @@ func (tr *Trace) SampleSizes(stride int) Stats {
 	}
 	t := tr.Balls()
 	inSet := make([]bool, tr.n)
-	var touched []int32
+	var touched []uint32
 	var s Stats
 	sum := 0
 	for b := 0; b < tr.n; b += stride {

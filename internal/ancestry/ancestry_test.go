@@ -144,7 +144,7 @@ func TestRecordShape(t *testing.T) {
 			t.Fatalf("ball %d has %d choices", ball, len(cs))
 		}
 		for _, c := range cs {
-			if c < 0 || c >= 64 {
+			if c >= 64 {
 				t.Fatalf("choice %d out of range", c)
 			}
 		}
@@ -189,5 +189,51 @@ func TestScratchResetBetweenLists(t *testing.T) {
 	d2 := tr.ListsDisjoint([]int{1, 2, 3}, 128)
 	if d1 != d2 {
 		t.Error("ListsDisjoint not idempotent")
+	}
+}
+
+// wideGen emits candidate bins in the upper half of the 32-bit index
+// space, where the old int32 trace storage wrapped negative.
+type wideGen struct{ n, d, next int }
+
+func (g *wideGen) Draw(dst []uint32) {
+	for i := range dst {
+		dst[i] = uint32(g.n-1) - uint32(g.next*g.d+i)%uint32(g.d+7)
+	}
+	g.next++
+}
+
+func (g *wideGen) DrawBatch(dst []uint32, count int) {
+	for b := 0; b < count; b++ {
+		g.Draw(dst[b*g.d : (b+1)*g.d])
+	}
+}
+
+func (g *wideGen) N() int       { return g.n }
+func (g *wideGen) D() int       { return g.d }
+func (g *wideGen) Name() string { return "wide" }
+
+func TestTraceHoldsBinsAbove2To31(t *testing.T) {
+	// Pins the contract: choice.validate admits n up to 2^32−1, so a trace
+	// must store bins ≥ 2^31 without wrapping (they previously became
+	// negative int32 values, and index panics followed downstream).
+	const n = math.MaxUint32 // 2^32 − 1 bins
+	g := &wideGen{n: n, d: 3}
+	tr := Record(g, 8)
+	if tr.N() != n {
+		t.Fatalf("N = %d", tr.N())
+	}
+	replay := &wideGen{n: n, d: 3}
+	want := make([]uint32, 3)
+	for ball := 0; ball < 8; ball++ {
+		replay.Draw(want)
+		for i, c := range tr.Choices(ball) {
+			if c != want[i] {
+				t.Fatalf("ball %d choice %d: got %d, want %d", ball, i, c, want[i])
+			}
+			if c < 1<<31 {
+				t.Fatalf("test generator emitted a low bin %d; not exercising the wrap", c)
+			}
+		}
 	}
 }

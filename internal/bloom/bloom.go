@@ -63,6 +63,11 @@ func New(mBits uint64, k int, mode Mode, seed uint64) *Filter {
 	if k <= 0 {
 		panic(fmt.Sprintf("bloom: k = %d", k))
 	}
+	// 2^63 is the largest uint64 power of two: rounding anything above it
+	// up would overflow size to 0 and loop forever.
+	if mBits > 1<<63 {
+		panic(fmt.Sprintf("bloom: mBits = %d exceeds 2^63", mBits))
+	}
 	// Round up to a power of two, at least one word.
 	size := uint64(64)
 	for size < mBits {

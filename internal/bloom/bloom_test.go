@@ -109,6 +109,10 @@ func TestValidationPanics(t *testing.T) {
 	for i, fn := range []func(){
 		func() { New(0, 3, KIndependent, 0) },
 		func() { New(64, 0, KIndependent, 0) },
+		// Above 2^63 no uint64 power of two exists; without the guard the
+		// rounding loop overflows to 0 and never terminates.
+		func() { New(1<<63+1, 3, KIndependent, 0) },
+		func() { New(math.MaxUint64, 3, DoubleHashing, 0) },
 	} {
 		func() {
 			defer func() {

@@ -39,8 +39,10 @@ func (g *twoBlock) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
 	half := g.d / 2
 	n := uint32(g.n)
-	s1 := uint32(rng.Uint64n(g.src, uint64(g.n)))
-	s2 := uint32(rng.Uint64n(g.src, uint64(g.n)))
+	st := &g.stream
+	st.reserve(2)
+	s1 := uint32(rng.Uint64nFrom(g.src, st.take(), uint64(g.n)))
+	s2 := uint32(rng.Uint64nFrom(g.src, st.take(), uint64(g.n)))
 	// A block is an arithmetic progression with stride 1.
 	engine.Progression(dst[:half], s1, 1, n)
 	engine.Progression(dst[half:], s2, 1, n)

@@ -19,8 +19,11 @@
 // Every generator implements engine.Generator: the per-ball Draw contract
 // plus the batched DrawBatch fast path, which prefetches raw 64-bit PRNG
 // values in bulk (one dynamic dispatch per refill instead of one per
-// value) and maps them to bins inline. Draw and DrawBatch advance the
-// same logical stream; interleaving them is deterministic per seed.
+// value) and maps them to bins inline. Draw routes through the same
+// prefetch stream with the same per-ball consumption pattern, so the two
+// paths advance the same logical stream: any interleaving of Draw and
+// DrawBatch calls yields the same ball sequence as a single batch, per
+// seed.
 package choice
 
 import (
@@ -147,43 +150,43 @@ func NewFullyRandomWithReplacement(n, d int, src rng.Source) Generator {
 	return g
 }
 
-func (g *fullyRandom) Draw(dst []uint32) {
-	checkDraw(dst, g.d, g.Name())
+// drawOne fills one candidate set from the prefetch stream. Draw and
+// DrawBatch both call it, so the two paths consume the stream identically
+// and interleaving them is deterministic.
+func (g *fullyRandom) drawOne(set []uint32) {
+	n := uint64(g.n)
+	st := &g.stream
 	if g.replacement {
-		for i := range dst {
-			dst[i] = uint32(rng.Uint64n(g.src, uint64(g.n)))
+		for i := range set {
+			st.reserve(1)
+			set[i] = uint32(rng.Uint64nFrom(g.src, st.take(), n))
 		}
 		return
 	}
-	rng.SampleDistinct(g.src, g.n, dst)
+	for i := range set {
+		// Reserve per value rather than per ball: a duplicate redraw
+		// (probability ~d/n) consumes extra stream values, so a
+		// per-ball reservation would not cover the tail of the set.
+		st.reserve(1)
+		v := uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		for dup(set[:i], v) {
+			st.reserve(1)
+			v = uint32(rng.Uint64nFrom(g.src, st.take(), n))
+		}
+		set[i] = v
+	}
+}
+
+func (g *fullyRandom) Draw(dst []uint32) {
+	checkDraw(dst, g.d, g.Name())
+	g.drawOne(dst)
 }
 
 func (g *fullyRandom) DrawBatch(dst []uint32, count int) {
 	checkBatch(dst, count, g.d, g.Name())
-	n := uint64(g.n)
 	d := g.d
-	st := &g.stream
-	if g.replacement {
-		for i := range dst {
-			st.reserve(1)
-			dst[i] = uint32(rng.Uint64nFrom(g.src, st.take(), n))
-		}
-		return
-	}
 	for b := 0; b < count; b++ {
-		set := dst[b*d : b*d+d]
-		for i := range set {
-			// Reserve per value rather than per ball: a duplicate redraw
-			// (probability ~d/n) consumes extra stream values, so a
-			// per-ball reservation would not cover the tail of the set.
-			st.reserve(1)
-			v := uint32(rng.Uint64nFrom(g.src, st.take(), n))
-			for dup(set[:i], v) {
-				st.reserve(1)
-				v = uint32(rng.Uint64nFrom(g.src, st.take(), n))
-			}
-			set[i] = v
-		}
+		g.drawOne(dst[b*d : b*d+d])
 	}
 }
 
@@ -294,8 +297,13 @@ func (g *doubleHash) Draw(dst []uint32) {
 		}
 		return
 	}
-	f := uint32(rng.Uint64n(g.src, uint64(g.n)))
-	s := g.strideFrom(g.src.Uint64())
+	// Consume the prefetch stream exactly as one DrawBatch ball does
+	// (strideFrom covers every stride mode), so interleaving Draw with
+	// DrawBatch stays on the same logical stream.
+	st := &g.stream
+	st.reserve(2)
+	f := uint32(rng.Uint64nFrom(g.src, st.take(), uint64(g.n)))
+	s := g.strideFrom(st.take())
 	engine.Progression(dst, f, s, uint32(g.n))
 }
 
@@ -372,7 +380,9 @@ func NewOneChoice(n, d int, src rng.Source) Generator {
 
 func (g *oneChoice) Draw(dst []uint32) {
 	checkDraw(dst, 1, g.Name())
-	dst[0] = uint32(rng.Uint64n(g.src, uint64(g.n)))
+	st := &g.stream
+	st.reserve(1)
+	dst[0] = uint32(rng.Uint64nFrom(g.src, st.take(), uint64(g.n)))
 }
 
 func (g *oneChoice) DrawBatch(dst []uint32, count int) {

@@ -38,8 +38,10 @@ func (g *dLeftFullyRandom) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
 	base := uint32(0)
 	m := uint64(g.m)
+	st := &g.stream
 	for k := range dst {
-		dst[k] = base + uint32(rng.Uint64n(g.src, m))
+		st.reserve(1)
+		dst[k] = base + uint32(rng.Uint64nFrom(g.src, st.take(), m))
 		base += uint32(g.m)
 	}
 }
@@ -95,8 +97,10 @@ func NewDLeftDoubleHash(n, d int, src rng.Source) Generator {
 
 func (g *dLeftDoubleHash) Draw(dst []uint32) {
 	checkDraw(dst, g.d, g.Name())
-	f := uint32(rng.Uint64n(g.src, uint64(g.m)))
-	s := g.strideFrom(g.src.Uint64())
+	st := &g.stream
+	st.reserve(2)
+	f := uint32(rng.Uint64nFrom(g.src, st.take(), uint64(g.m)))
+	s := g.strideFrom(st.take())
 	engine.SubtableProgression(dst, f, s, uint32(g.m))
 }
 

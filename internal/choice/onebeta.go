@@ -39,10 +39,15 @@ func NewOnePlusBeta(n int, beta float64, src rng.Source) Generator {
 
 func (g *onePlusBeta) Draw(dst []uint32) {
 	checkDraw(dst, 2, g.Name())
-	first := uint32(rng.Uint64n(g.src, uint64(g.n)))
+	n := uint64(g.n)
+	st := &g.stream
+	// Identical stream consumption to one DrawBatch ball: reserve 3, use
+	// 2 (one-choice branch) or 3 (two-choice branch).
+	st.reserve(3)
+	first := uint32(rng.Uint64nFrom(g.src, st.take(), n))
 	dst[0] = first
-	if rng.Float64(g.src) < g.beta {
-		second := uint32(rng.Uint64n(g.src, uint64(g.n)-1))
+	if rng.Float64From(st.take()) < g.beta {
+		second := uint32(rng.Uint64nFrom(g.src, st.take(), n-1))
 		if second >= first {
 			second++
 		}

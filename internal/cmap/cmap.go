@@ -1,0 +1,224 @@
+// Package cmap is a concurrency-safe, sharded multiple-choice hash map
+// from uint64 keys to uint64 values — the production-shaped version of
+// internal/mchtable for many goroutines.
+//
+// Every key is hashed once with SipHash-2-4; the digest's high bits route
+// the key to one of 2^k shards and the remaining bits derive the paper's
+// (f, g) pair inside the shard (hashes.ShardSplit), so the whole map keeps
+// the one-hash double-hashing discipline: one keyed hash evaluation yields
+// the shard and all d candidate buckets. Each shard is an independent
+// mchtable.Core — fixed-slot buckets, least-loaded placement over the d
+// double-hashed candidates, an overflow stash drained as deletes free
+// slots — guarded by its own RWMutex. Within a shard, bucket occupancy
+// follows the balanced-allocation load distribution of the paper (the
+// equivalence holds at every table size, per Mitzenmacher–Thaler's
+// follow-up analysis), so stash overflow can be provisioned from the
+// paper's tables exactly as in the single-threaded table.
+//
+// Candidate derivation (the hash and the (f, g) expansion) happens outside
+// the shard lock; only the bucket probe itself is locked. Gets take the
+// shard's read lock, so read-heavy workloads scale with GOMAXPROCS.
+package cmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/hashes"
+	"repro/internal/mchtable"
+	"repro/internal/stats"
+)
+
+// maxD bounds the candidate count so per-call candidate sets fit in a
+// stack array (no allocation, no shared scratch, lock-free derivation).
+const maxD = 16
+
+// Config declares a sharded map.
+type Config struct {
+	Shards          int    // shard count, rounded up to a power of two; 0 means 16
+	BucketsPerShard int    // buckets per shard (required, > 0)
+	SlotsPerBucket  int    // slots per bucket (required, > 0)
+	D               int    // candidate buckets per key (required, 0 < D <= 16)
+	Seed            uint64 // hash key material
+	StashPerShard   int    // per-shard overflow stash capacity; 0 means 32
+}
+
+// shard is one lockable placement core. The trailing pad keeps adjacent
+// shards' mutexes off one cache line, so uncontended shards do not
+// false-share.
+type shard struct {
+	mu      sync.RWMutex
+	core    *mchtable.Core
+	scratch []uint32           // drain-path candidates; guarded by mu (write side)
+	candsOf func(uint64) []uint32 // drain-path derivation, built once in New
+	_       [64]byte
+}
+
+// Map is the sharded multiple-choice hash map. It is safe for concurrent
+// use by multiple goroutines.
+type Map struct {
+	shardBits int
+	d         int
+	sipKey    hashes.SipKey
+	deriver   *hashes.Deriver // shared: all shards have the same bucket count
+	shards    []shard
+}
+
+// New returns an empty map. It panics on invalid configuration.
+func New(cfg Config) *Map {
+	if cfg.Shards == 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Shards < 0 {
+		panic(fmt.Sprintf("cmap: Shards = %d", cfg.Shards))
+	}
+	shards := 1 << uint(bits.Len(uint(cfg.Shards-1))) // round up to a power of two
+	shardBits := bits.TrailingZeros(uint(shards))
+	if shardBits > 32 {
+		panic(fmt.Sprintf("cmap: Shards = %d exceeds 2^32", cfg.Shards))
+	}
+	if cfg.D <= 0 || cfg.D > maxD {
+		panic(fmt.Sprintf("cmap: D = %d outside (0, %d]", cfg.D, maxD))
+	}
+	if cfg.D > 1 && cfg.D >= cfg.BucketsPerShard {
+		panic(fmt.Sprintf("cmap: D = %d with %d buckets per shard", cfg.D, cfg.BucketsPerShard))
+	}
+	if cfg.StashPerShard == 0 {
+		cfg.StashPerShard = 32
+	}
+	m := &Map{
+		shardBits: shardBits,
+		d:         cfg.D,
+		sipKey:    hashes.SipKeyFromSeed(cfg.Seed),
+		deriver:   hashes.NewDeriver(cfg.BucketsPerShard),
+		shards:    make([]shard, shards),
+	}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.core = mchtable.NewCore(cfg.BucketsPerShard, cfg.SlotsPerBucket, cfg.StashPerShard)
+		sh.scratch = make([]uint32, cfg.D)
+		sh.candsOf = func(key uint64) []uint32 {
+			_, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
+			m.deriver.CandidateBins(inShard, sh.scratch)
+			return sh.scratch
+		}
+	}
+	return m
+}
+
+// digest is the map's single keyed hash evaluation per key.
+func (m *Map) digest(key uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], key)
+	return hashes.SipHash24(m.sipKey, buf[:])
+}
+
+// route derives everything one operation needs — the shard and the d
+// candidate buckets inside it — from one digest, without touching any
+// lock. cands must have capacity d.
+func (m *Map) route(key uint64, cands []uint32) *shard {
+	idx, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
+	m.deriver.CandidateBins(inShard, cands)
+	return &m.shards[idx]
+}
+
+// Put stores key → val, updating in place if key is present. It reports
+// whether the pair is stored; false means every candidate bucket and the
+// shard's stash were full (the insertion is rejected, map unchanged).
+func (m *Map) Put(key, val uint64) bool {
+	var buf [maxD]uint32
+	cands := buf[:m.d]
+	sh := m.route(key, cands)
+	sh.mu.Lock()
+	ok := sh.core.Put(cands, key, val)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Get returns the value stored for key. Concurrent readers of one shard
+// proceed in parallel (read lock).
+func (m *Map) Get(key uint64) (uint64, bool) {
+	var buf [maxD]uint32
+	cands := buf[:m.d]
+	sh := m.route(key, cands)
+	sh.mu.RLock()
+	v, ok := sh.core.Get(cands, key)
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present. Freeing a bucket
+// slot drains the shard's stash back into the freed bucket, as in the
+// single-threaded table.
+func (m *Map) Delete(key uint64) bool {
+	var buf [maxD]uint32
+	cands := buf[:m.d]
+	sh := m.route(key, cands)
+	sh.mu.Lock()
+	ok := sh.core.Delete(cands, key, sh.candsOf)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Shards returns the shard count (a power of two).
+func (m *Map) Shards() int { return len(m.shards) }
+
+// D returns the number of candidate buckets per key.
+func (m *Map) D() int { return m.d }
+
+// Len returns the number of stored pairs (including stashed ones). The
+// count is a per-shard-consistent snapshot: shards are read one at a time,
+// so concurrent writers may move the total while it accumulates.
+func (m *Map) Len() int {
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		total += sh.core.Len()
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Stats is an occupancy/overflow snapshot aggregated across shards — the
+// monitoring view: overall fill, stash pressure, shard skew, and the
+// bucket-load histogram the paper's tables predict.
+type Stats struct {
+	Shards      int        // shard count
+	Len         int        // stored pairs, stash included
+	Capacity    int        // total bucket-slot capacity
+	Stashed     int        // stashed pairs across all shards
+	Occupancy   float64    // Len / Capacity
+	MinShardLen int        // least-loaded shard's pair count
+	MaxShardLen int        // most-loaded shard's pair count
+	BucketLoads stats.Hist // occupied-slots-per-bucket histogram, all shards
+}
+
+// Stats gathers the snapshot. Each shard is read under its lock in turn,
+// so per-shard figures are exact while the cross-shard aggregate is only
+// as atomic as a lock-per-shard design allows.
+func (m *Map) Stats() Stats {
+	st := Stats{Shards: len(m.shards)}
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n := sh.core.Len()
+		st.Len += n
+		st.Capacity += sh.core.Capacity()
+		st.Stashed += sh.core.StashLen()
+		sh.core.AddBucketLoads(&st.BucketLoads)
+		sh.mu.RUnlock()
+		if i == 0 || n < st.MinShardLen {
+			st.MinShardLen = n
+		}
+		if n > st.MaxShardLen {
+			st.MaxShardLen = n
+		}
+	}
+	if st.Capacity > 0 {
+		st.Occupancy = float64(st.Len) / float64(st.Capacity)
+	}
+	return st
+}

@@ -53,6 +53,7 @@ type Table struct {
 	maxKicks int
 	deriver  *hashes.Deriver
 	scratch  []uint32
+	walk     []uint32 // victim slots of the current insertion, for unwinding
 }
 
 // New returns a cuckoo table with the given capacity, d >= 2 candidate
@@ -130,15 +131,21 @@ func (t *Table) Contains(key uint64) bool {
 
 // Insert stores key, evicting residents along a random walk when all
 // candidates are full. It returns the number of evictions performed and
-// whether the insertion succeeded within the kick budget. On failure the
-// final displaced key is re-stored greedily, so at most one previously
-// stored key may be left out; failure normally means the table is beyond
+// whether the insertion succeeded within the kick budget. When the budget
+// runs out, the final displaced resident is re-stored greedily (one
+// placement attempt into its candidate slots, no further evictions); if
+// that lands, the insertion has in fact succeeded and ok is true. Only if
+// the greedy re-store also fails does Insert report false, and then the
+// whole eviction walk is unwound first, so a failed Insert leaves the
+// table exactly as it was: every previously stored key remains present
+// and the new key is absent. Failure normally means the table is beyond
 // the load threshold and should be rebuilt larger.
 func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 	if t.Contains(key) {
 		return 0, true
 	}
 	cur := key
+	t.walk = t.walk[:0]
 	for kicks = 0; kicks <= t.maxKicks; kicks++ {
 		t.candidates(cur, t.scratch)
 		// "First free candidate" is least-loaded selection over 0/1
@@ -152,10 +159,26 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 		// All candidates occupied: evict a random one and continue with
 		// the displaced key.
 		victim := t.scratch[rng.Intn(t.src, t.d)]
+		t.walk = append(t.walk, victim)
 		cur, t.keys[victim] = t.keys[victim], cur
 	}
-	// Budget exhausted: cur is displaced. Count it as stored if it is the
-	// original key's failure (it is not in the table).
+	// Budget exhausted: cur is a displaced resident (the new key itself
+	// took the first victim's slot). Greedy re-store: one more placement
+	// attempt for cur, without evicting.
+	t.candidates(cur, t.scratch)
+	if s, occ := engine.LeastLoadedFirst(t.occupied, t.scratch); occ == 0 {
+		t.occupied[s] = 1
+		t.keys[s] = cur
+		t.size++ // the walk's net effect is storing the new key
+		return kicks, true
+	}
+	// Re-store failed too: unwind the walk (reverse the swaps) so the
+	// table returns to its pre-insert state and only the new key is
+	// rejected.
+	for i := len(t.walk) - 1; i >= 0; i-- {
+		v := t.walk[i]
+		cur, t.keys[v] = t.keys[v], cur
+	}
 	return kicks, false
 }
 

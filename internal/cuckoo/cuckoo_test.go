@@ -138,3 +138,65 @@ func TestMeanKicksEmptyFill(t *testing.T) {
 		t.Error("empty fill mean kicks should be 0")
 	}
 }
+
+func TestNoMembershipLossPastThreshold(t *testing.T) {
+	// Regression: the pre-fix Insert dropped the final displaced resident
+	// on kick-budget exhaustion, so a key whose Insert had returned true
+	// could later be absent. Fill far past the d=2 load threshold (0.5),
+	// keep every key whose Insert reported true, and require all of them
+	// to still be present after the first failure.
+	for _, mode := range []Mode{Independent, DoubleHashed} {
+		tb := newTable(t, 1<<10, 2, mode, 3)
+		tb.SetMaxKicks(50) // small budget so exhaustion happens well past α=0.5
+		src := rng.NewXoshiro256(17)
+		var stored []uint64
+		var rejected uint64
+		for i := 0; i < 1<<10; i++ {
+			k := src.Uint64()
+			if _, ok := tb.Insert(k); ok {
+				stored = append(stored, k)
+				continue
+			}
+			rejected = k
+			break
+		}
+		if rejected == 0 {
+			t.Fatalf("%v: no insertion failed past the threshold", mode)
+		}
+		for _, k := range stored {
+			if !tb.Contains(k) {
+				t.Errorf("%v: key stored with ok=true is no longer present", mode)
+			}
+		}
+		// A failed Insert must leave the table unchanged: the rejected key
+		// absent and the size equal to the number of successes.
+		if tb.Contains(rejected) {
+			t.Errorf("%v: rejected key is resident", mode)
+		}
+		if tb.Len() != len(stored) {
+			t.Errorf("%v: Len = %d after %d successful inserts", mode, tb.Len(), len(stored))
+		}
+	}
+}
+
+func TestFailedInsertUnwindIsExact(t *testing.T) {
+	// After a failed Insert, every slot must hold exactly what it held
+	// before the call (not merely the same membership set).
+	tb := newTable(t, 256, 2, DoubleHashed, 7)
+	tb.SetMaxKicks(20)
+	src := rng.NewXoshiro256(29)
+	for i := 0; i < 256; i++ {
+		keys := append([]uint64(nil), tb.keys...)
+		occ := append([]uint8(nil), tb.occupied...)
+		if _, ok := tb.Insert(src.Uint64()); ok {
+			continue
+		}
+		for s := range keys {
+			if occ[s] != tb.occupied[s] || (occ[s] != 0 && keys[s] != tb.keys[s]) {
+				t.Fatalf("slot %d changed across failed insert", s)
+			}
+		}
+		return
+	}
+	t.Skip("no insertion failed; raise the load")
+}

@@ -33,9 +33,12 @@ func LeastLoadedFirst[L Load](loads []L, cands []uint32) (best uint32, bestLoad 
 
 // LeastLoadedRandom returns the candidate with the minimum load, breaking
 // ties uniformly at random among the tied candidates using src. It
-// consumes exactly one value from src when two or more candidates tie for
-// the minimum and none otherwise, so callers sharing src with other draws
-// stay deterministic.
+// consumes randomness only when two or more candidates tie for the
+// minimum — none otherwise. A tie normally costs one value from src, but
+// can cost more: rng.Intn's Lemire bounded draw rejects and redraws with
+// probability < ties/2^64. Callers sharing src with other draws therefore
+// stay deterministic for a fixed load/candidate sequence, but must not
+// assume a fixed per-call consumption.
 //
 // The tied winner is located with a second pass over cands instead of a
 // scratch tie list: d is small (2..8 throughout), the candidates are hot

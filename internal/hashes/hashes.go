@@ -179,6 +179,27 @@ func (d *Deriver) DeriveChoices(digest uint64) Choices {
 	return Choices{F: uint32(f), G: uint32(g)}
 }
 
+// ShardSplit splits one 64-bit digest into a shard index (the top
+// shardBits bits) and a remixed in-shard digest built from the remaining
+// 64−shardBits bits. The shard bits are excluded from the in-shard digest,
+// so a shard's keys still carry independent-looking (f, g) material, and
+// the whole construction stays one keyed hash evaluation end to end —
+// internal/cmap routes a key to a shard and derives its double-hashing
+// candidates inside the shard from this single split. shardBits must lie
+// in [0, 32]; with shardBits == 0 the shard is always 0.
+func ShardSplit(digest uint64, shardBits int) (shard uint32, inShard uint64) {
+	if shardBits < 0 || shardBits > 32 {
+		panic(fmt.Sprintf("hashes: shardBits = %d outside [0, 32]", shardBits))
+	}
+	if shardBits == 0 {
+		return 0, digest
+	}
+	shard = uint32(digest >> (64 - uint(shardBits)))
+	// Remix the surviving low bits back into a full-width digest so
+	// DeriveChoices sees uniform halves regardless of the split point.
+	return shard, rng.Mix64(digest << uint(shardBits))
+}
+
 // CandidateBins writes the key's d candidate bins into dst, deriving them
 // from a single digest and expanding with the engine's shared progression.
 // Candidates are distinct whenever len(dst) < n.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/numeric"
+	"repro/internal/rng"
 )
 
 // TestSipHash24ReferenceVectors checks against the canonical test vectors
@@ -249,5 +250,59 @@ func TestDeriveChoicesUniformity(t *testing.T) {
 	}
 	if chi2 > 60 { // 16 dof; far tail
 		t.Errorf("F chi-square %.1f over %d cells", chi2, n)
+	}
+}
+
+func TestShardSplit(t *testing.T) {
+	// shardBits = 0 is the identity: everything stays in-shard.
+	if s, in := ShardSplit(0xDEADBEEF12345678, 0); s != 0 || in != 0xDEADBEEF12345678 {
+		t.Fatalf("shardBits=0: shard=%d in=%x", s, in)
+	}
+	src := rng.NewXoshiro256(77)
+	for _, bits := range []int{1, 4, 8, 32} {
+		counts := make([]int, 1<<uint(bits%16)) // count only for small splits
+		for i := 0; i < 20000; i++ {
+			digest := src.Uint64()
+			shard, inShard := ShardSplit(digest, bits)
+			if uint64(shard) >= 1<<uint(bits) {
+				t.Fatalf("bits=%d: shard %d out of range", bits, shard)
+			}
+			// The split is deterministic.
+			s2, in2 := ShardSplit(digest, bits)
+			if s2 != shard || in2 != inShard {
+				t.Fatalf("bits=%d: split not deterministic", bits)
+			}
+			if bits <= 8 {
+				counts[shard]++
+			}
+		}
+		if bits <= 8 {
+			want := 20000 / (1 << uint(bits))
+			for s, c := range counts {
+				if c < want/2 || c > 2*want {
+					t.Fatalf("bits=%d: shard %d got %d of ~%d", bits, s, c, want)
+				}
+			}
+		}
+	}
+	// The in-shard digest must not depend on the discarded shard bits
+	// alone: two digests differing only in shard bits give different
+	// shards but can give any in-shard value; what matters is that the
+	// surviving low bits fully determine it.
+	a, b := uint64(0x00FF_1234_5678_9ABC), uint64(0xFFFF_1234_5678_9ABC)
+	_, inA := ShardSplit(a, 8)
+	_, inB := ShardSplit(b, 8)
+	if inA != inB {
+		t.Fatal("in-shard digest leaked shard bits for an 8-bit split")
+	}
+	for _, bad := range []int{-1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shardBits=%d: no panic", bad)
+				}
+			}()
+			ShardSplit(1, bad)
+		}()
 	}
 }

@@ -1,0 +1,195 @@
+package mchtable
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Core is the bucket/stash placement engine of the multiple-choice hash
+// table: fixed-slot buckets, least-loaded placement over caller-supplied
+// candidate buckets, and an overflow stash drained back into buckets as
+// deletes free slots. It is hashing-agnostic — callers derive each key's
+// candidate buckets themselves — so the single-threaded Table and the
+// locked shards of internal/cmap share one placement implementation.
+//
+// A Core is not safe for concurrent use; internal/cmap wraps each of its
+// shards' cores in a lock.
+type Core struct {
+	buckets        int
+	slotsPerBucket int
+	stashCap       int
+	keys           []uint64
+	vals           []uint64
+	used           []bool
+	counts         []uint16 // occupied slots per bucket
+	stash          map[uint64]uint64
+	size           int
+}
+
+// NewCore returns an empty placement core. It panics on invalid shape.
+func NewCore(buckets, slotsPerBucket, stashCap int) *Core {
+	if buckets <= 0 {
+		panic(fmt.Sprintf("mchtable: Buckets = %d", buckets))
+	}
+	if slotsPerBucket <= 0 {
+		panic(fmt.Sprintf("mchtable: SlotsPerBucket = %d", slotsPerBucket))
+	}
+	if stashCap < 0 {
+		panic(fmt.Sprintf("mchtable: StashSize = %d", stashCap))
+	}
+	total := buckets * slotsPerBucket
+	return &Core{
+		buckets:        buckets,
+		slotsPerBucket: slotsPerBucket,
+		stashCap:       stashCap,
+		keys:           make([]uint64, total),
+		vals:           make([]uint64, total),
+		used:           make([]bool, total),
+		counts:         make([]uint16, buckets),
+		stash:          make(map[uint64]uint64),
+	}
+}
+
+// Buckets returns the number of buckets.
+func (c *Core) Buckets() int { return c.buckets }
+
+// slot returns the flat index of bucket b, slot s.
+func (c *Core) slot(b, s int) int { return b*c.slotsPerBucket + s }
+
+// findInBucket returns the slot of key in bucket b, or -1.
+func (c *Core) findInBucket(key uint64, b int) int {
+	for s := 0; s < c.slotsPerBucket; s++ {
+		idx := c.slot(b, s)
+		if c.used[idx] && c.keys[idx] == key {
+			return idx
+		}
+	}
+	return -1
+}
+
+// Put stores key → val given key's candidate buckets, updating in place
+// if key is present. It reports whether the pair is stored; false means
+// every candidate bucket and the stash were full (the insertion is
+// rejected, core unchanged).
+func (c *Core) Put(cands []uint32, key, val uint64) bool {
+	// Update in place, wherever the key already lives.
+	for _, b := range cands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			c.vals[idx] = val
+			return true
+		}
+	}
+	if _, ok := c.stash[key]; ok {
+		c.stash[key] = val
+		return true
+	}
+	// Place in the least-loaded candidate bucket, ties to the first —
+	// exactly the balanced-allocation rule, via the engine's shared
+	// selection.
+	if best, count := engine.LeastLoadedFirst(c.counts, cands); int(count) < c.slotsPerBucket {
+		for s := 0; s < c.slotsPerBucket; s++ {
+			idx := c.slot(int(best), s)
+			if !c.used[idx] {
+				c.used[idx] = true
+				c.keys[idx] = key
+				c.vals[idx] = val
+				c.counts[best]++
+				c.size++
+				return true
+			}
+		}
+	}
+	// All candidates full: stash.
+	if len(c.stash) < c.stashCap {
+		c.stash[key] = val
+		c.size++
+		return true
+	}
+	return false
+}
+
+// Get returns the value stored for key, given key's candidate buckets.
+func (c *Core) Get(cands []uint32, key uint64) (uint64, bool) {
+	for _, b := range cands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			return c.vals[idx], true
+		}
+	}
+	v, ok := c.stash[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present. Freeing a bucket
+// slot triggers a stash drain: any stashed key with that bucket among its
+// candidates (recomputed through candsOf) moves back into the table, so
+// transient overflow does not pin stash capacity forever. cands must not
+// alias the buffer candsOf writes into — the drain recomputes stashed
+// keys' candidates while cands is still live.
+func (c *Core) Delete(cands []uint32, key uint64, candsOf func(key uint64) []uint32) bool {
+	for _, b := range cands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			c.used[idx] = false
+			c.counts[b]--
+			c.size--
+			c.drainStashInto(int(b), candsOf)
+			return true
+		}
+	}
+	if _, ok := c.stash[key]; ok {
+		delete(c.stash, key)
+		c.size--
+		return true
+	}
+	return false
+}
+
+// drainStashInto moves one stashed key whose candidate set covers bucket b
+// into b, if b has a free slot.
+func (c *Core) drainStashInto(b int, candsOf func(key uint64) []uint32) {
+	if len(c.stash) == 0 || int(c.counts[b]) >= c.slotsPerBucket {
+		return
+	}
+	for key, val := range c.stash {
+		for _, cb := range candsOf(key) {
+			if int(cb) != b {
+				continue
+			}
+			for s := 0; s < c.slotsPerBucket; s++ {
+				idx := c.slot(b, s)
+				if !c.used[idx] {
+					c.used[idx] = true
+					c.keys[idx] = key
+					c.vals[idx] = val
+					c.counts[b]++
+					delete(c.stash, key)
+					return
+				}
+			}
+		}
+	}
+}
+
+// Len returns the number of stored pairs (including stashed ones).
+func (c *Core) Len() int { return c.size }
+
+// StashLen returns the number of stashed pairs — the overflow count.
+func (c *Core) StashLen() int { return len(c.stash) }
+
+// Capacity returns the total slot capacity (excluding the stash).
+func (c *Core) Capacity() int { return c.buckets * c.slotsPerBucket }
+
+// Occupancy returns stored pairs divided by total slot capacity.
+func (c *Core) Occupancy() float64 {
+	return float64(c.size) / float64(c.Capacity())
+}
+
+// AddBucketLoads folds the per-bucket occupancy counts into h — the
+// quantity the paper's load tables predict. internal/cmap aggregates its
+// shards' histograms through this.
+func (c *Core) AddBucketLoads(h *stats.Hist) {
+	for _, n := range c.counts {
+		h.Add(int(n))
+	}
+}

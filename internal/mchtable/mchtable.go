@@ -22,7 +22,6 @@ import (
 	"encoding/binary"
 	"fmt"
 
-	"repro/internal/engine"
 	"repro/internal/hashes"
 	"repro/internal/stats"
 )
@@ -60,47 +59,34 @@ type Config struct {
 }
 
 // Table is a multiple-choice hash table from uint64 keys to uint64 values.
-// It is not safe for concurrent use.
+// It is not safe for concurrent use; internal/cmap provides the sharded,
+// lock-protected variant over the same placement Core.
 type Table struct {
 	cfg     Config
-	keys    []uint64
-	vals    []uint64
-	used    []bool
-	counts  []uint16 // occupied slots per bucket
+	core    *Core
 	deriver *hashes.Deriver
 	sipKeys []hashes.SipKey
-	stash   map[uint64]uint64
-	size    int
 	scratch []uint32
+	// delScratch holds the deleted key's candidates during Delete, because
+	// Core.Delete's stash-drain callback recomputes candidates of *stashed*
+	// keys into scratch — the two sets must not alias.
+	delScratch []uint32
 }
 
 // New returns an empty table. It panics on invalid configuration.
 func New(cfg Config) *Table {
-	if cfg.Buckets <= 0 {
-		panic(fmt.Sprintf("mchtable: Buckets = %d", cfg.Buckets))
-	}
-	if cfg.SlotsPerBucket <= 0 {
-		panic(fmt.Sprintf("mchtable: SlotsPerBucket = %d", cfg.SlotsPerBucket))
-	}
 	if cfg.D <= 0 || (cfg.D > 1 && cfg.D >= cfg.Buckets) {
 		panic(fmt.Sprintf("mchtable: D = %d with %d buckets", cfg.D, cfg.Buckets))
 	}
 	if cfg.StashSize == 0 {
 		cfg.StashSize = 32
 	}
-	if cfg.StashSize < 0 {
-		panic(fmt.Sprintf("mchtable: StashSize = %d", cfg.StashSize))
-	}
-	total := cfg.Buckets * cfg.SlotsPerBucket
 	t := &Table{
-		cfg:     cfg,
-		keys:    make([]uint64, total),
-		vals:    make([]uint64, total),
-		used:    make([]bool, total),
-		counts:  make([]uint16, cfg.Buckets),
-		deriver: hashes.NewDeriver(cfg.Buckets),
-		stash:   make(map[uint64]uint64),
-		scratch: make([]uint32, cfg.D),
+		cfg:        cfg,
+		core:       NewCore(cfg.Buckets, cfg.SlotsPerBucket, cfg.StashSize),
+		deriver:    hashes.NewDeriver(cfg.Buckets),
+		scratch:    make([]uint32, cfg.D),
+		delScratch: make([]uint32, cfg.D),
 	}
 	nKeys := 1
 	if cfg.Mode == IndependentHashes {
@@ -132,70 +118,16 @@ func (t *Table) candidates(key uint64) []uint32 {
 	return t.scratch
 }
 
-// slot returns the flat index of bucket b, slot s.
-func (t *Table) slot(b, s int) int { return b*t.cfg.SlotsPerBucket + s }
-
-// findInBucket returns the slot of key in bucket b, or -1.
-func (t *Table) findInBucket(key uint64, b int) int {
-	for s := 0; s < t.cfg.SlotsPerBucket; s++ {
-		idx := t.slot(b, s)
-		if t.used[idx] && t.keys[idx] == key {
-			return idx
-		}
-	}
-	return -1
-}
-
 // Put stores key → val, updating in place if key is present. It reports
 // whether the pair is stored; false means every candidate bucket and the
 // stash were full (the insertion is rejected, table unchanged).
 func (t *Table) Put(key, val uint64) bool {
-	cands := t.candidates(key)
-	// Update in place, wherever the key already lives.
-	for _, b := range cands {
-		if idx := t.findInBucket(key, int(b)); idx >= 0 {
-			t.vals[idx] = val
-			return true
-		}
-	}
-	if _, ok := t.stash[key]; ok {
-		t.stash[key] = val
-		return true
-	}
-	// Place in the least-loaded candidate bucket, ties to the first —
-	// exactly the balanced-allocation rule, via the engine's shared
-	// selection.
-	if best, count := engine.LeastLoadedFirst(t.counts, cands); int(count) < t.cfg.SlotsPerBucket {
-		for s := 0; s < t.cfg.SlotsPerBucket; s++ {
-			idx := t.slot(int(best), s)
-			if !t.used[idx] {
-				t.used[idx] = true
-				t.keys[idx] = key
-				t.vals[idx] = val
-				t.counts[best]++
-				t.size++
-				return true
-			}
-		}
-	}
-	// All candidates full: stash.
-	if len(t.stash) < t.cfg.StashSize {
-		t.stash[key] = val
-		t.size++
-		return true
-	}
-	return false
+	return t.core.Put(t.candidates(key), key, val)
 }
 
 // Get returns the value stored for key.
 func (t *Table) Get(key uint64) (uint64, bool) {
-	for _, b := range t.candidates(key) {
-		if idx := t.findInBucket(key, int(b)); idx >= 0 {
-			return t.vals[idx], true
-		}
-	}
-	v, ok := t.stash[key]
-	return v, ok
+	return t.core.Get(t.candidates(key), key)
 }
 
 // Delete removes key, reporting whether it was present. Freeing a bucket
@@ -203,66 +135,23 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 // candidates moves back into the table, so transient overflow does not
 // pin stash capacity forever.
 func (t *Table) Delete(key uint64) bool {
-	for _, b := range t.candidates(key) {
-		if idx := t.findInBucket(key, int(b)); idx >= 0 {
-			t.used[idx] = false
-			t.counts[b]--
-			t.size--
-			t.drainStashInto(int(b))
-			return true
-		}
-	}
-	if _, ok := t.stash[key]; ok {
-		delete(t.stash, key)
-		t.size--
-		return true
-	}
-	return false
-}
-
-// drainStashInto moves one stashed key whose candidate set covers bucket b
-// into b, if b has a free slot.
-func (t *Table) drainStashInto(b int) {
-	if len(t.stash) == 0 || int(t.counts[b]) >= t.cfg.SlotsPerBucket {
-		return
-	}
-	for key, val := range t.stash {
-		for _, cb := range t.candidates(key) {
-			if int(cb) != b {
-				continue
-			}
-			for s := 0; s < t.cfg.SlotsPerBucket; s++ {
-				idx := t.slot(b, s)
-				if !t.used[idx] {
-					t.used[idx] = true
-					t.keys[idx] = key
-					t.vals[idx] = val
-					t.counts[b]++
-					delete(t.stash, key)
-					return
-				}
-			}
-		}
-	}
+	copy(t.delScratch, t.candidates(key))
+	return t.core.Delete(t.delScratch, key, t.candidates)
 }
 
 // Len returns the number of stored pairs (including stashed ones).
-func (t *Table) Len() int { return t.size }
+func (t *Table) Len() int { return t.core.Len() }
 
 // StashLen returns the number of stashed pairs — the overflow count.
-func (t *Table) StashLen() int { return len(t.stash) }
+func (t *Table) StashLen() int { return t.core.StashLen() }
 
 // Occupancy returns stored pairs divided by total slot capacity.
-func (t *Table) Occupancy() float64 {
-	return float64(t.size) / float64(t.cfg.Buckets*t.cfg.SlotsPerBucket)
-}
+func (t *Table) Occupancy() float64 { return t.core.Occupancy() }
 
 // BucketLoadHist returns the histogram of occupied slots per bucket — the
 // quantity the paper's load tables predict.
 func (t *Table) BucketLoadHist() *stats.Hist {
 	var h stats.Hist
-	for _, c := range t.counts {
-		h.Add(int(c))
-	}
+	t.core.AddBucketLoads(&h)
 	return &h
 }

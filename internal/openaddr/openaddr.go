@@ -160,7 +160,23 @@ func (t *Table) Insert(key uint64) (probes int, ok bool) {
 // first empty slot, the classical accounting.
 func (t *Table) Lookup(key uint64) (found bool, probes int) {
 	if t.size == len(t.keys) {
-		// No empty slot terminates the scan; bound by capacity.
+		if t.probe == Uniform {
+			// Uniform probes are drawn with replacement, so n probes need
+			// not visit the key's slot — bounding the scan by probe count
+			// alone can false-negative on a present key. With no empty
+			// slot to terminate on, fall back to a direct scan: every slot
+			// is seen exactly once and membership is exact.
+			for slot := range t.keys {
+				probes++
+				if t.keys[slot] == key {
+					return true, probes
+				}
+			}
+			return false, probes
+		}
+		// Double-hash (coprime stride) and linear sequences are
+		// permutations of the slots, so n probes cover every slot; no
+		// empty slot terminates the scan, bound it by capacity.
 		t.probeSeq(key, func(slot int) bool {
 			probes++
 			if t.occupied[slot] && t.keys[slot] == key {

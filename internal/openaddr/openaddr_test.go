@@ -157,3 +157,50 @@ func TestValidationPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestFullTableMembershipAllProbes(t *testing.T) {
+	// Regression: with Uniform probing the probe sequence is drawn with
+	// replacement, so the old capacity-bounded scan could miss a present
+	// key's slot on a full table and report it absent. Fill tables of
+	// prime, power-of-two and composite capacity to 100% under every probe
+	// discipline and require exact membership for all stored keys and a
+	// terminating miss for absent ones.
+	for _, capacity := range []int{13, 16, 60} {
+		for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
+			tb := New(capacity, probe, uint64(capacity)*3+uint64(probe))
+			src := rng.NewXoshiro256(uint64(capacity) + 101)
+			inserted := make([]uint64, 0, capacity)
+			for len(inserted) < capacity {
+				k := src.Uint64()
+				if _, ok := tb.Insert(k); ok {
+					inserted = append(inserted, k)
+				}
+			}
+			if tb.LoadFactor() != 1 {
+				t.Fatalf("%v cap=%d: load factor %v", probe, capacity, tb.LoadFactor())
+			}
+			for _, k := range inserted {
+				found, probes := tb.Lookup(k)
+				if !found {
+					t.Errorf("%v cap=%d: stored key reported absent at full load", probe, capacity)
+				}
+				if probes > capacity {
+					t.Errorf("%v cap=%d: successful lookup used %d probes", probe, capacity, probes)
+				}
+			}
+			for i := 0; i < 50; i++ {
+				found, probes := tb.Lookup(src.Uint64())
+				if found {
+					t.Errorf("%v cap=%d: phantom key found", probe, capacity)
+				}
+				if probes > capacity {
+					t.Errorf("%v cap=%d: full-table miss used %d probes", probe, capacity, probes)
+				}
+			}
+			// Inserting into the full table must still recognize residents.
+			if _, ok := tb.Insert(inserted[0]); !ok {
+				t.Errorf("%v cap=%d: insert of resident key on full table reported false", probe, capacity)
+			}
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"repro/internal/ancestry"
 	"repro/internal/bloom"
 	"repro/internal/choice"
+	"repro/internal/cmap"
 	"repro/internal/core"
 	"repro/internal/cuckoo"
 	"repro/internal/fluid"
@@ -268,6 +269,24 @@ const (
 
 // NewMCHTable returns an empty multiple-choice hash table.
 func NewMCHTable(cfg MCHConfig) *MCHTable { return mchtable.New(cfg) }
+
+// Concurrent sharded multiple-choice map API. CMap is the only type in
+// this library that is safe for concurrent use by multiple goroutines:
+// one SipHash digest per key routes to a shard (high bits) and derives
+// the d double-hashed candidate buckets inside it (remaining bits), so
+// the whole map keeps the paper's one-hash discipline while writers on
+// different shards never contend.
+type (
+	// CMap is a concurrency-safe sharded multiple-choice hash map.
+	CMap = cmap.Map
+	// CMapConfig declares a CMap.
+	CMapConfig = cmap.Config
+	// CMapStats is an occupancy/overflow snapshot aggregated across shards.
+	CMapStats = cmap.Stats
+)
+
+// NewCMap returns an empty concurrency-safe sharded multiple-choice map.
+func NewCMap(cfg CMapConfig) *CMap { return cmap.New(cfg) }
 
 // Keyed-hashing API for mapping real byte-string items to candidate bins.
 type (
