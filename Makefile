@@ -5,8 +5,9 @@ GO ?= go
 BENCH_OUT ?= bench.out
 BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
+FUZZ_TIME ?= 20s
 
-.PHONY: all build vet test race check bench bench-smoke clean
+.PHONY: all build vet test race check bench bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -19,9 +20,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass; required for internal/cmap (concurrent shard locks).
-# Kept out of `check` so the default target stays fast — CI runs it as its
-# own job, and it re-executes the same suite `test` already covers.
+# Race-detector pass; required for internal/cmap (concurrent shard locks
+# and the resize hand-off race test, TestRaceResizeHandoff). Kept out of
+# `check` so the default target stays fast — CI runs it as its own job,
+# and it re-executes the same suite `test` already covers.
 race:
 	$(GO) test -race ./...
 
@@ -34,6 +36,14 @@ bench:
 # Fast smoke pass over the hot-path benchmarks (used by CI).
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Place|GeneratorCost|GeneratorBatchCost' -benchmem -benchtime 100x .
+
+# Differential fuzz smoke (used by CI): each op-sequence fuzz target runs
+# against the shared shadow-map oracle for FUZZ_TIME. `go test -fuzz`
+# accepts one target per invocation, hence one line per package.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzCMapOps$$' -fuzztime $(FUZZ_TIME) ./internal/cmap
+	$(GO) test -run '^$$' -fuzz '^FuzzCuckooOps$$' -fuzztime $(FUZZ_TIME) ./internal/cuckoo
+	$(GO) test -run '^$$' -fuzz '^FuzzOpenAddrOps$$' -fuzztime $(FUZZ_TIME) ./internal/openaddr
 
 clean:
 	rm -f $(BENCH_OUT)

@@ -2,21 +2,29 @@
 // hash map (internal/cmap) with a mixed Put/Get/Delete workload across
 // many goroutines and reports throughput plus the occupancy statistics
 // the paper's load tables predict: ops/sec, per-shard skew, stash
-// pressure and the aggregated bucket-load histogram.
+// pressure, resize progress and the aggregated bucket-load histogram.
 //
-// Two knobs shape the contention profile:
+// Knobs shaping the contention and growth profile:
 //
-//	-keys  size of the key space (smaller = hotter keys, more same-shard
-//	       lock traffic and update-in-place)
-//	-read  fraction of operations that are Gets (reads share a shard's
-//	       RWMutex, so high read fractions scale with GOMAXPROCS)
+//	-keys   size of the key space (smaller = hotter keys, more same-shard
+//	        lock traffic and update-in-place)
+//	-read   fraction of operations that are Gets (reads share a shard's
+//	        RWMutex, so high read fractions scale with GOMAXPROCS)
+//	-grow   max load factor: shards crossing it double online, migrating
+//	        entries in -migrate-batch steps piggybacked on writes
+//	-drain  background goroutine driving migration even when writes idle
+//	-verify disjoint per-worker key spaces + shadow maps; the run fails
+//	        if any key is lost, duplicated or corrupted (a correctness
+//	        mode: its op mix differs from the contended benchmark, so
+//	        read its Mops/sec as indicative only)
 //
 // Examples:
 //
 //	loadgen                                  # defaults: 16 shards, 75% reads
-//	loadgen -workers 32 -read 0             # pure write storm
-//	loadgen -keys 1024 -shards 4            # hot-key shard contention
-//	loadgen -shards 1                       # single-lock baseline
+//	loadgen -workers 32 -read 0              # pure write storm
+//	loadgen -keys 1024 -shards 4             # hot-key shard contention
+//	loadgen -buckets 256 -grow 0.75 -verify  # live growth crossing the
+//	                                         # watermark mid-stream, checked
 package main
 
 import (
@@ -31,20 +39,25 @@ import (
 	"repro/internal/cmap"
 	"repro/internal/rng"
 	"repro/internal/table"
+	"repro/internal/testutil"
 )
 
 func main() {
 	var (
 		shards  = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
-		buckets = flag.Int("buckets", 1<<12, "buckets per shard")
+		buckets = flag.Int("buckets", 1<<12, "initial buckets per shard")
 		slots   = flag.Int("slots", 4, "slots per bucket")
 		d       = flag.Int("d", 3, "candidate buckets per key")
 		stash   = flag.Int("stash", 32, "overflow stash capacity per shard")
 		workers = flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
 		ops     = flag.Int("ops", 2_000_000, "total operations across all workers")
-		keys    = flag.Int("keys", 0, "key-space size (0 = 75% of slot capacity)")
+		keys    = flag.Int("keys", 0, "key-space size (0 = 75% of initial slot capacity)")
 		read    = flag.Float64("read", 0.75, "fraction of ops that are Gets")
 		del     = flag.Float64("delete", 0.05, "fraction of ops that are Deletes")
+		grow    = flag.Float64("grow", 0, "max load factor enabling online resize (0 = fixed capacity)")
+		batch   = flag.Int("migrate-batch", 32, "entries migrated per Put/Delete during a resize")
+		bg      = flag.Bool("drain", false, "run a background migration drainer alongside the workers")
+		verify  = flag.Bool("verify", false, "per-worker shadow maps; fail on any lost/duplicated/corrupted key")
 		seed    = flag.Uint64("seed", 1, "base random seed")
 	)
 	flag.Parse()
@@ -56,6 +69,9 @@ func main() {
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
 	}
+	if *batch == 0 {
+		*batch = 32 // cmap's documented default; MigrateStep rejects n <= 0
+	}
 	capacity := *shards * *buckets * *slots
 	if *keys == 0 {
 		*keys = int(0.75 * float64(capacity))
@@ -64,48 +80,115 @@ func main() {
 	m := cmap.New(cmap.Config{
 		Shards: *shards, BucketsPerShard: *buckets, SlotsPerBucket: *slots,
 		D: *d, Seed: *seed, StashPerShard: *stash,
+		MaxLoadFactor: *grow, MigrateBatch: *batch,
 	})
 	fmt.Printf("cmap: %d shards × %d buckets × %d slots (capacity %d), d=%d, one SipHash per op\n",
 		m.Shards(), *buckets, *slots, capacity, *d)
-	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put)\n\n",
-		*ops, *workers, *keys, *read*100, *del*100, (1-*read-*del)*100)
+	if *grow > 0 {
+		fmt.Printf("online resize: watermark %.2f, migrate batch %d, background drainer %v\n", *grow, *batch, *bg)
+	}
+	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put), verify %v\n\n",
+		*ops, *workers, *keys, *read*100, *del*100, (1-*read-*del)*100, *verify)
 
-	var rejected atomic.Int64
-	perWorker := *ops / *workers
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			src := rng.NewXoshiro256(rng.Mix64(*seed + uint64(w)*0x9E3779B97F4A7C15))
-			keySpace := uint64(*keys)
-			for i := 0; i < perWorker; i++ {
-				k := 1 + src.Uint64()%keySpace
-				switch p := rng.Float64(src); {
-				case p < *read:
-					m.Get(k)
-				case p < *read+*del:
-					m.Delete(k)
-				default:
-					if !m.Put(k, uint64(i)) {
-						rejected.Add(1)
-					}
+	// Optional background drainer: migration progresses even when the
+	// write mix is too read-heavy to piggyback it quickly. Pointless (and
+	// pure lock traffic) with resize disabled, so it needs -grow too.
+	var stopDrain atomic.Bool
+	var drainWG sync.WaitGroup
+	if *bg && *grow > 0 {
+		drainWG.Add(1)
+		go func() {
+			defer drainWG.Done()
+			for !stopDrain.Load() {
+				if m.MigrateStep(*batch) == 0 {
+					// Idle: no shard is resizing. Sleep rather than spin so
+					// the drainer doesn't perturb the numbers it exists to
+					// protect.
+					time.Sleep(100 * time.Microsecond)
 				}
 			}
-		}(w)
+		}()
 	}
-	wg.Wait()
+
+	var rejectedCount atomic.Int64
+	perWorker := *ops / *workers
+	perKeys := uint64(*keys / *workers)
+	if perKeys == 0 {
+		perKeys = 1
+	}
+	start := time.Now()
+	var elapsedOverride time.Duration
+	var res testutil.ConcurrentResult
+	if *verify {
+		// The shared concurrent differential oracle (internal/testutil, the
+		// same harness the cmap race tests use): disjoint per-worker key
+		// spaces, per-worker shadow maps, a final lost/corrupted sweep and
+		// the Len-vs-shadows duplication check. Finalize drains any
+		// in-flight migration so the sweep runs on the final geometry.
+		res = testutil.RunConcurrent(m, testutil.ConcurrentOptions{
+			Workers: *workers, OpsPerWorker: perWorker, KeysPerWorker: perKeys,
+			GetFrac: *read, DeleteFrac: *del, Seed: *seed,
+			Finalize: func() {
+				for m.MigrateStep(*batch) > 0 {
+				}
+			},
+		})
+		rejectedCount.Store(res.Rejected)
+		// Time the worker phase only (drain + sweep excluded). Note that
+		// -verify still measures a different workload than an unverified
+		// run: key spaces are disjoint per worker (no cross-worker hot-key
+		// contention) and every op pays shadow-map bookkeeping, so treat
+		// its Mops/sec as indicative, not as the contention benchmark.
+		elapsedOverride = res.WorkDuration
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < *workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				src := rng.NewXoshiro256(rng.Mix64(*seed + uint64(w)*0x9E3779B97F4A7C15))
+				keySpace := uint64(*keys)
+				for i := 0; i < perWorker; i++ {
+					k := 1 + src.Uint64()%keySpace
+					switch p := rng.Float64(src); {
+					case p < *read:
+						m.Get(k)
+					case p < *read+*del:
+						m.Delete(k)
+					default:
+						if !m.Put(k, uint64(i)) {
+							rejectedCount.Add(1)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 	elapsed := time.Since(start)
+	if elapsedOverride > 0 {
+		elapsed = elapsedOverride
+	}
+	stopDrain.Store(true)
+	drainWG.Wait()
 
 	done := perWorker * *workers
 	fmt.Printf("%d ops in %v  →  %.2f Mops/sec (GOMAXPROCS=%d)\n",
 		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds()/1e6, runtime.GOMAXPROCS(0))
-	if r := rejected.Load(); r > 0 {
+	if r := rejectedCount.Load(); r > 0 {
 		fmt.Printf("rejected puts (all candidates + stash full): %d\n", r)
 	}
 
 	st := m.Stats()
+	if st.Resizes > 0 || st.Migrating > 0 {
+		pending := st.Migrating
+		for m.MigrateStep(1024) > 0 {
+		}
+		st = m.Stats()
+		fmt.Printf("\nresizes completed: %d, capacity %d → %d slots, %d entries were still mid-migration at finish (drained to %d)\n",
+			st.Resizes, capacity, st.Capacity, pending, st.Migrating)
+	}
+
 	fmt.Printf("\noccupancy %.3f  (%d pairs / %d slots), stash %d, shard len min/max %d/%d\n",
 		st.Occupancy, st.Len, st.Capacity, st.Stashed, st.MinShardLen, st.MaxShardLen)
 
@@ -115,4 +198,17 @@ func main() {
 		tw.AddRow(fmt.Sprint(v), fmt.Sprint(st.BucketLoads.Count(v)), table.Prob(st.BucketLoads.Fraction(v)))
 	}
 	fmt.Print(tw.String())
+
+	if *verify {
+		duplicated := res.LenDelta // a pair resident in both geometries inflates Len
+		if duplicated < 0 {
+			duplicated = 0
+		}
+		fmt.Printf("\nverify: %d lost, %d duplicated, %d corrupted, %d mid-run divergences (%d live keys checked)\n",
+			res.Lost, duplicated, res.Corrupted, res.Divergences, res.LiveKeys)
+		if err := res.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "VERIFY FAILED:", err)
+			os.Exit(1)
+		}
+	}
 }

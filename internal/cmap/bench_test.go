@@ -70,6 +70,54 @@ func BenchmarkCMapGetParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkCMapGetMigration pins the resize acceptance criterion that
+// reads see no blocking cliff during migration: "mid" drives parallel
+// Gets on a map whose shards all have a nearly untouched resize backlog
+// (reads probe both geometries but never migrate), "steady" is the same
+// data in the identical final geometry with no resize in flight. The two
+// must stay within the same order of magnitude.
+func BenchmarkCMapGetMigration(b *testing.B) {
+	const (
+		shards  = 16
+		buckets = 1 << 10
+		slots   = 4
+		d       = 3
+	)
+	target := shards * buckets * slots * 4 / 5
+	fill := func(m *Map) {
+		for k := 1; k <= target; k++ {
+			m.Put(uint64(k), uint64(k))
+		}
+	}
+	run := func(b *testing.B, m *Map) {
+		b.RunParallel(func(pb *testing.PB) {
+			src := rng.NewXoshiro256(benchSeed.Add(1) * 0x9E3779B97F4A7C15)
+			for pb.Next() {
+				m.Get(1 + src.Uint64()%uint64(target))
+			}
+		})
+	}
+	b.Run("mid-migration", func(b *testing.B) {
+		// MigrateBatch 1: the fill's own piggybacked steps barely dent the
+		// backlog, so the whole benchmark runs mid-migration.
+		m := New(Config{Shards: shards, BucketsPerShard: buckets, SlotsPerBucket: slots,
+			D: d, Seed: 42, StashPerShard: 64, MaxLoadFactor: 0.75, MigrateBatch: 1})
+		fill(m)
+		if st := m.Stats(); st.Migrating < target/2 {
+			b.Fatalf("only %d of %d entries pending; shards are not mid-migration", st.Migrating, target)
+		}
+		b.ResetTimer()
+		run(b, m)
+	})
+	b.Run("steady", func(b *testing.B) {
+		m := New(Config{Shards: shards, BucketsPerShard: 2 * buckets, SlotsPerBucket: slots,
+			D: d, Seed: 42, StashPerShard: 64})
+		fill(m)
+		b.ResetTimer()
+		run(b, m)
+	})
+}
+
 // BenchmarkSyncMapPutParallel is the standard-library baseline for the
 // same workloads. sync.Map allocates per store and gives no occupancy
 // control or load statistics; it is the generality-for-structure

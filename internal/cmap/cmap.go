@@ -15,9 +15,31 @@
 // follow-up analysis), so stash overflow can be provisioned from the
 // paper's tables exactly as in the single-threaded table.
 //
-// Candidate derivation (the hash and the (f, g) expansion) happens outside
-// the shard lock; only the bucket probe itself is locked. Gets take the
-// shard's read lock, so read-heavy workloads scale with GOMAXPROCS.
+// # Online incremental resize
+//
+// With MaxLoadFactor set, a shard whose occupancy crosses the watermark
+// (or whose stash comes under pressure) allocates a doubled-bucket-count
+// core and migrates entries over in MigrateBatch-sized steps piggybacked
+// on subsequent Put and Delete calls (or driven externally through
+// MigrateStep). Each entry's in-shard digest is stored alongside it, so
+// migration re-derives candidates for the doubled geometry from the same
+// single SipHash evaluation — resize is a pure re-placement, no key is
+// ever re-hashed, and the one-hash discipline survives every doubling
+// (double hashing behaves fully-random at any table shape, per the
+// follow-up analysis). Mid-migration, reads consult the old geometry
+// first and the new one second, so no key is ever unreachable; writes land
+// in the new geometry, moving a still-old-resident key across as a free
+// migration step. Shards resize independently: one shard's migration
+// never blocks another shard's traffic, and a Get never performs
+// migration work (reads take the shard's read lock and migrate nothing —
+// though, as with any write, a read can wait behind an in-flight batch
+// step, bounded by MigrateBatch).
+//
+// The SipHash evaluation always happens outside the shard lock. With
+// resize enabled, the cheap geometry-dependent candidate expansion moves
+// under the lock, because a doubling may change the shard's bucket count
+// at any write; with resize disabled the geometry is immutable and the
+// expansion stays outside the lock too (the original hot path).
 package cmap
 
 import (
@@ -32,38 +54,55 @@ import (
 )
 
 // maxD bounds the candidate count so per-call candidate sets fit in a
-// stack array (no allocation, no shared scratch, lock-free derivation).
+// stack array (no allocation, no shared scratch).
 const maxD = 16
 
 // Config declares a sharded map.
 type Config struct {
 	Shards          int    // shard count, rounded up to a power of two; 0 means 16
-	BucketsPerShard int    // buckets per shard (required, > 0)
+	BucketsPerShard int    // initial buckets per shard (required, > 0)
 	SlotsPerBucket  int    // slots per bucket (required, > 0)
 	D               int    // candidate buckets per key (required, 0 < D <= 16)
 	Seed            uint64 // hash key material
 	StashPerShard   int    // per-shard overflow stash capacity; 0 means 32
+
+	// MaxLoadFactor enables online resize: a shard whose occupancy
+	// (stored pairs, stash included, over slot capacity) exceeds this
+	// watermark doubles its bucket count and migrates incrementally. 0
+	// disables resize (the map is fixed-capacity and rejects overflow,
+	// the pre-resize behaviour); otherwise it must lie in (0, 1].
+	MaxLoadFactor float64
+	// MigrateBatch is the number of entries each Put or Delete migrates
+	// as a piggybacked resize step; 0 means 32 when resize is enabled.
+	MigrateBatch int
 }
 
-// shard is one lockable placement core. The trailing pad keeps adjacent
-// shards' mutexes off one cache line, so uncontended shards do not
-// false-share.
+// shard is one lockable placement core plus its geometry. The deriver
+// pair is part of the locked state: deriver matches the core's current
+// bucket count, nextDeriver the doubled geometry while a resize is in
+// flight. The trailing pad keeps adjacent shards' mutexes off one cache
+// line, so uncontended shards do not false-share.
 type shard struct {
-	mu      sync.RWMutex
-	core    *mchtable.Core
-	scratch []uint32           // drain-path candidates; guarded by mu (write side)
-	candsOf func(uint64) []uint32 // drain-path derivation, built once in New
-	_       [64]byte
+	mu          sync.RWMutex
+	core        *mchtable.Core
+	deriver     *hashes.Deriver
+	nextDeriver *hashes.Deriver
+	candsOf     func(tag uint64) []uint32 // current-geometry drain derivation
+	newCandsOf  func(tag uint64) []uint32 // new-geometry drain/migrate derivation
+	scratch     []uint32                  // candsOf target; guarded by mu (write side)
+	newScratch  []uint32                  // newCandsOf target; guarded by mu (write side)
+	_           [64]byte
 }
 
 // Map is the sharded multiple-choice hash map. It is safe for concurrent
 // use by multiple goroutines.
 type Map struct {
-	shardBits int
-	d         int
-	sipKey    hashes.SipKey
-	deriver   *hashes.Deriver // shared: all shards have the same bucket count
-	shards    []shard
+	shardBits    int
+	d            int
+	sipKey       hashes.SipKey
+	maxLoad      float64
+	migrateBatch int
+	shards       []shard
 }
 
 // New returns an empty map. It panics on invalid configuration.
@@ -88,21 +127,37 @@ func New(cfg Config) *Map {
 	if cfg.StashPerShard == 0 {
 		cfg.StashPerShard = 32
 	}
-	m := &Map{
-		shardBits: shardBits,
-		d:         cfg.D,
-		sipKey:    hashes.SipKeyFromSeed(cfg.Seed),
-		deriver:   hashes.NewDeriver(cfg.BucketsPerShard),
-		shards:    make([]shard, shards),
+	if cfg.MaxLoadFactor < 0 || cfg.MaxLoadFactor > 1 {
+		panic(fmt.Sprintf("cmap: MaxLoadFactor = %v outside [0, 1]", cfg.MaxLoadFactor))
 	}
+	if cfg.MigrateBatch < 0 {
+		panic(fmt.Sprintf("cmap: MigrateBatch = %d", cfg.MigrateBatch))
+	}
+	if cfg.MigrateBatch == 0 {
+		cfg.MigrateBatch = 32
+	}
+	m := &Map{
+		shardBits:    shardBits,
+		d:            cfg.D,
+		sipKey:       hashes.SipKeyFromSeed(cfg.Seed),
+		maxLoad:      cfg.MaxLoadFactor,
+		migrateBatch: cfg.MigrateBatch,
+		shards:       make([]shard, shards),
+	}
+	deriver := hashes.NewDeriver(cfg.BucketsPerShard) // shared until a shard resizes
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.core = mchtable.NewCore(cfg.BucketsPerShard, cfg.SlotsPerBucket, cfg.StashPerShard)
+		sh.deriver = deriver
 		sh.scratch = make([]uint32, cfg.D)
-		sh.candsOf = func(key uint64) []uint32 {
-			_, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
-			m.deriver.CandidateBins(inShard, sh.scratch)
+		sh.newScratch = make([]uint32, cfg.D)
+		sh.candsOf = func(tag uint64) []uint32 {
+			sh.deriver.CandidateBins(tag, sh.scratch)
 			return sh.scratch
+		}
+		sh.newCandsOf = func(tag uint64) []uint32 {
+			sh.nextDeriver.CandidateBins(tag, sh.newScratch)
+			return sh.newScratch
 		}
 	}
 	return m
@@ -115,51 +170,188 @@ func (m *Map) digest(key uint64) uint64 {
 	return hashes.SipHash24(m.sipKey, buf[:])
 }
 
-// route derives everything one operation needs — the shard and the d
-// candidate buckets inside it — from one digest, without touching any
-// lock. cands must have capacity d.
-func (m *Map) route(key uint64, cands []uint32) *shard {
+// route returns the key's shard and in-shard digest — everything derived
+// from one SipHash evaluation, without touching any lock. The in-shard
+// digest is also the entry's stored tag: candidate buckets for any
+// geometry derive from it.
+func (m *Map) route(key uint64) (*shard, uint64) {
 	idx, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
-	m.deriver.CandidateBins(inShard, cands)
-	return &m.shards[idx]
+	return &m.shards[idx], inShard
+}
+
+// startResizeLocked begins doubling sh. Caller holds sh.mu.
+func (m *Map) startResizeLocked(sh *shard) {
+	newBuckets := 2 * sh.core.Buckets()
+	sh.nextDeriver = hashes.NewDeriver(newBuckets)
+	sh.core.StartResize(newBuckets)
+}
+
+// wantsResizeLocked reports whether sh has crossed the growth watermark:
+// occupancy past MaxLoadFactor, or the overflow stash three-quarters
+// full (stash pressure precedes rejections well below the watermark on
+// unlucky shards). Caller holds sh.mu.
+func (m *Map) wantsResizeLocked(sh *shard) bool {
+	if m.maxLoad == 0 || sh.core.Resizing() {
+		return false
+	}
+	if sh.core.Occupancy() > m.maxLoad {
+		return true
+	}
+	return 4*sh.core.StashLen() >= 3*sh.core.StashCap()
+}
+
+// migrateLocked advances sh's in-flight resize by up to n units of
+// migration work (entries moved or empty old buckets swept — the bound
+// keeps the lock-hold O(n)), promoting the new geometry when the backlog
+// empties. Caller holds sh.mu. Returns the work performed.
+func (m *Map) migrateLocked(sh *shard, n int) int {
+	if !sh.core.Resizing() {
+		return 0
+	}
+	moved := sh.core.Migrate(n, sh.newCandsOf)
+	if !sh.core.Resizing() { // promoted: the doubled geometry is current
+		sh.deriver = sh.nextDeriver
+		sh.nextDeriver = nil
+	}
+	return moved
 }
 
 // Put stores key → val, updating in place if key is present. It reports
-// whether the pair is stored; false means every candidate bucket and the
-// shard's stash were full (the insertion is rejected, map unchanged).
+// whether the pair is stored; false means the insertion was rejected with
+// the map unchanged. With resize disabled that happens whenever every
+// candidate bucket and the shard's stash are full; with MaxLoadFactor set
+// a rejection instead starts the shard's resize and retries into the
+// doubled geometry, so false becomes rare but remains possible while a
+// migration is already in flight and the new geometry's candidates and
+// stash are themselves full (a second doubling cannot start until the
+// first completes). Every Put on a resizing shard migrates up to
+// MigrateBatch entries.
 func (m *Map) Put(key, val uint64) bool {
-	var buf [maxD]uint32
-	cands := buf[:m.d]
-	sh := m.route(key, cands)
+	var oldBuf, newBuf [maxD]uint32
+	sh, tag := m.route(key)
+	oldCands := oldBuf[:m.d]
+	if m.maxLoad == 0 {
+		// Fixed geometry: the shared deriver is immutable, so candidate
+		// expansion stays outside the lock (the pre-resize hot path).
+		sh.deriver.CandidateBins(tag, oldCands)
+		sh.mu.Lock()
+		ok := sh.core.Put(oldCands, key, val, tag)
+		sh.mu.Unlock()
+		return ok
+	}
 	sh.mu.Lock()
-	ok := sh.core.Put(cands, key, val)
+	sh.deriver.CandidateBins(tag, oldCands)
+	var ok bool
+	if sh.core.Resizing() {
+		newCands := newBuf[:m.d]
+		sh.nextDeriver.CandidateBins(tag, newCands)
+		ok = sh.core.PutDual(oldCands, newCands, key, val, tag)
+	} else {
+		ok = sh.core.Put(oldCands, key, val, tag)
+		if !ok || m.wantsResizeLocked(sh) {
+			// Watermark crossed — or the fixed geometry rejected the pair
+			// outright, which forces growth regardless of occupancy.
+			m.startResizeLocked(sh)
+			if !ok {
+				newCands := newBuf[:m.d]
+				sh.nextDeriver.CandidateBins(tag, newCands)
+				ok = sh.core.PutDual(oldCands, newCands, key, val, tag)
+			}
+		}
+	}
+	m.migrateLocked(sh, m.migrateBatch)
 	sh.mu.Unlock()
 	return ok
 }
 
 // Get returns the value stored for key. Concurrent readers of one shard
-// proceed in parallel (read lock).
+// proceed in parallel (read lock), and a Get never migrates — reads stay
+// cliff-free while a resize is in flight, at the cost of probing both
+// geometries (old first, so no key is ever unreachable mid-migration).
 func (m *Map) Get(key uint64) (uint64, bool) {
-	var buf [maxD]uint32
-	cands := buf[:m.d]
-	sh := m.route(key, cands)
+	var oldBuf, newBuf [maxD]uint32
+	sh, tag := m.route(key)
+	oldCands := oldBuf[:m.d]
+	if m.maxLoad == 0 {
+		sh.deriver.CandidateBins(tag, oldCands) // immutable geometry: no lock needed
+		sh.mu.RLock()
+		v, ok := sh.core.Get(oldCands, key)
+		sh.mu.RUnlock()
+		return v, ok
+	}
 	sh.mu.RLock()
-	v, ok := sh.core.Get(cands, key)
+	sh.deriver.CandidateBins(tag, oldCands)
+	var v uint64
+	var ok bool
+	if sh.core.Resizing() {
+		newCands := newBuf[:m.d]
+		sh.nextDeriver.CandidateBins(tag, newCands)
+		v, ok = sh.core.GetDual(oldCands, newCands, key)
+	} else {
+		v, ok = sh.core.Get(oldCands, key)
+	}
 	sh.mu.RUnlock()
 	return v, ok
 }
 
 // Delete removes key, reporting whether it was present. Freeing a bucket
 // slot drains the shard's stash back into the freed bucket, as in the
-// single-threaded table.
+// single-threaded table. Like Put, a Delete migrates up to MigrateBatch
+// entries of an in-flight resize.
 func (m *Map) Delete(key uint64) bool {
-	var buf [maxD]uint32
-	cands := buf[:m.d]
-	sh := m.route(key, cands)
+	var oldBuf, newBuf [maxD]uint32
+	sh, tag := m.route(key)
+	oldCands := oldBuf[:m.d]
+	if m.maxLoad == 0 {
+		sh.deriver.CandidateBins(tag, oldCands) // immutable geometry: no lock needed
+		sh.mu.Lock()
+		ok := sh.core.Delete(oldCands, key, sh.candsOf)
+		sh.mu.Unlock()
+		return ok
+	}
 	sh.mu.Lock()
-	ok := sh.core.Delete(cands, key, sh.candsOf)
+	sh.deriver.CandidateBins(tag, oldCands)
+	var ok bool
+	if sh.core.Resizing() {
+		newCands := newBuf[:m.d]
+		sh.nextDeriver.CandidateBins(tag, newCands)
+		ok = sh.core.DeleteDual(oldCands, newCands, key, sh.newCandsOf)
+	} else {
+		ok = sh.core.Delete(oldCands, key, sh.candsOf)
+	}
+	m.migrateLocked(sh, m.migrateBatch)
 	sh.mu.Unlock()
 	return ok
+}
+
+// MigrateStep advances every shard's in-flight resize by up to n units
+// of migration work per shard (entries moved or empty old buckets swept),
+// returning the total work performed (0 when no shard has anything left
+// to migrate). Piggybacked migration on Put and Delete already drives
+// resizes to completion under write traffic; MigrateStep is for a
+// background drainer (see cmd/loadgen) or for finishing a migration on a
+// now-idle map.
+func (m *Map) MigrateStep(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("cmap: MigrateStep n = %d", n))
+	}
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		// Peek under the read lock so idle shards cost readers nothing; a
+		// resize finishing between the two locks just makes migrateLocked
+		// a no-op.
+		sh.mu.RLock()
+		resizing := sh.core.Resizing()
+		sh.mu.RUnlock()
+		if !resizing {
+			continue
+		}
+		sh.mu.Lock()
+		total += m.migrateLocked(sh, n)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 // Shards returns the shard count (a power of two).
@@ -183,16 +375,18 @@ func (m *Map) Len() int {
 }
 
 // Stats is an occupancy/overflow snapshot aggregated across shards — the
-// monitoring view: overall fill, stash pressure, shard skew, and the
-// bucket-load histogram the paper's tables predict.
+// monitoring view: overall fill, stash pressure, shard skew, resize
+// progress, and the bucket-load histogram the paper's tables predict.
 type Stats struct {
 	Shards      int        // shard count
 	Len         int        // stored pairs, stash included
-	Capacity    int        // total bucket-slot capacity
+	Capacity    int        // total bucket-slot capacity (both geometries mid-resize)
 	Stashed     int        // stashed pairs across all shards
 	Occupancy   float64    // Len / Capacity
 	MinShardLen int        // least-loaded shard's pair count
 	MaxShardLen int        // most-loaded shard's pair count
+	Resizes     int        // completed shard resizes since New
+	Migrating   int        // entries still awaiting migration in resizing shards
 	BucketLoads stats.Hist // occupied-slots-per-bucket histogram, all shards
 }
 
@@ -208,6 +402,8 @@ func (m *Map) Stats() Stats {
 		st.Len += n
 		st.Capacity += sh.core.Capacity()
 		st.Stashed += sh.core.StashLen()
+		st.Resizes += sh.core.Resizes()
+		st.Migrating += sh.core.Pending()
 		sh.core.AddBucketLoads(&st.BucketLoads)
 		sh.mu.RUnlock()
 		if i == 0 || n < st.MinShardLen {

@@ -8,7 +8,67 @@ import (
 	"repro/internal/mchtable"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/testutil"
 )
+
+func TestDifferentialOpSequences(t *testing.T) {
+	// The shared differential harness is the oracle for op-sequence
+	// behaviour, in both regimes: fixed capacity (overflow must reject,
+	// the map otherwise unchanged) and online resize (growth and
+	// incremental migration must never lose, duplicate or corrupt a key).
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		ops  int
+		keys uint64
+	}{
+		{
+			name: "fixed/tiny-rejecting",
+			cfg:  Config{Shards: 1, BucketsPerShard: 8, SlotsPerBucket: 1, D: 2, Seed: 3, StashPerShard: 2},
+			ops:  20000, keys: 64,
+		},
+		{
+			name: "fixed/stash-churn",
+			cfg:  Config{Shards: 2, BucketsPerShard: 16, SlotsPerBucket: 2, D: 3, Seed: 5, StashPerShard: 8},
+			ops:  30000, keys: 96,
+		},
+		{
+			name: "resize/batch-1",
+			cfg: Config{Shards: 2, BucketsPerShard: 8, SlotsPerBucket: 2, D: 3, Seed: 7,
+				StashPerShard: 4, MaxLoadFactor: 0.75, MigrateBatch: 1},
+			ops: 30000, keys: 2048,
+		},
+		{
+			name: "resize/batch-default",
+			cfg: Config{Shards: 4, BucketsPerShard: 8, SlotsPerBucket: 4, D: 3, Seed: 9,
+				StashPerShard: 8, MaxLoadFactor: 0.85},
+			ops: 30000, keys: 4096,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New(tc.cfg)
+			ops := testutil.RandomOps(tc.ops, tc.keys, 0.55, 0.15, tc.cfg.Seed)
+			opt := testutil.Options{TrackValues: true, Finalize: func() {
+				for m.MigrateStep(64) > 0 {
+				}
+			}}
+			if err := testutil.Run(m, ops, opt); err != nil {
+				t.Fatal(err)
+			}
+			st := m.Stats()
+			if tc.cfg.MaxLoadFactor > 0 {
+				if st.Resizes == 0 {
+					t.Fatal("growth config finished the sequence without a single resize")
+				}
+				if st.Migrating != 0 {
+					t.Fatalf("%d entries still pending after Finalize drained migrations", st.Migrating)
+				}
+			} else if st.Resizes != 0 {
+				t.Fatalf("fixed-capacity config resized %d times", st.Resizes)
+			}
+		})
+	}
+}
 
 func TestPutGetDeleteRoundTrip(t *testing.T) {
 	m := New(Config{Shards: 8, BucketsPerShard: 1 << 8, SlotsPerBucket: 4, D: 3, Seed: 1})

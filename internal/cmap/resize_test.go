@@ -1,0 +1,153 @@
+package cmap
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/testutil"
+)
+
+// drain finishes every in-flight shard migration.
+func drain(m *Map) {
+	for m.MigrateStep(256) > 0 {
+	}
+}
+
+func TestResizeLoadHistogramMatchesFreshTable(t *testing.T) {
+	// The statistical acceptance criterion for resize: migration re-derives
+	// candidates from the *same* stored digests at the doubled geometry, and
+	// the paper (with the Mitzenmacher–Thaler follow-up) says double-hashed
+	// placement is fully-random-equivalent at every table shape — so a map
+	// that grew online under churn must be chi-square-indistinguishable
+	// from a map built fresh at the final geometry. A systematic skew here
+	// would mean re-derived candidates are not as good as fresh ones.
+	const (
+		shards    = 4
+		buckets   = 256 // initial; doubles once to 512
+		slots     = 4
+		d         = 3
+		perShard  = 1200 // > 0.75·1024 triggers; 1200/2048 = 0.59 < 0.75 after doubling
+		finalKeys = shards * perShard
+		watermark = 0.75
+	)
+	grown := New(Config{
+		Shards: shards, BucketsPerShard: buckets, SlotsPerBucket: slots, D: d,
+		Seed: 41, StashPerShard: 64, MaxLoadFactor: watermark, MigrateBatch: 8,
+	})
+	src := rng.NewXoshiro256(42)
+	var live []uint64
+	for grown.Len() < finalKeys {
+		// Churn while growing: 1 delete per 4 inserts, so resizes run
+		// under mixed traffic, not a pure fill.
+		if len(live) > 0 && src.Uint64()%5 == 0 {
+			i := int(src.Uint64() % uint64(len(live)))
+			if !grown.Delete(live[i]) {
+				t.Fatal("live key missing during churn")
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		k := src.Uint64()
+		if !grown.Put(k, k) {
+			t.Fatal("put rejected while growth is enabled")
+		}
+		live = append(live, k)
+	}
+	drain(grown)
+
+	gst := grown.Stats()
+	if gst.Resizes != shards {
+		t.Fatalf("want each of %d shards resized exactly once, got %d resizes", shards, gst.Resizes)
+	}
+	if gst.Migrating != 0 {
+		t.Fatalf("%d entries still migrating after drain", gst.Migrating)
+	}
+	if got := gst.BucketLoads.Total(); got != shards*2*buckets {
+		t.Fatalf("final geometry has %d buckets, want %d", got, shards*2*buckets)
+	}
+
+	// Fresh baseline: same final geometry, no resize, same occupancy.
+	fresh := New(Config{
+		Shards: shards, BucketsPerShard: 2 * buckets, SlotsPerBucket: slots, D: d,
+		Seed: 43, StashPerShard: 64,
+	})
+	for fresh.Len() < grown.Len() {
+		k := src.Uint64()
+		fresh.Put(k, k)
+	}
+
+	fst := fresh.Stats()
+	r := stats.ChiSquareHomogeneity(&gst.BucketLoads, &fst.BucketLoads, 5)
+	if r.P < 1e-4 {
+		t.Fatalf("grown vs fresh load distributions distinguishable: chi2=%.2f dof=%d p=%.2e",
+			r.Chi2, r.Dof, r.P)
+	}
+	// And the grown map must still look balanced, not one-choice: loads
+	// never exceed the slot count (overflow went to the stash, rarely).
+	if gst.BucketLoads.MaxValue() > slots {
+		t.Fatalf("bucket load %d exceeds %d slots after resize", gst.BucketLoads.MaxValue(), slots)
+	}
+}
+
+func TestRaceResizeHandoff(t *testing.T) {
+	// The resize race criterion (run under `go test -race`, which `make
+	// race` and the CI race job do): concurrent Put/Get/Delete racing
+	// in-flight migrations with a forced MigrateBatch of 1 and a background
+	// drainer, across repeated doublings. No key may be lost, duplicated or
+	// corrupted across the old/new table hand-off.
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	const (
+		perWorker     = 4000
+		keysPerWorker = 600
+	)
+	m := New(Config{
+		Shards: 2, BucketsPerShard: 16, SlotsPerBucket: 2, D: 3, Seed: 51,
+		StashPerShard: 8, MaxLoadFactor: 0.7, MigrateBatch: 1,
+	})
+
+	// Background drainer: the optional migration driver racing the
+	// piggybacked steps.
+	var stop atomic.Bool
+	var drainerDone sync.WaitGroup
+	drainerDone.Add(1)
+	go func() {
+		defer drainerDone.Done()
+		for !stop.Load() {
+			if m.MigrateStep(1) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// The shared concurrent oracle drives the workload: per-worker shadow
+	// maps over disjoint key spaces, a final lost/corrupted sweep, and the
+	// Len-vs-shadows duplication check (a pair resident in both geometries
+	// would inflate Len). Finalize drains the migration first so the sweep
+	// exercises the promoted geometry.
+	res := testutil.RunConcurrent(m, testutil.ConcurrentOptions{
+		Workers: workers, OpsPerWorker: perWorker, KeysPerWorker: keysPerWorker,
+		GetFrac: 0.25, DeleteFrac: 0.25, Seed: 7,
+		Finalize: func() { drain(m) },
+	})
+	stop.Store(true)
+	drainerDone.Wait()
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := m.Stats()
+	if st.Resizes == 0 {
+		t.Fatal("the handoff race never actually resized; shrink the initial geometry")
+	}
+	if st.Migrating != 0 {
+		t.Fatalf("%d entries still migrating after drain", st.Migrating)
+	}
+}

@@ -4,7 +4,25 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
+
+// setAdapter exposes the cuckoo table to the shared differential harness:
+// a set-only container (no deletion, no values).
+type setAdapter struct{ t *Table }
+
+func (a setAdapter) Put(key, _ uint64) bool {
+	_, ok := a.t.Insert(key)
+	return ok
+}
+
+func (a setAdapter) Get(key uint64) (uint64, bool) {
+	return 0, a.t.Contains(key)
+}
+
+func (a setAdapter) Delete(uint64) bool { panic("cuckoo: no delete") }
+
+func (a setAdapter) Len() int { return a.t.Len() }
 
 func newTable(t *testing.T, capacity, d int, mode Mode, seed uint64) *Table {
 	t.Helper()
@@ -136,6 +154,23 @@ func TestMeanKicksEmptyFill(t *testing.T) {
 	var r FillResult
 	if r.MeanKicks() != 0 {
 		t.Error("empty fill mean kicks should be 0")
+	}
+}
+
+func TestDifferentialOpSequences(t *testing.T) {
+	// The shared differential harness is the oracle for op-sequence
+	// behaviour: membership matches a shadow map even when fills push past
+	// the load threshold and kick budgets run out (where the PR 2
+	// membership-loss regression lived), under both hashing modes.
+	for _, mode := range []Mode{Independent, DoubleHashed} {
+		for _, d := range []int{2, 3} {
+			tb := newTable(t, 256, d, mode, uint64(d)*13)
+			tb.SetMaxKicks(20) // small budget so exhaustion paths run
+			ops := testutil.RandomOps(4000, 512, 0.6, 0, uint64(d)+uint64(mode))
+			if err := testutil.Run(setAdapter{tb}, ops, testutil.Options{NoDelete: true}); err != nil {
+				t.Errorf("%v d=%d: %v", mode, d, err)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,51 @@
+package cuckoo
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/testutil"
+)
+
+// FuzzCuckooOps decodes the input into a table shape and an op sequence
+// and differentially tests membership against the shadow-map oracle. Small
+// kick budgets keep the eviction-exhaustion paths (where PR 2's
+// membership-loss bug lived) in constant reach.
+func FuzzCuckooOps(f *testing.F) {
+	const keySpace = 512
+	// Corpus seed shaped like the PR 2 regression: a saturating run of
+	// distinct inserts far past the d=2 load threshold with a small kick
+	// budget, then membership probes of everything.
+	var past []testutil.Op
+	for k := uint64(1); k <= 300; k++ {
+		past = append(past, testutil.Op{Kind: testutil.OpPut, Key: k, Val: 0})
+	}
+	for k := uint64(1); k <= 300; k++ {
+		past = append(past, testutil.Op{Kind: testutil.OpGet, Key: k})
+	}
+	encoded := testutil.EncodeOps(past, keySpace)
+	f.Add(append([]byte{0, 0}, encoded...))
+	f.Add(append([]byte{1, 3}, encoded...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		hdr, body := data[:2], data[2:]
+		// Bound work per exec: saturated-table inserts walk up to maxKicks
+		// evictions each, so huge fuzzer-grown inputs would crater exec
+		// throughput without covering anything new.
+		if len(body) > 16<<10 {
+			body = body[:16<<10]
+		}
+		capacity := 32 << (hdr[0] % 4) // 32..256
+		d := 2 + int(hdr[0]>>4%2)
+		mode := Mode(hdr[1] % 2)
+		seed := uint64(hdr[1])
+		tb := New(capacity, d, mode, seed, rng.NewXoshiro256(seed^0xFABC))
+		tb.SetMaxKicks(1 + int(hdr[1]>>2%32))
+		err := testutil.Run(setAdapter{tb}, testutil.DecodeOps(body, keySpace), testutil.Options{NoDelete: true})
+		if err != nil {
+			t.Fatalf("capacity=%d d=%d %v kicks: %v", capacity, d, mode, err)
+		}
+	})
+}

@@ -7,12 +7,37 @@ import (
 	"repro/internal/stats"
 )
 
+// stashEntry is one overflowed pair plus the tag its candidates re-derive
+// from.
+type stashEntry struct {
+	key, val, tag uint64
+}
+
 // Core is the bucket/stash placement engine of the multiple-choice hash
 // table: fixed-slot buckets, least-loaded placement over caller-supplied
 // candidate buckets, and an overflow stash drained back into buckets as
 // deletes free slots. It is hashing-agnostic — callers derive each key's
 // candidate buckets themselves — so the single-threaded Table and the
 // locked shards of internal/cmap share one placement implementation.
+//
+// Every stored pair carries an opaque 64-bit tag from which the caller can
+// re-derive the pair's candidate buckets without touching the key again:
+// internal/cmap stores the in-shard SipHash digest (so candidates for a
+// new geometry come from the same single hash evaluation, the paper's
+// one-hash discipline), while Table simply stores the key. Tags are what
+// make online resize a pure re-placement: Migrate re-derives candidates
+// for the doubled geometry from stored tags, never re-hashing user keys.
+//
+// A Core optionally resizes online: StartResize allocates a second Core
+// with a different bucket count, Migrate moves entries across in small
+// batches, and the *Dual operations keep every key reachable mid-migration
+// by consulting the old geometry first and the new one second. When the
+// old side empties, the new Core is promoted in place — the *Core pointer
+// held by callers keeps working across the hand-off.
+//
+// The stash is an insertion-ordered slice rather than a map so that drain
+// and migration order — and therefore placement — is fully deterministic
+// for a fixed op sequence.
 //
 // A Core is not safe for concurrent use; internal/cmap wraps each of its
 // shards' cores in a lock.
@@ -22,10 +47,19 @@ type Core struct {
 	stashCap       int
 	keys           []uint64
 	vals           []uint64
+	tags           []uint64
 	used           []bool
 	counts         []uint16 // occupied slots per bucket
-	stash          map[uint64]uint64
+	stash          []stashEntry
 	size           int
+
+	// Resize state. next is the doubled-geometry table entries migrate
+	// into; nil when no resize is in flight. Buckets [0, cursor) of the
+	// old geometry have been drained by Migrate. Resizes counts completed
+	// promotions (it survives promotion).
+	next    *Core
+	cursor  int
+	resizes int
 }
 
 // NewCore returns an empty placement core. It panics on invalid shape.
@@ -46,14 +80,20 @@ func NewCore(buckets, slotsPerBucket, stashCap int) *Core {
 		stashCap:       stashCap,
 		keys:           make([]uint64, total),
 		vals:           make([]uint64, total),
+		tags:           make([]uint64, total),
 		used:           make([]bool, total),
 		counts:         make([]uint16, buckets),
-		stash:          make(map[uint64]uint64),
 	}
 }
 
-// Buckets returns the number of buckets.
+// Buckets returns the number of buckets in the current (old) geometry.
 func (c *Core) Buckets() int { return c.buckets }
+
+// SlotsPerBucket returns the slots per bucket.
+func (c *Core) SlotsPerBucket() int { return c.slotsPerBucket }
+
+// StashCap returns the overflow stash capacity.
+func (c *Core) StashCap() int { return c.stashCap }
 
 // slot returns the flat index of bucket b, slot s.
 func (c *Core) slot(b, s int) int { return b*c.slotsPerBucket + s }
@@ -69,11 +109,55 @@ func (c *Core) findInBucket(key uint64, b int) int {
 	return -1
 }
 
+// stashFind returns the stash index of key, or -1.
+func (c *Core) stashFind(key uint64) int {
+	for i := range c.stash {
+		if c.stash[i].key == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// stashRemove deletes stash entry i, preserving the order of the rest so
+// drains stay insertion-ordered (and deterministic).
+func (c *Core) stashRemove(i int) {
+	c.stash = append(c.stash[:i], c.stash[i+1:]...)
+}
+
+// storeInBucket places the pair in a free slot of bucket b, which the
+// caller has verified exists.
+func (c *Core) storeInBucket(b int, key, val, tag uint64) {
+	for s := 0; s < c.slotsPerBucket; s++ {
+		idx := c.slot(b, s)
+		if !c.used[idx] {
+			c.used[idx] = true
+			c.keys[idx] = key
+			c.vals[idx] = val
+			c.tags[idx] = tag
+			c.counts[b]++
+			return
+		}
+	}
+	panic("mchtable: storeInBucket on a full bucket")
+}
+
 // Put stores key → val given key's candidate buckets, updating in place
-// if key is present. It reports whether the pair is stored; false means
-// every candidate bucket and the stash were full (the insertion is
-// rejected, core unchanged).
-func (c *Core) Put(cands []uint32, key, val uint64) bool {
+// if key is present. tag is the opaque value candidates re-derive from
+// (see the type comment); it is stored alongside the pair. Put reports
+// whether the pair is stored; false means every candidate bucket and the
+// stash were full (the insertion is rejected, core unchanged).
+//
+// Put addresses the current geometry only; while a resize is in flight
+// callers must use PutDual instead.
+func (c *Core) Put(cands []uint32, key, val, tag uint64) bool {
+	return c.put(cands, key, val, tag, true)
+}
+
+// put is Put with the stash capacity check optional: growth migrations
+// pass capped=false so forward progress never depends on stash headroom
+// (see Migrate).
+func (c *Core) put(cands []uint32, key, val, tag uint64, capped bool) bool {
 	// Update in place, wherever the key already lives.
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
@@ -81,53 +165,49 @@ func (c *Core) Put(cands []uint32, key, val uint64) bool {
 			return true
 		}
 	}
-	if _, ok := c.stash[key]; ok {
-		c.stash[key] = val
+	if i := c.stashFind(key); i >= 0 {
+		c.stash[i].val = val
 		return true
 	}
 	// Place in the least-loaded candidate bucket, ties to the first —
 	// exactly the balanced-allocation rule, via the engine's shared
 	// selection.
 	if best, count := engine.LeastLoadedFirst(c.counts, cands); int(count) < c.slotsPerBucket {
-		for s := 0; s < c.slotsPerBucket; s++ {
-			idx := c.slot(int(best), s)
-			if !c.used[idx] {
-				c.used[idx] = true
-				c.keys[idx] = key
-				c.vals[idx] = val
-				c.counts[best]++
-				c.size++
-				return true
-			}
-		}
+		c.storeInBucket(int(best), key, val, tag)
+		c.size++
+		return true
 	}
 	// All candidates full: stash.
-	if len(c.stash) < c.stashCap {
-		c.stash[key] = val
+	if !capped || len(c.stash) < c.stashCap {
+		c.stash = append(c.stash, stashEntry{key: key, val: val, tag: tag})
 		c.size++
 		return true
 	}
 	return false
 }
 
-// Get returns the value stored for key, given key's candidate buckets.
+// Get returns the value stored for key, given key's candidate buckets in
+// the current geometry. While a resize is in flight use GetDual.
 func (c *Core) Get(cands []uint32, key uint64) (uint64, bool) {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
 			return c.vals[idx], true
 		}
 	}
-	v, ok := c.stash[key]
-	return v, ok
+	if i := c.stashFind(key); i >= 0 {
+		return c.stash[i].val, true
+	}
+	return 0, false
 }
 
 // Delete removes key, reporting whether it was present. Freeing a bucket
-// slot triggers a stash drain: any stashed key with that bucket among its
-// candidates (recomputed through candsOf) moves back into the table, so
-// transient overflow does not pin stash capacity forever. cands must not
-// alias the buffer candsOf writes into — the drain recomputes stashed
-// keys' candidates while cands is still live.
-func (c *Core) Delete(cands []uint32, key uint64, candsOf func(key uint64) []uint32) bool {
+// slot triggers a stash drain: any stashed entry with that bucket among
+// its candidates (re-derived from its stored tag through candsOf) moves
+// back into the table, so transient overflow does not pin stash capacity
+// forever. cands must not alias the buffer candsOf writes into — the
+// drain recomputes stashed entries' candidates while cands is still live.
+// While a resize is in flight use DeleteDual.
+func (c *Core) Delete(cands []uint32, key uint64, candsOf func(tag uint64) []uint32) bool {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
 			c.used[idx] = false
@@ -137,59 +217,257 @@ func (c *Core) Delete(cands []uint32, key uint64, candsOf func(key uint64) []uin
 			return true
 		}
 	}
-	if _, ok := c.stash[key]; ok {
-		delete(c.stash, key)
+	if i := c.stashFind(key); i >= 0 {
+		c.stashRemove(i)
 		c.size--
 		return true
 	}
 	return false
 }
 
-// drainStashInto moves one stashed key whose candidate set covers bucket b
-// into b, if b has a free slot.
-func (c *Core) drainStashInto(b int, candsOf func(key uint64) []uint32) {
+// drainStashInto moves the first stashed entry (insertion order) whose
+// candidate set covers bucket b into b, if b has a free slot.
+func (c *Core) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
 	if len(c.stash) == 0 || int(c.counts[b]) >= c.slotsPerBucket {
 		return
 	}
-	for key, val := range c.stash {
-		for _, cb := range candsOf(key) {
+	for i := range c.stash {
+		for _, cb := range candsOf(c.stash[i].tag) {
 			if int(cb) != b {
 				continue
 			}
-			for s := 0; s < c.slotsPerBucket; s++ {
-				idx := c.slot(b, s)
-				if !c.used[idx] {
-					c.used[idx] = true
-					c.keys[idx] = key
-					c.vals[idx] = val
-					c.counts[b]++
-					delete(c.stash, key)
-					return
-				}
-			}
+			e := c.stash[i]
+			c.storeInBucket(b, e.key, e.val, e.tag)
+			c.stashRemove(i)
+			return
 		}
 	}
 }
 
-// Len returns the number of stored pairs (including stashed ones).
-func (c *Core) Len() int { return c.size }
+// StartResize begins an online resize to newBuckets buckets (same slots
+// per bucket and stash capacity): it allocates the new-geometry Core that
+// Migrate drains entries into. It panics if a resize is already in flight
+// or the shape is invalid. Until the resize completes, all operations must
+// go through the *Dual variants with candidates for both geometries.
+func (c *Core) StartResize(newBuckets int) {
+	if c.next != nil {
+		panic("mchtable: StartResize during an in-flight resize")
+	}
+	if newBuckets <= 0 || newBuckets == c.buckets {
+		panic(fmt.Sprintf("mchtable: resize %d -> %d buckets", c.buckets, newBuckets))
+	}
+	c.next = NewCore(newBuckets, c.slotsPerBucket, c.stashCap)
+	c.cursor = 0
+}
 
-// StashLen returns the number of stashed pairs — the overflow count.
-func (c *Core) StashLen() int { return len(c.stash) }
+// Resizing reports whether a resize is in flight.
+func (c *Core) Resizing() bool { return c.next != nil }
 
-// Capacity returns the total slot capacity (excluding the stash).
-func (c *Core) Capacity() int { return c.buckets * c.slotsPerBucket }
+// Pending returns the number of entries still stored in the old geometry
+// of an in-flight resize (0 when not resizing) — the migration backlog.
+func (c *Core) Pending() int {
+	if c.next == nil {
+		return 0
+	}
+	return c.size
+}
+
+// Resizes returns the number of completed resizes.
+func (c *Core) Resizes() int { return c.resizes }
+
+// Migrate performs up to n units of migration work — moving an entry
+// from the old geometry into the new one, or sweeping past an empty old
+// bucket — deriving each entry's new-geometry candidates from its stored
+// tag via candsOf. Sweeps count against the budget so the caller's
+// lock-hold time per call stays O(n) even on a sparse shard whose resize
+// was armed by stash pressure. It returns the work performed; 0 means
+// there is nothing left to do or the new geometry rejected an entry.
+//
+// A growth migration (more buckets) always makes progress: an entry whose
+// new-geometry candidates are all full goes to the new stash even past
+// its capacity, so a resize can never wedge behind one unplaceable entry
+// while chained doublings are blocked — the overflow is temporary, since
+// the promoted geometry's stash pressure immediately re-arms the next
+// doubling, which re-places it. A shrink migration keeps the stash cap:
+// if the smaller geometry cannot hold the backlog, Migrate reports no
+// progress and every entry stays reachable in the old geometry rather
+// than being lost.
+//
+// When the old geometry empties, the new Core is promoted in place and
+// Resizing becomes false; the receiver pointer remains valid throughout.
+func (c *Core) Migrate(n int, candsOf func(tag uint64) []uint32) int {
+	if c.next == nil {
+		return 0
+	}
+	capped := c.next.buckets < c.buckets // only shrinks may stall
+	work := 0
+	for work < n && c.size > 0 {
+		if c.cursor < c.buckets {
+			b := c.cursor
+			if c.counts[b] == 0 {
+				c.cursor++
+				work++
+				continue
+			}
+			idx := -1
+			for s := 0; s < c.slotsPerBucket; s++ {
+				if i := c.slot(b, s); c.used[i] {
+					idx = i
+					break
+				}
+			}
+			if !c.next.put(candsOf(c.tags[idx]), c.keys[idx], c.vals[idx], c.tags[idx], capped) {
+				return work
+			}
+			c.used[idx] = false
+			c.counts[b]--
+			c.size--
+			work++
+			continue
+		}
+		// Buckets drained; move the stash back to front — deterministic
+		// and O(1) per entry, where consuming the front would memmove the
+		// remainder every step (quadratic on the oversized stashes a
+		// saturated growth migration builds).
+		e := c.stash[len(c.stash)-1]
+		if !c.next.put(candsOf(e.tag), e.key, e.val, e.tag, capped) {
+			return work
+		}
+		c.stash = c.stash[:len(c.stash)-1]
+		c.size--
+		work++
+	}
+	if c.size == 0 {
+		c.promote()
+	}
+	return work
+}
+
+// promote replaces the receiver's contents with the fully migrated
+// new-geometry Core, ending the resize. Callers' *Core pointers survive.
+func (c *Core) promote() {
+	next := c.next
+	next.resizes = c.resizes + 1
+	*c = *next
+}
+
+// GetDual is Get while a resize is in flight: the old geometry (oldCands)
+// is consulted first, then the new one (newCands), so no key is ever
+// unreachable mid-migration. With no resize in flight it is plain Get.
+func (c *Core) GetDual(oldCands, newCands []uint32, key uint64) (uint64, bool) {
+	if v, ok := c.Get(oldCands, key); ok {
+		return v, true
+	}
+	if c.next != nil {
+		return c.next.Get(newCands, key)
+	}
+	return 0, false
+}
+
+// PutDual is Put while a resize is in flight. A key still resident in the
+// old geometry is moved to the new one (insertion piggybacks migration);
+// otherwise the pair goes to the new geometry directly. If the new
+// geometry rejects the pair (all candidates and its stash full — rare,
+// since resizes grow the table) a resident key is updated in place in the
+// old geometry and a new key is rejected. It panics without a resize in
+// flight.
+func (c *Core) PutDual(oldCands, newCands []uint32, key, val, tag uint64) bool {
+	if c.next == nil {
+		panic("mchtable: PutDual without a resize in flight")
+	}
+	for _, b := range oldCands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			if c.next.Put(newCands, key, val, tag) {
+				c.used[idx] = false
+				c.counts[b]--
+				c.size--
+				return true
+			}
+			c.vals[idx] = val
+			return true
+		}
+	}
+	if i := c.stashFind(key); i >= 0 {
+		if c.next.Put(newCands, key, val, tag) {
+			c.stashRemove(i)
+			c.size--
+			return true
+		}
+		c.stash[i].val = val
+		return true
+	}
+	return c.next.Put(newCands, key, val, tag)
+}
+
+// DeleteDual is Delete while a resize is in flight: the key is removed
+// from whichever geometry holds it. Old-geometry deletions skip the stash
+// drain — stashed entries are on their way to the new geometry anyway —
+// while new-geometry deletions drain the new stash through newCandsOf. It
+// panics without a resize in flight.
+func (c *Core) DeleteDual(oldCands, newCands []uint32, key uint64, newCandsOf func(tag uint64) []uint32) bool {
+	if c.next == nil {
+		panic("mchtable: DeleteDual without a resize in flight")
+	}
+	for _, b := range oldCands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			c.used[idx] = false
+			c.counts[b]--
+			c.size--
+			return true
+		}
+	}
+	if i := c.stashFind(key); i >= 0 {
+		c.stashRemove(i)
+		c.size--
+		return true
+	}
+	return c.next.Delete(newCands, key, newCandsOf)
+}
+
+// Len returns the number of stored pairs (including stashed ones and, mid-
+// resize, pairs already migrated to the new geometry).
+func (c *Core) Len() int {
+	n := c.size
+	if c.next != nil {
+		n += c.next.size
+	}
+	return n
+}
+
+// StashLen returns the number of stashed pairs — the overflow count —
+// across both geometries mid-resize.
+func (c *Core) StashLen() int {
+	n := len(c.stash)
+	if c.next != nil {
+		n += len(c.next.stash)
+	}
+	return n
+}
+
+// Capacity returns the total slot capacity (excluding the stash). While a
+// resize is in flight both geometries' slots exist, and both count.
+func (c *Core) Capacity() int {
+	n := c.buckets * c.slotsPerBucket
+	if c.next != nil {
+		n += c.next.buckets * c.next.slotsPerBucket
+	}
+	return n
+}
 
 // Occupancy returns stored pairs divided by total slot capacity.
 func (c *Core) Occupancy() float64 {
-	return float64(c.size) / float64(c.Capacity())
+	return float64(c.Len()) / float64(c.Capacity())
 }
 
 // AddBucketLoads folds the per-bucket occupancy counts into h — the
 // quantity the paper's load tables predict. internal/cmap aggregates its
-// shards' histograms through this.
+// shards' histograms through this. Mid-resize, both geometries' buckets
+// contribute.
 func (c *Core) AddBucketLoads(h *stats.Hist) {
 	for _, n := range c.counts {
 		h.Add(int(n))
+	}
+	if c.next != nil {
+		c.next.AddBucketLoads(h)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
 
 func TestStashDrainsAfterDeletes(t *testing.T) {
@@ -49,37 +50,15 @@ func TestStashDrainsAfterDeletes(t *testing.T) {
 }
 
 func TestModelBasedWithDrain(t *testing.T) {
-	// Re-run the model check at high pressure so drains happen constantly.
-	tb := New(Config{Buckets: 16, SlotsPerBucket: 2, D: 2, Mode: DoubleHashing, Seed: 3, StashSize: 8})
-	model := map[uint64]uint64{}
-	src := rng.NewXoshiro256(4)
-	for op := 0; op < 40000; op++ {
-		key := uint64(rng.Intn(src, 48)) // pressure above capacity
-		switch rng.Intn(src, 2) {
-		case 0:
-			val := src.Uint64()
-			if tb.Put(key, val) {
-				model[key] = val
-			} else if _, exists := model[key]; exists {
-				t.Fatalf("op %d: put rejected for existing key", op)
-			}
-		case 1:
-			ok := tb.Delete(key)
-			_, mok := model[key]
-			if ok != mok {
-				t.Fatalf("op %d: Delete(%d) = %v, model %v", op, key, ok, mok)
-			}
-			delete(model, key)
-		}
-		if tb.Len() != len(model) {
-			t.Fatalf("op %d: Len %d != model %d", op, tb.Len(), len(model))
-		}
-		// Spot-check a few random keys.
-		probe := uint64(rng.Intn(src, 48))
-		v, ok := tb.Get(probe)
-		mv, mok := model[probe]
-		if ok != mok || (ok && v != mv) {
-			t.Fatalf("op %d: Get(%d) = (%d,%v), model (%d,%v)", op, probe, v, ok, mv, mok)
+	// Model check at high pressure so drains happen constantly: 48 keys
+	// over 32 slots + 8 stash entries, half the ops destructive. The
+	// shared differential harness is the oracle (PR 2's ad-hoc shadow map
+	// migrated onto internal/testutil).
+	for _, mode := range []HashMode{DoubleHashing, IndependentHashes} {
+		tb := New(Config{Buckets: 16, SlotsPerBucket: 2, D: 2, Mode: mode, Seed: 3, StashSize: 8})
+		ops := testutil.RandomOps(40000, 48, 0.35, 0.35, 4)
+		if err := testutil.Run(tb, ops, testutil.Options{TrackValues: true}); err != nil {
+			t.Fatalf("%v: %v", mode, err)
 		}
 	}
 }

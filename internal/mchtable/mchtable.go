@@ -120,9 +120,12 @@ func (t *Table) candidates(key uint64) []uint32 {
 
 // Put stores key → val, updating in place if key is present. It reports
 // whether the pair is stored; false means every candidate bucket and the
-// stash were full (the insertion is rejected, table unchanged).
+// stash were full (the insertion is rejected, table unchanged). The key
+// itself serves as the core's candidate-re-derivation tag: Table supports
+// both hashing disciplines, so candidates are recomputed from the key
+// (internal/cmap stores the in-shard digest instead).
 func (t *Table) Put(key, val uint64) bool {
-	return t.core.Put(t.candidates(key), key, val)
+	return t.core.Put(t.candidates(key), key, val, key)
 }
 
 // Get returns the value stored for key.

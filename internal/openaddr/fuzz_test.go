@@ -1,0 +1,54 @@
+package openaddr
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// FuzzOpenAddrOps decodes the input into a table shape and an op sequence
+// and differentially tests membership against the shadow-map oracle. Key
+// spaces twice the capacity keep fills running into (and past) 100% load,
+// where PR 2's Uniform full-table false-negative lived.
+func FuzzOpenAddrOps(f *testing.F) {
+	// Corpus seed shaped like the PR 2 regression: saturate a small table,
+	// then probe stored and absent keys on the full table.
+	var full []testutil.Op
+	for k := uint64(1); k <= 20; k++ {
+		full = append(full, testutil.Op{Kind: testutil.OpPut, Key: k, Val: 0})
+	}
+	for k := uint64(1); k <= 26; k++ {
+		full = append(full, testutil.Op{Kind: testutil.OpGet, Key: k})
+	}
+	// One seed per probe discipline — the HIGH nibble of the first header
+	// byte selects the probe, the whole byte mod the capacity table the
+	// capacity (13, 16 and 97 here).
+	for _, hdr := range [][]byte{{0x00, 1}, {0x10, 1}, {0x21, 2}} {
+		f.Add(append(append([]byte{}, hdr...), encodeFullSeed(full)...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		hdr, body := data[:2], data[2:]
+		if len(body) > 32<<10 { // bound work per exec
+			body = body[:32<<10]
+		}
+		capacities := []int{13, 16, 60, 97, 128}
+		capacity := capacities[int(hdr[0])%len(capacities)]
+		probe := Probe(hdr[0] >> 4 % 3)
+		seed := uint64(hdr[1])
+		tb := New(capacity, probe, seed)
+		keySpace := 2 * uint64(capacity)
+		err := testutil.Run(setAdapter{tb}, testutil.DecodeOps(body, keySpace), testutil.Options{NoDelete: true})
+		if err != nil {
+			t.Fatalf("capacity=%d %v: %v", capacity, probe, err)
+		}
+	})
+}
+
+// encodeFullSeed encodes the regression seed at the smallest fuzzed key
+// space so every op round-trips for every header.
+func encodeFullSeed(ops []testutil.Op) []byte {
+	return testutil.EncodeOps(ops, 2*13)
+}

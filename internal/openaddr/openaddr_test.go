@@ -3,10 +3,28 @@ package openaddr
 import (
 	"math"
 	"testing"
-	"testing/quick"
 
 	"repro/internal/rng"
+	"repro/internal/testutil"
 )
+
+// setAdapter exposes the open-addressed table to the shared differential
+// harness: a set-only container (no deletion, no values).
+type setAdapter struct{ t *Table }
+
+func (a setAdapter) Put(key, _ uint64) bool {
+	_, ok := a.t.Insert(key)
+	return ok
+}
+
+func (a setAdapter) Get(key uint64) (uint64, bool) {
+	found, _ := a.t.Lookup(key)
+	return 0, found
+}
+
+func (a setAdapter) Delete(uint64) bool { panic("openaddr: no delete") }
+
+func (a setAdapter) Len() int { return a.t.Len() }
 
 func TestInsertLookupRoundTrip(t *testing.T) {
 	for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
@@ -122,20 +140,21 @@ func TestCompositeCapacityDoubleHash(t *testing.T) {
 	}
 }
 
-func TestQuickRoundTrip(t *testing.T) {
-	tb := New(509, DoubleHash, 33)
-	f := func(key uint64) bool {
-		if tb.LoadFactor() > 0.9 {
-			return true // stop stressing a nearly full table
+func TestDifferentialOpSequences(t *testing.T) {
+	// The shared differential harness is the oracle for op-sequence
+	// behaviour: membership must match a shadow map through fills all the
+	// way to 100% load (where the PR 2 Uniform full-table regression
+	// lived), under every probe discipline and capacity class.
+	for _, capacity := range []int{13, 16, 60, 97} {
+		for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
+			tb := New(capacity, probe, uint64(capacity)*7+uint64(probe))
+			// Key space twice the capacity: the sequence saturates the
+			// table and keeps probing with rejected and absent keys.
+			ops := testutil.RandomOps(4000, 2*uint64(capacity), 0.6, 0, uint64(capacity)+uint64(probe))
+			if err := testutil.Run(setAdapter{tb}, ops, testutil.Options{NoDelete: true}); err != nil {
+				t.Errorf("%v cap=%d: %v", probe, capacity, err)
+			}
 		}
-		if _, ok := tb.Insert(key); !ok {
-			return false
-		}
-		found, _ := tb.Lookup(key)
-		return found
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
-		t.Error(err)
 	}
 }
 

@@ -1,0 +1,223 @@
+// Package testutil is the shared differential-testing harness for this
+// repository's key-value containers (cmap, mchtable, cuckoo, openaddr):
+// it drives a container with an operation sequence — randomly generated,
+// decoded from fuzz input, or hand-written — against a shadow
+// map[uint64]uint64 oracle and reports the first diverging operation.
+//
+// The harness is container-agnostic on purpose: it depends only on the
+// Container interface, so each container package adapts itself in its own
+// tests (set-only containers like cuckoo and openaddr wrap Insert/Lookup
+// and set Options.NoDelete and TrackValues=false) and no import cycle
+// forms between the harness and the packages under test. It is a regular
+// (non _test) package so `go test` fuzz targets in those packages can
+// import it.
+package testutil
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Container is a uint64 → uint64 key-value store under differential test.
+// Put reports whether the pair was stored (false = capacity rejection
+// with the container unchanged; a resident key must always be updatable
+// in place). Delete reports whether the key was present. Len counts
+// stored pairs.
+type Container interface {
+	Put(key, val uint64) bool
+	Get(key uint64) (uint64, bool)
+	Delete(key uint64) bool
+	Len() int
+}
+
+// Options adapt the harness to a container's semantics.
+type Options struct {
+	// TrackValues compares Get results against the oracle's stored
+	// values; unset, only membership is compared (set-only containers
+	// return a dummy value).
+	TrackValues bool
+	// NoDelete marks containers without deletion (cuckoo, openaddr);
+	// Delete ops run as membership checks instead.
+	NoDelete bool
+	// Finalize, if set, runs after the op sequence and before the final
+	// full-membership sweep — e.g. draining an in-flight cmap migration
+	// so the sweep exercises the post-resize geometry.
+	Finalize func()
+}
+
+// OpKind enumerates harness operations.
+type OpKind uint8
+
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpDelete
+	numOpKinds
+)
+
+// String returns the op kind's display name.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "Put"
+	case OpGet:
+		return "Get"
+	case OpDelete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one operation of a differential test sequence.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Run drives ops against c and the shadow oracle, returning an error
+// naming the first diverging op (index, op, observed vs expected), or nil
+// if the container matches the oracle on every op (including the Len
+// invariant, checked after each one — a transient double-count that a
+// later op would cancel still diverges at the op that introduced it) and
+// on the final full-membership sweep.
+func Run(c Container, ops []Op, opt Options) error {
+	oracle := make(map[uint64]uint64)
+	for i, op := range ops {
+		want, resident := oracle[op.Key]
+		switch op.Kind {
+		case OpPut:
+			ok := c.Put(op.Key, op.Val)
+			switch {
+			case ok:
+				oracle[op.Key] = op.Val
+			case resident:
+				return fmt.Errorf("op %d: Put(%#x, %#x) rejected a resident key", i, op.Key, op.Val)
+			default:
+				// Capacity rejection: the container must be unchanged, so
+				// the key stays absent.
+				if _, found := c.Get(op.Key); found {
+					return fmt.Errorf("op %d: Put(%#x, %#x) returned false but the key is present", i, op.Key, op.Val)
+				}
+			}
+		case OpGet:
+			if err := checkGet(c, op.Key, want, resident, opt, i); err != nil {
+				return err
+			}
+		case OpDelete:
+			if opt.NoDelete {
+				if err := checkGet(c, op.Key, want, resident, opt, i); err != nil {
+					return err
+				}
+				continue
+			}
+			if ok := c.Delete(op.Key); ok != resident {
+				return fmt.Errorf("op %d: Delete(%#x) = %v, oracle %v", i, op.Key, ok, resident)
+			}
+			delete(oracle, op.Key)
+		default:
+			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
+		}
+		if got := c.Len(); got != len(oracle) {
+			return fmt.Errorf("op %d (%v %#x): Len = %d, oracle holds %d keys", i, op.Kind, op.Key, got, len(oracle))
+		}
+	}
+	if opt.Finalize != nil {
+		opt.Finalize()
+	}
+	// Final sweep: exact membership (and values), no lost or phantom keys.
+	if got := c.Len(); got != len(oracle) {
+		return fmt.Errorf("final sweep: Len = %d, oracle holds %d keys", got, len(oracle))
+	}
+	for k, v := range oracle {
+		got, found := c.Get(k)
+		if !found {
+			return fmt.Errorf("final sweep: key %#x lost", k)
+		}
+		if opt.TrackValues && got != v {
+			return fmt.Errorf("final sweep: key %#x holds %#x, oracle %#x", k, got, v)
+		}
+	}
+	return nil
+}
+
+// checkGet compares one membership/value probe against the oracle.
+func checkGet(c Container, key, want uint64, resident bool, opt Options, i int) error {
+	got, found := c.Get(key)
+	if found != resident {
+		return fmt.Errorf("op %d: Get(%#x) found=%v, oracle %v", i, key, found, resident)
+	}
+	if found && opt.TrackValues && got != want {
+		return fmt.Errorf("op %d: Get(%#x) = %#x, oracle %#x", i, key, got, want)
+	}
+	return nil
+}
+
+// RandomOps returns n random ops with keys uniform over [1, keySpace]:
+// putFrac of them Puts, delFrac Deletes, the rest Gets. Values are drawn
+// from the same deterministic stream, so a (seed, n, keySpace) triple
+// pins the whole sequence.
+func RandomOps(n int, keySpace uint64, putFrac, delFrac float64, seed uint64) []Op {
+	if keySpace == 0 || putFrac < 0 || delFrac < 0 || putFrac+delFrac > 1 {
+		panic(fmt.Sprintf("testutil: RandomOps(keySpace=%d, putFrac=%v, delFrac=%v)", keySpace, putFrac, delFrac))
+	}
+	src := rng.NewXoshiro256(seed)
+	ops := make([]Op, n)
+	for i := range ops {
+		op := Op{Key: 1 + src.Uint64()%keySpace, Val: src.Uint64()}
+		switch p := rng.Float64(src); {
+		case p < putFrac:
+			op.Kind = OpPut
+		case p < putFrac+delFrac:
+			op.Kind = OpDelete
+		default:
+			op.Kind = OpGet
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// opBytes is the fixed encoding width of one op: kind, key (2 bytes,
+// little-endian), value.
+const opBytes = 4
+
+// DecodeOps decodes fuzz input into an op sequence: each 4-byte chunk is
+// [kind, keyLo, keyHi, val], with the kind reduced mod the number of op
+// kinds and the 16-bit key mapped into [1, keySpace]. A trailing partial
+// chunk is ignored. Small keys and 1-byte values keep the fuzzer's search
+// space dense in collisions, updates and delete/reinsert patterns.
+func DecodeOps(data []byte, keySpace uint64) []Op {
+	if keySpace == 0 {
+		panic("testutil: DecodeOps keySpace = 0")
+	}
+	ops := make([]Op, 0, len(data)/opBytes)
+	for ; len(data) >= opBytes; data = data[opBytes:] {
+		ops = append(ops, Op{
+			Kind: OpKind(data[0] % uint8(numOpKinds)),
+			Key:  1 + (uint64(data[1])|uint64(data[2])<<8)%keySpace,
+			Val:  uint64(data[3]),
+		})
+	}
+	return ops
+}
+
+// EncodeOps is the inverse of DecodeOps for corpus seeding: it encodes
+// ops whose keys lie in [1, min(keySpace, 1<<16)] and values in [0, 255]
+// so that DecodeOps(EncodeOps(ops), keySpace) reproduces them. It panics
+// on ops outside that range — seeds must round-trip exactly or the corpus
+// would silently diverge from the regression it pins.
+func EncodeOps(ops []Op, keySpace uint64) []byte {
+	data := make([]byte, 0, len(ops)*opBytes)
+	for i, op := range ops {
+		k := op.Key - 1
+		if op.Key == 0 || k >= keySpace || k >= 1<<16 || op.Val > 255 || op.Kind >= numOpKinds {
+			panic(fmt.Sprintf("testutil: EncodeOps op %d (%v %#x=%#x) does not round-trip at keySpace %d",
+				i, op.Kind, op.Key, op.Val, keySpace))
+		}
+		data = append(data, byte(op.Kind), byte(k), byte(k>>8), byte(op.Val))
+	}
+	return data
+}

@@ -1,0 +1,146 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+)
+
+// goodMap is a correct bounded-capacity container: the reference the
+// harness must pass, including capacity rejections.
+type goodMap struct {
+	m   map[uint64]uint64
+	cap int
+}
+
+func newGoodMap(capacity int) *goodMap {
+	return &goodMap{m: make(map[uint64]uint64), cap: capacity}
+}
+
+func (g *goodMap) Put(key, val uint64) bool {
+	if _, ok := g.m[key]; !ok && len(g.m) >= g.cap {
+		return false
+	}
+	g.m[key] = val
+	return true
+}
+
+func (g *goodMap) Get(key uint64) (uint64, bool) {
+	v, ok := g.m[key]
+	return v, ok
+}
+
+func (g *goodMap) Delete(key uint64) bool {
+	_, ok := g.m[key]
+	delete(g.m, key)
+	return ok
+}
+
+func (g *goodMap) Len() int { return len(g.m) }
+
+// buggyMap wraps goodMap with an injected defect, one per mode — the
+// membership-loss bug classes PR 2 fixed, plus value corruption.
+type buggyMap struct {
+	*goodMap
+	mode string
+	ops  int
+}
+
+func (b *buggyMap) Put(key, val uint64) bool {
+	b.ops++
+	ok := b.goodMap.Put(key, val)
+	if b.mode == "drop-every-40" && b.ops%40 == 0 {
+		delete(b.m, key) // silently lose the key just stored
+	}
+	return ok
+}
+
+func (b *buggyMap) Get(key uint64) (uint64, bool) {
+	v, ok := b.goodMap.Get(key)
+	if b.mode == "corrupt-values" && ok {
+		return v ^ 1, ok
+	}
+	return v, ok
+}
+
+func (b *buggyMap) Delete(key uint64) bool {
+	if b.mode == "phantom-delete" {
+		b.goodMap.Delete(key)
+		return true // claims presence even for absent keys
+	}
+	return b.goodMap.Delete(key)
+}
+
+func TestHarnessPassesCorrectContainer(t *testing.T) {
+	ops := RandomOps(20000, 64, 0.45, 0.25, 1)
+	if err := Run(newGoodMap(48), ops, Options{TrackValues: true}); err != nil {
+		t.Fatalf("correct container diverged: %v", err)
+	}
+	// Set-only view of the same container: Deletes become Gets.
+	if err := Run(newGoodMap(48), ops, Options{NoDelete: true}); err != nil {
+		t.Fatalf("correct container diverged in set-only mode: %v", err)
+	}
+}
+
+func TestHarnessCatchesInjectedBugs(t *testing.T) {
+	for _, mode := range []string{"drop-every-40", "corrupt-values", "phantom-delete"} {
+		b := &buggyMap{goodMap: newGoodMap(1 << 30), mode: mode}
+		err := Run(b, RandomOps(20000, 64, 0.45, 0.25, 2), Options{TrackValues: true})
+		if err == nil {
+			t.Errorf("%s: harness reported no divergence", mode)
+			continue
+		}
+		if !strings.Contains(err.Error(), "op ") && !strings.Contains(err.Error(), "final sweep") {
+			t.Errorf("%s: divergence report %q names neither an op nor the sweep", mode, err)
+		}
+	}
+}
+
+func TestHarnessReportsFirstDivergingOp(t *testing.T) {
+	// A container that lies on exactly one op: the report must name it.
+	ops := []Op{
+		{Kind: OpPut, Key: 5, Val: 7},
+		{Kind: OpGet, Key: 5},
+		{Kind: OpGet, Key: 6},    // goodMap answers correctly...
+		{Kind: OpDelete, Key: 6}, // ...but deleting an absent key draws the lie
+	}
+	b := &buggyMap{goodMap: newGoodMap(8), mode: "phantom-delete"}
+	err := Run(b, ops, Options{TrackValues: true})
+	if err == nil || !strings.Contains(err.Error(), "op 3") {
+		t.Fatalf("want the divergence pinned to op 3, got %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ops := []Op{
+		{Kind: OpPut, Key: 1, Val: 0},
+		{Kind: OpPut, Key: 300, Val: 255},
+		{Kind: OpGet, Key: 77},
+		{Kind: OpDelete, Key: 1},
+	}
+	const keySpace = 1 << 12
+	got := DecodeOps(EncodeOps(ops, keySpace), keySpace)
+	if len(got) != len(ops) {
+		t.Fatalf("round trip length %d != %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: %+v != %+v", i, got[i], ops[i])
+		}
+	}
+	// Trailing partial chunks are ignored, not decoded.
+	if n := len(DecodeOps([]byte{1, 2, 3}, 16)); n != 0 {
+		t.Fatalf("partial chunk decoded into %d ops", n)
+	}
+}
+
+func TestDecodeOpsBounds(t *testing.T) {
+	ops := DecodeOps([]byte{0, 0xFF, 0xFF, 9, 200, 0, 0, 1}, 10)
+	for _, op := range ops {
+		if op.Key < 1 || op.Key > 10 {
+			t.Fatalf("key %d outside [1, 10]", op.Key)
+		}
+		if op.Kind >= numOpKinds {
+			t.Fatalf("kind %v out of range", op.Kind)
+		}
+	}
+}

@@ -276,12 +276,21 @@ func NewMCHTable(cfg MCHConfig) *MCHTable { return mchtable.New(cfg) }
 // the d double-hashed candidate buckets inside it (remaining bits), so
 // the whole map keeps the paper's one-hash discipline while writers on
 // different shards never contend.
+//
+// With CMapConfig.MaxLoadFactor set, shards crossing the occupancy
+// watermark resize online: the bucket count doubles and entries migrate
+// incrementally (MigrateBatch per Put/Delete, or driven by
+// CMap.MigrateStep), re-deriving candidates from each entry's stored
+// digest — the same single hash evaluation — so growth never re-hashes a
+// key and reads never block on migration. CMapStats reports Resizes and
+// Migrating for monitoring growth.
 type (
 	// CMap is a concurrency-safe sharded multiple-choice hash map.
 	CMap = cmap.Map
-	// CMapConfig declares a CMap.
+	// CMapConfig declares a CMap, including its online-resize policy.
 	CMapConfig = cmap.Config
-	// CMapStats is an occupancy/overflow snapshot aggregated across shards.
+	// CMapStats is an occupancy/overflow/resize snapshot aggregated
+	// across shards.
 	CMapStats = cmap.Stats
 )
 
