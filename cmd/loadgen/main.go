@@ -1,11 +1,17 @@
-// Command loadgen stress-drives the sharded concurrent multiple-choice
-// hash map (internal/cmap) with a mixed Put/Get/Delete workload across
-// many goroutines and reports throughput plus the occupancy statistics
-// the paper's load tables predict: ops/sec, per-shard skew, stash
-// pressure, resize progress and the aggregated bucket-load histogram.
+// Command loadgen stress-drives the typed sharded concurrent
+// multiple-choice hash map (internal/cmap) with a mixed Put/Get/Delete
+// workload across many goroutines and reports throughput plus the
+// occupancy statistics the paper's load tables predict: ops/sec,
+// per-shard skew, stash pressure, resize progress and the aggregated
+// bucket-load histogram.
 //
 // Knobs shaping the contention and growth profile:
 //
+//	-keytype which generic key shape the hashers are exercised with:
+//	        uint64 (the historical 8-byte path), string (17-byte keys
+//	        hashed in place), struct (16-byte packet 5-tuples via the
+//	        byte-view hasher), or all — run every kind back to back and
+//	        report Mops/sec per key kind
 //	-keys   size of the key space (smaller = hotter keys, more same-shard
 //	        lock traffic and update-in-place)
 //	-read   fraction of operations that are Gets (reads share a shard's
@@ -21,10 +27,13 @@
 // Examples:
 //
 //	loadgen                                  # defaults: 16 shards, 75% reads
+//	loadgen -keytype all                     # uint64 vs string vs struct keys
 //	loadgen -workers 32 -read 0              # pure write storm
 //	loadgen -keys 1024 -shards 4             # hot-key shard contention
-//	loadgen -buckets 256 -grow 0.75 -verify  # live growth crossing the
-//	                                         # watermark mid-stream, checked
+//	loadgen -keytype string -buckets 256 -grow 0.75 -verify
+//	                                         # typed keys + live growth
+//	                                         # crossing the watermark
+//	                                         # mid-stream, checked
 package main
 
 import (
@@ -37,10 +46,31 @@ import (
 	"time"
 
 	"repro/internal/cmap"
+	"repro/internal/keyed"
 	"repro/internal/rng"
 	"repro/internal/table"
 	"repro/internal/testutil"
 )
+
+// fiveTuple is the struct key kind: a padding-free 16-byte packet
+// 5-tuple, hashed by the byte-view hasher. SrcIP/DstIP carry all 64 bits
+// of the generator's id, so the mapping is injective (required by the
+// -verify oracle).
+type fiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint16
+	Zone             uint16
+}
+
+type config struct {
+	shards, buckets, slots, d, stash int
+	workers, ops, keys               int
+	read, del, grow                  float64
+	batch                            int
+	bg, verify                       bool
+	seed                             uint64
+}
 
 func main() {
 	var (
@@ -52,6 +82,7 @@ func main() {
 		workers = flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS)")
 		ops     = flag.Int("ops", 2_000_000, "total operations across all workers")
 		keys    = flag.Int("keys", 0, "key-space size (0 = 75% of initial slot capacity)")
+		keytype = flag.String("keytype", "uint64", "key kind: uint64, string, struct, or all")
 		read    = flag.Float64("read", 0.75, "fraction of ops that are Gets")
 		del     = flag.Float64("delete", 0.05, "fraction of ops that are Deletes")
 		grow    = flag.Float64("grow", 0, "max load factor enabling online resize (0 = fixed capacity)")
@@ -76,31 +107,85 @@ func main() {
 	if *keys == 0 {
 		*keys = int(0.75 * float64(capacity))
 	}
+	cfg := config{
+		shards: *shards, buckets: *buckets, slots: *slots, d: *d, stash: *stash,
+		workers: *workers, ops: *ops, keys: *keys,
+		read: *read, del: *del, grow: *grow, batch: *batch,
+		bg: *bg, verify: *verify, seed: *seed,
+	}
 
-	m := cmap.New(cmap.Config{
-		Shards: *shards, BucketsPerShard: *buckets, SlotsPerBucket: *slots,
-		D: *d, Seed: *seed, StashPerShard: *stash,
-		MaxLoadFactor: *grow, MigrateBatch: *batch,
+	kinds := []string{*keytype}
+	if *keytype == "all" {
+		kinds = []string{"uint64", "string", "struct"}
+	}
+	type result struct {
+		kind string
+		mops float64
+	}
+	var results []result
+	for i, kind := range kinds {
+		if i > 0 {
+			fmt.Println()
+		}
+		var mops float64
+		switch kind {
+		case "uint64":
+			mops = run(cfg, kind, keyed.Uint64, func(k uint64) uint64 { return k })
+		case "string":
+			mops = run(cfg, kind, keyed.ForType[string](),
+				func(k uint64) string { return fmt.Sprintf("k%016x", k) })
+		case "struct":
+			mops = run(cfg, kind, keyed.ForType[fiveTuple](), func(k uint64) fiveTuple {
+				return fiveTuple{
+					SrcIP: uint32(k), DstIP: uint32(k >> 32),
+					SrcPort: uint16(k), DstPort: uint16(k >> 16), Proto: 6,
+				}
+			})
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -keytype %q (want uint64, string, struct or all)\n", kind)
+			os.Exit(2)
+		}
+		results = append(results, result{kind, mops})
+	}
+	if len(results) > 1 {
+		fmt.Println("\nThroughput by key kind (one SipHash evaluation per op in every mode):")
+		tw := table.New("keytype", "Mops/sec")
+		for _, r := range results {
+			tw.AddRow(r.kind, fmt.Sprintf("%.2f", r.mops))
+		}
+		fmt.Print(tw.String())
+	}
+}
+
+// run drives one workload against a typed map keyed by K, returning the
+// measured Mops/sec. keyOf must be injective (the -verify shadow maps
+// rely on it).
+func run[K comparable](cfg config, kind string, h keyed.Hasher[K], keyOf func(uint64) K) float64 {
+	m := cmap.NewKeyed[K, uint64](h, cmap.Config{
+		Shards: cfg.shards, BucketsPerShard: cfg.buckets, SlotsPerBucket: cfg.slots,
+		D: cfg.d, Seed: cfg.seed, StashPerShard: cfg.stash,
+		MaxLoadFactor: cfg.grow, MigrateBatch: cfg.batch,
 	})
-	fmt.Printf("cmap: %d shards × %d buckets × %d slots (capacity %d), d=%d, one SipHash per op\n",
-		m.Shards(), *buckets, *slots, capacity, *d)
-	if *grow > 0 {
-		fmt.Printf("online resize: watermark %.2f, migrate batch %d, background drainer %v\n", *grow, *batch, *bg)
+	capacity := cfg.shards * cfg.buckets * cfg.slots
+	fmt.Printf("cmap[%s]: %d shards × %d buckets × %d slots (capacity %d), d=%d, one SipHash per op\n",
+		kind, m.Shards(), cfg.buckets, cfg.slots, capacity, cfg.d)
+	if cfg.grow > 0 {
+		fmt.Printf("online resize: watermark %.2f, migrate batch %d, background drainer %v\n", cfg.grow, cfg.batch, cfg.bg)
 	}
 	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put), verify %v\n\n",
-		*ops, *workers, *keys, *read*100, *del*100, (1-*read-*del)*100, *verify)
+		cfg.ops, cfg.workers, cfg.keys, cfg.read*100, cfg.del*100, (1-cfg.read-cfg.del)*100, cfg.verify)
 
 	// Optional background drainer: migration progresses even when the
 	// write mix is too read-heavy to piggyback it quickly. Pointless (and
 	// pure lock traffic) with resize disabled, so it needs -grow too.
 	var stopDrain atomic.Bool
 	var drainWG sync.WaitGroup
-	if *bg && *grow > 0 {
+	if cfg.bg && cfg.grow > 0 {
 		drainWG.Add(1)
 		go func() {
 			defer drainWG.Done()
 			for !stopDrain.Load() {
-				if m.MigrateStep(*batch) == 0 {
+				if m.MigrateStep(cfg.batch) == 0 {
 					// Idle: no shard is resizing. Sleep rather than spin so
 					// the drainer doesn't perturb the numbers it exists to
 					// protect.
@@ -111,28 +196,29 @@ func main() {
 	}
 
 	var rejectedCount atomic.Int64
-	perWorker := *ops / *workers
-	perKeys := uint64(*keys / *workers)
+	perWorker := cfg.ops / cfg.workers
+	perKeys := uint64(cfg.keys / cfg.workers)
 	if perKeys == 0 {
 		perKeys = 1
 	}
 	start := time.Now()
 	var elapsedOverride time.Duration
 	var res testutil.ConcurrentResult
-	if *verify {
+	if cfg.verify {
 		// The shared concurrent differential oracle (internal/testutil, the
 		// same harness the cmap race tests use): disjoint per-worker key
 		// spaces, per-worker shadow maps, a final lost/corrupted sweep and
-		// the Len-vs-shadows duplication check. Finalize drains any
-		// in-flight migration so the sweep runs on the final geometry.
-		res = testutil.RunConcurrent(m, testutil.ConcurrentOptions{
-			Workers: *workers, OpsPerWorker: perWorker, KeysPerWorker: perKeys,
-			GetFrac: *read, DeleteFrac: *del, Seed: *seed,
+		// the Len-vs-shadows duplication check, all through keyOf — the
+		// typed key kinds run under the identical oracle. Finalize drains
+		// any in-flight migration so the sweep runs on the final geometry.
+		res = testutil.RunConcurrentKeyed(m, testutil.ConcurrentOptions{
+			Workers: cfg.workers, OpsPerWorker: perWorker, KeysPerWorker: perKeys,
+			GetFrac: cfg.read, DeleteFrac: cfg.del, Seed: cfg.seed,
 			Finalize: func() {
-				for m.MigrateStep(*batch) > 0 {
+				for m.MigrateStep(cfg.batch) > 0 {
 				}
 			},
-		})
+		}, keyOf, func(v uint64) uint64 { return v })
 		rejectedCount.Store(res.Rejected)
 		// Time the worker phase only (drain + sweep excluded). Note that
 		// -verify still measures a different workload than an unverified
@@ -142,18 +228,18 @@ func main() {
 		elapsedOverride = res.WorkDuration
 	} else {
 		var wg sync.WaitGroup
-		for w := 0; w < *workers; w++ {
+		for w := 0; w < cfg.workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				src := rng.NewXoshiro256(rng.Mix64(*seed + uint64(w)*0x9E3779B97F4A7C15))
-				keySpace := uint64(*keys)
+				src := rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15))
+				keySpace := uint64(cfg.keys)
 				for i := 0; i < perWorker; i++ {
-					k := 1 + src.Uint64()%keySpace
+					k := keyOf(1 + src.Uint64()%keySpace)
 					switch p := rng.Float64(src); {
-					case p < *read:
+					case p < cfg.read:
 						m.Get(k)
-					case p < *read+*del:
+					case p < cfg.read+cfg.del:
 						m.Delete(k)
 					default:
 						if !m.Put(k, uint64(i)) {
@@ -172,9 +258,10 @@ func main() {
 	stopDrain.Store(true)
 	drainWG.Wait()
 
-	done := perWorker * *workers
+	done := perWorker * cfg.workers
+	mops := float64(done) / elapsed.Seconds() / 1e6
 	fmt.Printf("%d ops in %v  →  %.2f Mops/sec (GOMAXPROCS=%d)\n",
-		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds()/1e6, runtime.GOMAXPROCS(0))
+		done, elapsed.Round(time.Millisecond), mops, runtime.GOMAXPROCS(0))
 	if r := rejectedCount.Load(); r > 0 {
 		fmt.Printf("rejected puts (all candidates + stash full): %d\n", r)
 	}
@@ -199,7 +286,7 @@ func main() {
 	}
 	fmt.Print(tw.String())
 
-	if *verify {
+	if cfg.verify {
 		duplicated := res.LenDelta // a pair resident in both geometries inflates Len
 		if duplicated < 0 {
 			duplicated = 0
@@ -211,4 +298,5 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	return mops
 }

@@ -4,11 +4,18 @@
 // in hardware-friendly form ([11] Debnath–Sengupta–Li).
 //
 // A dedup store keeps an in-memory index mapping chunk fingerprints to
-// flash locations. Ingest is parallel — several streams chunk and hash
-// data at once — so the index here is a repro.CMap: fingerprints route by
-// one SipHash digest to a shard and to d candidate buckets inside it,
-// writers on different shards never contend, and bucket occupancy inside
-// every shard follows the paper's balanced-allocation tables.
+// flash locations. With the typed API the index speaks the store's real
+// domain directly: keys are content-digest strings ("sha256:…", hashed in
+// place by the string hasher — one SipHash evaluation per lookup, zero
+// allocations), values are typed FlashLoc structs. The old uint64 version
+// of this example had to truncate fingerprints into integers and pack
+// locations into shifted bits by hand; that encoding layer is gone.
+//
+// Ingest is parallel — several streams chunk and hash data at once — so
+// the index is a repro.Map: fingerprints route by one SipHash digest to a
+// shard and to d candidate buckets inside it, writers on different shards
+// never contend, and bucket occupancy inside every shard follows the
+// paper's balanced-allocation tables.
 //
 // The program first *dimensions* the buckets with the balls-into-bins
 // simulator (what fraction of buckets would exceed c slots at full
@@ -16,7 +23,7 @@
 // fingerprints until the map holds one per bucket on average, and the
 // measured bucket-load distribution is printed next to the simulator's
 // prediction — the dimensioning transfers to the live structure because
-// each shard is exactly the simulated process.
+// each shard is exactly the simulated process, whatever the key type.
 //
 // Run with: go run ./examples/dedupstore
 package main
@@ -28,6 +35,13 @@ import (
 
 	"repro"
 )
+
+// FlashLoc is where a chunk lives on flash — a typed value, no bit
+// packing.
+type FlashLoc struct {
+	Block  uint32
+	Offset uint32
+}
 
 func main() {
 	const (
@@ -47,11 +61,14 @@ func main() {
 	})
 
 	// Phase 2 — build: concurrent ingest streams fill the live index to
-	// the same occupancy (one fingerprint per bucket on average).
-	idx := repro.NewCMap(repro.CMapConfig{
-		Shards: shards, BucketsPerShard: buckets, SlotsPerBucket: slots,
-		D: d, Seed: 7, StashPerShard: 64,
-	})
+	// the same occupancy (one fingerprint per bucket on average). Fixed
+	// capacity: a dedup index is dimensioned up front, so growth stays
+	// off and overflow goes to the per-shard stash.
+	idx := repro.NewMap[string, FlashLoc](
+		repro.WithShards(shards), repro.WithBuckets(buckets), repro.WithSlots(slots),
+		repro.WithD(d), repro.WithSeed(7), repro.WithStash(64),
+		repro.WithMaxLoadFactor(0),
+	)
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 4 {
 		workers = 4
@@ -64,8 +81,9 @@ func main() {
 			defer wg.Done()
 			src := repro.NewRandomSource(uint64(w)*13 + 5)
 			for stored := 0; stored < perWorker; {
-				fp := src.Uint64()             // the chunk fingerprint
-				loc := fp >> 20                // its synthetic flash location
+				// The chunk's content digest, as the store would key it.
+				fp := fmt.Sprintf("sha256:%016x%016x", src.Uint64(), src.Uint64())
+				loc := FlashLoc{Block: uint32(stored / 64), Offset: uint32(stored % 64)}
 				if idx.Put(fp, loc) {
 					stored++
 				}
@@ -75,15 +93,16 @@ func main() {
 	wg.Wait()
 	st := idx.Stats()
 
-	fmt.Printf("fingerprint index: %d shards × %d buckets, d=%d, %d ingest streams, %d fingerprints\n\n",
+	fmt.Printf("fingerprint index: %d shards × %d buckets, d=%d, %d ingest streams, %d fingerprints\n",
 		shards, buckets, d, workers, st.Len)
-	fmt.Println("Bucket load  Simulated (classic d=4)  Measured (live cmap)")
+	fmt.Printf("keys: content-digest strings hashed in place (one SipHash, 0 allocs per op); values: typed FlashLoc\n\n")
+	fmt.Println("Bucket load  Simulated (classic d=4)  Measured (live map)")
 	maxLoad := sim.MaxObservedLoad()
 	if st.BucketLoads.MaxValue() > maxLoad {
 		maxLoad = st.BucketLoads.MaxValue()
 	}
 	for l := 0; l <= maxLoad; l++ {
-		fmt.Printf("%11d  %23.5f  %20.5f\n", l, sim.FractionAtLoad(l), st.BucketLoads.Fraction(l))
+		fmt.Printf("%11d  %23.5f  %19.5f\n", l, sim.FractionAtLoad(l), st.BucketLoads.Fraction(l))
 	}
 
 	fmt.Println("\nOverflow by bucket capacity (fraction of buckets exceeding c slots):")
@@ -96,5 +115,6 @@ func main() {
 
 	fmt.Println("\nThe live concurrent index reproduces the simulated distribution:")
 	fmt.Println("dimension the buckets from the paper's tables, then serve parallel")
-	fmt.Println("ingest from the same math — one hash per fingerprint end to end.")
+	fmt.Println("ingest from the same math — one hash per fingerprint end to end,")
+	fmt.Println("straight from the store's own key and value types.")
 }

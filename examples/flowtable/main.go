@@ -1,19 +1,20 @@
-// Flowtable: a router flow table built on the concurrent sharded
+// Flowtable: a router flow table built on the typed concurrent
 // multiple-choice hash map — the hardware scenario the paper's
 // introduction targets ("multiple-choice hashing is used in several
 // hardware systems (such as routers), and double hashing both requires
 // less (pseudo-)randomness and is extremely conducive to implementation
 // in hardware"), now served by many packet-processing cores at once.
 //
-// Flows (5-tuples, here synthesized) live in a repro.CMap: one SipHash
-// digest per packet routes the flow to a shard (high bits) and derives
-// its d=3 candidate buckets inside the shard (remaining bits), so the
-// whole pipeline needs one hash unit — the paper's payoff — while each
-// shard keeps the balanced-allocation occupancy guarantees of the
-// least-loaded rule. This program runs a concurrent churn workload
-// (flows arrive and expire on every worker simultaneously), verifies no
-// flow is ever lost, and prints throughput plus the occupancy stats a
-// router's provisioning would be dimensioned from.
+// Flows are keyed by their actual 5-tuple — a padding-free struct hashed
+// in place by the byte-view hasher the typed API picks for it
+// (repro.HasherFor, backed by keyed.BytesOf) — and carry a typed
+// per-flow counter struct as the value. No hand-rolled key encoding
+// anywhere: the old uint64 version of this example had to synthesize
+// flows as pre-hashed integers because the map only spoke uint64; the
+// typed API hashes the real key exactly once per packet (one SipHash
+// evaluation yields the shard and all d=3 candidate buckets), which is
+// the paper's payoff, while each shard keeps the balanced-allocation
+// occupancy guarantees of the least-loaded rule.
 //
 // The table is deliberately provisioned too small for the steady state:
 // it starts at a quarter of the flows it will hold and grows live —
@@ -36,6 +37,23 @@ import (
 	"repro"
 )
 
+// FiveTuple identifies a flow. The fields sum to exactly 16 bytes with
+// no padding, so the byte-view hasher accepts it (equal tuples always
+// carry equal bytes); Zone doubles as a VRF/partition id.
+type FiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint16
+	Zone             uint16
+}
+
+// FlowStat is the per-flow state a real pipeline would keep — a typed
+// value, stored in the map's generic value slots.
+type FlowStat struct {
+	Packets uint64
+	Epoch   uint64
+}
+
 func main() {
 	const (
 		shards        = 16
@@ -53,13 +71,14 @@ func main() {
 	}
 	flowsPerWorker := int(occupancy*capacity) / workers
 
-	t := repro.NewCMap(repro.CMapConfig{
-		Shards: shards, BucketsPerShard: startBuckets, SlotsPerBucket: slots,
-		D: d, Seed: 1, StashPerShard: 16,
-		MaxLoadFactor: 0.80, MigrateBatch: 16,
-	})
-	fmt.Printf("flow table: %d shards × %d buckets × %d slots growing online, d=%d, %d workers, steady state %d flows (%.0f%% of final capacity)\n\n",
+	t := repro.NewMap[FiveTuple, FlowStat](
+		repro.WithShards(shards), repro.WithBuckets(startBuckets), repro.WithSlots(slots),
+		repro.WithD(d), repro.WithSeed(1), repro.WithStash(16),
+		repro.WithMaxLoadFactor(0.80), repro.WithMigrateBatch(16),
+	)
+	fmt.Printf("flow table: %d shards × %d buckets × %d slots growing online, d=%d, %d workers, steady state %d flows (%.0f%% of final capacity)\n",
 		shards, startBuckets, slots, d, workers, flowsPerWorker*workers, occupancy*100)
+	fmt.Printf("keys: real 16-byte 5-tuples, hashed in place (one SipHash per packet); values: typed FlowStat structs\n\n")
 
 	var totalOps atomic.Int64 // map operations actually performed, all phases
 	start := time.Now()
@@ -69,14 +88,23 @@ func main() {
 		go func(w int) {
 			defer wg.Done()
 			src := repro.NewRandomSource(uint64(w) + 99)
+			randFlow := func() FiveTuple {
+				a, b := src.Uint64(), src.Uint64()
+				return FiveTuple{
+					SrcIP: uint32(a), DstIP: uint32(a >> 32),
+					SrcPort: uint16(b), DstPort: uint16(b >> 16),
+					Proto: uint16(b>>32)%2*11 + 6, // TCP or UDP-ish
+					Zone:  uint16(w),
+				}
+			}
 			ops := 0
 
 			// Warm up this worker's share of the steady state.
-			live := make([]uint64, 0, flowsPerWorker)
+			live := make([]FiveTuple, 0, flowsPerWorker)
 			for len(live) < flowsPerWorker {
-				f := src.Uint64()
+				f := randFlow()
 				ops++
-				if t.Put(f, uint64(len(live))) {
+				if t.Put(f, FlowStat{Packets: 1}) {
 					live = append(live, f)
 				}
 			}
@@ -89,9 +117,9 @@ func main() {
 					panic("live flow missing")
 				}
 				for {
-					f := src.Uint64()
+					f := randFlow()
 					ops++
-					if t.Put(f, uint64(op)) {
+					if t.Put(f, FlowStat{Packets: 1, Epoch: uint64(op)}) {
 						live[i] = f
 						break
 					}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/keyed"
 	"repro/internal/rng"
 )
 
@@ -20,7 +21,7 @@ var benchStreams = []struct {
 	{"contended", 255},
 }
 
-func newBenchMap(shards int) *Map {
+func newBenchMap(shards int) *Map[uint64, uint64] {
 	return New(Config{
 		Shards: shards, BucketsPerShard: (1 << 16) / shards,
 		SlotsPerBucket: 4, D: 3, Seed: 42, StashPerShard: 64,
@@ -84,12 +85,12 @@ func BenchmarkCMapGetMigration(b *testing.B) {
 		d       = 3
 	)
 	target := shards * buckets * slots * 4 / 5
-	fill := func(m *Map) {
+	fill := func(m *Map[uint64, uint64]) {
 		for k := 1; k <= target; k++ {
 			m.Put(uint64(k), uint64(k))
 		}
 	}
-	run := func(b *testing.B, m *Map) {
+	run := func(b *testing.B, m *Map[uint64, uint64]) {
 		b.RunParallel(func(pb *testing.PB) {
 			src := rng.NewXoshiro256(benchSeed.Add(1) * 0x9E3779B97F4A7C15)
 			for pb.Next() {
@@ -116,6 +117,90 @@ func BenchmarkCMapGetMigration(b *testing.B) {
 		b.ResetTimer()
 		run(b, m)
 	})
+}
+
+// Typed-API benchmarks: the redesign's acceptance gates. The uint64
+// serial pair must stay within 5% of the pre-redesign cmap numbers (the
+// generic Map is now the only implementation — New is a shim over it),
+// and the string Get must be 0 allocs/op (one in-place SipHash
+// evaluation per operation, no key copying).
+
+func BenchmarkMapSerialPut(b *testing.B) {
+	bench := func(b *testing.B, put func(i uint64)) {
+		src := rng.NewXoshiro256(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			put(src.Uint64() & (1<<17 - 1))
+		}
+	}
+	b.Run("uint64", func(b *testing.B) {
+		m := newBenchMap(16)
+		bench(b, func(k uint64) { m.Put(k, k) })
+	})
+	b.Run("string", func(b *testing.B) {
+		m := NewKeyed[string, uint64](keyed.ForType[string](), Config{
+			Shards: 16, BucketsPerShard: 1 << 12, SlotsPerBucket: 4, D: 3, Seed: 42, StashPerShard: 64,
+		})
+		keys := benchStringKeys()
+		bench(b, func(k uint64) { m.Put(keys[k&(1<<17-1)], k) })
+	})
+	b.Run("struct", func(b *testing.B) {
+		m := NewKeyed[fiveTuple, uint64](keyed.ForType[fiveTuple](), Config{
+			Shards: 16, BucketsPerShard: 1 << 12, SlotsPerBucket: 4, D: 3, Seed: 42, StashPerShard: 64,
+		})
+		bench(b, func(k uint64) {
+			m.Put(fiveTuple{SrcIP: uint32(k), DstIP: uint32(k >> 13), SrcPort: uint16(k), Proto: 6}, k)
+		})
+	})
+}
+
+func BenchmarkMapSerialGet(b *testing.B) {
+	bench := func(b *testing.B, get func(i uint64)) {
+		src := rng.NewXoshiro256(1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(src.Uint64() & (1<<16 - 1))
+		}
+	}
+	b.Run("uint64", func(b *testing.B) {
+		m := newBenchMap(16)
+		for k := uint64(0); k < 1<<16; k++ {
+			m.Put(k, k)
+		}
+		bench(b, func(k uint64) { m.Get(k) })
+	})
+	b.Run("string", func(b *testing.B) {
+		m := NewKeyed[string, uint64](keyed.ForType[string](), Config{
+			Shards: 16, BucketsPerShard: 1 << 12, SlotsPerBucket: 4, D: 3, Seed: 42, StashPerShard: 64,
+		})
+		keys := benchStringKeys()
+		for k := uint64(0); k < 1<<16; k++ {
+			m.Put(keys[k], k)
+		}
+		bench(b, func(k uint64) { m.Get(keys[k]) })
+	})
+	b.Run("struct", func(b *testing.B) {
+		m := NewKeyed[fiveTuple, uint64](keyed.ForType[fiveTuple](), Config{
+			Shards: 16, BucketsPerShard: 1 << 12, SlotsPerBucket: 4, D: 3, Seed: 42, StashPerShard: 64,
+		})
+		mk := func(k uint64) fiveTuple {
+			return fiveTuple{SrcIP: uint32(k), DstIP: uint32(k >> 13), SrcPort: uint16(k), Proto: 6}
+		}
+		for k := uint64(0); k < 1<<16; k++ {
+			m.Put(mk(k), k)
+		}
+		bench(b, func(k uint64) { m.Get(mk(k)) })
+	})
+}
+
+// benchStringKeys pre-renders the 2^17 string keys so the benchmarks
+// measure the map, not fmt.
+func benchStringKeys() []string {
+	keys := make([]string, 1<<17)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("chunk-%012d", i)
+	}
+	return keys
 }
 
 // BenchmarkSyncMapPutParallel is the standard-library baseline for the

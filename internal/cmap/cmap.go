@@ -1,19 +1,20 @@
-// Package cmap is a concurrency-safe, sharded multiple-choice hash map
-// from uint64 keys to uint64 values — the production-shaped version of
-// internal/mchtable for many goroutines.
+// Package cmap is a concurrency-safe, sharded multiple-choice hash map —
+// the production-shaped version of internal/mchtable for many
+// goroutines — generic over key and value types.
 //
-// Every key is hashed once with SipHash-2-4; the digest's high bits route
-// the key to one of 2^k shards and the remaining bits derive the paper's
-// (f, g) pair inside the shard (hashes.ShardSplit), so the whole map keeps
-// the one-hash double-hashing discipline: one keyed hash evaluation yields
-// the shard and all d candidate buckets. Each shard is an independent
-// mchtable.Core — fixed-slot buckets, least-loaded placement over the d
-// double-hashed candidates, an overflow stash drained as deletes free
-// slots — guarded by its own RWMutex. Within a shard, bucket occupancy
-// follows the balanced-allocation load distribution of the paper (the
-// equivalence holds at every table size, per Mitzenmacher–Thaler's
-// follow-up analysis), so stash overflow can be provisioned from the
-// paper's tables exactly as in the single-threaded table.
+// Every key is hashed once through a keyed.Hasher (SipHash-2-4); the
+// digest's high bits route the key to one of 2^k shards and the remaining
+// bits derive the paper's (f, g) pair inside the shard
+// (hashes.ShardSplit), so the whole map keeps the one-hash double-hashing
+// discipline: one keyed hash evaluation yields the shard and all d
+// candidate buckets. Each shard is an independent mchtable.Core — fixed-
+// slot buckets, least-loaded placement over the d double-hashed
+// candidates, an overflow stash drained as deletes free slots — guarded
+// by its own RWMutex. Within a shard, bucket occupancy follows the
+// balanced-allocation load distribution of the paper (the equivalence
+// holds at every table size, per Mitzenmacher–Thaler's follow-up
+// analysis), so stash overflow can be provisioned from the paper's tables
+// exactly as in the single-threaded table.
 //
 // # Online incremental resize
 //
@@ -23,7 +24,7 @@
 // on subsequent Put and Delete calls (or driven externally through
 // MigrateStep). Each entry's in-shard digest is stored alongside it, so
 // migration re-derives candidates for the doubled geometry from the same
-// single SipHash evaluation — resize is a pure re-placement, no key is
+// single hash evaluation — resize is a pure re-placement, no key is
 // ever re-hashed, and the one-hash discipline survives every doubling
 // (double hashing behaves fully-random at any table shape, per the
 // follow-up analysis). Mid-migration, reads consult the old geometry
@@ -35,7 +36,7 @@
 // though, as with any write, a read can wait behind an in-flight batch
 // step, bounded by MigrateBatch).
 //
-// The SipHash evaluation always happens outside the shard lock. With
+// The keyed hash evaluation always happens outside the shard lock. With
 // resize enabled, the cheap geometry-dependent candidate expansion moves
 // under the lock, because a doubling may change the shard's bucket count
 // at any write; with resize disabled the geometry is immutable and the
@@ -43,14 +44,14 @@
 package cmap
 
 import (
-	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"sync"
 
+	"repro/internal/container"
 	"repro/internal/hashes"
+	"repro/internal/keyed"
 	"repro/internal/mchtable"
-	"repro/internal/stats"
 )
 
 // maxD bounds the candidate count so per-call candidate sets fit in a
@@ -82,9 +83,9 @@ type Config struct {
 // bucket count, nextDeriver the doubled geometry while a resize is in
 // flight. The trailing pad keeps adjacent shards' mutexes off one cache
 // line, so uncontended shards do not false-share.
-type shard struct {
+type shard[K comparable, V any] struct {
 	mu          sync.RWMutex
-	core        *mchtable.Core
+	core        *mchtable.Core[K, V]
 	deriver     *hashes.Deriver
 	nextDeriver *hashes.Deriver
 	candsOf     func(tag uint64) []uint32 // current-geometry drain derivation
@@ -94,19 +95,31 @@ type shard struct {
 	_           [64]byte
 }
 
-// Map is the sharded multiple-choice hash map. It is safe for concurrent
-// use by multiple goroutines.
-type Map struct {
+// Map is the sharded multiple-choice hash map from K keys to V values.
+// It is safe for concurrent use by multiple goroutines.
+type Map[K comparable, V any] struct {
 	shardBits    int
 	d            int
 	sipKey       hashes.SipKey
+	hash         keyed.Hasher[K]
 	maxLoad      float64
 	migrateBatch int
-	shards       []shard
+	shards       []shard[K, V]
 }
 
-// New returns an empty map. It panics on invalid configuration.
-func New(cfg Config) *Map {
+// New returns an empty uint64 → uint64 map hashed with the canonical
+// little-endian uint64 hasher — the library's historical key shape,
+// byte-identical digests included. It panics on invalid configuration.
+func New(cfg Config) *Map[uint64, uint64] {
+	return NewKeyed[uint64, uint64](keyed.Uint64, cfg)
+}
+
+// NewKeyed returns an empty typed map whose single keyed hash evaluation
+// per operation is h. It panics on invalid configuration or a nil hasher.
+func NewKeyed[K comparable, V any](h keyed.Hasher[K], cfg Config) *Map[K, V] {
+	if h == nil {
+		panic("cmap: nil hasher")
+	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 16
 	}
@@ -136,18 +149,19 @@ func New(cfg Config) *Map {
 	if cfg.MigrateBatch == 0 {
 		cfg.MigrateBatch = 32
 	}
-	m := &Map{
+	m := &Map[K, V]{
 		shardBits:    shardBits,
 		d:            cfg.D,
 		sipKey:       hashes.SipKeyFromSeed(cfg.Seed),
+		hash:         h,
 		maxLoad:      cfg.MaxLoadFactor,
 		migrateBatch: cfg.MigrateBatch,
-		shards:       make([]shard, shards),
+		shards:       make([]shard[K, V], shards),
 	}
 	deriver := hashes.NewDeriver(cfg.BucketsPerShard) // shared until a shard resizes
 	for i := range m.shards {
 		sh := &m.shards[i]
-		sh.core = mchtable.NewCore(cfg.BucketsPerShard, cfg.SlotsPerBucket, cfg.StashPerShard)
+		sh.core = mchtable.NewCore[K, V](cfg.BucketsPerShard, cfg.SlotsPerBucket, cfg.StashPerShard)
 		sh.deriver = deriver
 		sh.scratch = make([]uint32, cfg.D)
 		sh.newScratch = make([]uint32, cfg.D)
@@ -164,23 +178,19 @@ func New(cfg Config) *Map {
 }
 
 // digest is the map's single keyed hash evaluation per key.
-func (m *Map) digest(key uint64) uint64 {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], key)
-	return hashes.SipHash24(m.sipKey, buf[:])
-}
+func (m *Map[K, V]) digest(key K) uint64 { return m.hash(m.sipKey, key) }
 
 // route returns the key's shard and in-shard digest — everything derived
-// from one SipHash evaluation, without touching any lock. The in-shard
+// from one keyed hash evaluation, without touching any lock. The in-shard
 // digest is also the entry's stored tag: candidate buckets for any
 // geometry derive from it.
-func (m *Map) route(key uint64) (*shard, uint64) {
+func (m *Map[K, V]) route(key K) (*shard[K, V], uint64) {
 	idx, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
 	return &m.shards[idx], inShard
 }
 
 // startResizeLocked begins doubling sh. Caller holds sh.mu.
-func (m *Map) startResizeLocked(sh *shard) {
+func (m *Map[K, V]) startResizeLocked(sh *shard[K, V]) {
 	newBuckets := 2 * sh.core.Buckets()
 	sh.nextDeriver = hashes.NewDeriver(newBuckets)
 	sh.core.StartResize(newBuckets)
@@ -190,7 +200,7 @@ func (m *Map) startResizeLocked(sh *shard) {
 // occupancy past MaxLoadFactor, or the overflow stash three-quarters
 // full (stash pressure precedes rejections well below the watermark on
 // unlucky shards). Caller holds sh.mu.
-func (m *Map) wantsResizeLocked(sh *shard) bool {
+func (m *Map[K, V]) wantsResizeLocked(sh *shard[K, V]) bool {
 	if m.maxLoad == 0 || sh.core.Resizing() {
 		return false
 	}
@@ -204,7 +214,7 @@ func (m *Map) wantsResizeLocked(sh *shard) bool {
 // migration work (entries moved or empty old buckets swept — the bound
 // keeps the lock-hold O(n)), promoting the new geometry when the backlog
 // empties. Caller holds sh.mu. Returns the work performed.
-func (m *Map) migrateLocked(sh *shard, n int) int {
+func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 	if !sh.core.Resizing() {
 		return 0
 	}
@@ -226,7 +236,7 @@ func (m *Map) migrateLocked(sh *shard, n int) int {
 // stash are themselves full (a second doubling cannot start until the
 // first completes). Every Put on a resizing shard migrates up to
 // MigrateBatch entries.
-func (m *Map) Put(key, val uint64) bool {
+func (m *Map[K, V]) Put(key K, val V) bool {
 	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.route(key)
 	oldCands := oldBuf[:m.d]
@@ -268,7 +278,7 @@ func (m *Map) Put(key, val uint64) bool {
 // proceed in parallel (read lock), and a Get never migrates — reads stay
 // cliff-free while a resize is in flight, at the cost of probing both
 // geometries (old first, so no key is ever unreachable mid-migration).
-func (m *Map) Get(key uint64) (uint64, bool) {
+func (m *Map[K, V]) Get(key K) (V, bool) {
 	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.route(key)
 	oldCands := oldBuf[:m.d]
@@ -281,7 +291,7 @@ func (m *Map) Get(key uint64) (uint64, bool) {
 	}
 	sh.mu.RLock()
 	sh.deriver.CandidateBins(tag, oldCands)
-	var v uint64
+	var v V
 	var ok bool
 	if sh.core.Resizing() {
 		newCands := newBuf[:m.d]
@@ -298,7 +308,7 @@ func (m *Map) Get(key uint64) (uint64, bool) {
 // slot drains the shard's stash back into the freed bucket, as in the
 // single-threaded table. Like Put, a Delete migrates up to MigrateBatch
 // entries of an in-flight resize.
-func (m *Map) Delete(key uint64) bool {
+func (m *Map[K, V]) Delete(key K) bool {
 	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.route(key)
 	oldCands := oldBuf[:m.d]
@@ -331,7 +341,7 @@ func (m *Map) Delete(key uint64) bool {
 // resizes to completion under write traffic; MigrateStep is for a
 // background drainer (see cmd/loadgen) or for finishing a migration on a
 // now-idle map.
-func (m *Map) MigrateStep(n int) int {
+func (m *Map[K, V]) MigrateStep(n int) int {
 	if n <= 0 {
 		panic(fmt.Sprintf("cmap: MigrateStep n = %d", n))
 	}
@@ -355,15 +365,15 @@ func (m *Map) MigrateStep(n int) int {
 }
 
 // Shards returns the shard count (a power of two).
-func (m *Map) Shards() int { return len(m.shards) }
+func (m *Map[K, V]) Shards() int { return len(m.shards) }
 
 // D returns the number of candidate buckets per key.
-func (m *Map) D() int { return m.d }
+func (m *Map[K, V]) D() int { return m.d }
 
 // Len returns the number of stored pairs (including stashed ones). The
 // count is a per-shard-consistent snapshot: shards are read one at a time,
 // so concurrent writers may move the total while it accumulates.
-func (m *Map) Len() int {
+func (m *Map[K, V]) Len() int {
 	total := 0
 	for i := range m.shards {
 		sh := &m.shards[i]
@@ -374,26 +384,17 @@ func (m *Map) Len() int {
 	return total
 }
 
-// Stats is an occupancy/overflow snapshot aggregated across shards — the
-// monitoring view: overall fill, stash pressure, shard skew, resize
-// progress, and the bucket-load histogram the paper's tables predict.
-type Stats struct {
-	Shards      int        // shard count
-	Len         int        // stored pairs, stash included
-	Capacity    int        // total bucket-slot capacity (both geometries mid-resize)
-	Stashed     int        // stashed pairs across all shards
-	Occupancy   float64    // Len / Capacity
-	MinShardLen int        // least-loaded shard's pair count
-	MaxShardLen int        // most-loaded shard's pair count
-	Resizes     int        // completed shard resizes since New
-	Migrating   int        // entries still awaiting migration in resizing shards
-	BucketLoads stats.Hist // occupied-slots-per-bucket histogram, all shards
-}
+// Stats is the common occupancy/overflow snapshot aggregated across
+// shards — the monitoring view: overall fill, stash pressure, shard skew,
+// resize progress, and the bucket-load histogram the paper's tables
+// predict. It is an alias of the shared container.Stats, so every
+// container family in the library reports through one type.
+type Stats = container.Stats
 
 // Stats gathers the snapshot. Each shard is read under its lock in turn,
 // so per-shard figures are exact while the cross-shard aggregate is only
 // as atomic as a lock-per-shard design allows.
-func (m *Map) Stats() Stats {
+func (m *Map[K, V]) Stats() Stats {
 	st := Stats{Shards: len(m.shards)}
 	for i := range m.shards {
 		sh := &m.shards[i]

@@ -1,8 +1,10 @@
 package cmap
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/keyed"
 	"repro/internal/testutil"
 )
 
@@ -11,24 +13,24 @@ import (
 // put-delete-get cycle (drain and dual-table hand-off), and a hot-key
 // update storm (in-place updates racing migration).
 func fuzzSeeds(keySpace uint64) [][]byte {
-	var fill, cycle, hot []testutil.Op
+	var fill, cycle, hot []testutil.Op[uint64, uint64]
 	for k := uint64(1); k <= 200; k++ {
-		fill = append(fill, testutil.Op{Kind: testutil.OpPut, Key: k, Val: k % 256})
+		fill = append(fill, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: k % 256})
 	}
 	for k := uint64(1); k <= 200; k++ {
-		fill = append(fill, testutil.Op{Kind: testutil.OpGet, Key: k})
+		fill = append(fill, testutil.Op[uint64, uint64]{Kind: testutil.OpGet, Key: k})
 	}
 	for k := uint64(1); k <= 100; k++ {
-		cycle = append(cycle, testutil.Op{Kind: testutil.OpPut, Key: k, Val: 1})
+		cycle = append(cycle, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: 1})
 	}
 	for k := uint64(1); k <= 100; k += 2 {
-		cycle = append(cycle, testutil.Op{Kind: testutil.OpDelete, Key: k})
+		cycle = append(cycle, testutil.Op[uint64, uint64]{Kind: testutil.OpDelete, Key: k})
 	}
 	for k := uint64(1); k <= 100; k++ {
-		cycle = append(cycle, testutil.Op{Kind: testutil.OpGet, Key: k})
+		cycle = append(cycle, testutil.Op[uint64, uint64]{Kind: testutil.OpGet, Key: k})
 	}
 	for i := 0; i < 300; i++ {
-		hot = append(hot, testutil.Op{Kind: testutil.OpKind(i % 3), Key: 1 + uint64(i%8), Val: uint64(i % 256)})
+		hot = append(hot, testutil.Op[uint64, uint64]{Kind: testutil.OpKind(i % 3), Key: 1 + uint64(i%8), Val: uint64(i % 256)})
 	}
 	return [][]byte{
 		testutil.EncodeOps(fill, keySpace),
@@ -75,6 +77,53 @@ func FuzzCMapOps(f *testing.F) {
 			}
 		}}
 		if err := testutil.Run(m, testutil.DecodeOps(body, keySpace), opt); err != nil {
+			t.Fatalf("cfg %+v: %v", cfg, err)
+		}
+	})
+}
+
+// FuzzCMapStringOps is FuzzCMapOps driven through the generic typed
+// surface — Map[string, uint64] — instead of the uint64 shim: the same
+// decoded op sequences, with each uint64 key rendered as a string
+// (injectively), against the same shadow-map oracle. It pins that the
+// string hasher, the generic shard cores and the resize machinery keep
+// the exact sequential semantics of the uint64 path.
+func FuzzCMapStringOps(f *testing.F) {
+	const keySpace = 512
+	for _, seed := range fuzzSeeds(keySpace) {
+		f.Add(append([]byte{0, 0, 0, 0}, seed...))
+		f.Add(append([]byte{1, 1, 17, 1}, seed...))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		hdr, body := data[:4], data[4:]
+		if len(body) > 32<<10 { // bound work per exec
+			body = body[:32<<10]
+		}
+		cfg := Config{
+			Shards:          1 << (hdr[0] % 3),      // 1, 2, 4
+			BucketsPerShard: 8 << (hdr[0] >> 4 % 3), // 8, 16, 32
+			SlotsPerBucket:  1 + int(hdr[1]%4),
+			D:               2 + int(hdr[1]>>4%3), // 2..4
+			Seed:            uint64(hdr[2]),
+			StashPerShard:   2 + int(hdr[2]>>4),
+		}
+		if hdr[3]%2 == 1 {
+			cfg.MaxLoadFactor = 0.55 + float64(hdr[3]>>1%4)*0.1
+			cfg.MigrateBatch = 1 + int(hdr[3]>>3%8)
+		}
+		m := NewKeyed[string, uint64](keyed.ForType[string](), cfg)
+		ops := testutil.MapOps(testutil.DecodeOps(body, keySpace),
+			func(k uint64) string { return fmt.Sprintf("key-%04x", k) },
+			func(v uint64) uint64 { return v },
+		)
+		opt := testutil.Options{TrackValues: true, Finalize: func() {
+			for m.MigrateStep(64) > 0 {
+			}
+		}}
+		if err := testutil.Run(m, ops, opt); err != nil {
 			t.Fatalf("cfg %+v: %v", cfg, err)
 		}
 	})

@@ -12,7 +12,7 @@ import (
 )
 
 // drain finishes every in-flight shard migration.
-func drain(m *Map) {
+func drain(m *Map[uint64, uint64]) {
 	for m.MigrateStep(256) > 0 {
 	}
 }

@@ -1,0 +1,49 @@
+// Package container defines the one public surface every key-value
+// container in this library presents: the generic Container interface
+// and the common Stats snapshot. The four table families — the sharded
+// concurrent map (internal/cmap), the single-threaded multiple-choice
+// table (internal/mchtable), the cuckoo map (internal/cuckoo) and the
+// open-addressed map (internal/openaddr) — all satisfy
+// Container[K, V], so callers (and internal/testutil's differential
+// oracle) can swap table families without touching call sites.
+package container
+
+import "repro/internal/stats"
+
+// Stats is the occupancy/overflow snapshot every container reports.
+// Fields that do not apply to a particular table family are zero (a
+// non-sharded table reports Shards == 1 and Min/MaxShardLen == Len; a
+// table without a stash or online resize reports Stashed == 0 and
+// Resizes == 0).
+type Stats struct {
+	Shards      int        // shard count (1 for unsharded tables)
+	Len         int        // stored pairs, stash included
+	Capacity    int        // total slot capacity (both geometries mid-resize)
+	Stashed     int        // overflow-stashed pairs
+	Occupancy   float64    // Len / Capacity
+	MinShardLen int        // least-loaded shard's pair count
+	MaxShardLen int        // most-loaded shard's pair count
+	Resizes     int        // completed online resizes
+	Migrating   int        // entries still awaiting migration in resizing shards
+	BucketLoads stats.Hist // occupied-slots-per-bucket histogram (slot occupancy for 1-slot tables)
+}
+
+// Container is the shared typed key-value store contract.
+//
+// Put stores key → val, updating in place if key is resident, and
+// reports whether the pair is stored; false means a capacity rejection
+// with the container unchanged (a resident key must always be updatable
+// in place). Get returns the stored value. Delete removes key,
+// reporting whether it was present. Len counts stored pairs. Stats
+// takes the common occupancy snapshot.
+//
+// Every operation costs exactly one keyed hash evaluation of key — the
+// paper's one-hash discipline is part of the contract, not an
+// implementation detail.
+type Container[K comparable, V any] interface {
+	Put(key K, val V) bool
+	Get(key K) (V, bool)
+	Delete(key K) bool
+	Len() int
+	Stats() Stats
+}

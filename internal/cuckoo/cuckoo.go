@@ -42,8 +42,15 @@ func (m Mode) String() string {
 // using random-walk eviction. Slot occupancy is a uint8 0/1 array so the
 // "first free candidate" rule is literally the engine's least-loaded
 // selection with ties to the first.
+//
+// Each slot also carries an opaque uint64 value that travels with its key
+// through every eviction and unwind, which is what lets the typed Map
+// wrapper layer real (K, V) pairs over this uint64 core: the set API
+// (Insert/Contains/Fill) and the map API (Put/Get/Delete) share the
+// placement machinery.
 type Table struct {
 	keys     []uint64
+	vals     []uint64
 	occupied []uint8 // 0 free, 1 occupied
 	d        int
 	mode     Mode
@@ -71,6 +78,7 @@ func New(capacity, d int, mode Mode, seed uint64, src rng.Source) *Table {
 	}
 	return &Table{
 		keys:     make([]uint64, capacity),
+		vals:     make([]uint64, capacity),
 		occupied: make([]uint8, capacity),
 		d:        d,
 		mode:     mode,
@@ -118,16 +126,19 @@ func (t *Table) candidates(key uint64, dst []uint32) {
 	}
 }
 
-// Contains reports whether key is stored.
-func (t *Table) Contains(key uint64) bool {
+// find returns the slot holding key, or -1.
+func (t *Table) find(key uint64) int {
 	t.candidates(key, t.scratch)
 	for _, s := range t.scratch {
 		if t.occupied[s] != 0 && t.keys[s] == key {
-			return true
+			return int(s)
 		}
 	}
-	return false
+	return -1
 }
+
+// Contains reports whether key is stored.
+func (t *Table) Contains(key uint64) bool { return t.find(key) >= 0 }
 
 // Insert stores key, evicting residents along a random walk when all
 // candidates are full. It returns the number of evictions performed and
@@ -140,11 +151,59 @@ func (t *Table) Contains(key uint64) bool {
 // table exactly as it was: every previously stored key remains present
 // and the new key is absent. Failure normally means the table is beyond
 // the load threshold and should be rebuilt larger.
+//
+// Inserting a key that is already present returns (0, true) without
+// touching its stored value.
 func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 	if t.Contains(key) {
 		return 0, true
 	}
-	cur := key
+	return t.insertNew(key, 0)
+}
+
+// Put stores key → val, updating the value in place if key is present.
+// It reports whether the pair is stored; false means the insertion walk
+// failed within the kick budget and was unwound (table unchanged).
+func (t *Table) Put(key, val uint64) bool {
+	if s := t.find(key); s >= 0 {
+		t.vals[s] = val
+		return true
+	}
+	_, ok := t.insertNew(key, val)
+	return ok
+}
+
+// Get returns the value stored for key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	if s := t.find(key); s >= 0 {
+		return t.vals[s], true
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint64) bool {
+	s := t.find(key)
+	if s < 0 {
+		return false
+	}
+	t.clearSlot(s)
+	return true
+}
+
+// clearSlot frees slot s, zeroing the stored pair.
+func (t *Table) clearSlot(s int) {
+	t.occupied[s] = 0
+	t.keys[s] = 0
+	t.vals[s] = 0
+	t.size--
+}
+
+// insertNew runs the random-walk insertion of a key verified absent,
+// carrying its value through every eviction swap (and the unwind, on
+// failure) so values never detach from their keys.
+func (t *Table) insertNew(key, val uint64) (kicks int, ok bool) {
+	cur, curVal := key, val
 	t.walk = t.walk[:0]
 	for kicks = 0; kicks <= t.maxKicks; kicks++ {
 		t.candidates(cur, t.scratch)
@@ -153,6 +212,7 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 		if s, occ := engine.LeastLoadedFirst(t.occupied, t.scratch); occ == 0 {
 			t.occupied[s] = 1
 			t.keys[s] = cur
+			t.vals[s] = curVal
 			t.size++
 			return kicks, true
 		}
@@ -161,6 +221,7 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 		victim := t.scratch[rng.Intn(t.src, t.d)]
 		t.walk = append(t.walk, victim)
 		cur, t.keys[victim] = t.keys[victim], cur
+		curVal, t.vals[victim] = t.vals[victim], curVal
 	}
 	// Budget exhausted: cur is a displaced resident (the new key itself
 	// took the first victim's slot). Greedy re-store: one more placement
@@ -169,6 +230,7 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 	if s, occ := engine.LeastLoadedFirst(t.occupied, t.scratch); occ == 0 {
 		t.occupied[s] = 1
 		t.keys[s] = cur
+		t.vals[s] = curVal
 		t.size++ // the walk's net effect is storing the new key
 		return kicks, true
 	}
@@ -178,6 +240,7 @@ func (t *Table) Insert(key uint64) (kicks int, ok bool) {
 	for i := len(t.walk) - 1; i >= 0; i-- {
 		v := t.walk[i]
 		cur, t.keys[v] = t.keys[v], cur
+		curVal, t.vals[v] = t.vals[v], curVal
 	}
 	return kicks, false
 }

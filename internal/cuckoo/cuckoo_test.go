@@ -1,28 +1,13 @@
 package cuckoo
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/keyed"
 	"repro/internal/rng"
 	"repro/internal/testutil"
 )
-
-// setAdapter exposes the cuckoo table to the shared differential harness:
-// a set-only container (no deletion, no values).
-type setAdapter struct{ t *Table }
-
-func (a setAdapter) Put(key, _ uint64) bool {
-	_, ok := a.t.Insert(key)
-	return ok
-}
-
-func (a setAdapter) Get(key uint64) (uint64, bool) {
-	return 0, a.t.Contains(key)
-}
-
-func (a setAdapter) Delete(uint64) bool { panic("cuckoo: no delete") }
-
-func (a setAdapter) Len() int { return a.t.Len() }
 
 func newTable(t *testing.T, capacity, d int, mode Mode, seed uint64) *Table {
 	t.Helper()
@@ -159,18 +144,104 @@ func TestMeanKicksEmptyFill(t *testing.T) {
 
 func TestDifferentialOpSequences(t *testing.T) {
 	// The shared differential harness is the oracle for op-sequence
-	// behaviour: membership matches a shadow map even when fills push past
-	// the load threshold and kick budgets run out (where the PR 2
-	// membership-loss regression lived), under both hashing modes.
+	// behaviour: membership, stored values and deletions match a shadow
+	// map even when fills push past the load threshold and kick budgets
+	// run out (where the PR 2 membership-loss regression lived), under
+	// both hashing modes. The Table's Put/Get/Delete map API satisfies
+	// the harness's Container[uint64, uint64] directly.
 	for _, mode := range []Mode{Independent, DoubleHashed} {
 		for _, d := range []int{2, 3} {
 			tb := newTable(t, 256, d, mode, uint64(d)*13)
 			tb.SetMaxKicks(20) // small budget so exhaustion paths run
-			ops := testutil.RandomOps(4000, 512, 0.6, 0, uint64(d)+uint64(mode))
-			if err := testutil.Run(setAdapter{tb}, ops, testutil.Options{NoDelete: true}); err != nil {
+			ops := testutil.RandomOps(6000, 512, 0.5, 0.2, uint64(d)+uint64(mode))
+			if err := testutil.Run(tb, ops, testutil.Options{TrackValues: true}); err != nil {
 				t.Errorf("%v d=%d: %v", mode, d, err)
 			}
 		}
+	}
+}
+
+func TestValuesFollowEvictions(t *testing.T) {
+	// Every stored value must move with its key through arbitrary
+	// eviction walks: fill near the d=3 threshold with value = f(key),
+	// then verify every pair.
+	capacity := 1 << 12
+	tb := newTable(t, capacity, 3, DoubleHashed, 41)
+	src := rng.NewXoshiro256(42)
+	keys := make([]uint64, int(0.85*float64(capacity)))
+	for i := range keys {
+		keys[i] = src.Uint64()
+		if !tb.Put(keys[i], keys[i]^0xABCD) {
+			t.Fatalf("put %d failed at α=0.85", i)
+		}
+	}
+	for _, k := range keys {
+		if v, ok := tb.Get(k); !ok || v != k^0xABCD {
+			t.Fatalf("value detached from key: Get(%#x) = (%#x, %v)", k, v, ok)
+		}
+	}
+	// Update in place does not duplicate.
+	if !tb.Put(keys[0], 7) {
+		t.Fatal("update rejected")
+	}
+	if v, _ := tb.Get(keys[0]); v != 7 {
+		t.Fatal("update lost")
+	}
+	if tb.Len() != len(keys) {
+		t.Fatalf("Len = %d after update", tb.Len())
+	}
+}
+
+func TestDeleteFreesSlots(t *testing.T) {
+	tb := newTable(t, 128, 3, DoubleHashed, 43)
+	src := rng.NewXoshiro256(44)
+	var keys []uint64
+	for len(keys) < 100 {
+		k := src.Uint64()
+		if tb.Put(k, k) {
+			keys = append(keys, k)
+		}
+	}
+	for i, k := range keys {
+		if i%2 == 0 && !tb.Delete(k) {
+			t.Fatalf("delete of stored key %d missed", i)
+		}
+	}
+	if tb.Delete(keys[0]) {
+		t.Fatal("double delete succeeded")
+	}
+	if tb.Len() != 50 {
+		t.Fatalf("Len = %d after deleting half", tb.Len())
+	}
+	for i, k := range keys {
+		_, ok := tb.Get(k)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	// Freed slots admit new keys again.
+	n := tb.Len()
+	for tb.Len() < n+25 {
+		if k := src.Uint64(); tb.Put(k, k) {
+			continue
+		}
+	}
+}
+
+func TestTypedMapDifferential(t *testing.T) {
+	// The typed wrapper over the uint64 core: string keys, tracked
+	// values, deletions — against the same shadow-map oracle.
+	m := NewMap[string, uint64](keyed.ForType[string](), 512, 3, 45)
+	m.SetMaxKicks(30)
+	ops := testutil.MapOps(testutil.RandomOps(8000, 1024, 0.5, 0.2, 46),
+		func(k uint64) string { return fmt.Sprintf("flow-%05x", k) },
+		func(v uint64) uint64 { return v },
+	)
+	if err := testutil.Run(m, ops, testutil.Options{TrackValues: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Len != m.Len() || st.Capacity != 512 {
+		t.Fatalf("stats snapshot: %+v", st)
 	}
 }
 
@@ -215,19 +286,22 @@ func TestNoMembershipLossPastThreshold(t *testing.T) {
 }
 
 func TestFailedInsertUnwindIsExact(t *testing.T) {
-	// After a failed Insert, every slot must hold exactly what it held
-	// before the call (not merely the same membership set).
+	// After a failed insertion, every slot must hold exactly what it held
+	// before the call — keys AND values, not merely the same membership
+	// set.
 	tb := newTable(t, 256, 2, DoubleHashed, 7)
 	tb.SetMaxKicks(20)
 	src := rng.NewXoshiro256(29)
 	for i := 0; i < 256; i++ {
 		keys := append([]uint64(nil), tb.keys...)
+		vals := append([]uint64(nil), tb.vals...)
 		occ := append([]uint8(nil), tb.occupied...)
-		if _, ok := tb.Insert(src.Uint64()); ok {
+		k := src.Uint64()
+		if tb.Put(k, k^0xF00D) {
 			continue
 		}
 		for s := range keys {
-			if occ[s] != tb.occupied[s] || (occ[s] != 0 && keys[s] != tb.keys[s]) {
+			if occ[s] != tb.occupied[s] || (occ[s] != 0 && (keys[s] != tb.keys[s] || vals[s] != tb.vals[s])) {
 				t.Fatalf("slot %d changed across failed insert", s)
 			}
 		}

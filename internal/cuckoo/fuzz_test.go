@@ -8,20 +8,20 @@ import (
 )
 
 // FuzzCuckooOps decodes the input into a table shape and an op sequence
-// and differentially tests membership against the shadow-map oracle. Small
-// kick budgets keep the eviction-exhaustion paths (where PR 2's
-// membership-loss bug lived) in constant reach.
+// and differentially tests membership, values and deletions against the
+// shadow-map oracle. Small kick budgets keep the eviction-exhaustion
+// paths (where PR 2's membership-loss bug lived) in constant reach.
 func FuzzCuckooOps(f *testing.F) {
 	const keySpace = 512
 	// Corpus seed shaped like the PR 2 regression: a saturating run of
 	// distinct inserts far past the d=2 load threshold with a small kick
 	// budget, then membership probes of everything.
-	var past []testutil.Op
+	var past []testutil.Op[uint64, uint64]
 	for k := uint64(1); k <= 300; k++ {
-		past = append(past, testutil.Op{Kind: testutil.OpPut, Key: k, Val: 0})
+		past = append(past, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: 0})
 	}
 	for k := uint64(1); k <= 300; k++ {
-		past = append(past, testutil.Op{Kind: testutil.OpGet, Key: k})
+		past = append(past, testutil.Op[uint64, uint64]{Kind: testutil.OpGet, Key: k})
 	}
 	encoded := testutil.EncodeOps(past, keySpace)
 	f.Add(append([]byte{0, 0}, encoded...))
@@ -43,7 +43,7 @@ func FuzzCuckooOps(f *testing.F) {
 		seed := uint64(hdr[1])
 		tb := New(capacity, d, mode, seed, rng.NewXoshiro256(seed^0xFABC))
 		tb.SetMaxKicks(1 + int(hdr[1]>>2%32))
-		err := testutil.Run(setAdapter{tb}, testutil.DecodeOps(body, keySpace), testutil.Options{NoDelete: true})
+		err := testutil.Run(tb, testutil.DecodeOps(body, keySpace), testutil.Options{TrackValues: true})
 		if err != nil {
 			t.Fatalf("capacity=%d d=%d %v kicks: %v", capacity, d, mode, err)
 		}

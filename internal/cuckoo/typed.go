@@ -1,0 +1,146 @@
+package cuckoo
+
+import (
+	"repro/internal/container"
+	"repro/internal/hashes"
+	"repro/internal/keyed"
+	"repro/internal/rng"
+)
+
+// entry is one stored pair in the typed wrapper's pool.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Map is the typed cuckoo hash map: a keyed.Hasher reduces each key to
+// its single 64-bit digest, the uint64 cuckoo core places the digest
+// (double-hashed — the d candidate slots derive from one digest, the
+// paper's discipline), and the core's slot payload indexes a pool of
+// (K, V) entries, so pairs follow their digests through every eviction
+// walk without the wrapper knowing the walk happened.
+//
+// Distinct keys whose digests collide (probability 2^-64 per pair under
+// SipHash) are indistinguishable to the placement core: a later Put
+// replaces the earlier pair, after which only the replacing key can read
+// or delete it — the displaced key reads as absent. Every operation
+// costs exactly one keyed hash evaluation, and probes the core exactly
+// once (the wrapper shares the core's slot lookup rather than stacking a
+// membership probe on top of it).
+//
+// Map is not safe for concurrent use.
+type Map[K comparable, V any] struct {
+	t       *Table
+	hash    keyed.Hasher[K]
+	sipKey  hashes.SipKey
+	entries []entry[K, V]
+	free    []uint32
+}
+
+// NewMap returns an empty typed cuckoo map with the given slot capacity
+// and d >= 2 candidate slots per key, always in the one-digest
+// double-hashed mode. It panics on invalid shape or a nil hasher.
+func NewMap[K comparable, V any](h keyed.Hasher[K], capacity, d int, seed uint64) *Map[K, V] {
+	if h == nil {
+		panic("cuckoo: nil hasher")
+	}
+	return &Map[K, V]{
+		t:      New(capacity, d, DoubleHashed, seed, rng.NewXoshiro256(rng.Mix64(seed))),
+		hash:   h,
+		sipKey: hashes.SipKeyFromSeed(seed),
+	}
+}
+
+// SetMaxKicks overrides the eviction budget of the underlying table.
+func (m *Map[K, V]) SetMaxKicks(k int) { m.t.SetMaxKicks(k) }
+
+// digest is the map's single keyed hash evaluation per operation.
+func (m *Map[K, V]) digest(key K) uint64 { return m.hash(m.sipKey, key) }
+
+// alloc stores a pair in the pool and returns its index.
+func (m *Map[K, V]) alloc(key K, val V) uint64 {
+	if n := len(m.free); n > 0 {
+		idx := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.entries[idx] = entry[K, V]{key: key, val: val}
+		return uint64(idx)
+	}
+	m.entries = append(m.entries, entry[K, V]{key: key, val: val})
+	return uint64(len(m.entries) - 1)
+}
+
+// release returns pool slot idx to the free list, zeroing the entry so no
+// dead key or value stays reachable.
+func (m *Map[K, V]) release(idx uint64) {
+	m.entries[idx] = entry[K, V]{}
+	m.free = append(m.free, uint32(idx))
+}
+
+// Put stores key → val, updating in place if key (or a digest-colliding
+// key, see the type comment) is present. It reports whether the pair is
+// stored; false means the cuckoo insertion walk failed within the kick
+// budget and was unwound, leaving the map unchanged.
+func (m *Map[K, V]) Put(key K, val V) bool {
+	d := m.digest(key)
+	if s := m.t.find(d); s >= 0 {
+		m.entries[m.t.vals[s]] = entry[K, V]{key: key, val: val}
+		return true
+	}
+	idx := m.alloc(key, val)
+	// find missed, so the digest is verifiably absent: run the insertion
+	// walk directly instead of re-probing through Table.Put.
+	if _, ok := m.t.insertNew(d, idx); !ok {
+		m.release(idx)
+		return false
+	}
+	return true
+}
+
+// Get returns the value stored for key.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	if s := m.t.find(m.digest(key)); s >= 0 {
+		if e := &m.entries[m.t.vals[s]]; e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[K, V]) Delete(key K) bool {
+	s := m.t.find(m.digest(key))
+	if s < 0 {
+		return false
+	}
+	idx := m.t.vals[s]
+	if m.entries[idx].key != key {
+		return false
+	}
+	m.t.clearSlot(s)
+	m.release(idx)
+	return true
+}
+
+// Len returns the number of stored pairs.
+func (m *Map[K, V]) Len() int { return m.t.Len() }
+
+// Stats takes the common container snapshot. BucketLoads is the 0/1 slot
+// occupancy histogram (cuckoo buckets hold one slot each).
+func (m *Map[K, V]) Stats() container.Stats { return m.t.Stats() }
+
+// Stats takes the common container snapshot for the uint64 core.
+func (t *Table) Stats() container.Stats {
+	st := container.Stats{
+		Shards:      1,
+		Len:         t.size,
+		Capacity:    len(t.keys),
+		Occupancy:   t.LoadFactor(),
+		MinShardLen: t.size,
+		MaxShardLen: t.size,
+	}
+	for _, occ := range t.occupied {
+		st.BucketLoads.Add(int(occ))
+	}
+	return st
+}

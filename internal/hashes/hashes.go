@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"unsafe"
 
 	"repro/internal/engine"
 	"repro/internal/numeric"
@@ -83,6 +84,17 @@ func SipHash24(key SipKey, data []byte) uint64 {
 	round()
 	round()
 	return v0 ^ v1 ^ v2 ^ v3
+}
+
+// SipHash24String is SipHash24 over the bytes of s, without copying or
+// allocating: the string's backing bytes are viewed in place (SipHash24
+// neither retains nor mutates its input, so the view is safe). It returns
+// the identical digest to SipHash24(key, []byte(s)).
+func SipHash24String(key SipKey, s string) uint64 {
+	if len(s) == 0 {
+		return SipHash24(key, nil)
+	}
+	return SipHash24(key, unsafe.Slice(unsafe.StringData(s), len(s)))
 }
 
 // FNV-1a constants (64-bit).

@@ -1,0 +1,177 @@
+package keyed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/hashes"
+	"repro/internal/rng"
+)
+
+// TestUint64MatchesLegacyDigest pins the determinism contract: the
+// typed Hasher[uint64] produces byte-identical digests to the historical
+// uint64 container path (SipHash-2-4 of the key's 8-byte little-endian
+// encoding under the same SipKey), so typed and legacy containers with
+// one seed agree on every digest, shard route and candidate set.
+func TestUint64MatchesLegacyDigest(t *testing.T) {
+	src := rng.NewXoshiro256(7)
+	for i := 0; i < 2000; i++ {
+		seed, k := src.Uint64(), src.Uint64()
+		key := hashes.SipKeyFromSeed(seed)
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], k)
+		legacy := hashes.SipHash24(key, buf[:])
+		if got := Uint64(key, k); got != legacy {
+			t.Fatalf("seed %#x key %#x: Uint64 = %#x, legacy path %#x", seed, k, got, legacy)
+		}
+		if got := ForType[uint64]()(key, k); got != legacy {
+			t.Fatalf("seed %#x key %#x: ForType[uint64] = %#x, legacy path %#x", seed, k, got, legacy)
+		}
+	}
+}
+
+// TestGoldenDigests pins absolute digest values, so no refactor can
+// silently change the hash function out from under persisted digests.
+func TestGoldenDigests(t *testing.T) {
+	key := hashes.SipKeyFromSeed(1)
+	for _, tc := range []struct{ in, want uint64 }{
+		{0x0, 0xdae6f03e6217986},
+		{0x1, 0x908f3030db9ac724},
+		{0xdeadbeef, 0x4efffca2cb066455},
+		{0xffffffffffffffff, 0xd8aae4ba9af93e34},
+	} {
+		if got := Uint64(key, tc.in); got != tc.want {
+			t.Errorf("Uint64(seed 1, %#x) = %#x, want %#x", tc.in, got, tc.want)
+		}
+	}
+	if got := String(key, "balanced allocations"); got != 0x4d15514efeccb27f {
+		t.Errorf("String(seed 1, ...) = %#x", got)
+	}
+}
+
+func TestStringHashersAgree(t *testing.T) {
+	type name string
+	key := hashes.SipKeyFromSeed(3)
+	for _, s := range []string{"", "a", "flow:10.0.0.1:443", "\x00\xff\x00", "日本語のキー"} {
+		want := hashes.SipHash24(key, []byte(s))
+		if got := String(key, s); got != want {
+			t.Errorf("String(%q) = %#x, want bytes digest %#x", s, got, want)
+		}
+		if got := Bytes(key, []byte(s)); got != want {
+			t.Errorf("Bytes(%q) = %#x, want %#x", s, got, want)
+		}
+		if got := StringOf[name]()(key, name(s)); got != want {
+			t.Errorf("StringOf[name](%q) = %#x, want %#x", s, got, want)
+		}
+		if got := ForType[string]()(key, s); got != want {
+			t.Errorf("ForType[string](%q) = %#x, want %#x", s, got, want)
+		}
+		if got := ForType[name]()(key, name(s)); got != want {
+			t.Errorf("ForType[name](%q) = %#x, want %#x", s, got, want)
+		}
+	}
+}
+
+// fiveTuple is a padding-free struct key (4+4+2+2+2+2 = 16 bytes).
+type fiveTuple struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint16
+	Zone             uint16
+}
+
+func TestBytesOfStructDeterministic(t *testing.T) {
+	h := BytesOf[fiveTuple]()
+	key := hashes.SipKeyFromSeed(5)
+	a := fiveTuple{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 443, DstPort: 51313, Proto: 6}
+	b := a // equal keys must digest equally
+	if h(key, a) != h(key, b) {
+		t.Fatal("equal struct keys digest differently")
+	}
+	c := a
+	c.DstPort++
+	if h(key, a) == h(key, c) {
+		t.Fatal("distinct struct keys digest equally (1-bit field change)")
+	}
+	if ForType[fiveTuple]()(key, a) != h(key, a) {
+		t.Fatal("ForType[fiveTuple] disagrees with BytesOf[fiveTuple]")
+	}
+	// Arrays are byte-hashable too.
+	ah := ForType[[4]uint16]()
+	if ah(key, [4]uint16{1, 2, 3, 4}) == ah(key, [4]uint16{1, 2, 3, 5}) {
+		t.Fatal("distinct arrays digest equally")
+	}
+}
+
+func TestBytesOfAndForTypeRejectUnsafeKinds(t *testing.T) {
+	type padded struct {
+		A uint32
+		B uint8 // 3 trailing padding bytes
+	}
+	type withPointer struct{ P *int }
+	type withString struct{ S string }
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("padded struct", func() { BytesOf[padded]() })
+	mustPanic("pointer field", func() { BytesOf[withPointer]() })
+	mustPanic("string field", func() { BytesOf[withString]() })
+	mustPanic("float key", func() { BytesOf[float64]() })
+	mustPanic("float field", func() { BytesOf[struct{ X float32 }]() })
+	mustPanic("ForType float", func() { ForType[float64]() })
+	mustPanic("ForType pointer", func() { ForType[*int]() })
+	mustPanic("ForType chan", func() { ForType[chan int]() })
+	mustPanic("ForType padded struct", func() { ForType[padded]() })
+}
+
+func TestForTypeIntegerKinds(t *testing.T) {
+	key := hashes.SipKeyFromSeed(11)
+	// Small and signed integers widen to their 64-bit value, hashed LE:
+	// the digest is a function of the value, not the width.
+	if got, want := ForType[uint32]()(key, 7), Uint64(key, 7); got != want {
+		t.Errorf("uint32: %#x want %#x", got, want)
+	}
+	if got, want := ForType[int16]()(key, -3), Uint64(key, ^uint64(0)-2); got != want {
+		t.Errorf("int16: %#x want %#x", got, want)
+	}
+	if got, want := ForType[int]()(key, -999), Int(key, -999); got != want {
+		t.Errorf("int: %#x want %#x", got, want)
+	}
+	if got, want := ForType[bool]()(key, true), Uint64(key, 1); got != want {
+		t.Errorf("bool: %#x want %#x", got, want)
+	}
+	type id uint64
+	if got, want := ForType[id]()(key, id(42)), Uint64(key, 42); got != want {
+		t.Errorf("named uint64: %#x want %#x", got, want)
+	}
+}
+
+// TestZeroAllocations pins the "zero-allocation hashers" contract for
+// every built-in key shape.
+func TestZeroAllocations(t *testing.T) {
+	key := hashes.SipKeyFromSeed(13)
+	s := fmt.Sprintf("chunk-%d", 12345)
+	ft := fiveTuple{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	structH := BytesOf[fiveTuple]()
+	stringH := ForType[string]()
+	var sink uint64
+	for name, fn := range map[string]func(){
+		"Uint64":        func() { sink += Uint64(key, 1<<40) },
+		"Int":           func() { sink += Int(key, -5) },
+		"String":        func() { sink += String(key, s) },
+		"ForType[str]":  func() { sink += stringH(key, s) },
+		"BytesOf[5tup]": func() { sink += structH(key, ft) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f/op", name, allocs)
+		}
+	}
+	_ = sink
+}

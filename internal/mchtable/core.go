@@ -9,24 +9,28 @@ import (
 
 // stashEntry is one overflowed pair plus the tag its candidates re-derive
 // from.
-type stashEntry struct {
-	key, val, tag uint64
+type stashEntry[K comparable, V any] struct {
+	key K
+	val V
+	tag uint64
 }
 
 // Core is the bucket/stash placement engine of the multiple-choice hash
 // table: fixed-slot buckets, least-loaded placement over caller-supplied
 // candidate buckets, and an overflow stash drained back into buckets as
 // deletes free slots. It is hashing-agnostic — callers derive each key's
-// candidate buckets themselves — so the single-threaded Table and the
-// locked shards of internal/cmap share one placement implementation.
+// candidate buckets themselves — and generic over the stored key and
+// value types, so the single-threaded Table, the typed Map and the locked
+// shards of internal/cmap all share one placement implementation.
 //
 // Every stored pair carries an opaque 64-bit tag from which the caller can
 // re-derive the pair's candidate buckets without touching the key again:
 // internal/cmap stores the in-shard SipHash digest (so candidates for a
 // new geometry come from the same single hash evaluation, the paper's
-// one-hash discipline), while Table simply stores the key. Tags are what
-// make online resize a pure re-placement: Migrate re-derives candidates
-// for the doubled geometry from stored tags, never re-hashing user keys.
+// one-hash discipline), while the uint64 Table simply stores the key.
+// Tags are what make online resize a pure re-placement: Migrate
+// re-derives candidates for the doubled geometry from stored tags, never
+// re-hashing user keys.
 //
 // A Core optionally resizes online: StartResize allocates a second Core
 // with a different bucket count, Migrate moves entries across in small
@@ -41,29 +45,29 @@ type stashEntry struct {
 //
 // A Core is not safe for concurrent use; internal/cmap wraps each of its
 // shards' cores in a lock.
-type Core struct {
+type Core[K comparable, V any] struct {
 	buckets        int
 	slotsPerBucket int
 	stashCap       int
-	keys           []uint64
-	vals           []uint64
+	keys           []K
+	vals           []V
 	tags           []uint64
 	used           []bool
 	counts         []uint16 // occupied slots per bucket
-	stash          []stashEntry
+	stash          []stashEntry[K, V]
 	size           int
 
 	// Resize state. next is the doubled-geometry table entries migrate
 	// into; nil when no resize is in flight. Buckets [0, cursor) of the
 	// old geometry have been drained by Migrate. Resizes counts completed
 	// promotions (it survives promotion).
-	next    *Core
+	next    *Core[K, V]
 	cursor  int
 	resizes int
 }
 
 // NewCore returns an empty placement core. It panics on invalid shape.
-func NewCore(buckets, slotsPerBucket, stashCap int) *Core {
+func NewCore[K comparable, V any](buckets, slotsPerBucket, stashCap int) *Core[K, V] {
 	if buckets <= 0 {
 		panic(fmt.Sprintf("mchtable: Buckets = %d", buckets))
 	}
@@ -74,12 +78,12 @@ func NewCore(buckets, slotsPerBucket, stashCap int) *Core {
 		panic(fmt.Sprintf("mchtable: StashSize = %d", stashCap))
 	}
 	total := buckets * slotsPerBucket
-	return &Core{
+	return &Core[K, V]{
 		buckets:        buckets,
 		slotsPerBucket: slotsPerBucket,
 		stashCap:       stashCap,
-		keys:           make([]uint64, total),
-		vals:           make([]uint64, total),
+		keys:           make([]K, total),
+		vals:           make([]V, total),
 		tags:           make([]uint64, total),
 		used:           make([]bool, total),
 		counts:         make([]uint16, buckets),
@@ -87,19 +91,19 @@ func NewCore(buckets, slotsPerBucket, stashCap int) *Core {
 }
 
 // Buckets returns the number of buckets in the current (old) geometry.
-func (c *Core) Buckets() int { return c.buckets }
+func (c *Core[K, V]) Buckets() int { return c.buckets }
 
 // SlotsPerBucket returns the slots per bucket.
-func (c *Core) SlotsPerBucket() int { return c.slotsPerBucket }
+func (c *Core[K, V]) SlotsPerBucket() int { return c.slotsPerBucket }
 
 // StashCap returns the overflow stash capacity.
-func (c *Core) StashCap() int { return c.stashCap }
+func (c *Core[K, V]) StashCap() int { return c.stashCap }
 
 // slot returns the flat index of bucket b, slot s.
-func (c *Core) slot(b, s int) int { return b*c.slotsPerBucket + s }
+func (c *Core[K, V]) slot(b, s int) int { return b*c.slotsPerBucket + s }
 
 // findInBucket returns the slot of key in bucket b, or -1.
-func (c *Core) findInBucket(key uint64, b int) int {
+func (c *Core[K, V]) findInBucket(key K, b int) int {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
 		if c.used[idx] && c.keys[idx] == key {
@@ -110,7 +114,7 @@ func (c *Core) findInBucket(key uint64, b int) int {
 }
 
 // stashFind returns the stash index of key, or -1.
-func (c *Core) stashFind(key uint64) int {
+func (c *Core[K, V]) stashFind(key K) int {
 	for i := range c.stash {
 		if c.stash[i].key == key {
 			return i
@@ -121,13 +125,13 @@ func (c *Core) stashFind(key uint64) int {
 
 // stashRemove deletes stash entry i, preserving the order of the rest so
 // drains stay insertion-ordered (and deterministic).
-func (c *Core) stashRemove(i int) {
+func (c *Core[K, V]) stashRemove(i int) {
 	c.stash = append(c.stash[:i], c.stash[i+1:]...)
 }
 
 // storeInBucket places the pair in a free slot of bucket b, which the
 // caller has verified exists.
-func (c *Core) storeInBucket(b int, key, val, tag uint64) {
+func (c *Core[K, V]) storeInBucket(b int, key K, val V, tag uint64) {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
 		if !c.used[idx] {
@@ -150,14 +154,14 @@ func (c *Core) storeInBucket(b int, key, val, tag uint64) {
 //
 // Put addresses the current geometry only; while a resize is in flight
 // callers must use PutDual instead.
-func (c *Core) Put(cands []uint32, key, val, tag uint64) bool {
+func (c *Core[K, V]) Put(cands []uint32, key K, val V, tag uint64) bool {
 	return c.put(cands, key, val, tag, true)
 }
 
 // put is Put with the stash capacity check optional: growth migrations
 // pass capped=false so forward progress never depends on stash headroom
 // (see Migrate).
-func (c *Core) put(cands []uint32, key, val, tag uint64, capped bool) bool {
+func (c *Core[K, V]) put(cands []uint32, key K, val V, tag uint64, capped bool) bool {
 	// Update in place, wherever the key already lives.
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
@@ -179,7 +183,7 @@ func (c *Core) put(cands []uint32, key, val, tag uint64, capped bool) bool {
 	}
 	// All candidates full: stash.
 	if !capped || len(c.stash) < c.stashCap {
-		c.stash = append(c.stash, stashEntry{key: key, val: val, tag: tag})
+		c.stash = append(c.stash, stashEntry[K, V]{key: key, val: val, tag: tag})
 		c.size++
 		return true
 	}
@@ -188,7 +192,7 @@ func (c *Core) put(cands []uint32, key, val, tag uint64, capped bool) bool {
 
 // Get returns the value stored for key, given key's candidate buckets in
 // the current geometry. While a resize is in flight use GetDual.
-func (c *Core) Get(cands []uint32, key uint64) (uint64, bool) {
+func (c *Core[K, V]) Get(cands []uint32, key K) (V, bool) {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
 			return c.vals[idx], true
@@ -197,7 +201,8 @@ func (c *Core) Get(cands []uint32, key uint64) (uint64, bool) {
 	if i := c.stashFind(key); i >= 0 {
 		return c.stash[i].val, true
 	}
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // Delete removes key, reporting whether it was present. Freeing a bucket
@@ -207,12 +212,10 @@ func (c *Core) Get(cands []uint32, key uint64) (uint64, bool) {
 // forever. cands must not alias the buffer candsOf writes into — the
 // drain recomputes stashed entries' candidates while cands is still live.
 // While a resize is in flight use DeleteDual.
-func (c *Core) Delete(cands []uint32, key uint64, candsOf func(tag uint64) []uint32) bool {
+func (c *Core[K, V]) Delete(cands []uint32, key K, candsOf func(tag uint64) []uint32) bool {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
-			c.used[idx] = false
-			c.counts[b]--
-			c.size--
+			c.clearSlot(idx, int(b))
 			c.drainStashInto(int(b), candsOf)
 			return true
 		}
@@ -225,9 +228,22 @@ func (c *Core) Delete(cands []uint32, key uint64, candsOf func(tag uint64) []uin
 	return false
 }
 
+// clearSlot frees flat slot idx of bucket b, zeroing the stored pair so
+// no dead key or value (which may hold pointers for generic V) stays
+// reachable.
+func (c *Core[K, V]) clearSlot(idx, b int) {
+	var zeroK K
+	var zeroV V
+	c.used[idx] = false
+	c.keys[idx] = zeroK
+	c.vals[idx] = zeroV
+	c.counts[b]--
+	c.size--
+}
+
 // drainStashInto moves the first stashed entry (insertion order) whose
 // candidate set covers bucket b into b, if b has a free slot.
-func (c *Core) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
+func (c *Core[K, V]) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
 	if len(c.stash) == 0 || int(c.counts[b]) >= c.slotsPerBucket {
 		return
 	}
@@ -249,23 +265,23 @@ func (c *Core) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
 // Migrate drains entries into. It panics if a resize is already in flight
 // or the shape is invalid. Until the resize completes, all operations must
 // go through the *Dual variants with candidates for both geometries.
-func (c *Core) StartResize(newBuckets int) {
+func (c *Core[K, V]) StartResize(newBuckets int) {
 	if c.next != nil {
 		panic("mchtable: StartResize during an in-flight resize")
 	}
 	if newBuckets <= 0 || newBuckets == c.buckets {
 		panic(fmt.Sprintf("mchtable: resize %d -> %d buckets", c.buckets, newBuckets))
 	}
-	c.next = NewCore(newBuckets, c.slotsPerBucket, c.stashCap)
+	c.next = NewCore[K, V](newBuckets, c.slotsPerBucket, c.stashCap)
 	c.cursor = 0
 }
 
 // Resizing reports whether a resize is in flight.
-func (c *Core) Resizing() bool { return c.next != nil }
+func (c *Core[K, V]) Resizing() bool { return c.next != nil }
 
 // Pending returns the number of entries still stored in the old geometry
 // of an in-flight resize (0 when not resizing) — the migration backlog.
-func (c *Core) Pending() int {
+func (c *Core[K, V]) Pending() int {
 	if c.next == nil {
 		return 0
 	}
@@ -273,7 +289,7 @@ func (c *Core) Pending() int {
 }
 
 // Resizes returns the number of completed resizes.
-func (c *Core) Resizes() int { return c.resizes }
+func (c *Core[K, V]) Resizes() int { return c.resizes }
 
 // Migrate performs up to n units of migration work — moving an entry
 // from the old geometry into the new one, or sweeping past an empty old
@@ -295,7 +311,7 @@ func (c *Core) Resizes() int { return c.resizes }
 //
 // When the old geometry empties, the new Core is promoted in place and
 // Resizing becomes false; the receiver pointer remains valid throughout.
-func (c *Core) Migrate(n int, candsOf func(tag uint64) []uint32) int {
+func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 	if c.next == nil {
 		return 0
 	}
@@ -319,9 +335,7 @@ func (c *Core) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 			if !c.next.put(candsOf(c.tags[idx]), c.keys[idx], c.vals[idx], c.tags[idx], capped) {
 				return work
 			}
-			c.used[idx] = false
-			c.counts[b]--
-			c.size--
+			c.clearSlot(idx, b)
 			work++
 			continue
 		}
@@ -345,7 +359,7 @@ func (c *Core) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 
 // promote replaces the receiver's contents with the fully migrated
 // new-geometry Core, ending the resize. Callers' *Core pointers survive.
-func (c *Core) promote() {
+func (c *Core[K, V]) promote() {
 	next := c.next
 	next.resizes = c.resizes + 1
 	*c = *next
@@ -354,14 +368,15 @@ func (c *Core) promote() {
 // GetDual is Get while a resize is in flight: the old geometry (oldCands)
 // is consulted first, then the new one (newCands), so no key is ever
 // unreachable mid-migration. With no resize in flight it is plain Get.
-func (c *Core) GetDual(oldCands, newCands []uint32, key uint64) (uint64, bool) {
+func (c *Core[K, V]) GetDual(oldCands, newCands []uint32, key K) (V, bool) {
 	if v, ok := c.Get(oldCands, key); ok {
 		return v, true
 	}
 	if c.next != nil {
 		return c.next.Get(newCands, key)
 	}
-	return 0, false
+	var zero V
+	return zero, false
 }
 
 // PutDual is Put while a resize is in flight. A key still resident in the
@@ -371,16 +386,14 @@ func (c *Core) GetDual(oldCands, newCands []uint32, key uint64) (uint64, bool) {
 // since resizes grow the table) a resident key is updated in place in the
 // old geometry and a new key is rejected. It panics without a resize in
 // flight.
-func (c *Core) PutDual(oldCands, newCands []uint32, key, val, tag uint64) bool {
+func (c *Core[K, V]) PutDual(oldCands, newCands []uint32, key K, val V, tag uint64) bool {
 	if c.next == nil {
 		panic("mchtable: PutDual without a resize in flight")
 	}
 	for _, b := range oldCands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
 			if c.next.Put(newCands, key, val, tag) {
-				c.used[idx] = false
-				c.counts[b]--
-				c.size--
+				c.clearSlot(idx, int(b))
 				return true
 			}
 			c.vals[idx] = val
@@ -404,15 +417,13 @@ func (c *Core) PutDual(oldCands, newCands []uint32, key, val, tag uint64) bool {
 // drain — stashed entries are on their way to the new geometry anyway —
 // while new-geometry deletions drain the new stash through newCandsOf. It
 // panics without a resize in flight.
-func (c *Core) DeleteDual(oldCands, newCands []uint32, key uint64, newCandsOf func(tag uint64) []uint32) bool {
+func (c *Core[K, V]) DeleteDual(oldCands, newCands []uint32, key K, newCandsOf func(tag uint64) []uint32) bool {
 	if c.next == nil {
 		panic("mchtable: DeleteDual without a resize in flight")
 	}
 	for _, b := range oldCands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
-			c.used[idx] = false
-			c.counts[b]--
-			c.size--
+			c.clearSlot(idx, int(b))
 			return true
 		}
 	}
@@ -426,7 +437,7 @@ func (c *Core) DeleteDual(oldCands, newCands []uint32, key uint64, newCandsOf fu
 
 // Len returns the number of stored pairs (including stashed ones and, mid-
 // resize, pairs already migrated to the new geometry).
-func (c *Core) Len() int {
+func (c *Core[K, V]) Len() int {
 	n := c.size
 	if c.next != nil {
 		n += c.next.size
@@ -436,7 +447,7 @@ func (c *Core) Len() int {
 
 // StashLen returns the number of stashed pairs — the overflow count —
 // across both geometries mid-resize.
-func (c *Core) StashLen() int {
+func (c *Core[K, V]) StashLen() int {
 	n := len(c.stash)
 	if c.next != nil {
 		n += len(c.next.stash)
@@ -446,7 +457,7 @@ func (c *Core) StashLen() int {
 
 // Capacity returns the total slot capacity (excluding the stash). While a
 // resize is in flight both geometries' slots exist, and both count.
-func (c *Core) Capacity() int {
+func (c *Core[K, V]) Capacity() int {
 	n := c.buckets * c.slotsPerBucket
 	if c.next != nil {
 		n += c.next.buckets * c.next.slotsPerBucket
@@ -455,7 +466,7 @@ func (c *Core) Capacity() int {
 }
 
 // Occupancy returns stored pairs divided by total slot capacity.
-func (c *Core) Occupancy() float64 {
+func (c *Core[K, V]) Occupancy() float64 {
 	return float64(c.Len()) / float64(c.Capacity())
 }
 
@@ -463,7 +474,7 @@ func (c *Core) Occupancy() float64 {
 // quantity the paper's load tables predict. internal/cmap aggregates its
 // shards' histograms through this. Mid-resize, both geometries' buckets
 // contribute.
-func (c *Core) AddBucketLoads(h *stats.Hist) {
+func (c *Core[K, V]) AddBucketLoads(h *stats.Hist) {
 	for _, n := range c.counts {
 		h.Add(int(n))
 	}

@@ -27,7 +27,7 @@ func TestCoreResizeMigratesEverything(t *testing.T) {
 		slots      = 2
 		d          = 3
 	)
-	c := NewCore(oldBuckets, slots, 8)
+	c := NewCore[uint64, uint64](oldBuckets, slots, 8)
 	oldOp, newOp := geom(oldBuckets, d), geom(newBuckets, d)
 	newDrain := geom(newBuckets, d)
 
@@ -106,7 +106,7 @@ func TestCoreDualOpsMidResize(t *testing.T) {
 		newBuckets = 32
 		d          = 2
 	)
-	c := NewCore(oldBuckets, 2, 4)
+	c := NewCore[uint64, uint64](oldBuckets, 2, 4)
 	oldOp, newOp := geom(oldBuckets, d), geom(newBuckets, d)
 	newDrain := geom(newBuckets, d)
 
@@ -173,7 +173,7 @@ func TestCoreDualOpsMidResize(t *testing.T) {
 }
 
 func TestCoreResizeGuards(t *testing.T) {
-	c := NewCore(8, 1, 2)
+	c := NewCore[uint64, uint64](8, 1, 2)
 	mustPanic := func(name string, fn func()) {
 		t.Helper()
 		defer func() {
@@ -195,7 +195,7 @@ func TestCoreResizeGuards(t *testing.T) {
 }
 
 func TestCoreResizeEmptyPromotesImmediately(t *testing.T) {
-	c := NewCore(8, 1, 2)
+	c := NewCore[uint64, uint64](8, 1, 2)
 	c.StartResize(16)
 	if c.Migrate(1, geom(16, 2)) != 0 {
 		t.Fatal("empty core migrated entries")
@@ -216,7 +216,7 @@ func TestCoreGrowthMigrationNeverWedges(t *testing.T) {
 	// migrations therefore overflow the new stash past its cap rather
 	// than stall; the pressure re-arms the next doubling after promotion.
 	const d = 2
-	c := NewCore(4, 1, 1)
+	c := NewCore[uint64, uint64](4, 1, 1)
 	oldOp := geom(4, d)
 	newOp, newDrain := geom(8, d), geom(8, d)
 
@@ -267,7 +267,7 @@ func TestCoreShrinkStallsInsteadOfLosing(t *testing.T) {
 	// (Migrate reports no progress) rather than drop entries — the
 	// no-key-ever-lost contract holds even for a misjudged shrink.
 	const d = 2
-	c := NewCore(32, 1, 0)
+	c := NewCore[uint64, uint64](32, 1, 0)
 	oldOp := geom(32, d)
 	var stored []uint64
 	for k := uint64(1); k <= 20; k++ {

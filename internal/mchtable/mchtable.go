@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/container"
 	"repro/internal/hashes"
 	"repro/internal/stats"
 )
@@ -63,7 +64,7 @@ type Config struct {
 // lock-protected variant over the same placement Core.
 type Table struct {
 	cfg     Config
-	core    *Core
+	core    *Core[uint64, uint64]
 	deriver *hashes.Deriver
 	sipKeys []hashes.SipKey
 	scratch []uint32
@@ -83,7 +84,7 @@ func New(cfg Config) *Table {
 	}
 	t := &Table{
 		cfg:        cfg,
-		core:       NewCore(cfg.Buckets, cfg.SlotsPerBucket, cfg.StashSize),
+		core:       NewCore[uint64, uint64](cfg.Buckets, cfg.SlotsPerBucket, cfg.StashSize),
 		deriver:    hashes.NewDeriver(cfg.Buckets),
 		scratch:    make([]uint32, cfg.D),
 		delScratch: make([]uint32, cfg.D),
@@ -157,4 +158,27 @@ func (t *Table) BucketLoadHist() *stats.Hist {
 	var h stats.Hist
 	t.core.AddBucketLoads(&h)
 	return &h
+}
+
+// Stats takes the common container snapshot, so Table satisfies the
+// shared Container[uint64, uint64] contract alongside the typed Map.
+func (t *Table) Stats() container.Stats { return coreStats(t.core) }
+
+// coreStats builds the common snapshot for a single (unsharded) core.
+func coreStats[K comparable, V any](c *Core[K, V]) container.Stats {
+	st := container.Stats{
+		Shards:      1,
+		Len:         c.Len(),
+		Capacity:    c.Capacity(),
+		Stashed:     c.StashLen(),
+		MinShardLen: c.Len(),
+		MaxShardLen: c.Len(),
+		Resizes:     c.Resizes(),
+		Migrating:   c.Pending(),
+	}
+	if st.Capacity > 0 {
+		st.Occupancy = float64(st.Len) / float64(st.Capacity)
+	}
+	c.AddBucketLoads(&st.BucketLoads)
+	return st
 }

@@ -7,18 +7,20 @@ import (
 )
 
 // FuzzOpenAddrOps decodes the input into a table shape and an op sequence
-// and differentially tests membership against the shadow-map oracle. Key
-// spaces twice the capacity keep fills running into (and past) 100% load,
-// where PR 2's Uniform full-table false-negative lived.
+// and differentially tests membership, values and tombstone deletions
+// against the shadow-map oracle. Key spaces twice the capacity keep fills
+// running into (and past) 100% load, where PR 2's Uniform full-table
+// false-negative lived; delete ops churn tombstones through the same
+// regime.
 func FuzzOpenAddrOps(f *testing.F) {
 	// Corpus seed shaped like the PR 2 regression: saturate a small table,
 	// then probe stored and absent keys on the full table.
-	var full []testutil.Op
+	var full []testutil.Op[uint64, uint64]
 	for k := uint64(1); k <= 20; k++ {
-		full = append(full, testutil.Op{Kind: testutil.OpPut, Key: k, Val: 0})
+		full = append(full, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: 0})
 	}
 	for k := uint64(1); k <= 26; k++ {
-		full = append(full, testutil.Op{Kind: testutil.OpGet, Key: k})
+		full = append(full, testutil.Op[uint64, uint64]{Kind: testutil.OpGet, Key: k})
 	}
 	// One seed per probe discipline — the HIGH nibble of the first header
 	// byte selects the probe, the whole byte mod the capacity table the
@@ -40,7 +42,7 @@ func FuzzOpenAddrOps(f *testing.F) {
 		seed := uint64(hdr[1])
 		tb := New(capacity, probe, seed)
 		keySpace := 2 * uint64(capacity)
-		err := testutil.Run(setAdapter{tb}, testutil.DecodeOps(body, keySpace), testutil.Options{NoDelete: true})
+		err := testutil.Run(tb, testutil.DecodeOps(body, keySpace), testutil.Options{TrackValues: true})
 		if err != nil {
 			t.Fatalf("capacity=%d %v: %v", capacity, probe, err)
 		}
@@ -49,6 +51,6 @@ func FuzzOpenAddrOps(f *testing.F) {
 
 // encodeFullSeed encodes the regression seed at the smallest fuzzed key
 // space so every op round-trips for every header.
-func encodeFullSeed(ops []testutil.Op) []byte {
+func encodeFullSeed(ops []testutil.Op[uint64, uint64]) []byte {
 	return testutil.EncodeOps(ops, 2*13)
 }

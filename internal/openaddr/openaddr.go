@@ -44,14 +44,34 @@ func (p Probe) String() string {
 	}
 }
 
-// Table is an open-addressed hash table of uint64 keys.
+// Slot states. A deleted slot becomes a tombstone: searches probe past it
+// (the key they want may have been placed beyond it before the delete),
+// while insertions reuse it. Tombstones never revert to empty, so the
+// "stop at the first empty slot" search rule stays exact across any
+// delete/insert history.
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotDead
+)
+
+// Table is an open-addressed hash table of uint64 keys, each carrying an
+// opaque uint64 value (which is what lets the typed Map wrapper layer
+// real (K, V) pairs over this core). Deletion uses tombstones, the
+// classical open-addressing scheme; a long-lived table under heavy
+// delete/insert churn accumulates tombstones and its probe costs drift
+// toward the full-table worst case until rebuilt (this package is the
+// probe-cost reproduction vehicle, so it keeps the textbook behaviour
+// rather than hiding it behind automatic rebuilds).
 type Table struct {
-	keys     []uint64
-	occupied []bool
-	size     int
-	probe    Probe
-	seed     uint64
-	deriver  *hashes.Deriver
+	keys    []uint64
+	vals    []uint64
+	state   []uint8
+	size    int
+	dead    int // tombstone count
+	probe   Probe
+	seed    uint64
+	deriver *hashes.Deriver
 }
 
 // New returns a table with the given capacity and probe discipline. For
@@ -62,11 +82,12 @@ func New(capacity int, probe Probe, seed uint64) *Table {
 		panic(fmt.Sprintf("openaddr: capacity = %d", capacity))
 	}
 	return &Table{
-		keys:     make([]uint64, capacity),
-		occupied: make([]bool, capacity),
-		probe:    probe,
-		seed:     seed,
-		deriver:  hashes.NewDeriver(capacity),
+		keys:    make([]uint64, capacity),
+		vals:    make([]uint64, capacity),
+		state:   make([]uint8, capacity),
+		probe:   probe,
+		seed:    seed,
+		deriver: hashes.NewDeriver(capacity),
 	}
 }
 
@@ -75,6 +96,10 @@ func (t *Table) Len() int { return t.size }
 
 // Cap returns the table capacity.
 func (t *Table) Cap() int { return len(t.keys) }
+
+// Tombstones returns the number of tombstoned (deleted, not yet reused)
+// slots.
+func (t *Table) Tombstones() int { return t.dead }
 
 // LoadFactor returns size/capacity.
 func (t *Table) LoadFactor() float64 { return float64(t.size) / float64(len(t.keys)) }
@@ -127,78 +152,148 @@ func (t *Table) probeSeq(key uint64, fn func(slot int) bool) {
 	}
 }
 
-// Insert stores key and returns the number of probes used. Inserting a
-// key that is already present finds it and returns without duplicating.
-// ok is false when the table is full (size == capacity) and the key
-// absent.
-func (t *Table) Insert(key uint64) (probes int, ok bool) {
-	if t.size == len(t.keys) {
-		// Full: only a lookup hit can succeed.
-		found, n := t.Lookup(key)
-		return n, found
+// locate probes for key, returning the slot holding it (-1 if absent),
+// the first reusable slot of its sequence — tombstone or empty — for an
+// insertion (-1 if none), and the probe count. An unsuccessful search
+// costs the probes up to and including the first empty slot, the
+// classical accounting; tombstones do not terminate a search.
+//
+// With no empty slot left anywhere (size + dead == capacity), nothing
+// terminates a probe sequence: the permutation probes (DoubleHash,
+// Linear) are bounded by capacity — n probes visit every slot — while
+// Uniform probes are drawn with replacement, so n probes need not visit
+// the key's slot and bounding by probe count alone can false-negative on
+// a present key; Uniform therefore falls back to a direct scan, where
+// every slot is seen exactly once and membership is exact. Empty slots
+// are only ever consumed (deletes make tombstones, not empties), so once
+// a table enters this regime it stays there and the fallback remains
+// consistent for every key ever stored.
+func (t *Table) locate(key uint64) (keySlot, freeSlot, probes int) {
+	n := len(t.keys)
+	keySlot, freeSlot = -1, -1
+	if t.probe == Uniform && t.size+t.dead == n {
+		for slot := 0; slot < n; slot++ {
+			probes++
+			switch t.state[slot] {
+			case slotFull:
+				if t.keys[slot] == key {
+					keySlot = slot
+					return keySlot, freeSlot, probes
+				}
+			case slotDead:
+				if freeSlot < 0 {
+					freeSlot = slot
+				}
+			}
+		}
+		return keySlot, freeSlot, probes
 	}
 	t.probeSeq(key, func(slot int) bool {
 		probes++
-		if !t.occupied[slot] {
-			t.occupied[slot] = true
-			t.keys[slot] = key
-			t.size++
-			ok = true
+		switch t.state[slot] {
+		case slotEmpty:
+			if freeSlot < 0 {
+				freeSlot = slot
+			}
 			return false
+		case slotDead:
+			if freeSlot < 0 {
+				freeSlot = slot
+			}
+		default:
+			if t.keys[slot] == key {
+				keySlot = slot
+				return false
+			}
 		}
-		if t.keys[slot] == key {
-			ok = true
-			return false
-		}
-		return probes < 4*len(t.keys) // safety bound; unreachable with coprime strides
+		// Permutation sequences (DoubleHash, Linear) cover every slot in n
+		// probes; Uniform runs until the empty slot that must exist in
+		// this branch terminates it.
+		return probes < n || t.probe == Uniform
 	})
-	return probes, ok
+	return keySlot, freeSlot, probes
+}
+
+// put stores key (with val when setVal — Insert keeps a resident key's
+// value untouched, Put overwrites it) and returns the probes used. ok is
+// false when every slot holds a live key and key is absent.
+func (t *Table) put(key, val uint64, setVal bool) (probes int, ok bool) {
+	keySlot, freeSlot, probes := t.locate(key)
+	if keySlot >= 0 {
+		if setVal {
+			t.vals[keySlot] = val
+		}
+		return probes, true
+	}
+	if freeSlot < 0 {
+		return probes, false
+	}
+	t.placeAt(freeSlot, key, val)
+	return probes, true
+}
+
+// placeAt stores key → val in slot s, which locate reported reusable
+// (empty or tombstoned).
+func (t *Table) placeAt(s int, key, val uint64) {
+	if t.state[s] == slotDead {
+		t.dead--
+	}
+	t.state[s] = slotFull
+	t.keys[s] = key
+	t.vals[s] = val
+	t.size++
+}
+
+// deleteAt tombstones occupied slot s, zeroing the stored pair.
+func (t *Table) deleteAt(s int) {
+	t.state[s] = slotDead
+	t.keys[s] = 0
+	t.vals[s] = 0
+	t.dead++
+	t.size--
+}
+
+// Insert stores key and returns the number of probes used. Inserting a
+// key that is already present finds it and returns without duplicating
+// (and without touching its stored value). ok is false when the table is
+// full of live keys and the key absent.
+func (t *Table) Insert(key uint64) (probes int, ok bool) {
+	return t.put(key, 0, false)
+}
+
+// Put stores key → val, updating the value in place if key is present,
+// and reports whether the pair is stored; false means the table is full
+// of live keys and key absent (the map unchanged).
+func (t *Table) Put(key, val uint64) bool {
+	_, ok := t.put(key, val, true)
+	return ok
+}
+
+// Get returns the value stored for key.
+func (t *Table) Get(key uint64) (uint64, bool) {
+	if slot, _, _ := t.locate(key); slot >= 0 {
+		return t.vals[slot], true
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present. The freed slot
+// becomes a tombstone (see the Table comment).
+func (t *Table) Delete(key uint64) bool {
+	slot, _, _ := t.locate(key)
+	if slot < 0 {
+		return false
+	}
+	t.deleteAt(slot)
+	return true
 }
 
 // Lookup reports whether key is present and how many probes the search
 // used. An unsuccessful search costs the probes up to and including the
 // first empty slot, the classical accounting.
 func (t *Table) Lookup(key uint64) (found bool, probes int) {
-	if t.size == len(t.keys) {
-		if t.probe == Uniform {
-			// Uniform probes are drawn with replacement, so n probes need
-			// not visit the key's slot — bounding the scan by probe count
-			// alone can false-negative on a present key. With no empty
-			// slot to terminate on, fall back to a direct scan: every slot
-			// is seen exactly once and membership is exact.
-			for slot := range t.keys {
-				probes++
-				if t.keys[slot] == key {
-					return true, probes
-				}
-			}
-			return false, probes
-		}
-		// Double-hash (coprime stride) and linear sequences are
-		// permutations of the slots, so n probes cover every slot; no
-		// empty slot terminates the scan, bound it by capacity.
-		t.probeSeq(key, func(slot int) bool {
-			probes++
-			if t.occupied[slot] && t.keys[slot] == key {
-				found = true
-				return false
-			}
-			return probes < len(t.keys)
-		})
-		return found, probes
-	}
-	t.probeSeq(key, func(slot int) bool {
-		probes++
-		if !t.occupied[slot] {
-			return false
-		}
-		if t.keys[slot] == key {
-			found = true
-			return false
-		}
-		return true
-	})
-	return found, probes
+	slot, _, probes := t.locate(key)
+	return slot >= 0, probes
 }
 
 // FillTo inserts synthetic keys until the load factor reaches alpha,

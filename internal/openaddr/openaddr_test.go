@@ -1,30 +1,14 @@
 package openaddr
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
+	"repro/internal/keyed"
 	"repro/internal/rng"
 	"repro/internal/testutil"
 )
-
-// setAdapter exposes the open-addressed table to the shared differential
-// harness: a set-only container (no deletion, no values).
-type setAdapter struct{ t *Table }
-
-func (a setAdapter) Put(key, _ uint64) bool {
-	_, ok := a.t.Insert(key)
-	return ok
-}
-
-func (a setAdapter) Get(key uint64) (uint64, bool) {
-	found, _ := a.t.Lookup(key)
-	return 0, found
-}
-
-func (a setAdapter) Delete(uint64) bool { panic("openaddr: no delete") }
-
-func (a setAdapter) Len() int { return a.t.Len() }
 
 func TestInsertLookupRoundTrip(t *testing.T) {
 	for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
@@ -142,18 +126,120 @@ func TestCompositeCapacityDoubleHash(t *testing.T) {
 
 func TestDifferentialOpSequences(t *testing.T) {
 	// The shared differential harness is the oracle for op-sequence
-	// behaviour: membership must match a shadow map through fills all the
-	// way to 100% load (where the PR 2 Uniform full-table regression
-	// lived), under every probe discipline and capacity class.
+	// behaviour: membership, stored values and tombstone deletions must
+	// match a shadow map through fills all the way to 100% load (where
+	// the PR 2 Uniform full-table regression lived) and through
+	// delete/reinsert churn that accumulates and reuses tombstones, under
+	// every probe discipline and capacity class. The Table's
+	// Put/Get/Delete map API satisfies the harness's
+	// Container[uint64, uint64] directly.
 	for _, capacity := range []int{13, 16, 60, 97} {
 		for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
 			tb := New(capacity, probe, uint64(capacity)*7+uint64(probe))
 			// Key space twice the capacity: the sequence saturates the
 			// table and keeps probing with rejected and absent keys.
-			ops := testutil.RandomOps(4000, 2*uint64(capacity), 0.6, 0, uint64(capacity)+uint64(probe))
-			if err := testutil.Run(setAdapter{tb}, ops, testutil.Options{NoDelete: true}); err != nil {
+			ops := testutil.RandomOps(6000, 2*uint64(capacity), 0.5, 0.2, uint64(capacity)+uint64(probe))
+			if err := testutil.Run(tb, ops, testutil.Options{TrackValues: true}); err != nil {
 				t.Errorf("%v cap=%d: %v", probe, capacity, err)
 			}
+		}
+	}
+}
+
+func TestTombstonesKeepProbeChainsIntact(t *testing.T) {
+	// The tombstone acceptance criterion: deleting a key must never make
+	// another key unreachable, even when the deleted slot sat in the
+	// middle of the surviving key's probe chain. Fill high, delete every
+	// third key, and require exact membership for the rest — for every
+	// probe discipline, including a prime, power-of-two and composite
+	// capacity.
+	for _, capacity := range []int{97, 128, 60} {
+		for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
+			tb := New(capacity, probe, uint64(capacity)+uint64(probe)*31)
+			src := rng.NewXoshiro256(uint64(capacity) * 3)
+			inserted := make([]uint64, 0, capacity)
+			for len(inserted) < capacity*9/10 {
+				k := src.Uint64()
+				if tb.Put(k, k>>7) {
+					inserted = append(inserted, k)
+				}
+			}
+			deleted := map[uint64]bool{}
+			for i, k := range inserted {
+				if i%3 == 0 {
+					if !tb.Delete(k) {
+						t.Fatalf("%v cap=%d: delete of stored key missed", probe, capacity)
+					}
+					deleted[k] = true
+				}
+			}
+			if tb.Tombstones() == 0 {
+				t.Fatalf("%v cap=%d: no tombstones after deletes", probe, capacity)
+			}
+			for _, k := range inserted {
+				v, ok := tb.Get(k)
+				if deleted[k] {
+					if ok {
+						t.Errorf("%v cap=%d: deleted key still present", probe, capacity)
+					}
+				} else if !ok || v != k>>7 {
+					t.Errorf("%v cap=%d: surviving key lost or corrupted past a tombstone", probe, capacity)
+				}
+			}
+		}
+	}
+}
+
+func TestTombstoneReuseAndAccounting(t *testing.T) {
+	tb := New(31, DoubleHash, 5)
+	src := rng.NewXoshiro256(6)
+	var keys []uint64
+	for len(keys) < 31 { // fill to 100%
+		k := src.Uint64()
+		if tb.Put(k, k) {
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys[:10] {
+		if !tb.Delete(k) {
+			t.Fatal("delete missed")
+		}
+	}
+	if tb.Len() != 21 || tb.Tombstones() != 10 {
+		t.Fatalf("Len=%d Tombstones=%d after 10 deletes", tb.Len(), tb.Tombstones())
+	}
+	// Reinsertions must land in tombstoned slots (there are no empties).
+	for i := 0; i < 10; i++ {
+		k := src.Uint64()
+		if !tb.Put(k, k) {
+			t.Fatalf("reinsert %d rejected with %d tombstones free", i, tb.Tombstones())
+		}
+	}
+	if tb.Len() != 31 || tb.Tombstones() != 0 {
+		t.Fatalf("Len=%d Tombstones=%d after refill", tb.Len(), tb.Tombstones())
+	}
+	// Full of live keys again: a fresh key must reject, a resident must
+	// still be found.
+	if tb.Put(0xDECAF, 1) {
+		t.Fatal("insert into a live-full table succeeded")
+	}
+	if _, ok := tb.Get(keys[30]); !ok {
+		t.Fatal("resident lost after tombstone churn")
+	}
+}
+
+func TestTypedMapDifferential(t *testing.T) {
+	// The typed wrapper over the uint64 core: string keys, tracked
+	// values, tombstone deletions — against the same shadow-map oracle,
+	// saturating a small table.
+	for _, probe := range []Probe{DoubleHash, Uniform, Linear} {
+		m := NewMap[string, uint64](keyed.ForType[string](), 64, probe, 7+uint64(probe))
+		ops := testutil.MapOps(testutil.RandomOps(8000, 128, 0.5, 0.2, 8+uint64(probe)),
+			func(k uint64) string { return fmt.Sprintf("fp-%04x", k) },
+			func(v uint64) uint64 { return v },
+		)
+		if err := testutil.Run(m, ops, testutil.Options{TrackValues: true}); err != nil {
+			t.Errorf("%v: %v", probe, err)
 		}
 	}
 }

@@ -1,0 +1,145 @@
+package openaddr
+
+import (
+	"repro/internal/container"
+	"repro/internal/hashes"
+	"repro/internal/keyed"
+)
+
+// entry is one stored pair in the typed wrapper's pool.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Map is the typed open-addressed hash map: a keyed.Hasher reduces each
+// key to its single 64-bit digest, the uint64 core probes for the digest
+// (double hashing by default — the whole probe sequence derives from one
+// digest, the paper's discipline), and the slot's payload indexes a pool
+// of (K, V) entries.
+//
+// Distinct keys whose digests collide (probability 2^-64 per pair under
+// SipHash) are indistinguishable to the placement core: a later Put
+// replaces the earlier pair, after which only the replacing key can read
+// or delete it — the displaced key reads as absent. Every operation
+// costs exactly one keyed hash evaluation, and walks the probe sequence
+// exactly once (the wrapper shares the core's locate pass rather than
+// stacking a membership probe on top of it — on a tombstone-saturated
+// table a locate is a full scan, so probing once matters).
+//
+// Map is not safe for concurrent use.
+type Map[K comparable, V any] struct {
+	t       *Table
+	hash    keyed.Hasher[K]
+	sipKey  hashes.SipKey
+	entries []entry[K, V]
+	free    []uint32
+}
+
+// NewMap returns an empty typed open-addressed map with the given slot
+// capacity and probe discipline. It panics on invalid shape or a nil
+// hasher.
+func NewMap[K comparable, V any](h keyed.Hasher[K], capacity int, probe Probe, seed uint64) *Map[K, V] {
+	if h == nil {
+		panic("openaddr: nil hasher")
+	}
+	return &Map[K, V]{
+		t:      New(capacity, probe, seed),
+		hash:   h,
+		sipKey: hashes.SipKeyFromSeed(seed),
+	}
+}
+
+// digest is the map's single keyed hash evaluation per operation.
+func (m *Map[K, V]) digest(key K) uint64 { return m.hash(m.sipKey, key) }
+
+// alloc stores a pair in the pool and returns its index.
+func (m *Map[K, V]) alloc(key K, val V) uint64 {
+	if n := len(m.free); n > 0 {
+		idx := m.free[n-1]
+		m.free = m.free[:n-1]
+		m.entries[idx] = entry[K, V]{key: key, val: val}
+		return uint64(idx)
+	}
+	m.entries = append(m.entries, entry[K, V]{key: key, val: val})
+	return uint64(len(m.entries) - 1)
+}
+
+// release returns pool slot idx to the free list, zeroing the entry so no
+// dead key or value stays reachable.
+func (m *Map[K, V]) release(idx uint64) {
+	m.entries[idx] = entry[K, V]{}
+	m.free = append(m.free, uint32(idx))
+}
+
+// Put stores key → val, updating in place if key (or a digest-colliding
+// key, see the type comment) is present. It reports whether the pair is
+// stored; false means every slot holds a live key and key is absent (the
+// map unchanged).
+func (m *Map[K, V]) Put(key K, val V) bool {
+	d := m.digest(key)
+	keySlot, freeSlot, _ := m.t.locate(d)
+	if keySlot >= 0 {
+		m.entries[m.t.vals[keySlot]] = entry[K, V]{key: key, val: val}
+		return true
+	}
+	if freeSlot < 0 {
+		return false
+	}
+	m.t.placeAt(freeSlot, d, m.alloc(key, val))
+	return true
+}
+
+// Get returns the value stored for key.
+func (m *Map[K, V]) Get(key K) (V, bool) {
+	if keySlot, _, _ := m.t.locate(m.digest(key)); keySlot >= 0 {
+		if e := &m.entries[m.t.vals[keySlot]]; e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[K, V]) Delete(key K) bool {
+	keySlot, _, _ := m.t.locate(m.digest(key))
+	if keySlot < 0 {
+		return false
+	}
+	idx := m.t.vals[keySlot]
+	if m.entries[idx].key != key {
+		return false
+	}
+	m.t.deleteAt(keySlot)
+	m.release(idx)
+	return true
+}
+
+// Len returns the number of stored pairs.
+func (m *Map[K, V]) Len() int { return m.t.Len() }
+
+// Stats takes the common container snapshot.
+func (m *Map[K, V]) Stats() container.Stats { return m.t.Stats() }
+
+// Stats takes the common container snapshot for the uint64 core.
+// BucketLoads is the 0/1 slot occupancy histogram (open addressing holds
+// one key per slot; tombstones count as empty).
+func (t *Table) Stats() container.Stats {
+	st := container.Stats{
+		Shards:      1,
+		Len:         t.size,
+		Capacity:    len(t.keys),
+		Occupancy:   t.LoadFactor(),
+		MinShardLen: t.size,
+		MaxShardLen: t.size,
+	}
+	for _, s := range t.state {
+		if s == slotFull {
+			st.BucketLoads.Add(1)
+		} else {
+			st.BucketLoads.Add(0)
+		}
+	}
+	return st
+}

@@ -1,16 +1,16 @@
 // Package testutil is the shared differential-testing harness for this
 // repository's key-value containers (cmap, mchtable, cuckoo, openaddr):
 // it drives a container with an operation sequence — randomly generated,
-// decoded from fuzz input, or hand-written — against a shadow
-// map[uint64]uint64 oracle and reports the first diverging operation.
+// decoded from fuzz input, or hand-written — against a shadow map oracle
+// and reports the first diverging operation.
 //
 // The harness is container-agnostic on purpose: it depends only on the
-// Container interface, so each container package adapts itself in its own
-// tests (set-only containers like cuckoo and openaddr wrap Insert/Lookup
-// and set Options.NoDelete and TrackValues=false) and no import cycle
-// forms between the harness and the packages under test. It is a regular
-// (non _test) package so `go test` fuzz targets in those packages can
-// import it.
+// generic Container interface (the method set of the library-wide
+// container.Container, minus Stats), so the oracle runs over the real
+// public typed containers — Map[string, uint64] as readily as the uint64
+// simulator tables — and no import cycle forms between the harness and
+// the packages under test. It is a regular (non _test) package so
+// `go test` fuzz targets in those packages can import it.
 package testutil
 
 import (
@@ -19,15 +19,15 @@ import (
 	"repro/internal/rng"
 )
 
-// Container is a uint64 → uint64 key-value store under differential test.
-// Put reports whether the pair was stored (false = capacity rejection
-// with the container unchanged; a resident key must always be updatable
-// in place). Delete reports whether the key was present. Len counts
-// stored pairs.
-type Container interface {
-	Put(key, val uint64) bool
-	Get(key uint64) (uint64, bool)
-	Delete(key uint64) bool
+// Container is a K → V key-value store under differential test. Put
+// reports whether the pair was stored (false = capacity rejection with
+// the container unchanged; a resident key must always be updatable in
+// place). Delete reports whether the key was present. Len counts stored
+// pairs. Every container.Container satisfies it structurally.
+type Container[K comparable, V any] interface {
+	Put(key K, val V) bool
+	Get(key K) (V, bool)
+	Delete(key K) bool
 	Len() int
 }
 
@@ -37,8 +37,8 @@ type Options struct {
 	// values; unset, only membership is compared (set-only containers
 	// return a dummy value).
 	TrackValues bool
-	// NoDelete marks containers without deletion (cuckoo, openaddr);
-	// Delete ops run as membership checks instead.
+	// NoDelete marks set-shaped drivers that should not exercise
+	// deletion; Delete ops run as membership checks instead.
 	NoDelete bool
 	// Finalize, if set, runs after the op sequence and before the final
 	// full-membership sweep — e.g. draining an in-flight cmap migration
@@ -70,11 +70,12 @@ func (k OpKind) String() string {
 	}
 }
 
-// Op is one operation of a differential test sequence.
-type Op struct {
+// Op is one operation of a differential test sequence. V is constrained
+// comparable because the oracle compares stored values for equality.
+type Op[K comparable, V comparable] struct {
 	Kind OpKind
-	Key  uint64
-	Val  uint64
+	Key  K
+	Val  V
 }
 
 // Run drives ops against c and the shadow oracle, returning an error
@@ -83,8 +84,8 @@ type Op struct {
 // invariant, checked after each one — a transient double-count that a
 // later op would cancel still diverges at the op that introduced it) and
 // on the final full-membership sweep.
-func Run(c Container, ops []Op, opt Options) error {
-	oracle := make(map[uint64]uint64)
+func Run[K comparable, V comparable](c Container[K, V], ops []Op[K, V], opt Options) error {
+	oracle := make(map[K]V)
 	for i, op := range ops {
 		want, resident := oracle[op.Key]
 		switch op.Kind {
@@ -94,12 +95,12 @@ func Run(c Container, ops []Op, opt Options) error {
 			case ok:
 				oracle[op.Key] = op.Val
 			case resident:
-				return fmt.Errorf("op %d: Put(%#x, %#x) rejected a resident key", i, op.Key, op.Val)
+				return fmt.Errorf("op %d: Put(%v, %v) rejected a resident key", i, op.Key, op.Val)
 			default:
 				// Capacity rejection: the container must be unchanged, so
 				// the key stays absent.
 				if _, found := c.Get(op.Key); found {
-					return fmt.Errorf("op %d: Put(%#x, %#x) returned false but the key is present", i, op.Key, op.Val)
+					return fmt.Errorf("op %d: Put(%v, %v) returned false but the key is present", i, op.Key, op.Val)
 				}
 			}
 		case OpGet:
@@ -114,14 +115,14 @@ func Run(c Container, ops []Op, opt Options) error {
 				continue
 			}
 			if ok := c.Delete(op.Key); ok != resident {
-				return fmt.Errorf("op %d: Delete(%#x) = %v, oracle %v", i, op.Key, ok, resident)
+				return fmt.Errorf("op %d: Delete(%v) = %v, oracle %v", i, op.Key, ok, resident)
 			}
 			delete(oracle, op.Key)
 		default:
 			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
 		}
 		if got := c.Len(); got != len(oracle) {
-			return fmt.Errorf("op %d (%v %#x): Len = %d, oracle holds %d keys", i, op.Kind, op.Key, got, len(oracle))
+			return fmt.Errorf("op %d (%v %v): Len = %d, oracle holds %d keys", i, op.Kind, op.Key, got, len(oracle))
 		}
 	}
 	if opt.Finalize != nil {
@@ -134,39 +135,53 @@ func Run(c Container, ops []Op, opt Options) error {
 	for k, v := range oracle {
 		got, found := c.Get(k)
 		if !found {
-			return fmt.Errorf("final sweep: key %#x lost", k)
+			return fmt.Errorf("final sweep: key %v lost", k)
 		}
 		if opt.TrackValues && got != v {
-			return fmt.Errorf("final sweep: key %#x holds %#x, oracle %#x", k, got, v)
+			return fmt.Errorf("final sweep: key %v holds %v, oracle %v", k, got, v)
 		}
 	}
 	return nil
 }
 
 // checkGet compares one membership/value probe against the oracle.
-func checkGet(c Container, key, want uint64, resident bool, opt Options, i int) error {
+func checkGet[K comparable, V comparable](c Container[K, V], key K, want V, resident bool, opt Options, i int) error {
 	got, found := c.Get(key)
 	if found != resident {
-		return fmt.Errorf("op %d: Get(%#x) found=%v, oracle %v", i, key, found, resident)
+		return fmt.Errorf("op %d: Get(%v) found=%v, oracle %v", i, key, found, resident)
 	}
 	if found && opt.TrackValues && got != want {
-		return fmt.Errorf("op %d: Get(%#x) = %#x, oracle %#x", i, key, got, want)
+		return fmt.Errorf("op %d: Get(%v) = %v, oracle %v", i, key, got, want)
 	}
 	return nil
+}
+
+// MapOps translates a uint64-shaped op sequence onto another key/value
+// domain — e.g. driving a Map[string, uint64] with the same fuzz input
+// the uint64 targets decode. key must be injective over the sequence's
+// key space (distinct uint64 keys must map to distinct K), or the
+// translated sequence would diverge from its own oracle; val may be any
+// pure function.
+func MapOps[K comparable, V comparable](ops []Op[uint64, uint64], key func(uint64) K, val func(uint64) V) []Op[K, V] {
+	out := make([]Op[K, V], len(ops))
+	for i, op := range ops {
+		out[i] = Op[K, V]{Kind: op.Kind, Key: key(op.Key), Val: val(op.Val)}
+	}
+	return out
 }
 
 // RandomOps returns n random ops with keys uniform over [1, keySpace]:
 // putFrac of them Puts, delFrac Deletes, the rest Gets. Values are drawn
 // from the same deterministic stream, so a (seed, n, keySpace) triple
 // pins the whole sequence.
-func RandomOps(n int, keySpace uint64, putFrac, delFrac float64, seed uint64) []Op {
+func RandomOps(n int, keySpace uint64, putFrac, delFrac float64, seed uint64) []Op[uint64, uint64] {
 	if keySpace == 0 || putFrac < 0 || delFrac < 0 || putFrac+delFrac > 1 {
 		panic(fmt.Sprintf("testutil: RandomOps(keySpace=%d, putFrac=%v, delFrac=%v)", keySpace, putFrac, delFrac))
 	}
 	src := rng.NewXoshiro256(seed)
-	ops := make([]Op, n)
+	ops := make([]Op[uint64, uint64], n)
 	for i := range ops {
-		op := Op{Key: 1 + src.Uint64()%keySpace, Val: src.Uint64()}
+		op := Op[uint64, uint64]{Key: 1 + src.Uint64()%keySpace, Val: src.Uint64()}
 		switch p := rng.Float64(src); {
 		case p < putFrac:
 			op.Kind = OpPut
@@ -189,13 +204,13 @@ const opBytes = 4
 // kinds and the 16-bit key mapped into [1, keySpace]. A trailing partial
 // chunk is ignored. Small keys and 1-byte values keep the fuzzer's search
 // space dense in collisions, updates and delete/reinsert patterns.
-func DecodeOps(data []byte, keySpace uint64) []Op {
+func DecodeOps(data []byte, keySpace uint64) []Op[uint64, uint64] {
 	if keySpace == 0 {
 		panic("testutil: DecodeOps keySpace = 0")
 	}
-	ops := make([]Op, 0, len(data)/opBytes)
+	ops := make([]Op[uint64, uint64], 0, len(data)/opBytes)
 	for ; len(data) >= opBytes; data = data[opBytes:] {
-		ops = append(ops, Op{
+		ops = append(ops, Op[uint64, uint64]{
 			Kind: OpKind(data[0] % uint8(numOpKinds)),
 			Key:  1 + (uint64(data[1])|uint64(data[2])<<8)%keySpace,
 			Val:  uint64(data[3]),
@@ -209,7 +224,7 @@ func DecodeOps(data []byte, keySpace uint64) []Op {
 // so that DecodeOps(EncodeOps(ops), keySpace) reproduces them. It panics
 // on ops outside that range — seeds must round-trip exactly or the corpus
 // would silently diverge from the regression it pins.
-func EncodeOps(ops []Op, keySpace uint64) []byte {
+func EncodeOps(ops []Op[uint64, uint64], keySpace uint64) []byte {
 	data := make([]byte, 0, len(ops)*opBytes)
 	for i, op := range ops {
 		k := op.Key - 1

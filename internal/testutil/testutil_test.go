@@ -97,7 +97,7 @@ func TestHarnessCatchesInjectedBugs(t *testing.T) {
 
 func TestHarnessReportsFirstDivergingOp(t *testing.T) {
 	// A container that lies on exactly one op: the report must name it.
-	ops := []Op{
+	ops := []Op[uint64, uint64]{
 		{Kind: OpPut, Key: 5, Val: 7},
 		{Kind: OpGet, Key: 5},
 		{Kind: OpGet, Key: 6},    // goodMap answers correctly...
@@ -111,7 +111,7 @@ func TestHarnessReportsFirstDivergingOp(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	ops := []Op{
+	ops := []Op[uint64, uint64]{
 		{Kind: OpPut, Key: 1, Val: 0},
 		{Kind: OpPut, Key: 300, Val: 255},
 		{Kind: OpGet, Key: 77},
