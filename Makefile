@@ -45,6 +45,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzCMapStringOps$$' -fuzztime $(FUZZ_TIME) ./internal/cmap
 	$(GO) test -run '^$$' -fuzz '^FuzzCuckooOps$$' -fuzztime $(FUZZ_TIME) ./internal/cuckoo
 	$(GO) test -run '^$$' -fuzz '^FuzzOpenAddrOps$$' -fuzztime $(FUZZ_TIME) ./internal/openaddr
+	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZ_TIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecover$$' -fuzztime $(FUZZ_TIME) ./internal/persist
 
 clean:
 	rm -f $(BENCH_OUT)

@@ -24,6 +24,21 @@
 //	        mode: its op mix differs from the contended benchmark, so
 //	        read its Mops/sec as indicative only)
 //
+// Persistence knobs (the internal/persist subsystem under load):
+//
+//	-restore path  start from a snapshot instead of an empty map, loaded
+//	               at whatever geometry the other flags describe (the
+//	               snapshot's geometry is irrelevant; its seed wins)
+//	-snapshot path write a snapshot after the run and report MB/s; with
+//	               -verify the snapshot is reloaded and compared against
+//	               the live map pair by pair
+//	-wal path      append every write to a write-ahead log during the
+//	               run (fsync off — this is a throughput harness); with
+//	               -verify the log is replayed onto the starting state
+//	               and the replayed map must match the live one exactly
+//	               (-verify keeps per-key op order single-writer, which
+//	               is what makes the replay comparison sound)
+//
 // Examples:
 //
 //	loadgen                                  # defaults: 16 shards, 75% reads
@@ -34,9 +49,16 @@
 //	                                         # typed keys + live growth
 //	                                         # crossing the watermark
 //	                                         # mid-stream, checked
+//	loadgen -verify -wal /tmp/l.wal -snapshot /tmp/l.snap
+//	                                         # durability under load, both
+//	                                         # artifacts cross-checked
+//	loadgen -restore /tmp/l.snap -shards 64 -buckets 128
+//	                                         # reload at a different
+//	                                         # geometry and keep driving
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -47,6 +69,7 @@ import (
 
 	"repro/internal/cmap"
 	"repro/internal/keyed"
+	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/table"
 	"repro/internal/testutil"
@@ -70,6 +93,16 @@ type config struct {
 	batch                            int
 	bg, verify                       bool
 	seed                             uint64
+	snapPath, restorePath, walPath   string
+}
+
+// cmapConfig is the map shape the flags describe.
+func (c config) cmapConfig() cmap.Config {
+	return cmap.Config{
+		Shards: c.shards, BucketsPerShard: c.buckets, SlotsPerBucket: c.slots,
+		D: c.d, Seed: c.seed, StashPerShard: c.stash,
+		MaxLoadFactor: c.grow, MigrateBatch: c.batch,
+	}
 }
 
 func main() {
@@ -90,6 +123,9 @@ func main() {
 		bg      = flag.Bool("drain", false, "run a background migration drainer alongside the workers")
 		verify  = flag.Bool("verify", false, "per-worker shadow maps; fail on any lost/duplicated/corrupted key")
 		seed    = flag.Uint64("seed", 1, "base random seed")
+		snap    = flag.String("snapshot", "", "write a snapshot to this path after the run (reload-checked with -verify)")
+		restore = flag.String("restore", "", "load this snapshot before the run, at the flags' geometry")
+		wal     = flag.String("wal", "", "append writes to a write-ahead log at this path (replay-checked with -verify)")
 	)
 	flag.Parse()
 
@@ -112,6 +148,18 @@ func main() {
 		workers: *workers, ops: *ops, keys: *keys,
 		read: *read, del: *del, grow: *grow, batch: *batch,
 		bg: *bg, verify: *verify, seed: *seed,
+		snapPath: *snap, restorePath: *restore, walPath: *wal,
+	}
+	if *keytype == "all" && (*snap != "" || *restore != "" || *wal != "") {
+		fmt.Fprintln(os.Stderr, "-snapshot/-restore/-wal need a single -keytype (the artifact is keyed to it)")
+		os.Exit(2)
+	}
+	if *restore != "" && *verify {
+		// The concurrent oracle's per-worker shadows start empty, so a
+		// preloaded map would read as thousands of divergences (and its
+		// pairs would trip the Len-vs-shadows duplication check).
+		fmt.Fprintln(os.Stderr, "-restore cannot be combined with -verify: the shadow oracle starts from an empty map")
+		os.Exit(2)
 	}
 
 	kinds := []string{*keytype}
@@ -130,12 +178,12 @@ func main() {
 		var mops float64
 		switch kind {
 		case "uint64":
-			mops = run(cfg, kind, keyed.Uint64, func(k uint64) uint64 { return k })
+			mops = run(cfg, kind, keyed.Uint64, keyed.Uint64Codec, func(k uint64) uint64 { return k })
 		case "string":
-			mops = run(cfg, kind, keyed.ForType[string](),
+			mops = run(cfg, kind, keyed.ForType[string](), keyed.CodecFor[string](),
 				func(k uint64) string { return fmt.Sprintf("k%016x", k) })
 		case "struct":
-			mops = run(cfg, kind, keyed.ForType[fiveTuple](), func(k uint64) fiveTuple {
+			mops = run(cfg, kind, keyed.ForType[fiveTuple](), keyed.CodecFor[fiveTuple](), func(k uint64) fiveTuple {
 				return fiveTuple{
 					SrcIP: uint32(k), DstIP: uint32(k >> 32),
 					SrcPort: uint16(k), DstPort: uint16(k >> 16), Proto: 6,
@@ -160,12 +208,38 @@ func main() {
 // run drives one workload against a typed map keyed by K, returning the
 // measured Mops/sec. keyOf must be injective (the -verify shadow maps
 // rely on it).
-func run[K comparable](cfg config, kind string, h keyed.Hasher[K], keyOf func(uint64) K) float64 {
-	m := cmap.NewKeyed[K, uint64](h, cmap.Config{
-		Shards: cfg.shards, BucketsPerShard: cfg.buckets, SlotsPerBucket: cfg.slots,
-		D: cfg.d, Seed: cfg.seed, StashPerShard: cfg.stash,
-		MaxLoadFactor: cfg.grow, MigrateBatch: cfg.batch,
-	})
+func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Codec[K], keyOf func(uint64) K) float64 {
+	var m *cmap.Map[K, uint64]
+	if cfg.restorePath != "" {
+		f, err := os.Open(cfg.restorePath)
+		if err != nil {
+			fatalf("open -restore: %v", err)
+		}
+		start := time.Now()
+		m, err = cmap.LoadKeyed[K, uint64](bufio.NewReaderSize(f, 1<<20), h, kc, keyed.Uint64Codec, cfg.cmapConfig())
+		f.Close()
+		if err != nil {
+			fatalf("restore: %v", err)
+		}
+		fmt.Printf("restored %d pairs from %s in %v (snapshot seed adopted; geometry is this run's flags)\n",
+			m.Len(), cfg.restorePath, time.Since(start).Round(time.Millisecond))
+	} else {
+		m = cmap.NewKeyed[K, uint64](h, cfg.cmapConfig())
+	}
+
+	// The write-side container the workload drives: with -wal every
+	// Put/Delete is logged before it is applied.
+	var wal *persist.WAL
+	target := testutil.Container[K, uint64](m)
+	if cfg.walPath != "" {
+		var err error
+		wal, err = persist.CreateWAL(cfg.walPath, persist.WALOptions{NoSync: true})
+		if err != nil {
+			fatalf("create -wal: %v", err)
+		}
+		defer wal.Close()
+		target = &walMap[K]{m: m, wal: wal, kc: kc}
+	}
 	capacity := cfg.shards * cfg.buckets * cfg.slots
 	fmt.Printf("cmap[%s]: %d shards × %d buckets × %d slots (capacity %d), d=%d, one SipHash per op\n",
 		kind, m.Shards(), cfg.buckets, cfg.slots, capacity, cfg.d)
@@ -211,7 +285,7 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], keyOf func(ui
 		// the Len-vs-shadows duplication check, all through keyOf — the
 		// typed key kinds run under the identical oracle. Finalize drains
 		// any in-flight migration so the sweep runs on the final geometry.
-		res = testutil.RunConcurrentKeyed(m, testutil.ConcurrentOptions{
+		res = testutil.RunConcurrentKeyed(target, testutil.ConcurrentOptions{
 			Workers: cfg.workers, OpsPerWorker: perWorker, KeysPerWorker: perKeys,
 			GetFrac: cfg.read, DeleteFrac: cfg.del, Seed: cfg.seed,
 			Finalize: func() {
@@ -238,11 +312,11 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], keyOf func(ui
 					k := keyOf(1 + src.Uint64()%keySpace)
 					switch p := rng.Float64(src); {
 					case p < cfg.read:
-						m.Get(k)
+						target.Get(k)
 					case p < cfg.read+cfg.del:
-						m.Delete(k)
+						target.Delete(k)
 					default:
-						if !m.Put(k, uint64(i)) {
+						if !target.Put(k, uint64(i)) {
 							rejectedCount.Add(1)
 						}
 					}
@@ -298,5 +372,181 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], keyOf func(ui
 			os.Exit(1)
 		}
 	}
+
+	if cfg.walPath != "" {
+		verifyWAL(cfg, m, h, kc, keyOf)
+	}
+	if cfg.snapPath != "" {
+		writeSnapshot(cfg, m, h, kc)
+	}
 	return mops
+}
+
+// writeSnapshot persists the post-run map, reports throughput, and with
+// -verify reloads the file at the same geometry and compares it against
+// the live map pair by pair.
+func writeSnapshot[K comparable](cfg config, m *cmap.Map[K, uint64], h keyed.Hasher[K], kc keyed.Codec[K]) {
+	f, err := os.Create(cfg.snapPath)
+	if err != nil {
+		fatalf("create -snapshot: %v", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	start := time.Now()
+	if err := m.Snapshot(bw, kc, keyed.Uint64Codec); err != nil {
+		fatalf("snapshot: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		fatalf("snapshot flush: %v", err)
+	}
+	elapsed := time.Since(start)
+	st, err := f.Stat()
+	if err != nil {
+		fatalf("snapshot stat: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fatalf("snapshot close: %v", err)
+	}
+	mb := float64(st.Size()) / (1 << 20)
+	fmt.Printf("\nsnapshot: %d pairs, %.1f MiB to %s in %v (%.0f MB/s)\n",
+		m.Len(), mb, cfg.snapPath, elapsed.Round(time.Millisecond), mb/elapsed.Seconds())
+
+	if !cfg.verify {
+		return
+	}
+	rf, err := os.Open(cfg.snapPath)
+	if err != nil {
+		fatalf("reopen snapshot: %v", err)
+	}
+	defer rf.Close()
+	got, err := cmap.LoadKeyed[K, uint64](bufio.NewReaderSize(rf, 1<<20), h, kc, keyed.Uint64Codec, cfg.cmapConfig())
+	if err != nil {
+		fatalf("snapshot reload: %v", err)
+	}
+	if n := diffMaps(m, got); n > 0 {
+		fatalf("snapshot reload diverged from the live map on %d pairs", n)
+	}
+	fmt.Printf("snapshot verify: reload matches the live map exactly (%d pairs)\n", got.Len())
+}
+
+// verifyWAL replays the run's log onto the starting state (the -restore
+// snapshot or empty) and, with -verify, requires the replayed map to
+// equal the live one — per-key op order is single-writer there, so the
+// log linearizes per key exactly as the map applied it.
+func verifyWAL[K comparable](cfg config, m *cmap.Map[K, uint64], h keyed.Hasher[K], kc keyed.Codec[K], keyOf func(uint64) K) {
+	var base *cmap.Map[K, uint64]
+	if cfg.restorePath != "" {
+		f, err := os.Open(cfg.restorePath)
+		if err != nil {
+			fatalf("reopen -restore for replay: %v", err)
+		}
+		base, err = cmap.LoadKeyed[K, uint64](bufio.NewReaderSize(f, 1<<20), h, kc, keyed.Uint64Codec, cfg.cmapConfig())
+		f.Close()
+		if err != nil {
+			fatalf("replay base restore: %v", err)
+		}
+	} else {
+		base = cmap.NewKeyed[K, uint64](h, cfg.cmapConfig())
+	}
+	start := time.Now()
+	n, torn, err := persist.ReplayWAL(cfg.walPath, func(op persist.WALOp, key, val []byte) error {
+		k, err := kc.Decode(key)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case persist.WALPut:
+			v, err := keyed.Uint64Codec.Decode(val)
+			if err != nil {
+				return err
+			}
+			base.Put(k, v)
+		case persist.WALDelete:
+			base.Delete(k)
+		}
+		return nil
+	})
+	if err != nil {
+		fatalf("wal replay: %v", err)
+	}
+	fmt.Printf("\nwal: %d records replayed from %s in %v (torn tail: %v)\n",
+		n, cfg.walPath, time.Since(start).Round(time.Millisecond), torn)
+	if !cfg.verify {
+		return
+	}
+	if torn {
+		fatalf("wal verify: torn tail in a log that was never crash-cut")
+	}
+	if n := diffMaps(m, base); n > 0 {
+		fatalf("wal replay diverged from the live map on %d pairs", n)
+	}
+	fmt.Printf("wal verify: replay reconstructs the live map exactly (%d pairs)\n", base.Len())
+}
+
+// diffMaps counts pairs on which the two maps disagree (either
+// direction, via the Len cross-check).
+func diffMaps[K comparable](a, b *cmap.Map[K, uint64]) int {
+	diff := 0
+	a.Range(func(k K, v uint64) bool {
+		if bv, ok := b.Get(k); !ok || bv != v {
+			diff++
+		}
+		return true
+	})
+	if a.Len() != b.Len() && diff == 0 {
+		diff = b.Len() - a.Len() // extras on b's side only
+		if diff < 0 {
+			diff = -diff
+		}
+	}
+	return diff
+}
+
+// walMap interposes the write-ahead log between the workload and the
+// map: every Put/Delete is appended to the log, then applied.
+type walMap[K comparable] struct {
+	m   *cmap.Map[K, uint64]
+	wal *persist.WAL
+	kc  keyed.Codec[K]
+	buf sync.Pool // *walScratch
+}
+
+type walScratch struct{ k, v []byte }
+
+func (w *walMap[K]) scratch() *walScratch {
+	if sc, ok := w.buf.Get().(*walScratch); ok {
+		return sc
+	}
+	return &walScratch{}
+}
+
+func (w *walMap[K]) Put(key K, val uint64) bool {
+	sc := w.scratch()
+	sc.k = w.kc.Append(sc.k[:0], key)
+	sc.v = keyed.Uint64Codec.Append(sc.v[:0], val)
+	err := w.wal.Append(persist.WALPut, sc.k, sc.v)
+	w.buf.Put(sc)
+	if err != nil {
+		fatalf("wal append: %v", err)
+	}
+	return w.m.Put(key, val)
+}
+
+func (w *walMap[K]) Delete(key K) bool {
+	sc := w.scratch()
+	sc.k = w.kc.Append(sc.k[:0], key)
+	err := w.wal.Append(persist.WALDelete, sc.k, nil)
+	w.buf.Put(sc)
+	if err != nil {
+		fatalf("wal append: %v", err)
+	}
+	return w.m.Delete(key)
+}
+
+func (w *walMap[K]) Get(key K) (uint64, bool)      { return w.m.Get(key) }
+func (w *walMap[K]) Len() int                      { return w.m.Len() }
+func (w *walMap[K]) Range(fn func(K, uint64) bool) { w.m.Range(fn) }
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
 }

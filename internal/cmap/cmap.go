@@ -101,6 +101,7 @@ type Map[K comparable, V any] struct {
 	shardBits    int
 	d            int
 	sipKey       hashes.SipKey
+	seed         uint64 // sipKey's seed material, recorded in snapshot headers
 	hash         keyed.Hasher[K]
 	maxLoad      float64
 	migrateBatch int
@@ -153,6 +154,7 @@ func NewKeyed[K comparable, V any](h keyed.Hasher[K], cfg Config) *Map[K, V] {
 		shardBits:    shardBits,
 		d:            cfg.D,
 		sipKey:       hashes.SipKeyFromSeed(cfg.Seed),
+		seed:         cfg.Seed,
 		hash:         h,
 		maxLoad:      cfg.MaxLoadFactor,
 		migrateBatch: cfg.MigrateBatch,
@@ -185,7 +187,14 @@ func (m *Map[K, V]) digest(key K) uint64 { return m.hash(m.sipKey, key) }
 // digest is also the entry's stored tag: candidate buckets for any
 // geometry derive from it.
 func (m *Map[K, V]) route(key K) (*shard[K, V], uint64) {
-	idx, inShard := hashes.ShardSplit(m.digest(key), m.shardBits)
+	return m.routeDigest(m.digest(key))
+}
+
+// routeDigest is route from an already computed full digest — the entry
+// point the snapshot loader shares with the hashed path, so reloading at
+// any shard count re-splits stored digests instead of re-hashing keys.
+func (m *Map[K, V]) routeDigest(digest uint64) (*shard[K, V], uint64) {
+	idx, inShard := hashes.ShardSplit(digest, m.shardBits)
 	return &m.shards[idx], inShard
 }
 
@@ -237,8 +246,16 @@ func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 // first completes). Every Put on a resizing shard migrates up to
 // MigrateBatch entries.
 func (m *Map[K, V]) Put(key K, val V) bool {
+	return m.putDigest(m.digest(key), key, val)
+}
+
+// putDigest is Put from an already computed full digest — shared by Put
+// (which spends the operation's one keyed hash evaluation to get it) and
+// the snapshot loader (which streams stored digests back in, re-hashing
+// nothing).
+func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 	var oldBuf, newBuf [maxD]uint32
-	sh, tag := m.route(key)
+	sh, tag := m.routeDigest(digest)
 	oldCands := oldBuf[:m.d]
 	if m.maxLoad == 0 {
 		// Fixed geometry: the shared deriver is immutable, so candidate

@@ -34,16 +34,20 @@ type Stats struct {
 // reports whether the pair is stored; false means a capacity rejection
 // with the container unchanged (a resident key must always be updatable
 // in place). Get returns the stored value. Delete removes key,
-// reporting whether it was present. Len counts stored pairs. Stats
-// takes the common occupancy snapshot.
+// reporting whether it was present. Len counts stored pairs. Range
+// calls fn for every stored pair until fn returns false, visiting each
+// resident key exactly once; fn must not mutate the container (for the
+// sharded concurrent map the view is per-shard consistent, and fn runs
+// under a shard lock). Stats takes the common occupancy snapshot.
 //
-// Every operation costs exactly one keyed hash evaluation of key — the
-// paper's one-hash discipline is part of the contract, not an
-// implementation detail.
+// Every keyed operation costs exactly one keyed hash evaluation of key —
+// the paper's one-hash discipline is part of the contract, not an
+// implementation detail (Range re-hashes nothing at all).
 type Container[K comparable, V any] interface {
 	Put(key K, val V) bool
 	Get(key K) (V, bool)
 	Delete(key K) bool
 	Len() int
+	Range(fn func(key K, val V) bool)
 	Stats() Stats
 }

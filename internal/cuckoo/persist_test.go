@@ -1,0 +1,119 @@
+package cuckoo
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/keyed"
+	"repro/internal/rng"
+)
+
+// TestMapSnapshotAnyCapacity round-trips the typed cuckoo map across
+// capacities: the stored digests drive the random-walk insertion at the
+// new size, so content must survive exactly.
+func TestMapSnapshotAnyCapacity(t *testing.T) {
+	src := NewMap[string, uint64](keyed.ForType[string](), 1024, 3, 17)
+	resident := make(map[string]uint64)
+	for i := uint64(1); i <= 400; i++ { // load factor ~0.39, well under threshold
+		k := fmt.Sprintf("item-%04d", i)
+		if !src.Put(k, i*11) {
+			t.Fatalf("fill rejected %q", k)
+		}
+		resident[k] = i * 11
+	}
+	for i := uint64(5); i <= 400; i += 7 {
+		k := fmt.Sprintf("item-%04d", i)
+		src.Delete(k)
+		delete(resident, k)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf, keyed.CodecFor[string](), keyed.Uint64Codec); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, capacity := range []int{1024, 4096, 600} {
+		got, err := Load[string, uint64](bytes.NewReader(buf.Bytes()),
+			keyed.ForType[string](), keyed.CodecFor[string](), keyed.Uint64Codec, capacity, 3)
+		if err != nil {
+			t.Fatalf("load at capacity %d: %v", capacity, err)
+		}
+		if got.Len() != len(resident) {
+			t.Fatalf("load at capacity %d: Len %d, want %d", capacity, got.Len(), len(resident))
+		}
+		for k, v := range resident {
+			if gv, ok := got.Get(k); !ok || gv != v {
+				t.Fatalf("load at capacity %d: %q = (%d, %v), want (%d, true)", capacity, k, gv, ok, v)
+			}
+		}
+		seen := 0
+		got.Range(func(k string, v uint64) bool {
+			if resident[k] != v {
+				t.Fatalf("Range visited (%q, %d), want %d", k, v, resident[k])
+			}
+			seen++
+			return true
+		})
+		if seen != len(resident) {
+			t.Fatalf("Range visited %d pairs, want %d", seen, len(resident))
+		}
+	}
+}
+
+// TestMapSnapshotOverThresholdErrors: reloading into a capacity beyond
+// the cuckoo load threshold must fail, not lose keys.
+func TestMapSnapshotOverThresholdErrors(t *testing.T) {
+	src := NewMap[uint64, uint64](keyed.Uint64, 1024, 3, 1)
+	for i := uint64(1); i <= 700; i++ {
+		if !src.Put(i, i) {
+			t.Fatalf("fill rejected %d", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf, keyed.Uint64Codec, keyed.Uint64Codec); err != nil {
+		t.Fatal(err)
+	}
+	// 700 keys into 710 slots is ~0.99 load — far past the d=3 threshold.
+	if _, err := Load[uint64, uint64](bytes.NewReader(buf.Bytes()),
+		keyed.Uint64, keyed.Uint64Codec, keyed.Uint64Codec, 710, 3); err == nil {
+		t.Fatal("over-threshold reload succeeded")
+	}
+}
+
+// TestTableRange: the raw uint64 table's Range visits exactly the
+// stored pairs.
+func TestTableRange(t *testing.T) {
+	tb := New(256, 3, DoubleHashed, 3, rng.NewXoshiro256(0xF00))
+	want := make(map[uint64]uint64)
+	for i := uint64(1); i <= 100; i++ {
+		if !tb.Put(i, i*5) {
+			t.Fatalf("Put(%d) failed", i)
+		}
+		want[i] = i * 5
+	}
+	tb.Delete(7)
+	delete(want, 7)
+	got := make(map[uint64]uint64)
+	tb.Range(func(k, v uint64) bool {
+		if _, dup := got[k]; dup {
+			t.Fatalf("Range visited %d twice", k)
+		}
+		got[k] = v
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d pairs, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d = %d, want %d", k, got[k], v)
+		}
+	}
+	// Early stop is honored.
+	n := 0
+	tb.Range(func(k, v uint64) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("Range continued after fn returned false: %d visits", n)
+	}
+}

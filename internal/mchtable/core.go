@@ -470,6 +470,34 @@ func (c *Core[K, V]) Occupancy() float64 {
 	return float64(c.Len()) / float64(c.Capacity())
 }
 
+// Range calls fn for every stored pair with its tag until fn returns
+// false, reporting whether the iteration ran to completion. The order is
+// deterministic for a fixed core state: buckets in index order (slots in
+// order within each), then the stash in insertion order; while a resize
+// is in flight the old geometry streams first, then the new one. Every
+// pair is visited exactly once — mid-migration an entry lives in exactly
+// one geometry — which is what makes Range the snapshot iterator: a
+// persisted section is just Range's (key, val, tag) stream.
+//
+// fn must not mutate the core.
+func (c *Core[K, V]) Range(fn func(key K, val V, tag uint64) bool) bool {
+	for idx, used := range c.used {
+		if used && !fn(c.keys[idx], c.vals[idx], c.tags[idx]) {
+			return false
+		}
+	}
+	for i := range c.stash {
+		e := &c.stash[i]
+		if !fn(e.key, e.val, e.tag) {
+			return false
+		}
+	}
+	if c.next != nil {
+		return c.next.Range(fn)
+	}
+	return true
+}
+
 // AddBucketLoads folds the per-bucket occupancy counts into h — the
 // quantity the paper's load tables predict. internal/cmap aggregates its
 // shards' histograms through this. Mid-resize, both geometries' buckets

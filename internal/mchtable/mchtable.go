@@ -146,6 +146,13 @@ func (t *Table) Delete(key uint64) bool {
 // Len returns the number of stored pairs (including stashed ones).
 func (t *Table) Len() int { return t.core.Len() }
 
+// Range calls fn for every stored pair until fn returns false, in the
+// core's deterministic order (buckets, then stash). fn must not mutate
+// the table.
+func (t *Table) Range(fn func(key, val uint64) bool) {
+	t.core.Range(func(k, v uint64, _ uint64) bool { return fn(k, v) })
+}
+
 // StashLen returns the number of stashed pairs — the overflow count.
 func (t *Table) StashLen() int { return t.core.StashLen() }
 

@@ -1,0 +1,100 @@
+package mchtable
+
+// Snapshot/load for the typed single-threaded table. The stored tag of
+// every entry IS its full keyed digest, so a Map snapshot needs no
+// re-hashing in either direction: the writer streams (key, val, tag)
+// straight out of the core, and the loader re-derives candidates from
+// each record's digest at whatever bucket count the new table chose —
+// the same pure re-placement the online-resize path performs.
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/keyed"
+	"repro/internal/persist"
+)
+
+// Range calls fn for every stored pair until fn returns false, in the
+// core's deterministic order (buckets in index order, then the stash in
+// insertion order). fn must not mutate the map.
+func (m *Map[K, V]) Range(fn func(key K, val V) bool) {
+	m.core.Range(func(k K, v V, _ uint64) bool { return fn(k, v) })
+}
+
+// Snapshot writes the map as a single-section snapshot: every pair's
+// (key, val, digest) record, the digest being the entry's stored tag —
+// no key is re-hashed. The snapshot reloads at any bucket count (see
+// LoadMap); only the seed and hasher must match.
+func (m *Map[K, V]) Snapshot(w io.Writer, kc keyed.Codec[K], vc keyed.Codec[V]) error {
+	sw, err := persist.NewSnapshotWriter(w, persist.Header{
+		Sections: 1,
+		Seed:     m.seed,
+		Buckets:  uint32(m.core.Buckets()),
+		Slots:    uint32(m.core.SlotsPerBucket()),
+		D:        uint32(len(m.scratch)),
+		Stash:    uint32(m.core.StashCap()),
+	})
+	if err != nil {
+		return err
+	}
+	if err := sw.BeginSection(); err != nil {
+		return err
+	}
+	var keyBuf, valBuf []byte
+	m.core.Range(func(k K, v V, tag uint64) bool {
+		keyBuf = kc.Append(keyBuf[:0], k)
+		valBuf = vc.Append(valBuf[:0], v)
+		err = sw.Record(keyBuf, valBuf, tag)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := sw.EndSection(); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// LoadMap reads a snapshot into a fresh typed table of cfg's geometry —
+// any geometry: records are placed by re-deriving candidates from their
+// stored digests at cfg.Buckets, exactly as a resize migration would.
+// cfg.Seed is overridden by the snapshot's seed (digests are functions
+// of it); the hasher must be the one the snapshot was written under,
+// which is verified against the first record. A record the geometry
+// cannot hold (all candidates and the stash full) fails the load.
+func LoadMap[K comparable, V any](r io.Reader, h keyed.Hasher[K], kc keyed.Codec[K], vc keyed.Codec[V], cfg Config) (*Map[K, V], error) {
+	sr, err := persist.NewSnapshotReader(r)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = sr.Header().Seed
+	m := NewMap[K, V](h, cfg)
+	first := true
+	for sr.Next() {
+		kb, vb, digest := sr.Record()
+		key, err := kc.Decode(kb)
+		if err != nil {
+			return nil, err
+		}
+		val, err := vc.Decode(vb)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if got := m.digest(key); got != digest {
+				return nil, fmt.Errorf("mchtable: snapshot digest %#x, hasher computes %#x — wrong hasher for this snapshot", digest, got)
+			}
+		}
+		if !m.core.Put(m.candidates(digest), key, val, digest) {
+			return nil, fmt.Errorf("mchtable: snapshot does not fit the target geometry (%d buckets × %d slots + stash %d)",
+				cfg.Buckets, cfg.SlotsPerBucket, cfg.StashSize)
+		}
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

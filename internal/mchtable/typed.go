@@ -24,6 +24,7 @@ type Map[K comparable, V any] struct {
 	deriver *hashes.Deriver
 	hash    keyed.Hasher[K]
 	sipKey  hashes.SipKey
+	seed    uint64 // sipKey's seed material, recorded in snapshot headers
 	scratch []uint32
 	// delScratch holds the deleted key's candidates during Delete, because
 	// Core.Delete's stash-drain callback recomputes candidates of *stashed*
@@ -51,6 +52,7 @@ func NewMap[K comparable, V any](h keyed.Hasher[K], cfg Config) *Map[K, V] {
 		deriver:    hashes.NewDeriver(cfg.Buckets),
 		hash:       h,
 		sipKey:     hashes.SipKeyFromSeed(cfg.Seed),
+		seed:       cfg.Seed,
 		scratch:    make([]uint32, cfg.D),
 		delScratch: make([]uint32, cfg.D),
 	}

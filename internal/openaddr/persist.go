@@ -1,0 +1,117 @@
+package openaddr
+
+// Snapshot/load for the typed open-addressed map: a single-section
+// snapshot (no shard header) of (key, val, digest) records, the digest
+// being the slot's stored uint64 from which the whole probe sequence
+// derives at ANY capacity. Loading probes from stored digests at the new
+// capacity — no key is re-hashed, and tombstones are left behind (a
+// reloaded table starts clean).
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/keyed"
+	"repro/internal/persist"
+)
+
+// Range calls fn for every stored pair until fn returns false, in slot
+// order (tombstones skipped). fn must not mutate the table.
+func (t *Table) Range(fn func(key, val uint64) bool) {
+	for s, st := range t.state {
+		if st == slotFull && !fn(t.keys[s], t.vals[s]) {
+			return
+		}
+	}
+}
+
+// Range calls fn for every stored pair until fn returns false, in slot
+// order of the underlying table. fn must not mutate the map.
+func (m *Map[K, V]) Range(fn func(key K, val V) bool) {
+	t := m.t
+	for s, st := range t.state {
+		if st != slotFull {
+			continue
+		}
+		e := &m.entries[t.vals[s]]
+		if !fn(e.key, e.val) {
+			return
+		}
+	}
+}
+
+// Snapshot writes the map as a single-section snapshot whose records
+// carry each pair's stored digest, so it reloads at any capacity (see
+// Load). Only the seed and hasher must match.
+func (m *Map[K, V]) Snapshot(w io.Writer, kc keyed.Codec[K], vc keyed.Codec[V]) error {
+	t := m.t
+	sw, err := persist.NewSnapshotWriter(w, persist.Header{
+		Sections: 1,
+		Seed:     t.seed,
+		Buckets:  uint32(len(t.keys)), // capacity: one slot per bucket
+		Slots:    1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := sw.BeginSection(); err != nil {
+		return err
+	}
+	var keyBuf, valBuf []byte
+	for s, st := range t.state {
+		if st != slotFull {
+			continue
+		}
+		e := &m.entries[t.vals[s]]
+		keyBuf = kc.Append(keyBuf[:0], e.key)
+		valBuf = vc.Append(valBuf[:0], e.val)
+		if err := sw.Record(keyBuf, valBuf, t.keys[s]); err != nil {
+			return err
+		}
+	}
+	if err := sw.EndSection(); err != nil {
+		return err
+	}
+	return sw.Close()
+}
+
+// Load reads a snapshot into a fresh typed open-addressed map with the
+// given capacity and probe discipline, probing from each record's
+// stored digest — no key is re-hashed; the seed comes from the snapshot
+// header and the hasher (verified against the first record) must be the
+// one the snapshot was written under. A record the capacity cannot hold
+// fails the load.
+func Load[K comparable, V any](r io.Reader, h keyed.Hasher[K], kc keyed.Codec[K], vc keyed.Codec[V], capacity int, probe Probe) (*Map[K, V], error) {
+	sr, err := persist.NewSnapshotReader(r)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMap[K, V](h, capacity, probe, sr.Header().Seed)
+	first := true
+	for sr.Next() {
+		kb, vb, digest := sr.Record()
+		key, err := kc.Decode(kb)
+		if err != nil {
+			return nil, err
+		}
+		val, err := vc.Decode(vb)
+		if err != nil {
+			return nil, err
+		}
+		if first {
+			first = false
+			if got := m.digest(key); got != digest {
+				return nil, fmt.Errorf("openaddr: snapshot digest %#x, hasher computes %#x — wrong hasher for this snapshot", digest, got)
+			}
+		}
+		_, freeSlot, _ := m.t.locate(digest)
+		if freeSlot < 0 {
+			return nil, fmt.Errorf("openaddr: snapshot does not fit capacity %d", capacity)
+		}
+		m.t.placeAt(freeSlot, digest, m.alloc(key, val))
+	}
+	if err := sr.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,118 @@
+package openaddr
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/keyed"
+)
+
+// TestMapSnapshotAnyCapacity round-trips the typed open-addressed map
+// across capacities and probe disciplines; tombstones are shed in the
+// process (a reloaded table starts clean).
+func TestMapSnapshotAnyCapacity(t *testing.T) {
+	src := NewMap[string, uint64](keyed.ForType[string](), 1024, DoubleHash, 19)
+	resident := make(map[string]uint64)
+	for i := uint64(1); i <= 500; i++ {
+		k := fmt.Sprintf("obj-%04d", i)
+		if !src.Put(k, i*13) {
+			t.Fatalf("fill rejected %q", k)
+		}
+		resident[k] = i * 13
+	}
+	for i := uint64(4); i <= 500; i += 5 {
+		k := fmt.Sprintf("obj-%04d", i)
+		src.Delete(k)
+		delete(resident, k)
+	}
+	if src.t.Tombstones() == 0 {
+		t.Fatal("test needs tombstones in the source table")
+	}
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf, keyed.CodecFor[string](), keyed.Uint64Codec); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		capacity int
+		probe    Probe
+	}{
+		{1024, DoubleHash},
+		{4096, DoubleHash},
+		{512, DoubleHash}, // shrink: 400 keys into 512 slots
+		{1024, Linear},
+		{1024, Uniform},
+	} {
+		got, err := Load[string, uint64](bytes.NewReader(buf.Bytes()),
+			keyed.ForType[string](), keyed.CodecFor[string](), keyed.Uint64Codec, tc.capacity, tc.probe)
+		if err != nil {
+			t.Fatalf("load at %d/%v: %v", tc.capacity, tc.probe, err)
+		}
+		if got.Len() != len(resident) {
+			t.Fatalf("load at %d/%v: Len %d, want %d", tc.capacity, tc.probe, got.Len(), len(resident))
+		}
+		if got.t.Tombstones() != 0 {
+			t.Fatalf("load at %d/%v carried %d tombstones", tc.capacity, tc.probe, got.t.Tombstones())
+		}
+		for k, v := range resident {
+			if gv, ok := got.Get(k); !ok || gv != v {
+				t.Fatalf("load at %d/%v: %q = (%d, %v), want (%d, true)", tc.capacity, tc.probe, k, gv, ok, v)
+			}
+		}
+		seen := 0
+		got.Range(func(k string, v uint64) bool {
+			if resident[k] != v {
+				t.Fatalf("Range visited (%q, %d), want %d", k, v, resident[k])
+			}
+			seen++
+			return true
+		})
+		if seen != len(resident) {
+			t.Fatalf("Range visited %d pairs, want %d", seen, len(resident))
+		}
+	}
+}
+
+// TestMapSnapshotTooSmallErrors: a capacity below the content must fail
+// the load.
+func TestMapSnapshotTooSmallErrors(t *testing.T) {
+	src := NewMap[uint64, uint64](keyed.Uint64, 512, DoubleHash, 1)
+	for i := uint64(1); i <= 300; i++ {
+		src.Put(i, i)
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf, keyed.Uint64Codec, keyed.Uint64Codec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load[uint64, uint64](bytes.NewReader(buf.Bytes()),
+		keyed.Uint64, keyed.Uint64Codec, keyed.Uint64Codec, 200, DoubleHash); err == nil {
+		t.Fatal("300 pairs loaded into 200 slots")
+	}
+}
+
+// TestTableRangeSkipsTombstones: the raw table's Range visits live keys
+// only.
+func TestTableRangeSkipsTombstones(t *testing.T) {
+	tb := New(128, DoubleHash, 5)
+	for i := uint64(1); i <= 60; i++ {
+		tb.Put(i, i*2)
+	}
+	for i := uint64(1); i <= 60; i += 2 {
+		tb.Delete(i)
+	}
+	got := make(map[uint64]uint64)
+	tb.Range(func(k, v uint64) bool {
+		got[k] = v
+		return true
+	})
+	if len(got) != 30 {
+		t.Fatalf("Range saw %d pairs, want 30", len(got))
+	}
+	for k, v := range got {
+		if k%2 != 0 || v != k*2 {
+			t.Fatalf("Range visited (%d, %d)", k, v)
+		}
+	}
+}

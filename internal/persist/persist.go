@@ -1,0 +1,435 @@
+// Package persist is the durable storage subsystem: a versioned binary
+// snapshot format and an append-only write-ahead log, both speaking the
+// one currency every container in this library already trades in —
+// (key bytes, value bytes, 64-bit digest) records.
+//
+// The digest is what makes snapshots geometry-independent. Every stored
+// pair's candidate buckets derive from its digest at *any* table shape
+// (the paper's one-hash discipline, and the property Mitzenmacher's
+// follow-up analysis shows is a function of the digest stream rather
+// than the table history), so a snapshot taken from an 8-shard,
+// 1024-bucket map reloads losslessly into a 32-shard, 256-bucket one:
+// loading is exactly the resize-migration path — re-placement from
+// digests, never a re-hash. The only invariant that must carry across
+// is the hash seed (recorded in the header) and the hasher itself.
+//
+// # Snapshot format
+//
+// All integers are little-endian; CRCs are CRC32-C (Castagnoli).
+//
+//	header (48 bytes):
+//	  magic    [8]byte  "BADHSNP1"
+//	  version  uint16   format version (1)
+//	  reserved uint16   zero
+//	  sections uint32   number of sections that follow
+//	  seed     uint64   hash seed the digests were computed under
+//	  shards   uint32   ┐ geometry at write time, informational only —
+//	  buckets  uint32   │ the reader places records at whatever geometry
+//	  slots    uint32   │ the new process chose (0 = not applicable /
+//	  d        uint32   │ varies per shard)
+//	  stash    uint32   ┘
+//	  crc      uint32   CRC32-C of the 44 bytes above
+//
+//	section (one per shard for sharded maps, one total otherwise):
+//	  count    uint64   records in this section
+//	  length   uint64   payload byte length
+//	  payload  [length]byte
+//	  crc      uint32   CRC32-C of the 16-byte section header + payload
+//
+//	record (within a payload):
+//	  keyLen uvarint | key bytes | valLen uvarint | val bytes | digest uint64
+//
+// Sections exist so a sharded map can stream one shard at a time under
+// that shard's read lock alone: the writer buffers a single section in
+// memory (1/shards of the data), never the whole snapshot, and the
+// reader verifies a section's CRC *before* surfacing any of its records.
+//
+// # Write-ahead log
+//
+// The WAL is an append-only sequence of CRC-framed Put/Delete records
+// (see wal.go) with group-commit fsync batching; recovery replays it
+// onto the latest snapshot and truncates a torn tail, so a crash loses
+// only writes that were never acknowledged.
+//
+// The reader trusts nothing: every length prefix is bounded before any
+// allocation (a corrupted or adversarial file makes ReadSnapshot/replay
+// return an error — never panic, never allocate beyond the bytes
+// actually present plus one fixed-size chunk).
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Format constants.
+const (
+	snapMagic = "BADHSNP1"
+	// Version is the current snapshot format version.
+	Version = 1
+
+	headerSize        = 48
+	sectionHeaderSize = 16
+
+	// MaxRecordBytes bounds a single key or value encoding. The reader
+	// rejects length prefixes beyond it before allocating, so a corrupt
+	// file cannot demand an absurd buffer.
+	MaxRecordBytes = 1 << 24
+
+	// readChunk is the growth step for payload buffers: a lying section
+	// length costs at most one chunk of memory beyond the bytes the file
+	// actually contains.
+	readChunk = 1 << 20
+)
+
+// castagnoli is the CRC32-C table shared by snapshots and the WAL.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt wraps all integrity failures (bad magic, CRC mismatch,
+// malformed record, truncated section) so callers can distinguish a
+// damaged file from an I/O error with errors.Is.
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
+// Header identifies a snapshot and the hashing context its digests were
+// computed under. Seed is load-bearing: a reader must install it (with
+// the same hasher) for the stored digests to keep matching the keys.
+// The geometry fields describe the writer's shape for diagnostics only —
+// the whole point of the format is that the reader may place records at
+// any other shape.
+type Header struct {
+	Version  uint16
+	Sections uint32
+	Seed     uint64
+	Shards   uint32 // geometry at write time (informational; 0 = n/a)
+	Buckets  uint32
+	Slots    uint32
+	D        uint32
+	Stash    uint32
+}
+
+// SnapshotWriter emits the snapshot format section by section. Usage:
+//
+//	sw, _ := NewSnapshotWriter(w, Header{Sections: n, Seed: seed})
+//	for each section:
+//	    sw.BeginSection()
+//	    for each pair: sw.Record(keyBytes, valBytes, digest)
+//	    sw.EndSection()
+//	err := sw.Close()
+//
+// Record performs no allocation once the section buffer has warmed up
+// (it appends to a buffer reused across sections), which is what lets a
+// sharded map hold a shard's read lock for exactly the time it takes to
+// encode that shard's records.
+type SnapshotWriter struct {
+	w        io.Writer
+	buf      []byte // current section payload
+	count    uint64 // records in the current section
+	declared uint32
+	written  uint32
+	open     bool
+	err      error
+}
+
+// NewSnapshotWriter writes the header and returns a writer expecting
+// exactly h.Sections sections. h.Version is forced to the current
+// format version.
+func NewSnapshotWriter(w io.Writer, h Header) (*SnapshotWriter, error) {
+	var hdr [headerSize]byte
+	copy(hdr[:8], snapMagic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[12:], h.Sections)
+	binary.LittleEndian.PutUint64(hdr[16:], h.Seed)
+	binary.LittleEndian.PutUint32(hdr[24:], h.Shards)
+	binary.LittleEndian.PutUint32(hdr[28:], h.Buckets)
+	binary.LittleEndian.PutUint32(hdr[32:], h.Slots)
+	binary.LittleEndian.PutUint32(hdr[36:], h.D)
+	binary.LittleEndian.PutUint32(hdr[40:], h.Stash)
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(hdr[:44], castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &SnapshotWriter{w: w, declared: h.Sections}, nil
+}
+
+// BeginSection starts the next section.
+func (sw *SnapshotWriter) BeginSection() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.open {
+		return sw.fail(fmt.Errorf("persist: BeginSection inside an open section"))
+	}
+	if sw.written == sw.declared {
+		return sw.fail(fmt.Errorf("persist: more sections than the declared %d", sw.declared))
+	}
+	sw.open = true
+	sw.buf = sw.buf[:0]
+	sw.count = 0
+	return nil
+}
+
+// Record appends one (key, val, digest) record to the open section. key
+// and val may alias caller scratch buffers; their bytes are copied here.
+func (sw *SnapshotWriter) Record(key, val []byte, digest uint64) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.open {
+		return sw.fail(fmt.Errorf("persist: Record outside a section"))
+	}
+	if len(key) > MaxRecordBytes || len(val) > MaxRecordBytes {
+		return sw.fail(fmt.Errorf("persist: record of %d/%d bytes exceeds MaxRecordBytes", len(key), len(val)))
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(key)))
+	sw.buf = append(sw.buf, key...)
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(val)))
+	sw.buf = append(sw.buf, val...)
+	sw.buf = binary.LittleEndian.AppendUint64(sw.buf, digest)
+	sw.count++
+	return nil
+}
+
+// EndSection frames and flushes the open section: header, payload, CRC.
+func (sw *SnapshotWriter) EndSection() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.open {
+		return sw.fail(fmt.Errorf("persist: EndSection outside a section"))
+	}
+	sw.open = false
+	var hdr [sectionHeaderSize]byte
+	binary.LittleEndian.PutUint64(hdr[0:], sw.count)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(sw.buf)))
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, sw.buf)
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return sw.fail(err)
+	}
+	if _, err := sw.w.Write(sw.buf); err != nil {
+		return sw.fail(err)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	if _, err := sw.w.Write(tail[:]); err != nil {
+		return sw.fail(err)
+	}
+	sw.written++
+	return nil
+}
+
+// Close verifies every declared section was written. It does not close
+// the underlying writer.
+func (sw *SnapshotWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.open {
+		return sw.fail(fmt.Errorf("persist: Close inside an open section"))
+	}
+	if sw.written != sw.declared {
+		return sw.fail(fmt.Errorf("persist: wrote %d of %d declared sections", sw.written, sw.declared))
+	}
+	return nil
+}
+
+func (sw *SnapshotWriter) fail(err error) error {
+	sw.err = err
+	return err
+}
+
+// SnapshotReader streams a snapshot back record by record:
+//
+//	sr, err := NewSnapshotReader(r)
+//	for sr.Next() {
+//	    key, val, digest := sr.Record()
+//	    ...
+//	}
+//	err = sr.Err()
+//
+// A section's CRC is verified before any of its records are surfaced, so
+// every record Next yields came from intact bytes. Key and value slices
+// point into an internal buffer valid until the next Next call. Err is
+// nil only after a clean read of every declared section; any corruption
+// satisfies errors.Is(err, ErrCorrupt).
+type SnapshotReader struct {
+	r       *bufio.Reader
+	hdr     Header
+	buf     []byte // verified payload of the current section
+	off     int    // parse offset into buf
+	left    uint64 // records remaining in the current section
+	section int    // current section index (-1 before the first)
+	key     []byte
+	val     []byte
+	digest  uint64
+	err     error
+	done    bool
+}
+
+// NewSnapshotReader reads and verifies the header.
+func NewSnapshotReader(r io.Reader) (*SnapshotReader, error) {
+	sr := &SnapshotReader{r: bufio.NewReader(r), section: -1}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
+	}
+	if got, want := binary.LittleEndian.Uint32(hdr[44:]), crc32.Checksum(hdr[:44], castagnoli); got != want {
+		return nil, fmt.Errorf("%w: header CRC %#x, want %#x", ErrCorrupt, got, want)
+	}
+	sr.hdr = Header{
+		Version:  binary.LittleEndian.Uint16(hdr[8:]),
+		Sections: binary.LittleEndian.Uint32(hdr[12:]),
+		Seed:     binary.LittleEndian.Uint64(hdr[16:]),
+		Shards:   binary.LittleEndian.Uint32(hdr[24:]),
+		Buckets:  binary.LittleEndian.Uint32(hdr[28:]),
+		Slots:    binary.LittleEndian.Uint32(hdr[32:]),
+		D:        binary.LittleEndian.Uint32(hdr[36:]),
+		Stash:    binary.LittleEndian.Uint32(hdr[40:]),
+	}
+	if sr.hdr.Version != Version {
+		return nil, fmt.Errorf("%w: version %d, reader speaks %d", ErrCorrupt, sr.hdr.Version, Version)
+	}
+	return sr, nil
+}
+
+// Header returns the verified snapshot header.
+func (sr *SnapshotReader) Header() Header { return sr.hdr }
+
+// Section returns the index of the section the current record came from.
+func (sr *SnapshotReader) Section() int { return sr.section }
+
+// Next advances to the next record, loading (and CRC-verifying) the next
+// section when the current one is exhausted. It returns false at the end
+// of the snapshot or on error — check Err.
+func (sr *SnapshotReader) Next() bool {
+	if sr.err != nil || sr.done {
+		return false
+	}
+	for sr.left == 0 {
+		if sr.section+1 == int(sr.hdr.Sections) {
+			// All sections consumed; the format ends here.
+			sr.done = true
+			return false
+		}
+		if !sr.loadSection() {
+			return false
+		}
+	}
+	sr.left--
+	return sr.parseRecord()
+}
+
+// Record returns the current record. Key and val are valid until the
+// next Next call.
+func (sr *SnapshotReader) Record() (key, val []byte, digest uint64) {
+	return sr.key, sr.val, sr.digest
+}
+
+// Err returns the first error encountered, or nil after a clean read.
+func (sr *SnapshotReader) Err() error { return sr.err }
+
+// loadSection reads, CRC-verifies and buffers the next section.
+func (sr *SnapshotReader) loadSection() bool {
+	var hdr [sectionHeaderSize]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		sr.err = fmt.Errorf("%w: section %d header: %v", ErrCorrupt, sr.section+1, err)
+		return false
+	}
+	count := binary.LittleEndian.Uint64(hdr[0:])
+	length := binary.LittleEndian.Uint64(hdr[8:])
+	// A record is at least 2 length bytes + 8 digest bytes, so a count
+	// that could not fit the payload is corruption — reject before
+	// reading (and before trusting `length` anywhere). An empty section
+	// must carry an empty payload (nothing would ever parse it).
+	if count > length/10 || (count == 0 && length != 0) {
+		sr.err = fmt.Errorf("%w: section %d claims %d records in %d bytes", ErrCorrupt, sr.section+1, count, length)
+		return false
+	}
+	if !sr.readPayload(length) {
+		return false
+	}
+	crc := crc32.Checksum(hdr[:], castagnoli)
+	crc = crc32.Update(crc, castagnoli, sr.buf)
+	var tail [4]byte
+	if _, err := io.ReadFull(sr.r, tail[:]); err != nil {
+		sr.err = fmt.Errorf("%w: section %d CRC: %v", ErrCorrupt, sr.section+1, err)
+		return false
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != crc {
+		sr.err = fmt.Errorf("%w: section %d CRC %#x, want %#x", ErrCorrupt, sr.section+1, got, crc)
+		return false
+	}
+	sr.section++
+	sr.left = count
+	sr.off = 0
+	return true
+}
+
+// readPayload fills sr.buf with exactly length bytes, growing the buffer
+// chunkwise so a lying length cannot force an allocation beyond the
+// bytes the stream actually delivers (plus one chunk).
+func (sr *SnapshotReader) readPayload(length uint64) bool {
+	sr.buf = sr.buf[:0]
+	for remaining := length; remaining > 0; {
+		n := remaining
+		if n > readChunk {
+			n = readChunk
+		}
+		start := len(sr.buf)
+		sr.buf = append(sr.buf, make([]byte, n)...)
+		if _, err := io.ReadFull(sr.r, sr.buf[start:]); err != nil {
+			sr.err = fmt.Errorf("%w: section %d payload: %v", ErrCorrupt, sr.section+1, err)
+			return false
+		}
+		remaining -= n
+	}
+	return true
+}
+
+// parseRecord decodes the next record from the verified section buffer.
+func (sr *SnapshotReader) parseRecord() bool {
+	key, ok := sr.parseBytes()
+	if !ok {
+		return false
+	}
+	val, ok := sr.parseBytes()
+	if !ok {
+		return false
+	}
+	if len(sr.buf)-sr.off < 8 {
+		sr.err = fmt.Errorf("%w: section %d: truncated digest", ErrCorrupt, sr.section)
+		return false
+	}
+	sr.key, sr.val = key, val
+	sr.digest = binary.LittleEndian.Uint64(sr.buf[sr.off:])
+	sr.off += 8
+	if sr.left == 0 && sr.off != len(sr.buf) {
+		sr.err = fmt.Errorf("%w: section %d: %d trailing payload bytes", ErrCorrupt, sr.section, len(sr.buf)-sr.off)
+		return false
+	}
+	return true
+}
+
+// parseBytes decodes one length-prefixed byte string in place.
+func (sr *SnapshotReader) parseBytes() ([]byte, bool) {
+	n, w := binary.Uvarint(sr.buf[sr.off:])
+	if w <= 0 || n > MaxRecordBytes {
+		sr.err = fmt.Errorf("%w: section %d: bad length prefix", ErrCorrupt, sr.section)
+		return nil, false
+	}
+	sr.off += w
+	if uint64(len(sr.buf)-sr.off) < n {
+		sr.err = fmt.Errorf("%w: section %d: record overruns payload", ErrCorrupt, sr.section)
+		return nil, false
+	}
+	b := sr.buf[sr.off : sr.off+int(n)]
+	sr.off += int(n)
+	return b, true
+}

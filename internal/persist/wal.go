@@ -1,0 +1,453 @@
+package persist
+
+// The write-ahead log: an append-only file of CRC-framed Put/Delete
+// records with group-commit fsync batching, modeled on the append-only
+// durability discipline of audit-log systems — a record is acknowledged
+// only once it is on stable storage, and recovery truncates any torn
+// tail a crash left behind.
+//
+// Layout (all integers little-endian):
+//
+//	header (16 bytes):
+//	  magic    [8]byte  "BADHWAL1"
+//	  version  uint16   format version (1)
+//	  reserved [6]byte  zero
+//
+//	record:
+//	  length uint32   payload byte length
+//	  crc    uint32   CRC32-C of the payload
+//	  payload:
+//	    op     uint8    1 = Put, 2 = Delete
+//	    keyLen uvarint | key bytes
+//	    valLen uvarint | val bytes   (Put only)
+//
+// Recovery scans records until EOF, a short read, or a CRC mismatch;
+// everything from the first bad frame on is a torn tail — the bytes a
+// crash cut mid-write — and is truncated. Only unacknowledged appends
+// can live there: group commit returns to the caller only after the
+// record's bytes are fsynced.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+const (
+	walMagic      = "BADHWAL1"
+	walHeaderSize = 16
+
+	// maxWALRecordBytes bounds one framed payload; the recovery scan
+	// treats a larger length prefix as a torn/corrupt tail rather than
+	// allocating it.
+	maxWALRecordBytes = 2*MaxRecordBytes + 16
+)
+
+// WALOp is the operation a WAL record logs.
+type WALOp uint8
+
+const (
+	// WALPut logs a Put(key, val).
+	WALPut WALOp = 1
+	// WALDelete logs a Delete(key).
+	WALDelete WALOp = 2
+)
+
+// String returns the op's display name.
+func (op WALOp) String() string {
+	switch op {
+	case WALPut:
+		return "Put"
+	case WALDelete:
+		return "Delete"
+	default:
+		return fmt.Sprintf("WALOp(%d)", uint8(op))
+	}
+}
+
+// WALOptions configure durability.
+type WALOptions struct {
+	// NoSync disables fsync: Append returns once the record reaches the
+	// OS, trading the crash-durability guarantee for raw throughput
+	// (power loss can drop acknowledged writes; process crash cannot).
+	// With NoSync false — the default — Append blocks until the record
+	// is on stable storage, and concurrent appenders share fsyncs via
+	// group commit: while one fsync is in flight, later appends queue
+	// behind it and are all made durable by the next one.
+	NoSync bool
+}
+
+// WAL is an append-only write-ahead log. Append is safe for concurrent
+// use; a single mutex orders the record frames and the group-commit
+// machinery batches the fsyncs.
+type WAL struct {
+	opts WALOptions
+
+	mu      sync.Mutex // guards f writes, scratch, seq, writeErr
+	f       *os.File
+	scratch []byte
+	seq     uint64 // records appended
+	// writeErr is sticky: a failed (possibly partial) frame write leaves
+	// torn bytes mid-log, and any record appended after them would be
+	// silently discarded by the next recovery's torn-tail truncation —
+	// so after one write error the WAL refuses all further appends
+	// rather than acknowledging writes that cannot survive a crash.
+	writeErr error
+
+	smu      sync.Mutex // guards the group-commit state below
+	scond    *sync.Cond
+	durable  uint64 // highest seq known fsynced
+	flushing bool
+	syncErr  error // sticky: an fsync failure poisons the WAL
+}
+
+// CreateWAL creates (or truncates) the log at path and writes its header.
+func CreateWAL(path string, opts WALOptions) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := newWAL(f, opts)
+	if err := w.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenWAL opens the log at path, creating it if absent, replaying every
+// intact record through replay in append order, truncating any torn
+// tail, and positioning for appends. It returns the recovered WAL and
+// the number of records replayed. A replay error aborts the open (the
+// caller's state would be inconsistent).
+func OpenWAL(path string, opts WALOptions, replay func(op WALOp, key, val []byte) error) (*WAL, int, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	w := newWAL(f, opts)
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if st.Size() == 0 {
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+		return w, 0, nil
+	}
+	n, good, err := scanWAL(f, replay)
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	if good < st.Size() {
+		// Torn tail: a crash cut the final record mid-write. Everything
+		// before it was acknowledged and replays; the tail is discarded.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, 0, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	w.seq = uint64(n)
+	w.durable = uint64(n)
+	return w, n, nil
+}
+
+// ReplayWAL reads the log at path without opening it for appends,
+// calling replay for every intact record. It reports the record count
+// and whether a torn tail was skipped (the file is left untouched).
+func ReplayWAL(path string, replay func(op WALOp, key, val []byte) error) (records int, torn bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, false, err
+	}
+	n, good, err := scanWAL(f, replay)
+	return n, good < st.Size(), err
+}
+
+func newWAL(f *os.File, opts WALOptions) *WAL {
+	w := &WAL{opts: opts, f: f}
+	w.scond = sync.NewCond(&w.smu)
+	return w
+}
+
+func (w *WAL) writeHeader() error {
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic)
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if w.opts.NoSync {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// scanWAL validates the header and streams intact records to replay,
+// returning the record count and the offset just past the last intact
+// record. Framing damage (short frame, CRC mismatch, oversized length)
+// ends the scan at the previous record — the torn-tail contract — while
+// a replay callback error aborts with that error.
+func scanWAL(r io.Reader, replay func(op WALOp, key, val []byte) error) (records int, good int64, err error) {
+	br := bufio.NewReader(r)
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("%w: short WAL header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != walMagic {
+		return 0, 0, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[8:]); v != Version {
+		return 0, 0, fmt.Errorf("%w: WAL version %d, reader speaks %d", ErrCorrupt, v, Version)
+	}
+	good = walHeaderSize
+	var frame [8]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			return records, good, nil // clean EOF or torn frame header
+		}
+		length := binary.LittleEndian.Uint32(frame[0:])
+		crc := binary.LittleEndian.Uint32(frame[4:])
+		if length == 0 || length > maxWALRecordBytes {
+			return records, good, nil // lying length: torn/corrupt tail
+		}
+		if uint32(cap(payload)) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, good, nil // record cut mid-write
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return records, good, nil // bit rot or torn write
+		}
+		op, key, val, ok := parseWALPayload(payload)
+		if !ok {
+			return records, good, nil // framed but malformed: treat as tail
+		}
+		if replay != nil {
+			if err := replay(op, key, val); err != nil {
+				return records, good, err
+			}
+		}
+		records++
+		good += 8 + int64(length)
+	}
+}
+
+// parseWALPayload splits a CRC-verified payload into its fields.
+func parseWALPayload(p []byte) (op WALOp, key, val []byte, ok bool) {
+	if len(p) < 1 {
+		return 0, nil, nil, false
+	}
+	op, p = WALOp(p[0]), p[1:]
+	if op != WALPut && op != WALDelete {
+		return 0, nil, nil, false
+	}
+	key, p, ok = parseLenPrefixed(p)
+	if !ok {
+		return 0, nil, nil, false
+	}
+	if op == WALPut {
+		val, p, ok = parseLenPrefixed(p)
+		if !ok {
+			return 0, nil, nil, false
+		}
+	}
+	if len(p) != 0 {
+		return 0, nil, nil, false
+	}
+	return op, key, val, true
+}
+
+func parseLenPrefixed(p []byte) (b, rest []byte, ok bool) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > MaxRecordBytes || uint64(len(p)-w) < n {
+		return nil, nil, false
+	}
+	return p[w : w+int(n)], p[w+int(n):], true
+}
+
+// Append logs one record. With fsync enabled (the default) it returns
+// only after the record is on stable storage; concurrent appenders are
+// batched into shared fsyncs (group commit). key and val may alias
+// caller scratch — their bytes are copied into the frame before Append
+// returns control.
+func (w *WAL) Append(op WALOp, key, val []byte) error {
+	if op != WALPut && op != WALDelete {
+		return fmt.Errorf("persist: Append op %d", op)
+	}
+	if len(key) > MaxRecordBytes || len(val) > MaxRecordBytes {
+		return fmt.Errorf("persist: WAL record of %d/%d bytes exceeds MaxRecordBytes", len(key), len(val))
+	}
+	w.mu.Lock()
+	if w.writeErr != nil {
+		err := w.writeErr
+		w.mu.Unlock()
+		return fmt.Errorf("persist: WAL poisoned by an earlier write error: %w", err)
+	}
+	buf := w.scratch[:0]
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
+	buf = append(buf, byte(op))
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	if op == WALPut {
+		buf = binary.AppendUvarint(buf, uint64(len(val)))
+		buf = append(buf, val...)
+	}
+	payload := buf[8:]
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.Checksum(payload, castagnoli))
+	_, err := w.f.Write(buf)
+	w.scratch = buf
+	if err != nil {
+		w.writeErr = err
+		w.mu.Unlock()
+		return err
+	}
+	w.seq++
+	seq := w.seq
+	w.mu.Unlock()
+	if w.opts.NoSync {
+		return nil
+	}
+	return w.waitDurable(seq)
+}
+
+// waitDurable blocks until record seq is fsynced, sharing fsyncs among
+// concurrent appenders: whoever arrives while no flush is in flight
+// becomes the flusher and syncs everything appended so far; everyone
+// else waits for a flush that covers their record.
+func (w *WAL) waitDurable(seq uint64) error {
+	w.smu.Lock()
+	for {
+		if w.syncErr != nil {
+			err := w.syncErr
+			w.smu.Unlock()
+			return err
+		}
+		if w.durable >= seq {
+			w.smu.Unlock()
+			return nil
+		}
+		if !w.flushing {
+			break
+		}
+		w.scond.Wait()
+	}
+	w.flushing = true
+	w.smu.Unlock()
+
+	// Snapshot the appended count, then fsync without holding the append
+	// lock: appends keep landing while the disk syncs (they will be
+	// covered by the next flush), which is where group commit's batching
+	// comes from. Records written after flushedTo may or may not hit the
+	// platter with this sync — they are simply not counted durable yet.
+	w.mu.Lock()
+	flushedTo := w.seq
+	w.mu.Unlock()
+	err := w.f.Sync()
+
+	w.smu.Lock()
+	w.flushing = false
+	if err != nil {
+		w.syncErr = err
+	} else if flushedTo > w.durable {
+		w.durable = flushedTo
+	}
+	w.scond.Broadcast()
+	w.smu.Unlock()
+	return err
+}
+
+// Sync forces an fsync of everything appended so far (useful with
+// NoSync, or before handing the file to another process).
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	seq := w.seq
+	w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.smu.Lock()
+	if seq > w.durable {
+		w.durable = seq
+	}
+	w.smu.Unlock()
+	return nil
+}
+
+// Len returns the number of records appended (including replayed ones).
+func (w *WAL) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int(w.seq)
+}
+
+// Size returns the log's current byte size.
+func (w *WAL) Size() (int64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Reset discards every record, truncating the log back to its header —
+// the post-checkpoint step: once a snapshot durably covers the WAL's
+// state, its records are dead weight.
+func (w *WAL) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(walHeaderSize); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.seq = 0
+	w.writeErr = nil // any torn bytes were just truncated away
+	w.smu.Lock()
+	w.durable = 0
+	w.smu.Unlock()
+	return nil
+}
+
+// Close fsyncs (unless NoSync) and closes the file.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var err error
+	if !w.opts.NoSync {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

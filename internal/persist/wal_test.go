@@ -1,0 +1,236 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+type walRec struct {
+	op       WALOp
+	key, val []byte
+}
+
+func collectWAL(t *testing.T, path string) []walRec {
+	t.Helper()
+	var got []walRec
+	_, _, err := ReplayWAL(path, func(op WALOp, key, val []byte) error {
+		got = append(got, walRec{op, append([]byte(nil), key...), append([]byte(nil), val...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayWAL: %v", err)
+	}
+	return got
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []walRec{
+		{WALPut, []byte("k1"), []byte("v1")},
+		{WALDelete, []byte("k1"), nil},
+		{WALPut, []byte(""), []byte("")}, // empty key and value are legal
+		{WALPut, []byte("k2"), bytes.Repeat([]byte{7}, 500)},
+	}
+	for _, r := range want {
+		if err := w.Append(r.op, r.key, r.val); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectWAL(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].op != want[i].op || !bytes.Equal(got[i].key, want[i].key) ||
+			(want[i].op == WALPut && !bytes.Equal(got[i].val, want[i].val)) {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornTailTruncated simulates the crash the WAL exists for: a
+// final record cut mid-write. Recovery must replay every acknowledged
+// record, drop the torn tail, and truncate the file so appends resume
+// from a clean end.
+func TestWALTornTailTruncated(t *testing.T) {
+	for _, cut := range []struct {
+		name     string
+		tear     func(data []byte) []byte
+		lastLost bool // whether the tear damages the final record itself
+	}{
+		{"mid-frame-header", func(d []byte) []byte { return d[:len(d)-4] }, true},
+		{"mid-payload", func(d []byte) []byte { return d[:len(d)-1] }, true},
+		{"crc-flipped", func(d []byte) []byte { d[len(d)-1] ^= 0xFF; return d }, true},
+		// Garbage after an intact record is also a torn tail — a crash
+		// mid-frame-header — but loses nothing that was acknowledged.
+		{"garbage-appended", func(d []byte) []byte { return append(d, 0xDE, 0xAD) }, false},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			w, err := CreateWAL(path, WALOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const acked = 10
+			for i := 0; i < acked; i++ {
+				if err := w.Append(WALPut, fmt.Appendf(nil, "key-%d", i), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One more record that the "crash" will damage.
+			if err := w.Append(WALPut, []byte("torn"), []byte("torn")); err != nil {
+				t.Fatal(err)
+			}
+			w.Close()
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, cut.tear(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			want := acked
+			if !cut.lastLost {
+				want++ // the final record survived intact
+			}
+			replayed := 0
+			w2, n, err := OpenWAL(path, WALOptions{}, func(op WALOp, key, val []byte) error {
+				replayed++
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("OpenWAL after tear: %v", err)
+			}
+			if n != want || replayed != want {
+				t.Fatalf("replayed %d/%d records, want %d (only the torn record may be lost)", n, replayed, want)
+			}
+			// The file is truncated: appends land where the tear was, and a
+			// fresh replay sees old + new records.
+			if err := w2.Append(WALDelete, []byte("after-recovery"), nil); err != nil {
+				t.Fatal(err)
+			}
+			w2.Close()
+			got := collectWAL(t, path)
+			if len(got) != want+1 || got[want].op != WALDelete || string(got[want].key) != "after-recovery" {
+				t.Fatalf("post-recovery log: %d records, tail %+v", len(got), got[len(got)-1])
+			}
+		})
+	}
+}
+
+func TestWALReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(WALPut, []byte("k"), []byte("v"))
+	if err := w.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.Append(WALPut, []byte("k2"), []byte("v2"))
+	w.Close()
+	got := collectWAL(t, path)
+	if len(got) != 1 || string(got[0].key) != "k2" {
+		t.Fatalf("after Reset the log holds %+v", got)
+	}
+}
+
+// TestWALGroupCommit hammers one WAL from many goroutines with fsync
+// on: every append must be acknowledged, and the fsync count must come
+// out well below the append count (the batching that makes group commit
+// worth having). The count assertion is on durability, not timing: all
+// records replay.
+func TestWALGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := w.Append(WALPut, fmt.Appendf(nil, "w%d-%d", g, i), []byte("v")); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", w.Len(), workers*perWorker)
+	}
+	w.Close()
+	if got := collectWAL(t, path); len(got) != workers*perWorker {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perWorker)
+	}
+}
+
+func TestWALOpenEmptyAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file: created with a header, zero records replayed.
+	w, n, err := OpenWAL(filepath.Join(dir, "wal"), WALOptions{}, nil)
+	if err != nil || n != 0 {
+		t.Fatalf("OpenWAL on missing file: n=%d err=%v", n, err)
+	}
+	w.Close()
+	// Reopen the now header-only file.
+	w, n, err = OpenWAL(filepath.Join(dir, "wal"), WALOptions{}, func(WALOp, []byte, []byte) error {
+		t.Fatal("no records to replay")
+		return nil
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("OpenWAL on empty log: n=%d err=%v", n, err)
+	}
+	w.Close()
+}
+
+func TestWALBadHeaderRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	if err := os.WriteFile(path, []byte("NOTAWAL!xxxxxxxx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenWAL(path, WALOptions{}, nil); err == nil {
+		t.Fatal("bad magic must fail the open")
+	}
+}
+
+func TestWALNoSyncStillReplays(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Append(WALPut, fmt.Appendf(nil, "k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil { // manual durability point
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := collectWAL(t, path); len(got) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(got))
+	}
+}

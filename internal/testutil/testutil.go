@@ -29,6 +29,7 @@ type Container[K comparable, V any] interface {
 	Get(key K) (V, bool)
 	Delete(key K) bool
 	Len() int
+	Range(fn func(key K, val V) bool)
 }
 
 // Options adapt the harness to a container's semantics.
@@ -53,6 +54,10 @@ const (
 	OpPut OpKind = iota
 	OpGet
 	OpDelete
+	// OpRange iterates the whole container (its Key and Val are unused)
+	// and compares the visited set against the oracle exactly: every
+	// pair present, none phantom, none visited twice.
+	OpRange
 	numOpKinds
 )
 
@@ -65,6 +70,8 @@ func (k OpKind) String() string {
 		return "Get"
 	case OpDelete:
 		return "Delete"
+	case OpRange:
+		return "Range"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -85,7 +92,19 @@ type Op[K comparable, V comparable] struct {
 // later op would cancel still diverges at the op that introduced it) and
 // on the final full-membership sweep.
 func Run[K comparable, V comparable](c Container[K, V], ops []Op[K, V], opt Options) error {
-	oracle := make(map[K]V)
+	return RunSeeded(c, nil, ops, opt)
+}
+
+// RunSeeded is Run against a container that already holds the pairs in
+// preload — e.g. content recovered from a snapshot: the oracle starts
+// from a copy of preload instead of empty, so the sequence exercises
+// gets, deletes and range sweeps of the pre-existing keys from the
+// first op.
+func RunSeeded[K comparable, V comparable](c Container[K, V], preload map[K]V, ops []Op[K, V], opt Options) error {
+	oracle := make(map[K]V, len(preload))
+	for k, v := range preload {
+		oracle[k] = v
+	}
 	for i, op := range ops {
 		want, resident := oracle[op.Key]
 		switch op.Kind {
@@ -118,6 +137,10 @@ func Run[K comparable, V comparable](c Container[K, V], ops []Op[K, V], opt Opti
 				return fmt.Errorf("op %d: Delete(%v) = %v, oracle %v", i, op.Key, ok, resident)
 			}
 			delete(oracle, op.Key)
+		case OpRange:
+			if err := checkRange(c, oracle, opt, i); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
 		}
@@ -140,6 +163,38 @@ func Run[K comparable, V comparable](c Container[K, V], ops []Op[K, V], opt Opti
 		if opt.TrackValues && got != v {
 			return fmt.Errorf("final sweep: key %v holds %v, oracle %v", k, got, v)
 		}
+	}
+	return nil
+}
+
+// checkRange drives one full iteration and compares the visited set
+// against the oracle: every oracle pair visited exactly once with its
+// value, and nothing visited that the oracle does not hold.
+func checkRange[K comparable, V comparable](c Container[K, V], oracle map[K]V, opt Options, i int) error {
+	seen := make(map[K]struct{}, len(oracle))
+	var rangeErr error
+	c.Range(func(k K, v V) bool {
+		if _, dup := seen[k]; dup {
+			rangeErr = fmt.Errorf("op %d: Range visited key %v twice", i, k)
+			return false
+		}
+		seen[k] = struct{}{}
+		want, resident := oracle[k]
+		if !resident {
+			rangeErr = fmt.Errorf("op %d: Range visited key %v, which the oracle does not hold", i, k)
+			return false
+		}
+		if opt.TrackValues && v != want {
+			rangeErr = fmt.Errorf("op %d: Range saw %v = %v, oracle %v", i, k, v, want)
+			return false
+		}
+		return true
+	})
+	if rangeErr != nil {
+		return rangeErr
+	}
+	if len(seen) != len(oracle) {
+		return fmt.Errorf("op %d: Range visited %d keys, oracle holds %d", i, len(seen), len(oracle))
 	}
 	return nil
 }
@@ -201,9 +256,11 @@ const opBytes = 4
 
 // DecodeOps decodes fuzz input into an op sequence: each 4-byte chunk is
 // [kind, keyLo, keyHi, val], with the kind reduced mod the number of op
-// kinds and the 16-bit key mapped into [1, keySpace]. A trailing partial
-// chunk is ignored. Small keys and 1-byte values keep the fuzzer's search
-// space dense in collisions, updates and delete/reinsert patterns.
+// kinds (so fuzzers also emit Range sweeps) and the 16-bit key mapped
+// into [1, keySpace]. A trailing partial chunk is ignored. Small keys and
+// 1-byte values keep the fuzzer's search space dense in collisions,
+// updates and delete/reinsert patterns. Seeds encoded before OpRange
+// existed decode identically — kind values are append-only.
 func DecodeOps(data []byte, keySpace uint64) []Op[uint64, uint64] {
 	if keySpace == 0 {
 		panic("testutil: DecodeOps keySpace = 0")

@@ -37,6 +37,14 @@ func (g *goodMap) Delete(key uint64) bool {
 
 func (g *goodMap) Len() int { return len(g.m) }
 
+func (g *goodMap) Range(fn func(key, val uint64) bool) {
+	for k, v := range g.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
 // buggyMap wraps goodMap with an injected defect, one per mode — the
 // membership-loss bug classes PR 2 fixed, plus value corruption.
 type buggyMap struct {
@@ -68,6 +76,55 @@ func (b *buggyMap) Delete(key uint64) bool {
 		return true // claims presence even for absent keys
 	}
 	return b.goodMap.Delete(key)
+}
+
+func (b *buggyMap) Range(fn func(key, val uint64) bool) {
+	skip := b.mode == "range-skips-one"
+	for k, v := range b.m {
+		if skip {
+			skip = false // silently omit one resident key from iteration
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func TestHarnessRangeOp(t *testing.T) {
+	ops := []Op[uint64, uint64]{
+		{Kind: OpPut, Key: 5, Val: 7},
+		{Kind: OpPut, Key: 9, Val: 1},
+		{Kind: OpRange},
+		{Kind: OpDelete, Key: 5},
+		{Kind: OpRange},
+	}
+	if err := Run(newGoodMap(8), ops, Options{TrackValues: true}); err != nil {
+		t.Fatalf("correct container diverged on Range: %v", err)
+	}
+	b := &buggyMap{goodMap: newGoodMap(8), mode: "range-skips-one"}
+	err := Run(b, ops, Options{TrackValues: true})
+	if err == nil || !strings.Contains(err.Error(), "Range") {
+		t.Fatalf("want a Range divergence, got %v", err)
+	}
+}
+
+func TestRunSeeded(t *testing.T) {
+	g := newGoodMap(64)
+	preload := map[uint64]uint64{3: 30, 4: 40}
+	for k, v := range preload {
+		g.Put(k, v)
+	}
+	ops := []Op[uint64, uint64]{
+		{Kind: OpGet, Key: 3},
+		{Kind: OpRange},
+		{Kind: OpDelete, Key: 4},
+		{Kind: OpPut, Key: 5, Val: 50},
+		{Kind: OpRange},
+	}
+	if err := RunSeeded(g, preload, ops, Options{TrackValues: true}); err != nil {
+		t.Fatalf("seeded run diverged: %v", err)
+	}
 }
 
 func TestHarnessPassesCorrectContainer(t *testing.T) {

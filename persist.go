@@ -1,0 +1,417 @@
+package repro
+
+// This file is the durability facade: snapshot Save/Load for every
+// container family, and Open — the crash-recoverable map (latest
+// snapshot + write-ahead log replay + fresh WAL appends).
+//
+// A snapshot is (key bytes, value bytes, 64-bit digest) records. The
+// digest is the same single keyed hash evaluation every live operation
+// spends, and candidates re-derive from it at any table shape, so a
+// snapshot written by one geometry reloads into any other — more
+// shards, fewer buckets, whatever the new process chose — without ever
+// re-hashing a key. The seed (recorded in the snapshot header and
+// adopted by Load) and the hasher are the only things that must carry
+// across; geometry is free.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cmap"
+	"repro/internal/cuckoo"
+	"repro/internal/hashes"
+	"repro/internal/keyed"
+	"repro/internal/mchtable"
+	"repro/internal/openaddr"
+	"repro/internal/persist"
+)
+
+// Codec translates keys or values to and from their persisted byte
+// encoding — the persistence counterpart of Hasher. Append appends v's
+// encoding to dst; Decode reads a value back from exactly those bytes,
+// erroring (never panicking) on malformed input. See CodecFor for the
+// built-ins; a custom Codec is just a struct literal with the two
+// functions.
+type Codec[T any] = keyed.Codec[T]
+
+// CodecFor returns the built-in Codec for T, mirroring HasherFor's
+// selection: explicit little-endian encodings for integer, float and
+// bool kinds, verbatim bytes for string kinds, and the in-memory byte
+// view for fixed-size pointer-free arrays and structs (native
+// endianness — see internal/keyed.ViewCodec for the caveats). It panics
+// for types holding addresses (pointers, slices, maps, interfaces,
+// ...); supply a custom Codec for those.
+func CodecFor[T any]() Codec[T] { return keyed.CodecFor[T]() }
+
+// Snapshotter is any container that can stream itself into the
+// library's snapshot format — all four typed families satisfy it.
+type Snapshotter[K comparable, V any] interface {
+	Snapshot(w io.Writer, kc Codec[K], vc Codec[V]) error
+}
+
+// Compile-time proof that every typed family is persist-capable.
+var (
+	_ Snapshotter[uint64, uint64] = (*Map[uint64, uint64])(nil)
+	_ Snapshotter[string, uint64] = (*Table[string, uint64])(nil)
+	_ Snapshotter[uint64, uint64] = (*CuckooMap[uint64, uint64])(nil)
+	_ Snapshotter[string, uint64] = (*OpenMap[string, uint64])(nil)
+)
+
+// Save writes a snapshot of c to w using K's and V's built-in codecs
+// (panics for types without one — use SaveWith to supply codecs). For
+// the concurrent Map the snapshot is per-shard consistent and holds
+// each shard's read lock only while that shard's section is encoded;
+// the other families are single-threaded and snapshot their exact
+// state.
+func Save[K comparable, V any](w io.Writer, c Snapshotter[K, V]) error {
+	return SaveWith(w, c, CodecFor[K](), CodecFor[V]())
+}
+
+// SaveWith is Save with explicit codecs.
+func SaveWith[K comparable, V any](w io.Writer, c Snapshotter[K, V], kc Codec[K], vc Codec[V]) error {
+	return c.Snapshot(w, kc, vc)
+}
+
+// Load reads a Map snapshot from r into a fresh map at whatever
+// geometry the options describe — the snapshot's own geometry is
+// irrelevant: records place by re-deriving candidates from their stored
+// digests, the resize-migration path run as a loader. The snapshot's
+// seed overrides WithSeed (digests are functions of it); the hasher
+// must be the one the snapshot was written under (verified against the
+// first record). With growth enabled (the default) any content fits;
+// with WithMaxLoadFactor(0) a snapshot larger than the fixed geometry
+// fails the load.
+//
+// Options consumed: those of NewMap.
+func Load[K comparable, V any](r io.Reader, opts ...Option) (*Map[K, V], error) {
+	return LoadOf[K, V](r, HasherFor[K](), CodecFor[K](), CodecFor[V](), opts...)
+}
+
+// LoadOf is Load with an explicit hasher and codecs.
+func LoadOf[K comparable, V any](r io.Reader, h Hasher[K], kc Codec[K], vc Codec[V], opts ...Option) (*Map[K, V], error) {
+	o := buildOptions(opts)
+	return cmap.LoadKeyed[K, V](r, h, kc, vc, cmap.Config{
+		Shards:          o.shards,
+		BucketsPerShard: o.buckets,
+		SlotsPerBucket:  o.slots,
+		D:               o.d,
+		Seed:            o.seed, // overridden by the snapshot header
+		StashPerShard:   o.stash,
+		MaxLoadFactor:   o.maxLoad,
+		MigrateBatch:    o.migrateBatch,
+	})
+}
+
+// LoadTable reads a Table snapshot into a fresh single-threaded table
+// at the options' geometry (any bucket count; see Load for the seed and
+// hasher rules).
+//
+// Options consumed: those of NewTable.
+func LoadTable[K comparable, V any](r io.Reader, opts ...Option) (*Table[K, V], error) {
+	o := buildOptions(opts)
+	return mchtable.LoadMap[K, V](r, HasherFor[K](), CodecFor[K](), CodecFor[V](), mchtable.Config{
+		Buckets:        o.buckets,
+		SlotsPerBucket: o.slots,
+		D:              o.d,
+		Seed:           o.seed, // overridden by the snapshot header
+		StashSize:      o.stash,
+	})
+}
+
+// LoadCuckooMap reads a CuckooMap snapshot into a fresh map at the
+// options' capacity (see Load for the seed and hasher rules). A
+// snapshot beyond the new capacity's load threshold fails like the
+// equivalent insertions would.
+//
+// Options consumed: those of NewCuckooMap.
+func LoadCuckooMap[K comparable, V any](r io.Reader, opts ...Option) (*CuckooMap[K, V], error) {
+	o := buildOptions(opts)
+	m, err := cuckoo.Load[K, V](r, HasherFor[K](), CodecFor[K](), CodecFor[V](), o.capacity, o.d)
+	if err != nil {
+		return nil, err
+	}
+	if o.maxKicks > 0 {
+		m.SetMaxKicks(o.maxKicks)
+	}
+	return m, nil
+}
+
+// LoadOpenMap reads an OpenMap snapshot into a fresh map at the
+// options' capacity and probe discipline (see Load for the seed and
+// hasher rules).
+//
+// Options consumed: those of NewOpenMap.
+func LoadOpenMap[K comparable, V any](r io.Reader, opts ...Option) (*OpenMap[K, V], error) {
+	o := buildOptions(opts)
+	return openaddr.Load[K, V](r, HasherFor[K](), CodecFor[K](), CodecFor[V](), o.capacity, o.probe)
+}
+
+// Snapshot and WAL file names inside a DurableMap directory.
+const (
+	snapshotFile    = "snapshot"
+	snapshotTmpFile = "snapshot.tmp"
+	walFile         = "wal"
+)
+
+// DurableMap is a crash-recoverable Map: every Put and Delete is
+// appended to a write-ahead log before it is applied, a Checkpoint
+// writes a snapshot and resets the log, and Open recovers by loading
+// the latest snapshot and replaying the log — at whatever geometry the
+// new process chose. With fsync enabled (the default) an acknowledged
+// write survives power loss; a crash loses only writes whose Put/Delete
+// had not returned.
+//
+// All methods are safe for concurrent use. Writes to different keys
+// proceed in parallel (the WAL group-commits concurrent appends into
+// shared fsyncs); writes to the same key are serialized through a
+// stripe lock so the log's order always matches the map's — recovery
+// can never resurrect a superseded value. Checkpoint briefly excludes
+// writers — readers never block.
+type DurableMap[K comparable, V any] struct {
+	mu  sync.RWMutex // writers share it; Checkpoint excludes them
+	m   *Map[K, V]
+	wal *persist.WAL
+	kc  Codec[K]
+	vc  Codec[V]
+	dir string
+	buf sync.Pool // *walScratch: per-append encode buffers
+	// stripes serialize the WAL-append + map-apply pair per key (striped
+	// by the encoded key's hash): without it, two racing writes to the
+	// same key could land in the WAL in one order and in the map in the
+	// other, and recovery would resurrect the superseded value. Writes
+	// to different keys almost always take different stripes and stay
+	// concurrent (the WAL group-commits them into shared fsyncs).
+	stripes [durableStripes]sync.Mutex
+}
+
+// durableStripes is the per-key ordering stripe count (power of two).
+const durableStripes = 256
+
+type walScratch struct{ k, v []byte }
+
+// stripe returns the ordering lock for an encoded key.
+func (s *DurableMap[K, V]) stripe(keyBytes []byte) *sync.Mutex {
+	return &s.stripes[hashes.FNV1a(keyBytes)&(durableStripes-1)]
+}
+
+// Open opens (or creates) the durable map stored in dir: it loads
+// dir/snapshot if present, replays dir/wal over it (truncating any torn
+// tail a crash left), and returns a map ready for durable writes. The
+// geometry options describe the map *this* process wants — recovery
+// places the snapshot's records at the new shape, so a restart is also
+// the moment to resize. Growth must be enabled (it is by default):
+// replay must never hit a capacity rejection.
+//
+// Options consumed: those of NewMap, plus WithWALSync.
+func Open[K comparable, V any](dir string, opts ...Option) (*DurableMap[K, V], error) {
+	return OpenOf[K, V](dir, HasherFor[K](), CodecFor[K](), CodecFor[V](), opts...)
+}
+
+// OpenOf is Open with an explicit hasher and codecs.
+func OpenOf[K comparable, V any](dir string, h Hasher[K], kc Codec[K], vc Codec[V], opts ...Option) (*DurableMap[K, V], error) {
+	o := buildOptions(opts)
+	if o.maxLoad == 0 {
+		return nil, errors.New("repro: Open requires online growth (WithMaxLoadFactor > 0), or WAL replay could hit a capacity rejection")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A snapshot.tmp is a checkpoint a crash interrupted before its
+	// rename — never valid, always safe to discard.
+	os.Remove(filepath.Join(dir, snapshotTmpFile))
+
+	cfg := cmap.Config{
+		Shards:          o.shards,
+		BucketsPerShard: o.buckets,
+		SlotsPerBucket:  o.slots,
+		D:               o.d,
+		Seed:            o.seed,
+		StashPerShard:   o.stash,
+		MaxLoadFactor:   o.maxLoad,
+		MigrateBatch:    o.migrateBatch,
+	}
+	var m *Map[K, V]
+	if f, err := os.Open(filepath.Join(dir, snapshotFile)); err == nil {
+		m, err = cmap.LoadKeyed[K, V](bufio.NewReaderSize(f, 1<<20), h, kc, vc, cfg)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("repro: loading %s: %w", snapshotFile, err)
+		}
+	} else if os.IsNotExist(err) {
+		m = cmap.NewKeyed[K, V](h, cfg)
+	} else {
+		return nil, err
+	}
+
+	wal, _, err := persist.OpenWAL(filepath.Join(dir, walFile), persist.WALOptions{NoSync: o.walNoSync},
+		func(op persist.WALOp, kb, vb []byte) error {
+			key, err := kc.Decode(kb)
+			if err != nil {
+				return err
+			}
+			switch op {
+			case persist.WALPut:
+				val, err := vc.Decode(vb)
+				if err != nil {
+					return err
+				}
+				if !m.Put(key, val) {
+					return errors.New("repro: WAL replay rejected a Put")
+				}
+			case persist.WALDelete:
+				m.Delete(key)
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("repro: recovering %s: %w", walFile, err)
+	}
+	s := &DurableMap[K, V]{m: m, wal: wal, kc: kc, vc: vc, dir: dir}
+	s.buf.New = func() any { return &walScratch{} }
+	return s, nil
+}
+
+// Put durably stores key → val: the write is acknowledged only after
+// its WAL record is on stable storage (group-committed with concurrent
+// writers), then applied to the map.
+func (s *DurableMap[K, V]) Put(key K, val V) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc := s.buf.Get().(*walScratch)
+	sc.k = s.kc.Append(sc.k[:0], key)
+	sc.v = s.vc.Append(sc.v[:0], val)
+	st := s.stripe(sc.k)
+	st.Lock()
+	err := s.wal.Append(persist.WALPut, sc.k, sc.v)
+	var applied bool
+	if err == nil {
+		applied = s.m.Put(key, val)
+	}
+	st.Unlock()
+	s.buf.Put(sc)
+	if err != nil {
+		return err
+	}
+	if !applied {
+		// Unreachable with growth enabled (Open enforces it); surfaced
+		// rather than swallowed in case a future geometry disables it.
+		return errors.New("repro: map rejected a logged Put")
+	}
+	return nil
+}
+
+// Delete durably removes key, reporting whether it was present. The
+// delete is logged (and acknowledged durable) before it is applied;
+// deletes of absent keys are logged too — replay is idempotent.
+func (s *DurableMap[K, V]) Delete(key K) (bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sc := s.buf.Get().(*walScratch)
+	sc.k = s.kc.Append(sc.k[:0], key)
+	st := s.stripe(sc.k)
+	st.Lock()
+	err := s.wal.Append(persist.WALDelete, sc.k, nil)
+	var present bool
+	if err == nil {
+		present = s.m.Delete(key)
+	}
+	st.Unlock()
+	s.buf.Put(sc)
+	if err != nil {
+		return false, err
+	}
+	return present, nil
+}
+
+// Get returns the value stored for key. Reads never touch the WAL and
+// never block on Checkpoint.
+func (s *DurableMap[K, V]) Get(key K) (V, bool) { return s.m.Get(key) }
+
+// Len returns the number of stored pairs.
+func (s *DurableMap[K, V]) Len() int { return s.m.Len() }
+
+// Stats takes the underlying map's occupancy snapshot.
+func (s *DurableMap[K, V]) Stats() ContainerStats { return s.m.Stats() }
+
+// Range iterates the underlying map (per-shard consistent; fn must not
+// call the map back — see Map.Range).
+func (s *DurableMap[K, V]) Range(fn func(key K, val V) bool) { s.m.Range(fn) }
+
+// Map returns the underlying concurrent map for read-side integration.
+// Writing to it directly bypasses the WAL — those writes would not
+// survive a crash.
+func (s *DurableMap[K, V]) Map() *Map[K, V] { return s.m }
+
+// Checkpoint writes a new snapshot (atomically: temp file, fsync,
+// rename) and resets the WAL, bounding recovery time. Writers are
+// excluded for the duration; readers proceed. Crash-safe at every step:
+// before the rename the old snapshot + full WAL recover, after it the
+// new snapshot + (possibly still unreset) WAL recover — replaying a
+// WAL the snapshot already covers is idempotent.
+func (s *DurableMap[K, V]) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp := filepath.Join(s.dir, snapshotTmpFile)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := s.m.Snapshot(bw, s.kc, s.vc); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.wal.Reset()
+}
+
+// Sync forces an fsync of the WAL — useful with WithWALSync(false) to
+// establish a durability point manually.
+func (s *DurableMap[K, V]) Sync() error { return s.wal.Sync() }
+
+// Close fsyncs and closes the WAL. The map remains readable; further
+// durable writes require a fresh Open.
+func (s *DurableMap[K, V]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry
+// is on stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

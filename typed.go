@@ -128,6 +128,7 @@ type options struct {
 	capacity     int
 	maxKicks     int
 	probe        openaddr.Probe
+	walNoSync    bool
 }
 
 // Option configures a typed container constructor.
@@ -197,6 +198,14 @@ func WithMaxKicks(n int) Option { return func(o *options) { o.maxKicks = n } }
 
 // WithProbe sets OpenMap's probe discipline (default ProbeDoubleHash).
 func WithProbe(p ProbeKind) Option { return func(o *options) { o.probe = p } }
+
+// WithWALSync sets whether Open's write-ahead log fsyncs before
+// acknowledging a write (default true: an acknowledged write survives
+// power loss, with concurrent writers group-committed into shared
+// fsyncs). false trades that guarantee for raw throughput — a process
+// crash still loses nothing, but power loss can drop the OS-buffered
+// tail.
+func WithWALSync(on bool) Option { return func(o *options) { o.walNoSync = !on } }
 
 // NewMap returns an empty concurrency-safe sharded map keyed by K's
 // built-in hasher (HasherFor[K]; panics for key types without one — use
