@@ -7,7 +7,15 @@ BENCH_PATTERN ?= .
 BENCH_TIME ?= 1s
 FUZZ_TIME ?= 20s
 
-.PHONY: all build vet test race check bench bench-smoke fuzz-smoke clean
+# The Get-path trajectory benchmarks: single-key Get (serial + parallel,
+# steady and mid-migration), batched GetBatch, and the Put baselines the
+# read path is traded against. BENCH_GET_CPUS exercises reader scaling.
+BENCH_GET_PATTERN ?= CMapGet|MapSerialGet|MapSerialPut|CMapPutParallel
+BENCH_GET_CPUS ?= 1,4,8
+BENCH_GET_TIME ?= 0.5s
+BENCH_GET_JSON ?= BENCH_get.json
+
+.PHONY: all build vet test race check bench bench-json bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -32,6 +40,12 @@ check: build vet test
 # Full benchmark sweep; benchfmt output saved for tracking.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime $(BENCH_TIME) . ./internal/... | tee $(BENCH_OUT)
+
+# Get/Put trajectory benchmarks as machine-readable JSON (the checked-in
+# BENCH_get.json): the cmap read/write hot paths across -cpu values, so
+# the repo carries a perf history PR over PR. CI uploads the artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH_GET_PATTERN)' -benchmem -benchtime $(BENCH_GET_TIME) -cpu $(BENCH_GET_CPUS) ./internal/cmap | $(GO) run ./cmd/benchjson > $(BENCH_GET_JSON)
 
 # Fast smoke pass over the hot-path benchmarks (used by CI).
 bench-smoke:

@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output (Go benchfmt) on
+// stdin into a stable JSON document on stdout, so benchmark numbers can
+// be checked into the repository (BENCH_get.json) and diffed PR over PR
+// without fragile text parsing downstream.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CMapGet' -benchmem ./internal/cmap | go run ./cmd/benchjson
+//
+// Each result line
+//
+//	BenchmarkCMapGetParallel/shards=64/uniform-8   20000000   86.4 ns/op   0 B/op   0 allocs/op
+//
+// becomes one entry carrying the benchmark name, the GOMAXPROCS suffix
+// (the `-cpu` value the run used), iterations, and every recognized
+// per-op metric. Environment header lines (goos/goarch/pkg/cpu) are
+// captured once. Unrecognized lines are ignored, so the tool is safe to
+// feed a whole `make bench` transcript.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`              // full sub-benchmark path, -cpu suffix stripped
+	Procs       int     `json:"procs"`             // GOMAXPROCS the run used (the -N suffix; 1 if absent)
+	Iterations  int64   `json:"iterations"`        // b.N
+	NsPerOp     float64 `json:"ns_per_op"`         // time/op in nanoseconds
+	BytesPerOp  float64 `json:"b_per_op"`          // allocated bytes/op (-benchmem)
+	AllocsPerOp float64 `json:"allocs_per_op"`     // allocations/op (-benchmem)
+	MBPerSec    float64 `json:"mb_per_s,omitempty"` // throughput, when the benchmark reports it
+}
+
+// Doc is the whole converted run.
+type Doc struct {
+	GoOS       string   `json:"goos,omitempty"`
+	GoArch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	doc := Doc{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseResult(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseResult decodes one benchfmt result line: name, iteration count,
+// then (value, unit) pairs.
+func parseResult(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, false
+	}
+	name, procs := splitProcs(f[0])
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "MB/s":
+			r.MBPerSec = v
+		}
+	}
+	return r, true
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix the bench runner
+// appends (for every -cpu value but 1), returning the bare name and N.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n <= 0 {
+		return name, 1
+	}
+	return name[:i], n
+}

@@ -14,8 +14,15 @@
 //	        report Mops/sec per key kind
 //	-keys   size of the key space (smaller = hotter keys, more same-shard
 //	        lock traffic and update-in-place)
-//	-read   fraction of operations that are Gets (reads share a shard's
-//	        RWMutex, so high read fractions scale with GOMAXPROCS)
+//	-read   fraction of operations that are Gets (seq-capable key kinds
+//	        read lock-free under the seqlock protocol, so high read
+//	        fractions scale with GOMAXPROCS and never wait on writers)
+//	-mget   batch Gets through the pipelined GetBatch tier, this many
+//	        keys per call (0 = per-key Gets); amortizes hashing and
+//	        overlaps the probes' cache misses
+//	-preset "read-heavy" = the 95% Get / 5% Put serving mix, with per-op
+//	        latency sampling (p50/p99) on top of Mops/sec — the profile
+//	        where the seqlock read path shows up end-to-end
 //	-grow   max load factor: shards crossing it double online, migrating
 //	        entries in -migrate-batch steps piggybacked on writes
 //	-drain  background goroutine driving migration even when writes idle
@@ -63,6 +70,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -91,6 +99,8 @@ type config struct {
 	workers, ops, keys               int
 	read, del, grow                  float64
 	batch                            int
+	mget                             int
+	latency                          bool
 	bg, verify                       bool
 	seed                             uint64
 	snapPath, restorePath, walPath   string
@@ -120,6 +130,8 @@ func main() {
 		del     = flag.Float64("delete", 0.05, "fraction of ops that are Deletes")
 		grow    = flag.Float64("grow", 0, "max load factor enabling online resize (0 = fixed capacity)")
 		batch   = flag.Int("migrate-batch", 32, "entries migrated per Put/Delete during a resize")
+		mget    = flag.Int("mget", 0, "batch Gets through GetBatch, this many keys per call (0 = per-key Gets)")
+		preset  = flag.String("preset", "", `workload preset: "read-heavy" = 95% Get / 5% Put with p50/p99 latency sampling`)
 		bg      = flag.Bool("drain", false, "run a background migration drainer alongside the workers")
 		verify  = flag.Bool("verify", false, "per-worker shadow maps; fail on any lost/duplicated/corrupted key")
 		seed    = flag.Uint64("seed", 1, "base random seed")
@@ -129,6 +141,26 @@ func main() {
 	)
 	flag.Parse()
 
+	latency := false
+	switch *preset {
+	case "":
+	case "read-heavy":
+		*read, *del = 0.95, 0
+		latency = true
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -preset %q (want read-heavy)\n", *preset)
+		os.Exit(2)
+	}
+	if *mget < 0 {
+		fmt.Fprintln(os.Stderr, "need -mget >= 0")
+		os.Exit(2)
+	}
+	if *mget > 0 && *verify {
+		// The concurrent oracle issues per-key ops; batched lookups are
+		// differentially tested by the testutil OpGetBatch op instead.
+		fmt.Fprintln(os.Stderr, "note: -verify drives per-key ops; -mget ignored")
+		*mget = 0
+	}
 	if *read < 0 || *del < 0 || *read+*del > 1 {
 		fmt.Fprintln(os.Stderr, "need read >= 0, delete >= 0 and read+delete <= 1")
 		os.Exit(2)
@@ -147,6 +179,7 @@ func main() {
 		shards: *shards, buckets: *buckets, slots: *slots, d: *d, stash: *stash,
 		workers: *workers, ops: *ops, keys: *keys,
 		read: *read, del: *del, grow: *grow, batch: *batch,
+		mget: *mget, latency: latency,
 		bg: *bg, verify: *verify, seed: *seed,
 		snapPath: *snap, restorePath: *restore, walPath: *wal,
 	}
@@ -205,6 +238,14 @@ func main() {
 	}
 }
 
+// Latency sampling knobs: every latSampleEvery-th op is timed (cheap
+// enough not to bend the throughput it annotates), capped per worker so
+// a long run cannot grow the sample set without bound.
+const (
+	latSampleEvery = 64
+	latMaxSamples  = 1 << 16
+)
+
 // run drives one workload against a typed map keyed by K, returning the
 // measured Mops/sec. keyOf must be injective (the -verify shadow maps
 // rely on it).
@@ -246,8 +287,12 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 	if cfg.grow > 0 {
 		fmt.Printf("online resize: watermark %.2f, migrate batch %d, background drainer %v\n", cfg.grow, cfg.batch, cfg.bg)
 	}
-	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put), verify %v\n\n",
-		cfg.ops, cfg.workers, cfg.keys, cfg.read*100, cfg.del*100, (1-cfg.read-cfg.del)*100, cfg.verify)
+	mode := ""
+	if cfg.mget > 0 {
+		mode = fmt.Sprintf(", gets batched %d/GetBatch", cfg.mget)
+	}
+	fmt.Printf("workload: %d ops on %d workers over %d keys (%.0f%% get / %.0f%% delete / %.0f%% put)%s, verify %v\n\n",
+		cfg.ops, cfg.workers, cfg.keys, cfg.read*100, cfg.del*100, (1-cfg.read-cfg.del)*100, mode, cfg.verify)
 
 	// Optional background drainer: migration progresses even when the
 	// write mix is too read-heavy to piggyback it quickly. Pointless (and
@@ -268,6 +313,16 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 			}
 		}()
 	}
+
+	// Batched-lookup surface: the raw map or the WAL interposer, both of
+	// which forward GetBatch to cmap's pipelined tier.
+	getBatcher, hasBatch := any(target).(interface {
+		GetBatch(keys []K, vals []uint64, found []bool) int
+	})
+	if cfg.mget > 0 && !hasBatch {
+		fatalf("-mget: target container has no GetBatch")
+	}
+	var allLats []time.Duration
 
 	var rejectedCount atomic.Int64
 	perWorker := cfg.ops / cfg.workers
@@ -301,6 +356,7 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 		// its Mops/sec as indicative, not as the contention benchmark.
 		elapsedOverride = res.WorkDuration
 	} else {
+		lats := make([][]time.Duration, cfg.workers)
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.workers; w++ {
 			wg.Add(1)
@@ -308,22 +364,73 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 				defer wg.Done()
 				src := rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15))
 				keySpace := uint64(cfg.keys)
+				// Batched-get state: Gets accumulate here and flush through
+				// one GetBatch call per cfg.mget keys.
+				var batch []K
+				var bvals []uint64
+				var bfound []bool
+				if cfg.mget > 0 {
+					batch = make([]K, 0, cfg.mget)
+					bvals = make([]uint64, cfg.mget)
+					bfound = make([]bool, cfg.mget)
+				}
+				flush := func() {
+					if len(batch) == 0 {
+						return
+					}
+					sample := cfg.latency && len(lats[w]) < latMaxSamples
+					var t0 time.Time
+					if sample {
+						t0 = time.Now()
+					}
+					getBatcher.GetBatch(batch, bvals[:len(batch)], bfound[:len(batch)])
+					if sample {
+						// One sample per flush: the batch's per-key latency.
+						lats[w] = append(lats[w], time.Since(t0)/time.Duration(len(batch)))
+					}
+					batch = batch[:0]
+				}
 				for i := 0; i < perWorker; i++ {
 					k := keyOf(1 + src.Uint64()%keySpace)
+					sample := cfg.latency && i%latSampleEvery == 0 && len(lats[w]) < latMaxSamples
+					var t0 time.Time
 					switch p := rng.Float64(src); {
 					case p < cfg.read:
+						if cfg.mget > 0 {
+							batch = append(batch, k)
+							if len(batch) == cfg.mget {
+								flush()
+							}
+							continue
+						}
+						if sample {
+							t0 = time.Now()
+						}
 						target.Get(k)
 					case p < cfg.read+cfg.del:
+						if sample {
+							t0 = time.Now()
+						}
 						target.Delete(k)
 					default:
+						if sample {
+							t0 = time.Now()
+						}
 						if !target.Put(k, uint64(i)) {
 							rejectedCount.Add(1)
 						}
 					}
+					if sample {
+						lats[w] = append(lats[w], time.Since(t0))
+					}
 				}
+				flush()
 			}(w)
 		}
 		wg.Wait()
+		for _, l := range lats {
+			allLats = append(allLats, l...)
+		}
 	}
 	elapsed := time.Since(start)
 	if elapsedOverride > 0 {
@@ -336,6 +443,16 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 	mops := float64(done) / elapsed.Seconds() / 1e6
 	fmt.Printf("%d ops in %v  →  %.2f Mops/sec (GOMAXPROCS=%d)\n",
 		done, elapsed.Round(time.Millisecond), mops, runtime.GOMAXPROCS(0))
+	if cfg.latency && len(allLats) > 0 {
+		sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
+		p50 := allLats[len(allLats)/2]
+		p99 := allLats[len(allLats)*99/100]
+		note := ""
+		if cfg.mget > 0 {
+			note = fmt.Sprintf(" (batched gets: per-key share of a %d-key GetBatch)", cfg.mget)
+		}
+		fmt.Printf("per-op latency: p50 %v, p99 %v over %d samples%s\n", p50, p99, len(allLats), note)
+	}
 	if r := rejectedCount.Load(); r > 0 {
 		fmt.Printf("rejected puts (all candidates + stash full): %d\n", r)
 	}
@@ -542,7 +659,13 @@ func (w *walMap[K]) Delete(key K) bool {
 	return w.m.Delete(key)
 }
 
-func (w *walMap[K]) Get(key K) (uint64, bool)      { return w.m.Get(key) }
+func (w *walMap[K]) Get(key K) (uint64, bool) { return w.m.Get(key) }
+
+// GetBatch forwards to the map's pipelined batch tier — reads are not
+// logged, so the interposer adds nothing.
+func (w *walMap[K]) GetBatch(keys []K, vals []uint64, found []bool) int {
+	return w.m.GetBatch(keys, vals, found)
+}
 func (w *walMap[K]) Len() int                      { return w.m.Len() }
 func (w *walMap[K]) Range(fn func(K, uint64) bool) { w.m.Range(fn) }
 

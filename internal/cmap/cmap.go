@@ -16,6 +16,29 @@
 // analysis), so stash overflow can be provisioned from the paper's tables
 // exactly as in the single-threaded table.
 //
+// # Seqlock reads
+//
+// For seq-capable key/value types (pointer-free, size a multiple of 4
+// bytes — mchtable.SeqCapable; uint64s, fixed arrays, packet 5-tuple
+// structs), Get and GetBatch never take the shard lock on their fast
+// path. Each shard carries a sequence counter that writers bump to odd
+// on entering a mutation and back to even on leaving; a reader snapshots
+// the counter, probes the shard's published bucket views and stash with
+// atomic word reads (both geometries mid-resize, old first), and accepts
+// the result only if the counter is still the same even value — anything
+// else means a writer overlapped the probe and the value may be torn, so
+// the reader retries, falling back to the read lock after a few spins so
+// readers never starve under write churn. Readers therefore wait on no
+// lock, block no writer, and cost writers two uncontended atomic
+// increments; see internal/mchtable's seq-mode notes for why both sides
+// use word-granular atomics (Go's memory model, unlike a C seqlock's,
+// does not forgive torn plain reads even when discarded).
+//
+// Pointerful types (string keys, slice values, ...) keep the classic
+// read-lock path: raw word stores would bypass the garbage collector's
+// write barriers, so those types are never published to lock-free
+// readers.
+//
 // # Online incremental resize
 //
 // With MaxLoadFactor set, a shard whose occupancy crosses the watermark
@@ -32,21 +55,23 @@
 // in the new geometry, moving a still-old-resident key across as a free
 // migration step. Shards resize independently: one shard's migration
 // never blocks another shard's traffic, and a Get never performs
-// migration work (reads take the shard's read lock and migrate nothing —
-// though, as with any write, a read can wait behind an in-flight batch
-// step, bounded by MigrateBatch).
+// migration work — a seqlock Get proceeds in parallel with an in-flight
+// batch step and retries only if the step overlaps its probe, while a
+// fallback (locked) read can wait behind one, bounded by MigrateBatch.
 //
 // The keyed hash evaluation always happens outside the shard lock. With
 // resize enabled, the cheap geometry-dependent candidate expansion moves
-// under the lock, because a doubling may change the shard's bucket count
-// at any write; with resize disabled the geometry is immutable and the
-// expansion stays outside the lock too (the original hot path).
+// under the lock on the write path, because a doubling may change the
+// shard's bucket count at any write; seqlock readers instead validate
+// that their deriver and bucket view describe the same geometry and
+// retry on mismatch, keeping the whole read path lock-free.
 package cmap
 
 import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/container"
 	"repro/internal/hashes"
@@ -57,6 +82,13 @@ import (
 // maxD bounds the candidate count so per-call candidate sets fit in a
 // stack array (no allocation, no shared scratch).
 const maxD = 16
+
+// seqSpins is how many torn-read retries an optimistic reader attempts
+// before falling back to the shard's read lock. Retries are only caused
+// by writer overlap on the same shard, so a couple of spins almost
+// always suffice; the fallback bounds reader latency under pathological
+// write churn instead of spinning forever.
+const seqSpins = 8
 
 // Config declares a sharded map.
 type Config struct {
@@ -78,21 +110,40 @@ type Config struct {
 	MigrateBatch int
 }
 
-// shard is one lockable placement core plus its geometry. The deriver
-// pair is part of the locked state: deriver matches the core's current
-// bucket count, nextDeriver the doubled geometry while a resize is in
-// flight. The trailing pad keeps adjacent shards' mutexes off one cache
-// line, so uncontended shards do not false-share.
+// shard is one lockable placement core plus its geometry. seq is the
+// seqlock generation counter: odd exactly while a mutation is in flight
+// (see lock/unlock), read by the lock-free Get path. The derivers are
+// atomic pointers because lock-free readers chase them while a promotion
+// swaps them; deriver matches the core's current bucket count,
+// nextDeriver the doubled geometry while a resize is in flight. The
+// trailing pad keeps adjacent shards' hot words off one cache line, so
+// uncontended shards do not false-share.
 type shard[K comparable, V any] struct {
 	mu          sync.RWMutex
-	core        *mchtable.Core[K, V]
-	deriver     *hashes.Deriver
-	nextDeriver *hashes.Deriver
+	seq         atomic.Uint64
+	core        *mchtable.Core[K, V] // set once at construction; the pointer itself never changes
+	deriver     atomic.Pointer[hashes.Deriver]
+	nextDeriver atomic.Pointer[hashes.Deriver]
 	candsOf     func(tag uint64) []uint32 // current-geometry drain derivation
 	newCandsOf  func(tag uint64) []uint32 // new-geometry drain/migrate derivation
 	scratch     []uint32                  // candsOf target; guarded by mu (write side)
 	newScratch  []uint32                  // newCandsOf target; guarded by mu (write side)
 	_           [64]byte
+}
+
+// lock enters a shard mutation: writer exclusion plus the seqlock
+// generation bump to odd that makes concurrent optimistic readers
+// discard anything they read while the mutation runs.
+func (sh *shard[K, V]) lock() {
+	sh.mu.Lock()
+	sh.seq.Add(1)
+}
+
+// unlock leaves a shard mutation, bumping the generation back to even
+// (and past every reader snapshot taken before the mutation).
+func (sh *shard[K, V]) unlock() {
+	sh.seq.Add(1)
+	sh.mu.Unlock()
 }
 
 // Map is the sharded multiple-choice hash map from K keys to V values.
@@ -105,7 +156,9 @@ type Map[K comparable, V any] struct {
 	hash         keyed.Hasher[K]
 	maxLoad      float64
 	migrateBatch int
+	seqRead      bool // lock-free Get path enabled (K and V are SeqCapable)
 	shards       []shard[K, V]
+	mgetPool     sync.Pool // *mgetScratch[K, V], reused across GetBatch calls
 }
 
 // New returns an empty uint64 → uint64 map hashed with the canonical
@@ -158,21 +211,25 @@ func NewKeyed[K comparable, V any](h keyed.Hasher[K], cfg Config) *Map[K, V] {
 		hash:         h,
 		maxLoad:      cfg.MaxLoadFactor,
 		migrateBatch: cfg.MigrateBatch,
+		seqRead:      mchtable.SeqCapable[K]() && mchtable.SeqCapable[V](),
 		shards:       make([]shard[K, V], shards),
 	}
 	deriver := hashes.NewDeriver(cfg.BucketsPerShard) // shared until a shard resizes
 	for i := range m.shards {
 		sh := &m.shards[i]
 		sh.core = mchtable.NewCore[K, V](cfg.BucketsPerShard, cfg.SlotsPerBucket, cfg.StashPerShard)
-		sh.deriver = deriver
+		if m.seqRead {
+			sh.core.EnableSeq()
+		}
+		sh.deriver.Store(deriver)
 		sh.scratch = make([]uint32, cfg.D)
 		sh.newScratch = make([]uint32, cfg.D)
 		sh.candsOf = func(tag uint64) []uint32 {
-			sh.deriver.CandidateBins(tag, sh.scratch)
+			sh.deriver.Load().CandidateBins(tag, sh.scratch)
 			return sh.scratch
 		}
 		sh.newCandsOf = func(tag uint64) []uint32 {
-			sh.nextDeriver.CandidateBins(tag, sh.newScratch)
+			sh.nextDeriver.Load().CandidateBins(tag, sh.newScratch)
 			return sh.newScratch
 		}
 	}
@@ -201,7 +258,7 @@ func (m *Map[K, V]) routeDigest(digest uint64) (*shard[K, V], uint64) {
 // startResizeLocked begins doubling sh. Caller holds sh.mu.
 func (m *Map[K, V]) startResizeLocked(sh *shard[K, V]) {
 	newBuckets := 2 * sh.core.Buckets()
-	sh.nextDeriver = hashes.NewDeriver(newBuckets)
+	sh.nextDeriver.Store(hashes.NewDeriver(newBuckets))
 	sh.core.StartResize(newBuckets)
 }
 
@@ -229,8 +286,8 @@ func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 	}
 	moved := sh.core.Migrate(n, sh.newCandsOf)
 	if !sh.core.Resizing() { // promoted: the doubled geometry is current
-		sh.deriver = sh.nextDeriver
-		sh.nextDeriver = nil
+		sh.deriver.Store(sh.nextDeriver.Load())
+		sh.nextDeriver.Store(nil)
 	}
 	return moved
 }
@@ -260,18 +317,18 @@ func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 	if m.maxLoad == 0 {
 		// Fixed geometry: the shared deriver is immutable, so candidate
 		// expansion stays outside the lock (the pre-resize hot path).
-		sh.deriver.CandidateBins(tag, oldCands)
-		sh.mu.Lock()
+		sh.deriver.Load().CandidateBins(tag, oldCands)
+		sh.lock()
 		ok := sh.core.Put(oldCands, key, val, tag)
-		sh.mu.Unlock()
+		sh.unlock()
 		return ok
 	}
-	sh.mu.Lock()
-	sh.deriver.CandidateBins(tag, oldCands)
+	sh.lock()
+	sh.deriver.Load().CandidateBins(tag, oldCands)
 	var ok bool
 	if sh.core.Resizing() {
 		newCands := newBuf[:m.d]
-		sh.nextDeriver.CandidateBins(tag, newCands)
+		sh.nextDeriver.Load().CandidateBins(tag, newCands)
 		ok = sh.core.PutDual(oldCands, newCands, key, val, tag)
 	} else {
 		ok = sh.core.Put(oldCands, key, val, tag)
@@ -281,38 +338,95 @@ func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 			m.startResizeLocked(sh)
 			if !ok {
 				newCands := newBuf[:m.d]
-				sh.nextDeriver.CandidateBins(tag, newCands)
+				sh.nextDeriver.Load().CandidateBins(tag, newCands)
 				ok = sh.core.PutDual(oldCands, newCands, key, val, tag)
 			}
 		}
 	}
 	m.migrateLocked(sh, m.migrateBatch)
-	sh.mu.Unlock()
+	sh.unlock()
 	return ok
 }
 
-// Get returns the value stored for key. Concurrent readers of one shard
-// proceed in parallel (read lock), and a Get never migrates — reads stay
-// cliff-free while a resize is in flight, at the cost of probing both
-// geometries (old first, so no key is ever unreachable mid-migration).
+// Get returns the value stored for key. For seq-capable K/V the read is
+// optimistic and lock-free: it probes the shard's published bucket views
+// (both geometries mid-resize, old first) with atomic word reads and
+// validates the shard's seqlock generation around the probe, retrying on
+// writer overlap and falling back to the read lock after seqSpins torn
+// attempts. Readers therefore never block writers and never wait on a
+// lock on the fast path. For pointerful K/V, Get takes the shard's read
+// lock as before; either way a Get never migrates.
 func (m *Map[K, V]) Get(key K) (V, bool) {
-	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.route(key)
+	if m.seqRead {
+		if v, ok, done := m.seqGet(sh, tag, key); done {
+			return v, ok
+		}
+	}
+	return m.lockedGet(sh, tag, key)
+}
+
+// seqGet is the optimistic lock-free read: snapshot the generation,
+// probe wait-free, accept only if the generation never moved. done=false
+// after seqSpins torn attempts sends the caller to the mutex fallback.
+func (m *Map[K, V]) seqGet(sh *shard[K, V], tag uint64, key K) (val V, ok, done bool) {
+	var buf, nbuf [maxD]uint32
+	for spin := 0; spin < seqSpins; spin++ {
+		s := sh.seq.Load()
+		if s&1 != 0 {
+			continue // a mutation is in flight right now
+		}
+		core := sh.core
+		v := core.View()
+		der := sh.deriver.Load()
+		if der.N() != v.Buckets() {
+			continue // deriver and view from different geometries: retry
+		}
+		cands := buf[:m.d]
+		der.CandidateBins(tag, cands)
+		val, ok = core.SeqGet(v, cands, key)
+		if !ok {
+			// Old geometry missed; mid-resize the pair may already have
+			// migrated, so chase the next core exactly like GetDual.
+			if next := core.Next(); next != nil {
+				nder := sh.nextDeriver.Load()
+				nv := next.View()
+				if nder == nil || nder.N() != nv.Buckets() {
+					continue
+				}
+				ncands := nbuf[:m.d]
+				nder.CandidateBins(tag, ncands)
+				val, ok = next.SeqGet(nv, ncands, key)
+			}
+		}
+		if sh.seq.Load() == s {
+			return val, ok, true
+		}
+	}
+	var zero V
+	return zero, false, false
+}
+
+// lockedGet is the classic read-locked Get — the only read path for
+// pointerful K/V, and the fallback when seqGet keeps colliding with
+// writers.
+func (m *Map[K, V]) lockedGet(sh *shard[K, V], tag uint64, key K) (V, bool) {
+	var oldBuf, newBuf [maxD]uint32
 	oldCands := oldBuf[:m.d]
 	if m.maxLoad == 0 {
-		sh.deriver.CandidateBins(tag, oldCands) // immutable geometry: no lock needed
+		sh.deriver.Load().CandidateBins(tag, oldCands) // immutable geometry: no lock needed
 		sh.mu.RLock()
 		v, ok := sh.core.Get(oldCands, key)
 		sh.mu.RUnlock()
 		return v, ok
 	}
 	sh.mu.RLock()
-	sh.deriver.CandidateBins(tag, oldCands)
+	sh.deriver.Load().CandidateBins(tag, oldCands)
 	var v V
 	var ok bool
 	if sh.core.Resizing() {
 		newCands := newBuf[:m.d]
-		sh.nextDeriver.CandidateBins(tag, newCands)
+		sh.nextDeriver.Load().CandidateBins(tag, newCands)
 		v, ok = sh.core.GetDual(oldCands, newCands, key)
 	} else {
 		v, ok = sh.core.Get(oldCands, key)
@@ -330,24 +444,24 @@ func (m *Map[K, V]) Delete(key K) bool {
 	sh, tag := m.route(key)
 	oldCands := oldBuf[:m.d]
 	if m.maxLoad == 0 {
-		sh.deriver.CandidateBins(tag, oldCands) // immutable geometry: no lock needed
-		sh.mu.Lock()
+		sh.deriver.Load().CandidateBins(tag, oldCands) // immutable geometry: no lock needed
+		sh.lock()
 		ok := sh.core.Delete(oldCands, key, sh.candsOf)
-		sh.mu.Unlock()
+		sh.unlock()
 		return ok
 	}
-	sh.mu.Lock()
-	sh.deriver.CandidateBins(tag, oldCands)
+	sh.lock()
+	sh.deriver.Load().CandidateBins(tag, oldCands)
 	var ok bool
 	if sh.core.Resizing() {
 		newCands := newBuf[:m.d]
-		sh.nextDeriver.CandidateBins(tag, newCands)
+		sh.nextDeriver.Load().CandidateBins(tag, newCands)
 		ok = sh.core.DeleteDual(oldCands, newCands, key, sh.newCandsOf)
 	} else {
 		ok = sh.core.Delete(oldCands, key, sh.candsOf)
 	}
 	m.migrateLocked(sh, m.migrateBatch)
-	sh.mu.Unlock()
+	sh.unlock()
 	return ok
 }
 
@@ -365,18 +479,15 @@ func (m *Map[K, V]) MigrateStep(n int) int {
 	total := 0
 	for i := range m.shards {
 		sh := &m.shards[i]
-		// Peek under the read lock so idle shards cost readers nothing; a
-		// resize finishing between the two locks just makes migrateLocked
+		// Peek with an atomic load so idle shards cost nothing; a resize
+		// finishing between the peek and the lock just makes migrateLocked
 		// a no-op.
-		sh.mu.RLock()
-		resizing := sh.core.Resizing()
-		sh.mu.RUnlock()
-		if !resizing {
+		if !sh.core.Resizing() {
 			continue
 		}
-		sh.mu.Lock()
+		sh.lock()
 		total += m.migrateLocked(sh, n)
-		sh.mu.Unlock()
+		sh.unlock()
 	}
 	return total
 }
@@ -387,18 +498,42 @@ func (m *Map[K, V]) Shards() int { return len(m.shards) }
 // D returns the number of candidate buckets per key.
 func (m *Map[K, V]) D() int { return m.d }
 
-// Len returns the number of stored pairs (including stashed ones). The
-// count is a per-shard-consistent snapshot: shards are read one at a time,
-// so concurrent writers may move the total while it accumulates.
+// Len returns the number of stored pairs (including stashed ones). Each
+// shard's count is captured under the seqlock protocol (a validated
+// lock-free read, falling back to the read lock under write churn or for
+// pointerful K/V), so per-shard counts are exact while the cross-shard
+// total remains per-shard-consistent: concurrent writers may move the
+// total while it accumulates.
 func (m *Map[K, V]) Len() int {
 	total := 0
 	for i := range m.shards {
 		sh := &m.shards[i]
+		if m.seqRead {
+			if n, ok := m.seqShardLen(sh); ok {
+				total += n
+				continue
+			}
+		}
 		sh.mu.RLock()
 		total += sh.core.Len()
 		sh.mu.RUnlock()
 	}
 	return total
+}
+
+// seqShardLen reads one shard's pair count under seqlock validation.
+func (m *Map[K, V]) seqShardLen(sh *shard[K, V]) (int, bool) {
+	for spin := 0; spin < seqSpins; spin++ {
+		s := sh.seq.Load()
+		if s&1 != 0 {
+			continue
+		}
+		n := sh.core.Len() // atomic size loads across both geometries
+		if sh.seq.Load() == s {
+			return n, true
+		}
+	}
+	return 0, false
 }
 
 // Stats is the common occupancy/overflow snapshot aggregated across
@@ -408,31 +543,105 @@ func (m *Map[K, V]) Len() int {
 // container family in the library reports through one type.
 type Stats = container.Stats
 
-// Stats gathers the snapshot. Each shard is read under its lock in turn,
-// so per-shard figures are exact while the cross-shard aggregate is only
-// as atomic as a lock-per-shard design allows.
+// Stats gathers the snapshot. Each shard's figures — length, capacity,
+// stash depth, resize progress and its bucket-load histogram — are
+// captured under the seqlock protocol: a validated lock-free read of
+// that shard at one instant, even mid-migration (the read-lock fallback
+// covers write churn and pointerful K/V, and is every bit as
+// consistent). The aggregate is therefore per-shard-consistent: each
+// shard's numbers are internally coherent, while shards are snapshotted
+// one after another, so concurrent writers may shift the cross-shard
+// totals as they accumulate — the inherent limit of a lock-per-shard
+// design, now with torn *within-shard* views (the old sequential-RLock
+// reader could see one geometry's buckets but not yet its stash)
+// engineered away.
 func (m *Map[K, V]) Stats() Stats {
 	st := Stats{Shards: len(m.shards)}
+	var snap shardSnap
 	for i := range m.shards {
 		sh := &m.shards[i]
-		sh.mu.RLock()
-		n := sh.core.Len()
-		st.Len += n
-		st.Capacity += sh.core.Capacity()
-		st.Stashed += sh.core.StashLen()
-		st.Resizes += sh.core.Resizes()
-		st.Migrating += sh.core.Pending()
-		sh.core.AddBucketLoads(&st.BucketLoads)
-		sh.mu.RUnlock()
-		if i == 0 || n < st.MinShardLen {
-			st.MinShardLen = n
+		m.shardStats(sh, &snap)
+		st.Len += snap.len
+		st.Capacity += snap.capacity
+		st.Stashed += snap.stashed
+		st.Resizes += snap.resizes
+		st.Migrating += snap.migrating
+		for load, buckets := range snap.loads {
+			st.BucketLoads.AddN(load, buckets)
 		}
-		if n > st.MaxShardLen {
-			st.MaxShardLen = n
+		if i == 0 || snap.len < st.MinShardLen {
+			st.MinShardLen = snap.len
+		}
+		if snap.len > st.MaxShardLen {
+			st.MaxShardLen = snap.len
 		}
 	}
 	if st.Capacity > 0 {
 		st.Occupancy = float64(st.Len) / float64(st.Capacity)
 	}
 	return st
+}
+
+// shardSnap is one shard's consistent Stats contribution; loads[l] holds
+// the number of buckets (across both geometries mid-resize) with l
+// occupied slots. The buffer is reused across shards.
+type shardSnap struct {
+	len, capacity, stashed, resizes, migrating int
+	loads                                      []int64
+}
+
+// shardStats captures one shard's snapshot into snap, preferring the
+// validated seqlock read and falling back to the read lock.
+func (m *Map[K, V]) shardStats(sh *shard[K, V], snap *shardSnap) {
+	if m.seqRead {
+		for spin := 0; spin < seqSpins; spin++ {
+			s := sh.seq.Load()
+			if s&1 != 0 {
+				continue
+			}
+			core := sh.core
+			v := core.View()
+			snap.reset(v.Slots())
+			snap.len = core.Len()
+			snap.stashed = core.StashLen()
+			snap.resizes = core.Resizes()
+			snap.migrating = core.Pending()
+			snap.capacity = v.Buckets() * v.Slots()
+			v.AddLoads(snap.loads)
+			if next := core.Next(); next != nil {
+				nv := next.View()
+				snap.capacity += nv.Buckets() * nv.Slots()
+				nv.AddLoads(snap.loads)
+			}
+			if sh.seq.Load() == s {
+				return
+			}
+		}
+	}
+	sh.mu.RLock()
+	snap.reset(sh.core.SlotsPerBucket())
+	snap.len = sh.core.Len()
+	snap.capacity = sh.core.Capacity()
+	snap.stashed = sh.core.StashLen()
+	snap.resizes = sh.core.Resizes()
+	snap.migrating = sh.core.Pending()
+	var h container.Stats
+	sh.core.AddBucketLoads(&h.BucketLoads)
+	for load := 0; load <= h.BucketLoads.MaxValue() && load < len(snap.loads); load++ {
+		snap.loads[load] += h.BucketLoads.Count(load)
+	}
+	sh.mu.RUnlock()
+}
+
+// reset clears the snapshot for a geometry with the given slots per
+// bucket (loads needs slots+1 entries: loads 0..slots).
+func (s *shardSnap) reset(slots int) {
+	s.len, s.capacity, s.stashed, s.resizes, s.migrating = 0, 0, 0, 0, 0
+	if cap(s.loads) < slots+1 {
+		s.loads = make([]int64, slots+1)
+	}
+	s.loads = s.loads[:slots+1]
+	for i := range s.loads {
+		s.loads[i] = 0
+	}
 }

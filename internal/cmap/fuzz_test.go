@@ -10,10 +10,12 @@ import (
 
 // fuzzSeeds builds corpus seeds shaped like the op sequences that found
 // real bugs: a saturating put run (stash overflow / watermark crossing), a
-// put-delete-get cycle (drain and dual-table hand-off), and a hot-key
-// update storm (in-place updates racing migration).
+// put-delete-get cycle (drain and dual-table hand-off), a hot-key
+// update storm (in-place updates racing migration), and a
+// put/delete/batch-lookup mix (the phased GetBatch tier probing resident,
+// deleted and never-inserted keys mid-migration).
 func fuzzSeeds(keySpace uint64) [][]byte {
-	var fill, cycle, hot []testutil.Op[uint64, uint64]
+	var fill, cycle, hot, batch []testutil.Op[uint64, uint64]
 	for k := uint64(1); k <= 200; k++ {
 		fill = append(fill, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: k % 256})
 	}
@@ -32,10 +34,22 @@ func fuzzSeeds(keySpace uint64) [][]byte {
 	for i := 0; i < 300; i++ {
 		hot = append(hot, testutil.Op[uint64, uint64]{Kind: testutil.OpKind(i % 3), Key: 1 + uint64(i%8), Val: uint64(i % 256)})
 	}
+	for k := uint64(1); k <= 150; k++ {
+		batch = append(batch, testutil.Op[uint64, uint64]{Kind: testutil.OpPut, Key: k, Val: k % 256})
+		if k%3 == 0 {
+			batch = append(batch, testutil.Op[uint64, uint64]{Kind: testutil.OpDelete, Key: k / 3})
+		}
+		if k%5 == 0 {
+			// Batches the recent window: live keys, just-deleted keys, and
+			// (early on) keys never inserted — often with a resize in flight.
+			batch = append(batch, testutil.Op[uint64, uint64]{Kind: testutil.OpGetBatch, Key: k + 200})
+		}
+	}
 	return [][]byte{
 		testutil.EncodeOps(fill, keySpace),
 		testutil.EncodeOps(cycle, keySpace),
 		testutil.EncodeOps(hot, keySpace),
+		testutil.EncodeOps(batch, keySpace),
 	}
 }
 

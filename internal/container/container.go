@@ -33,8 +33,15 @@ type Stats struct {
 // Put stores key → val, updating in place if key is resident, and
 // reports whether the pair is stored; false means a capacity rejection
 // with the container unchanged (a resident key must always be updatable
-// in place). Get returns the stored value. Delete removes key,
-// reporting whether it was present. Len counts stored pairs. Range
+// in place). Get returns the stored value. GetBatch resolves a whole
+// key slice — vals[i], found[i] answer keys[i], and the return value is
+// the number found; vals and found must each hold at least len(keys)
+// entries. Batching is a performance contract, not a semantic one:
+// GetBatch(keys) observes exactly what per-key Gets would (for the
+// concurrent map, each key is individually consistent rather than the
+// batch being one atomic snapshot), but implementations may amortize
+// hashing, dispatch and memory latency across the batch. Delete removes
+// key, reporting whether it was present. Len counts stored pairs. Range
 // calls fn for every stored pair until fn returns false, visiting each
 // resident key exactly once; fn must not mutate the container (for the
 // sharded concurrent map the view is per-shard consistent, and fn runs
@@ -42,12 +49,34 @@ type Stats struct {
 //
 // Every keyed operation costs exactly one keyed hash evaluation of key —
 // the paper's one-hash discipline is part of the contract, not an
-// implementation detail (Range re-hashes nothing at all).
+// implementation detail (GetBatch spends one evaluation per key; Range
+// re-hashes nothing at all).
 type Container[K comparable, V any] interface {
 	Put(key K, val V) bool
 	Get(key K) (V, bool)
+	GetBatch(keys []K, vals []V, found []bool) int
 	Delete(key K) bool
 	Len() int
 	Range(fn func(key K, val V) bool)
 	Stats() Stats
+}
+
+// GetBatchSerial implements the GetBatch contract with one Get per key —
+// the adapter for table families without a batched probe path (cuckoo,
+// open addressing), so the Container interface stays uniform while only
+// the multiple-choice cores carry real batch machinery. It panics if
+// vals or found cannot hold len(keys) results, matching the batched
+// implementations.
+func GetBatchSerial[K comparable, V any](get func(K) (V, bool), keys []K, vals []V, found []bool) int {
+	if len(vals) < len(keys) || len(found) < len(keys) {
+		panic("container: GetBatchSerial result slices do not cover the key batch")
+	}
+	n := 0
+	for i, k := range keys {
+		vals[i], found[i] = get(k)
+		if found[i] {
+			n++
+		}
+	}
+	return n
 }

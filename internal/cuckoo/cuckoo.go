@@ -10,6 +10,7 @@ package cuckoo
 import (
 	"fmt"
 
+	"repro/internal/container"
 	"repro/internal/engine"
 	"repro/internal/hashes"
 	"repro/internal/rng"
@@ -179,6 +180,12 @@ func (t *Table) Get(key uint64) (uint64, bool) {
 		return t.vals[s], true
 	}
 	return 0, false
+}
+
+// GetBatch resolves keys[i] → (vals[i], found[i]) with per-key probes
+// (see Map.GetBatch).
+func (t *Table) GetBatch(keys []uint64, vals []uint64, found []bool) int {
+	return container.GetBatchSerial(t.Get, keys, vals, found)
 }
 
 // Delete removes key, reporting whether it was present.

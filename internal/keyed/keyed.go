@@ -204,3 +204,19 @@ func ForType[K comparable]() Hasher[K] {
 		panic(fmt.Sprintf("keyed: no built-in hasher for %v (kind %v); supply a custom Hasher[%v]", t, t.Kind(), t))
 	}
 }
+
+// DigestBatch evaluates h once per key — the contract's one keyed hash
+// evaluation each — filling dst[i] with keys[i]'s digest. dst must hold
+// at least len(keys) entries. Hoisting a whole batch's digests into one
+// tight loop is the first phase of the batched lookup path
+// (cmap.Map.GetBatch): with every digest in hand, shard routing,
+// candidate derivation and bucket prefetching can each run as their own
+// phase over the batch instead of interleaving with probes key by key.
+func DigestBatch[K comparable](h Hasher[K], key hashes.SipKey, keys []K, dst []uint64) {
+	if len(dst) < len(keys) {
+		panic("keyed: DigestBatch dst does not cover keys")
+	}
+	for i, k := range keys {
+		dst[i] = h(key, k)
+	}
+}

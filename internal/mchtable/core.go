@@ -2,6 +2,7 @@ package mchtable
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/stats"
@@ -13,6 +14,16 @@ type stashEntry[K comparable, V any] struct {
 	key K
 	val V
 	tag uint64
+}
+
+// stashBlock is the stash storage cell: a fixed backing array plus the
+// atomic live count. The arr slice header is immutable once the block is
+// published through Core.stash — growth builds a bigger block off to the
+// side and swaps the pointer — so seq-mode readers can walk arr[:n]
+// without a header tear, and n never exceeds len(arr) of the same block.
+type stashBlock[K comparable, V any] struct {
+	n   atomic.Int32
+	arr []stashEntry[K, V]
 }
 
 // Core is the bucket/stash placement engine of the multiple-choice hash
@@ -39,31 +50,48 @@ type stashEntry[K comparable, V any] struct {
 // old side empties, the new Core is promoted in place — the *Core pointer
 // held by callers keeps working across the hand-off.
 //
-// The stash is an insertion-ordered slice rather than a map so that drain
-// and migration order — and therefore placement — is fully deterministic
-// for a fixed op sequence.
+// The stash is insertion-ordered so that drain and migration order — and
+// therefore placement — is fully deterministic for a fixed op sequence.
 //
-// A Core is not safe for concurrent use; internal/cmap wraps each of its
-// shards' cores in a lock.
+// Mutating a Core still requires external exclusion (internal/cmap wraps
+// each shard's core in a lock). What changed for the seqlock read path is
+// the *read* side: with EnableSeq, every reader-visible word is written
+// with sync/atomic stores, a SeqView of the bucket arrays is published
+// through an atomic pointer, and SeqGet can probe concurrently with a
+// writer — no lock, no fault — as long as the caller validates a seqlock
+// generation counter around the probe (see internal/cmap).
 type Core[K comparable, V any] struct {
 	buckets        int
 	slotsPerBucket int
 	stashCap       int
 	keys           []K
 	vals           []V
-	tags           []uint64
-	used           []bool
-	counts         []uint16 // occupied slots per bucket
-	stash          []stashEntry[K, V]
-	size           int
+	tags           []uint64 // writer-only: seq readers never consult tags
+	used           []uint32 // 1 = occupied; word-sized so seq-mode stores are atomic
+	counts         []uint32 // occupied slots per bucket
+	stash          atomic.Pointer[stashBlock[K, V]]
+	size           atomic.Int64
+
+	// seqMode routes every mutation of reader-visible words (slot
+	// payloads, used flags, counts, stash entries) through sync/atomic
+	// stores so lock-free seqlock readers are data-race-free. It is only
+	// enabled for pointer-free K/V whose size tiles into 32-bit words
+	// (SeqCapable); pointerful types keep plain stores — and their
+	// readers keep the mutex — because raw word stores would bypass the
+	// garbage collector's write barriers.
+	seqMode bool
+	// view is the published read snapshot of this geometry's bucket
+	// arrays. Its slice headers are immutable once stored; only NewCore
+	// and promotion publish a new one.
+	view atomic.Pointer[SeqView[K, V]]
 
 	// Resize state. next is the doubled-geometry table entries migrate
 	// into; nil when no resize is in flight. Buckets [0, cursor) of the
-	// old geometry have been drained by Migrate. Resizes counts completed
+	// old geometry have been drained by Migrate. resizes counts completed
 	// promotions (it survives promotion).
-	next    *Core[K, V]
+	next    atomic.Pointer[Core[K, V]]
 	cursor  int
-	resizes int
+	resizes atomic.Int64
 }
 
 // NewCore returns an empty placement core. It panics on invalid shape.
@@ -78,16 +106,38 @@ func NewCore[K comparable, V any](buckets, slotsPerBucket, stashCap int) *Core[K
 		panic(fmt.Sprintf("mchtable: StashSize = %d", stashCap))
 	}
 	total := buckets * slotsPerBucket
-	return &Core[K, V]{
+	c := &Core[K, V]{
 		buckets:        buckets,
 		slotsPerBucket: slotsPerBucket,
 		stashCap:       stashCap,
 		keys:           make([]K, total),
 		vals:           make([]V, total),
 		tags:           make([]uint64, total),
-		used:           make([]bool, total),
-		counts:         make([]uint16, buckets),
+		used:           make([]uint32, total),
+		counts:         make([]uint32, buckets),
 	}
+	c.stash.Store(&stashBlock[K, V]{})
+	c.view.Store(&SeqView[K, V]{
+		buckets: buckets,
+		slots:   slotsPerBucket,
+		keys:    c.keys,
+		vals:    c.vals,
+		used:    c.used,
+		counts:  c.counts,
+	})
+	return c
+}
+
+// EnableSeq switches the core into seq mode: every subsequent mutation of
+// reader-visible words goes through sync/atomic stores, making SeqGet
+// safe to run with no lock held. It must be called before the first
+// concurrent reader exists (internal/cmap calls it at construction) and
+// panics if K or V is not SeqCapable.
+func (c *Core[K, V]) EnableSeq() {
+	if !SeqCapable[K]() || !SeqCapable[V]() {
+		panic("mchtable: EnableSeq requires pointer-free, word-tiling key and value types")
+	}
+	c.seqMode = true
 }
 
 // Buckets returns the number of buckets in the current (old) geometry.
@@ -106,27 +156,73 @@ func (c *Core[K, V]) slot(b, s int) int { return b*c.slotsPerBucket + s }
 func (c *Core[K, V]) findInBucket(key K, b int) int {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
-		if c.used[idx] && c.keys[idx] == key {
+		if c.used[idx] != 0 && c.keys[idx] == key {
 			return idx
 		}
 	}
 	return -1
 }
 
+// stashLive returns the live stash entries for writer-side iteration
+// (plain reads; the caller holds the writer's exclusion).
+func (c *Core[K, V]) stashLive() []stashEntry[K, V] {
+	blk := c.stash.Load()
+	return blk.arr[:blk.n.Load()]
+}
+
 // stashFind returns the stash index of key, or -1.
 func (c *Core[K, V]) stashFind(key K) int {
-	for i := range c.stash {
-		if c.stash[i].key == key {
+	for i, e := range c.stashLive() {
+		if e.key == key {
 			return i
 		}
 	}
 	return -1
 }
 
+// stashAppend adds e to the stash, growing the backing block by
+// replacement (build bigger, copy, publish) so the published block's
+// array header never mutates under a seq reader.
+func (c *Core[K, V]) stashAppend(e stashEntry[K, V]) {
+	blk := c.stash.Load()
+	n := int(blk.n.Load())
+	if n == len(blk.arr) {
+		grown := &stashBlock[K, V]{arr: make([]stashEntry[K, V], max(8, 2*len(blk.arr)))}
+		copy(grown.arr, blk.arr[:n])
+		grown.arr[n] = e
+		grown.n.Store(int32(n + 1))
+		c.stash.Store(grown)
+		return
+	}
+	c.setStashEntry(&blk.arr[n], e)
+	blk.n.Store(int32(n + 1))
+}
+
 // stashRemove deletes stash entry i, preserving the order of the rest so
 // drains stay insertion-ordered (and deterministic).
 func (c *Core[K, V]) stashRemove(i int) {
-	c.stash = append(c.stash[:i], c.stash[i+1:]...)
+	blk := c.stash.Load()
+	n := int(blk.n.Load())
+	for j := i; j < n-1; j++ {
+		c.setStashEntry(&blk.arr[j], blk.arr[j+1])
+	}
+	blk.n.Store(int32(n - 1))
+	if !c.seqMode {
+		blk.arr[n-1] = stashEntry[K, V]{} // release pointers held by the dead entry
+	}
+}
+
+// stashPopBack removes and returns the newest stash entry (Migrate's
+// deterministic O(1) drain order).
+func (c *Core[K, V]) stashPopBack() stashEntry[K, V] {
+	blk := c.stash.Load()
+	n := int(blk.n.Load())
+	e := blk.arr[n-1]
+	blk.n.Store(int32(n - 1))
+	if !c.seqMode {
+		blk.arr[n-1] = stashEntry[K, V]{}
+	}
+	return e
 }
 
 // storeInBucket places the pair in a free slot of bucket b, which the
@@ -134,12 +230,16 @@ func (c *Core[K, V]) stashRemove(i int) {
 func (c *Core[K, V]) storeInBucket(b int, key K, val V, tag uint64) {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
-		if !c.used[idx] {
-			c.used[idx] = true
-			c.keys[idx] = key
-			c.vals[idx] = val
+		if c.used[idx] == 0 {
+			// Payload before the used flag: a concurrent seq reader that
+			// observes used=1 then reads a half-written pair still retries
+			// (its generation check fails), but ordering this way keeps
+			// such windows rare.
+			c.setKey(&c.keys[idx], key)
+			c.setVal(&c.vals[idx], val)
 			c.tags[idx] = tag
-			c.counts[b]++
+			c.setUsed(idx, 1)
+			c.setCount(b, c.counts[b]+1)
 			return
 		}
 	}
@@ -165,12 +265,12 @@ func (c *Core[K, V]) put(cands []uint32, key K, val V, tag uint64, capped bool) 
 	// Update in place, wherever the key already lives.
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
-			c.vals[idx] = val
+			c.setVal(&c.vals[idx], val)
 			return true
 		}
 	}
 	if i := c.stashFind(key); i >= 0 {
-		c.stash[i].val = val
+		c.setVal(&c.stash.Load().arr[i].val, val)
 		return true
 	}
 	// Place in the least-loaded candidate bucket, ties to the first —
@@ -178,13 +278,13 @@ func (c *Core[K, V]) put(cands []uint32, key K, val V, tag uint64, capped bool) 
 	// selection.
 	if best, count := engine.LeastLoadedFirst(c.counts, cands); int(count) < c.slotsPerBucket {
 		c.storeInBucket(int(best), key, val, tag)
-		c.size++
+		c.size.Add(1)
 		return true
 	}
 	// All candidates full: stash.
-	if !capped || len(c.stash) < c.stashCap {
-		c.stash = append(c.stash, stashEntry[K, V]{key: key, val: val, tag: tag})
-		c.size++
+	if !capped || int(c.stash.Load().n.Load()) < c.stashCap {
+		c.stashAppend(stashEntry[K, V]{key: key, val: val, tag: tag})
+		c.size.Add(1)
 		return true
 	}
 	return false
@@ -199,10 +299,38 @@ func (c *Core[K, V]) Get(cands []uint32, key K) (V, bool) {
 		}
 	}
 	if i := c.stashFind(key); i >= 0 {
-		return c.stash[i].val, true
+		return c.stash.Load().arr[i].val, true
 	}
 	var zero V
 	return zero, false
+}
+
+// GetBatch resolves keys[i] → (vals[i], found[i]) against the current
+// geometry, given each key's candidate buckets in cands[i*d:(i+1)*d]: a
+// prefetch pass touches every candidate bucket's cache lines first, so
+// the batch's random memory accesses overlap instead of serializing
+// probe-by-probe, then each key resolves with the ordinary probe
+// (buckets, then stash). It returns the number found. Like Get, GetBatch
+// addresses the current geometry only; the resize-aware concurrent
+// batch loop lives in internal/cmap.
+func (c *Core[K, V]) GetBatch(cands []uint32, d int, keys []K, vals []V, found []bool) int {
+	if d <= 0 || len(cands) < len(keys)*d || len(vals) < len(keys) || len(found) < len(keys) {
+		panic("mchtable: GetBatch slice shapes do not cover the key batch")
+	}
+	v := c.view.Load()
+	var sum uint32
+	for i := range keys {
+		sum += v.Prefetch(cands[i*d : (i+1)*d])
+	}
+	keepAlive32(sum)
+	n := 0
+	for i := range keys {
+		vals[i], found[i] = c.Get(cands[i*d:(i+1)*d], keys[i])
+		if found[i] {
+			n++
+		}
+	}
+	return n
 }
 
 // Delete removes key, reporting whether it was present. Freeing a bucket
@@ -222,37 +350,40 @@ func (c *Core[K, V]) Delete(cands []uint32, key K, candsOf func(tag uint64) []ui
 	}
 	if i := c.stashFind(key); i >= 0 {
 		c.stashRemove(i)
-		c.size--
+		c.size.Add(-1)
 		return true
 	}
 	return false
 }
 
-// clearSlot frees flat slot idx of bucket b, zeroing the stored pair so
-// no dead key or value (which may hold pointers for generic V) stays
-// reachable.
+// clearSlot frees flat slot idx of bucket b. Outside seq mode the stored
+// pair is zeroed so no dead key or value (which may hold pointers for
+// generic V) stays reachable; in seq mode the types are pointer-free —
+// nothing is pinned — and plain zeroing would race with lock-free
+// readers, so the dead payload just stays behind the cleared used flag.
 func (c *Core[K, V]) clearSlot(idx, b int) {
-	var zeroK K
-	var zeroV V
-	c.used[idx] = false
-	c.keys[idx] = zeroK
-	c.vals[idx] = zeroV
-	c.counts[b]--
-	c.size--
+	c.setUsed(idx, 0)
+	if !c.seqMode {
+		var zeroK K
+		var zeroV V
+		c.keys[idx] = zeroK
+		c.vals[idx] = zeroV
+	}
+	c.setCount(b, c.counts[b]-1)
+	c.size.Add(-1)
 }
 
 // drainStashInto moves the first stashed entry (insertion order) whose
 // candidate set covers bucket b into b, if b has a free slot.
 func (c *Core[K, V]) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
-	if len(c.stash) == 0 || int(c.counts[b]) >= c.slotsPerBucket {
+	if int(c.counts[b]) >= c.slotsPerBucket {
 		return
 	}
-	for i := range c.stash {
-		for _, cb := range candsOf(c.stash[i].tag) {
+	for i, e := range c.stashLive() {
+		for _, cb := range candsOf(e.tag) {
 			if int(cb) != b {
 				continue
 			}
-			e := c.stash[i]
 			c.storeInBucket(b, e.key, e.val, e.tag)
 			c.stashRemove(i)
 			return
@@ -266,30 +397,36 @@ func (c *Core[K, V]) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
 // or the shape is invalid. Until the resize completes, all operations must
 // go through the *Dual variants with candidates for both geometries.
 func (c *Core[K, V]) StartResize(newBuckets int) {
-	if c.next != nil {
+	if c.next.Load() != nil {
 		panic("mchtable: StartResize during an in-flight resize")
 	}
 	if newBuckets <= 0 || newBuckets == c.buckets {
 		panic(fmt.Sprintf("mchtable: resize %d -> %d buckets", c.buckets, newBuckets))
 	}
-	c.next = NewCore[K, V](newBuckets, c.slotsPerBucket, c.stashCap)
+	next := NewCore[K, V](newBuckets, c.slotsPerBucket, c.stashCap)
+	next.seqMode = c.seqMode
 	c.cursor = 0
+	c.next.Store(next)
 }
 
 // Resizing reports whether a resize is in flight.
-func (c *Core[K, V]) Resizing() bool { return c.next != nil }
+func (c *Core[K, V]) Resizing() bool { return c.next.Load() != nil }
+
+// Next returns the in-flight resize target core, or nil. The load is
+// atomic, so lock-free readers can chase the pointer mid-migration.
+func (c *Core[K, V]) Next() *Core[K, V] { return c.next.Load() }
 
 // Pending returns the number of entries still stored in the old geometry
 // of an in-flight resize (0 when not resizing) — the migration backlog.
 func (c *Core[K, V]) Pending() int {
-	if c.next == nil {
+	if c.next.Load() == nil {
 		return 0
 	}
-	return c.size
+	return int(c.size.Load())
 }
 
 // Resizes returns the number of completed resizes.
-func (c *Core[K, V]) Resizes() int { return c.resizes }
+func (c *Core[K, V]) Resizes() int { return int(c.resizes.Load()) }
 
 // Migrate performs up to n units of migration work — moving an entry
 // from the old geometry into the new one, or sweeping past an empty old
@@ -312,12 +449,13 @@ func (c *Core[K, V]) Resizes() int { return c.resizes }
 // When the old geometry empties, the new Core is promoted in place and
 // Resizing becomes false; the receiver pointer remains valid throughout.
 func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
-	if c.next == nil {
+	next := c.next.Load()
+	if next == nil {
 		return 0
 	}
-	capped := c.next.buckets < c.buckets // only shrinks may stall
+	capped := next.buckets < c.buckets // only shrinks may stall
 	work := 0
-	for work < n && c.size > 0 {
+	for work < n && c.size.Load() > 0 {
 		if c.cursor < c.buckets {
 			b := c.cursor
 			if c.counts[b] == 0 {
@@ -327,12 +465,12 @@ func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 			}
 			idx := -1
 			for s := 0; s < c.slotsPerBucket; s++ {
-				if i := c.slot(b, s); c.used[i] {
+				if i := c.slot(b, s); c.used[i] != 0 {
 					idx = i
 					break
 				}
 			}
-			if !c.next.put(candsOf(c.tags[idx]), c.keys[idx], c.vals[idx], c.tags[idx], capped) {
+			if !next.put(candsOf(c.tags[idx]), c.keys[idx], c.vals[idx], c.tags[idx], capped) {
 				return work
 			}
 			c.clearSlot(idx, b)
@@ -343,15 +481,16 @@ func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 		// and O(1) per entry, where consuming the front would memmove the
 		// remainder every step (quadratic on the oversized stashes a
 		// saturated growth migration builds).
-		e := c.stash[len(c.stash)-1]
-		if !c.next.put(candsOf(e.tag), e.key, e.val, e.tag, capped) {
+		live := c.stashLive()
+		e := live[len(live)-1]
+		if !next.put(candsOf(e.tag), e.key, e.val, e.tag, capped) {
 			return work
 		}
-		c.stash = c.stash[:len(c.stash)-1]
-		c.size--
+		c.stashPopBack()
+		c.size.Add(-1)
 		work++
 	}
-	if c.size == 0 {
+	if c.size.Load() == 0 {
 		c.promote()
 	}
 	return work
@@ -359,10 +498,21 @@ func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 
 // promote replaces the receiver's contents with the fully migrated
 // new-geometry Core, ending the resize. Callers' *Core pointers survive.
+// The adoption is field by field: the atomic fields must not be
+// struct-copied, reader-visible state (view, stash, size) switches
+// through its atomic cells, and slotsPerBucket/stashCap are invariant
+// across a resize, so callers may read them without any lock.
 func (c *Core[K, V]) promote() {
-	next := c.next
-	next.resizes = c.resizes + 1
-	*c = *next
+	next := c.next.Load()
+	c.buckets = next.buckets
+	c.keys, c.vals, c.tags = next.keys, next.vals, next.tags
+	c.used, c.counts = next.used, next.counts
+	c.cursor = 0
+	c.size.Store(next.size.Load())
+	c.stash.Store(next.stash.Load())
+	c.view.Store(next.view.Load())
+	c.resizes.Add(1)
+	c.next.Store(nil)
 }
 
 // GetDual is Get while a resize is in flight: the old geometry (oldCands)
@@ -372,8 +522,8 @@ func (c *Core[K, V]) GetDual(oldCands, newCands []uint32, key K) (V, bool) {
 	if v, ok := c.Get(oldCands, key); ok {
 		return v, true
 	}
-	if c.next != nil {
-		return c.next.Get(newCands, key)
+	if next := c.next.Load(); next != nil {
+		return next.Get(newCands, key)
 	}
 	var zero V
 	return zero, false
@@ -387,29 +537,30 @@ func (c *Core[K, V]) GetDual(oldCands, newCands []uint32, key K) (V, bool) {
 // old geometry and a new key is rejected. It panics without a resize in
 // flight.
 func (c *Core[K, V]) PutDual(oldCands, newCands []uint32, key K, val V, tag uint64) bool {
-	if c.next == nil {
+	next := c.next.Load()
+	if next == nil {
 		panic("mchtable: PutDual without a resize in flight")
 	}
 	for _, b := range oldCands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
-			if c.next.Put(newCands, key, val, tag) {
+			if next.Put(newCands, key, val, tag) {
 				c.clearSlot(idx, int(b))
 				return true
 			}
-			c.vals[idx] = val
+			c.setVal(&c.vals[idx], val)
 			return true
 		}
 	}
 	if i := c.stashFind(key); i >= 0 {
-		if c.next.Put(newCands, key, val, tag) {
+		if next.Put(newCands, key, val, tag) {
 			c.stashRemove(i)
-			c.size--
+			c.size.Add(-1)
 			return true
 		}
-		c.stash[i].val = val
+		c.setVal(&c.stash.Load().arr[i].val, val)
 		return true
 	}
-	return c.next.Put(newCands, key, val, tag)
+	return next.Put(newCands, key, val, tag)
 }
 
 // DeleteDual is Delete while a resize is in flight: the key is removed
@@ -418,7 +569,8 @@ func (c *Core[K, V]) PutDual(oldCands, newCands []uint32, key K, val V, tag uint
 // while new-geometry deletions drain the new stash through newCandsOf. It
 // panics without a resize in flight.
 func (c *Core[K, V]) DeleteDual(oldCands, newCands []uint32, key K, newCandsOf func(tag uint64) []uint32) bool {
-	if c.next == nil {
+	next := c.next.Load()
+	if next == nil {
 		panic("mchtable: DeleteDual without a resize in flight")
 	}
 	for _, b := range oldCands {
@@ -429,28 +581,31 @@ func (c *Core[K, V]) DeleteDual(oldCands, newCands []uint32, key K, newCandsOf f
 	}
 	if i := c.stashFind(key); i >= 0 {
 		c.stashRemove(i)
-		c.size--
+		c.size.Add(-1)
 		return true
 	}
-	return c.next.Delete(newCands, key, newCandsOf)
+	return next.Delete(newCands, key, newCandsOf)
 }
 
 // Len returns the number of stored pairs (including stashed ones and, mid-
-// resize, pairs already migrated to the new geometry).
+// resize, pairs already migrated to the new geometry). Every word it
+// reads is atomic, so seqlock readers can call it with no lock held; the
+// combined figure is only point-in-time consistent when the caller's
+// generation check validates (or the caller holds a lock).
 func (c *Core[K, V]) Len() int {
-	n := c.size
-	if c.next != nil {
-		n += c.next.size
+	n := int(c.size.Load())
+	if next := c.next.Load(); next != nil {
+		n += int(next.size.Load())
 	}
 	return n
 }
 
 // StashLen returns the number of stashed pairs — the overflow count —
-// across both geometries mid-resize.
+// across both geometries mid-resize. Like Len it reads only atomic words.
 func (c *Core[K, V]) StashLen() int {
-	n := len(c.stash)
-	if c.next != nil {
-		n += len(c.next.stash)
+	n := int(c.stash.Load().n.Load())
+	if next := c.next.Load(); next != nil {
+		n += int(next.stash.Load().n.Load())
 	}
 	return n
 }
@@ -459,8 +614,8 @@ func (c *Core[K, V]) StashLen() int {
 // resize is in flight both geometries' slots exist, and both count.
 func (c *Core[K, V]) Capacity() int {
 	n := c.buckets * c.slotsPerBucket
-	if c.next != nil {
-		n += c.next.buckets * c.next.slotsPerBucket
+	if next := c.next.Load(); next != nil {
+		n += next.buckets * next.slotsPerBucket
 	}
 	return n
 }
@@ -479,21 +634,21 @@ func (c *Core[K, V]) Occupancy() float64 {
 // one geometry — which is what makes Range the snapshot iterator: a
 // persisted section is just Range's (key, val, tag) stream.
 //
-// fn must not mutate the core.
+// fn must not mutate the core. Range reads plainly, so the caller must
+// exclude writers (internal/cmap holds the shard lock).
 func (c *Core[K, V]) Range(fn func(key K, val V, tag uint64) bool) bool {
 	for idx, used := range c.used {
-		if used && !fn(c.keys[idx], c.vals[idx], c.tags[idx]) {
+		if used != 0 && !fn(c.keys[idx], c.vals[idx], c.tags[idx]) {
 			return false
 		}
 	}
-	for i := range c.stash {
-		e := &c.stash[i]
+	for _, e := range c.stashLive() {
 		if !fn(e.key, e.val, e.tag) {
 			return false
 		}
 	}
-	if c.next != nil {
-		return c.next.Range(fn)
+	if next := c.next.Load(); next != nil {
+		return next.Range(fn)
 	}
 	return true
 }
@@ -501,12 +656,12 @@ func (c *Core[K, V]) Range(fn func(key K, val V, tag uint64) bool) bool {
 // AddBucketLoads folds the per-bucket occupancy counts into h — the
 // quantity the paper's load tables predict. internal/cmap aggregates its
 // shards' histograms through this. Mid-resize, both geometries' buckets
-// contribute.
+// contribute. Like Range, it reads plainly under the caller's exclusion.
 func (c *Core[K, V]) AddBucketLoads(h *stats.Hist) {
 	for _, n := range c.counts {
 		h.Add(int(n))
 	}
-	if c.next != nil {
-		c.next.AddBucketLoads(h)
+	if next := c.next.Load(); next != nil {
+		next.AddBucketLoads(h)
 	}
 }

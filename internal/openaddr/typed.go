@@ -101,6 +101,13 @@ func (m *Map[K, V]) Get(key K) (V, bool) {
 	return zero, false
 }
 
+// GetBatch resolves keys[i] → (vals[i], found[i]) with per-key probes —
+// a probe sequence has no batched path; the method exists so OpenMap
+// keeps satisfying the shared Container contract.
+func (m *Map[K, V]) GetBatch(keys []K, vals []V, found []bool) int {
+	return container.GetBatchSerial(m.Get, keys, vals, found)
+}
+
 // Delete removes key, reporting whether it was present.
 func (m *Map[K, V]) Delete(key K) bool {
 	keySlot, _, _ := m.t.locate(m.digest(key))

@@ -32,6 +32,20 @@ type Container[K comparable, V any] interface {
 	Range(fn func(key K, val V) bool)
 }
 
+// batchContainer is the optional batched-lookup surface OpGetBatch
+// exercises when the container under test provides it (as every
+// container.Container now does). Kept structural and optional so the
+// harness still drives batch ops — degraded to per-key Gets — against
+// containers without one.
+type batchContainer[K comparable, V any] interface {
+	GetBatch(keys []K, vals []V, found []bool) int
+}
+
+// recentWindow is how many recently touched keys an OpGetBatch gathers
+// into its batch (plus the op's own key). Sized past cmap's internal
+// pipelining chunk so a single op crosses a chunk boundary.
+const recentWindow = 96
+
 // Options adapt the harness to a container's semantics.
 type Options struct {
 	// TrackValues compares Get results against the oracle's stored
@@ -58,6 +72,15 @@ const (
 	// and compares the visited set against the oracle exactly: every
 	// pair present, none phantom, none visited twice.
 	OpRange
+	// OpGetBatch resolves the op's key together with a window of
+	// recently touched keys (residents, deleted keys, and never-inserted
+	// ones alike) through the container's batched lookup path — GetBatch
+	// when the container has one, per-key Gets otherwise — and compares
+	// every per-key result and the returned hit count against the
+	// oracle. This is what pins cmap's phased seqlock MGet tier to the
+	// same semantics as Get, including mid-migration (a Finalize-less
+	// sequence leaves resizes in flight for later batch ops to probe).
+	OpGetBatch
 	numOpKinds
 )
 
@@ -72,6 +95,8 @@ func (k OpKind) String() string {
 		return "Delete"
 	case OpRange:
 		return "Range"
+	case OpGetBatch:
+		return "GetBatch"
 	default:
 		return fmt.Sprintf("OpKind(%d)", uint8(k))
 	}
@@ -105,6 +130,11 @@ func RunSeeded[K comparable, V comparable](c Container[K, V], preload map[K]V, o
 	for k, v := range preload {
 		oracle[k] = v
 	}
+	// recent is the sliding window of keys prior ops touched — the
+	// deterministic population OpGetBatch draws its batches from. It
+	// deliberately retains deleted and never-inserted keys: batches must
+	// report those absent, not merely resolve residents.
+	var recent []K
 	for i, op := range ops {
 		want, resident := oracle[op.Key]
 		switch op.Kind {
@@ -141,11 +171,20 @@ func RunSeeded[K comparable, V comparable](c Container[K, V], preload map[K]V, o
 			if err := checkRange(c, oracle, opt, i); err != nil {
 				return err
 			}
+		case OpGetBatch:
+			keys := append([]K{op.Key}, recent...)
+			if err := checkGetBatch(c, keys, oracle, opt, i); err != nil {
+				return err
+			}
 		default:
 			return fmt.Errorf("op %d: unknown kind %v", i, op.Kind)
 		}
 		if got := c.Len(); got != len(oracle) {
 			return fmt.Errorf("op %d (%v %v): Len = %d, oracle holds %d keys", i, op.Kind, op.Key, got, len(oracle))
+		}
+		recent = append(recent, op.Key)
+		if len(recent) > recentWindow {
+			recent = recent[len(recent)-recentWindow:]
 		}
 	}
 	if opt.Finalize != nil {
@@ -195,6 +234,43 @@ func checkRange[K comparable, V comparable](c Container[K, V], oracle map[K]V, o
 	}
 	if len(seen) != len(oracle) {
 		return fmt.Errorf("op %d: Range visited %d keys, oracle holds %d", i, len(seen), len(oracle))
+	}
+	return nil
+}
+
+// checkGetBatch resolves keys through the container's batched lookup
+// path (per-key Gets when it has none) and compares every slot — and the
+// reported hit count — against the oracle. Batches may carry duplicate
+// and absent keys; each slot must independently match a plain Get.
+func checkGetBatch[K comparable, V comparable](c Container[K, V], keys []K, oracle map[K]V, opt Options, i int) error {
+	bc, ok := c.(batchContainer[K, V])
+	if !ok {
+		for _, k := range keys {
+			want, resident := oracle[k]
+			if err := checkGet(c, k, want, resident, opt, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	vals := make([]V, len(keys))
+	found := make([]bool, len(keys))
+	hits := bc.GetBatch(keys, vals, found)
+	wantHits := 0
+	for j, k := range keys {
+		want, resident := oracle[k]
+		if resident {
+			wantHits++
+		}
+		if found[j] != resident {
+			return fmt.Errorf("op %d: GetBatch key %d (%v) found=%v, oracle %v", i, j, k, found[j], resident)
+		}
+		if resident && opt.TrackValues && vals[j] != want {
+			return fmt.Errorf("op %d: GetBatch key %d (%v) = %v, oracle %v", i, j, k, vals[j], want)
+		}
+	}
+	if hits != wantHits {
+		return fmt.Errorf("op %d: GetBatch returned %d hits over %d keys, oracle %d", i, hits, len(keys), wantHits)
 	}
 	return nil
 }
