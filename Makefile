@@ -15,7 +15,7 @@ BENCH_GET_CPUS ?= 1,4,8
 BENCH_GET_TIME ?= 0.5s
 BENCH_GET_JSON ?= BENCH_get.json
 
-.PHONY: all build vet test race check bench bench-json bench-smoke fuzz-smoke clean
+.PHONY: all build vet lint test race check bench bench-json bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -24,6 +24,22 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static invariant gate: gofmt, then the five reprolint analyzers
+# (seqatomic, noalloc, unsafeview, digestflow, lockheld — see
+# ANNOTATIONS.md) over every package including cmd/ and examples/,
+# driven through `go vet -vettool` so runs are cached per package like
+# any other vet check. staticcheck runs when installed; CI installs a
+# pinned version, offline dev boxes may not have it and skip with a
+# note rather than failing the gate.
+REPROLINT_BIN ?= $(CURDIR)/bin/reprolint
+
+lint:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
+	$(GO) build -o $(REPROLINT_BIN) ./cmd/reprolint
+	$(GO) vet -vettool=$(REPROLINT_BIN) ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipped (CI runs a pinned version)"; fi
 
 test:
 	$(GO) test ./...
@@ -35,7 +51,7 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet test
+check: build vet lint test
 
 # Full benchmark sweep; benchfmt output saved for tracking.
 bench:
@@ -64,3 +80,4 @@ fuzz-smoke:
 
 clean:
 	rm -f $(BENCH_OUT)
+	rm -rf bin

@@ -29,12 +29,12 @@ import (
 
 // Result is one benchmark measurement.
 type Result struct {
-	Name        string  `json:"name"`              // full sub-benchmark path, -cpu suffix stripped
-	Procs       int     `json:"procs"`             // GOMAXPROCS the run used (the -N suffix; 1 if absent)
-	Iterations  int64   `json:"iterations"`        // b.N
-	NsPerOp     float64 `json:"ns_per_op"`         // time/op in nanoseconds
-	BytesPerOp  float64 `json:"b_per_op"`          // allocated bytes/op (-benchmem)
-	AllocsPerOp float64 `json:"allocs_per_op"`     // allocations/op (-benchmem)
+	Name        string  `json:"name"`               // full sub-benchmark path, -cpu suffix stripped
+	Procs       int     `json:"procs"`              // GOMAXPROCS the run used (the -N suffix; 1 if absent)
+	Iterations  int64   `json:"iterations"`         // b.N
+	NsPerOp     float64 `json:"ns_per_op"`          // time/op in nanoseconds
+	BytesPerOp  float64 `json:"b_per_op"`           // allocated bytes/op (-benchmem)
+	AllocsPerOp float64 `json:"allocs_per_op"`      // allocations/op (-benchmem)
 	MBPerSec    float64 `json:"mb_per_s,omitempty"` // throughput, when the benchmark reports it
 }
 

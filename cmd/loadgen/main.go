@@ -359,73 +359,26 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 		lats := make([][]time.Duration, cfg.workers)
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.workers; w++ {
+			ws := &workerState[K]{
+				cfg: cfg, target: target, keyOf: keyOf,
+				src:      rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15)),
+				rejected: &rejectedCount, ops: perWorker,
+			}
+			if cfg.mget > 0 {
+				ws.getBatch = getBatcher.GetBatch
+				ws.batch = make([]K, 0, cfg.mget)
+				ws.bvals = make([]uint64, cfg.mget)
+				ws.bfound = make([]bool, cfg.mget)
+			}
+			if cfg.latency {
+				ws.lats = make([]time.Duration, 0, latMaxSamples)
+			}
 			wg.Add(1)
-			go func(w int) {
+			go func() {
 				defer wg.Done()
-				src := rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15))
-				keySpace := uint64(cfg.keys)
-				// Batched-get state: Gets accumulate here and flush through
-				// one GetBatch call per cfg.mget keys.
-				var batch []K
-				var bvals []uint64
-				var bfound []bool
-				if cfg.mget > 0 {
-					batch = make([]K, 0, cfg.mget)
-					bvals = make([]uint64, cfg.mget)
-					bfound = make([]bool, cfg.mget)
-				}
-				flush := func() {
-					if len(batch) == 0 {
-						return
-					}
-					sample := cfg.latency && len(lats[w]) < latMaxSamples
-					var t0 time.Time
-					if sample {
-						t0 = time.Now()
-					}
-					getBatcher.GetBatch(batch, bvals[:len(batch)], bfound[:len(batch)])
-					if sample {
-						// One sample per flush: the batch's per-key latency.
-						lats[w] = append(lats[w], time.Since(t0)/time.Duration(len(batch)))
-					}
-					batch = batch[:0]
-				}
-				for i := 0; i < perWorker; i++ {
-					k := keyOf(1 + src.Uint64()%keySpace)
-					sample := cfg.latency && i%latSampleEvery == 0 && len(lats[w]) < latMaxSamples
-					var t0 time.Time
-					switch p := rng.Float64(src); {
-					case p < cfg.read:
-						if cfg.mget > 0 {
-							batch = append(batch, k)
-							if len(batch) == cfg.mget {
-								flush()
-							}
-							continue
-						}
-						if sample {
-							t0 = time.Now()
-						}
-						target.Get(k)
-					case p < cfg.read+cfg.del:
-						if sample {
-							t0 = time.Now()
-						}
-						target.Delete(k)
-					default:
-						if sample {
-							t0 = time.Now()
-						}
-						if !target.Put(k, uint64(i)) {
-							rejectedCount.Add(1)
-						}
-					}
-					if sample {
-						lats[w] = append(lats[w], time.Since(t0))
-					}
-				}
-				flush()
-			}(w)
+				ws.run()
+				lats[w] = ws.lats
+			}()
 		}
 		wg.Wait()
 		for _, l := range lats {
@@ -497,6 +450,91 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 		writeSnapshot(cfg, m, h, kc)
 	}
 	return mops
+}
+
+// workerState is one worker's share of the sampling loop, hoisted out of
+// the goroutine closure so the hot loop is a named method the noalloc
+// analyzer can hold to zero allocations. Every slice the loop appends
+// into (the Get batch, its result arrays, the latency samples) is
+// allocated here, once, before the first op.
+type workerState[K comparable] struct {
+	cfg      config
+	target   testutil.Container[K, uint64]
+	getBatch func(keys []K, vals []uint64, found []bool) int
+	keyOf    func(uint64) K
+	src      rng.Source
+	rejected *atomic.Int64
+	ops      int
+
+	batch  []K      // accumulating Get batch (cfg.mget > 0)
+	bvals  []uint64 // GetBatch result scratch
+	bfound []bool   // GetBatch result scratch
+	lats   []time.Duration
+}
+
+// run is the hot sampling loop: ops operations of the configured
+// Get/Delete/Put mix, every latSampleEvery-th one timed. This loop is
+// what the reported Mops/sec measures, so it must not allocate — any
+// allocation here would be benchmarked as map throughput.
+//
+//repro:noalloc
+func (ws *workerState[K]) run() {
+	keySpace := uint64(ws.cfg.keys)
+	for i := 0; i < ws.ops; i++ {
+		k := ws.keyOf(1 + ws.src.Uint64()%keySpace)
+		sample := ws.cfg.latency && i%latSampleEvery == 0 && len(ws.lats) < latMaxSamples
+		var t0 time.Time
+		switch p := rng.Float64(ws.src); {
+		case p < ws.cfg.read:
+			if ws.cfg.mget > 0 {
+				ws.batch = append(ws.batch, k)
+				if len(ws.batch) == ws.cfg.mget {
+					ws.flush()
+				}
+				continue
+			}
+			if sample {
+				t0 = time.Now()
+			}
+			ws.target.Get(k)
+		case p < ws.cfg.read+ws.cfg.del:
+			if sample {
+				t0 = time.Now()
+			}
+			ws.target.Delete(k)
+		default:
+			if sample {
+				t0 = time.Now()
+			}
+			if !ws.target.Put(k, uint64(i)) {
+				ws.rejected.Add(1)
+			}
+		}
+		if sample {
+			ws.lats = append(ws.lats, time.Since(t0))
+		}
+	}
+	ws.flush()
+}
+
+// flush resolves the accumulated Get batch through one GetBatch call,
+// recording one sample per flush: the batch's per-key latency.
+//
+//repro:noalloc
+func (ws *workerState[K]) flush() {
+	if len(ws.batch) == 0 {
+		return
+	}
+	sample := ws.cfg.latency && len(ws.lats) < latMaxSamples
+	var t0 time.Time
+	if sample {
+		t0 = time.Now()
+	}
+	ws.getBatch(ws.batch, ws.bvals[:len(ws.batch)], ws.bfound[:len(ws.batch)])
+	if sample {
+		ws.lats = append(ws.lats, time.Since(t0)/time.Duration(len(ws.batch)))
+	}
+	ws.batch = ws.batch[:0]
 }
 
 // writeSnapshot persists the post-run map, reports throughput, and with

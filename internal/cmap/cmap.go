@@ -134,6 +134,8 @@ type shard[K comparable, V any] struct {
 // lock enters a shard mutation: writer exclusion plus the seqlock
 // generation bump to odd that makes concurrent optimistic readers
 // discard anything they read while the mutation runs.
+//
+//repro:noalloc
 func (sh *shard[K, V]) lock() {
 	sh.mu.Lock()
 	sh.seq.Add(1)
@@ -141,6 +143,8 @@ func (sh *shard[K, V]) lock() {
 
 // unlock leaves a shard mutation, bumping the generation back to even
 // (and past every reader snapshot taken before the mutation).
+//
+//repro:noalloc
 func (sh *shard[K, V]) unlock() {
 	sh.seq.Add(1)
 	sh.mu.Unlock()
@@ -237,12 +241,17 @@ func NewKeyed[K comparable, V any](h keyed.Hasher[K], cfg Config) *Map[K, V] {
 }
 
 // digest is the map's single keyed hash evaluation per key.
+//
+//repro:digestsource
+//repro:noalloc
 func (m *Map[K, V]) digest(key K) uint64 { return m.hash(m.sipKey, key) }
 
 // route returns the key's shard and in-shard digest — everything derived
 // from one keyed hash evaluation, without touching any lock. The in-shard
 // digest is also the entry's stored tag: candidate buckets for any
 // geometry derive from it.
+//
+//repro:noalloc
 func (m *Map[K, V]) route(key K) (*shard[K, V], uint64) {
 	return m.routeDigest(m.digest(key))
 }
@@ -250,12 +259,17 @@ func (m *Map[K, V]) route(key K) (*shard[K, V], uint64) {
 // routeDigest is route from an already computed full digest — the entry
 // point the snapshot loader shares with the hashed path, so reloading at
 // any shard count re-splits stored digests instead of re-hashing keys.
+//
+//repro:digestcarried
+//repro:noalloc
 func (m *Map[K, V]) routeDigest(digest uint64) (*shard[K, V], uint64) {
 	idx, inShard := hashes.ShardSplit(digest, m.shardBits)
 	return &m.shards[idx], inShard
 }
 
 // startResizeLocked begins doubling sh. Caller holds sh.mu.
+//
+//repro:requires-lock
 func (m *Map[K, V]) startResizeLocked(sh *shard[K, V]) {
 	newBuckets := 2 * sh.core.Buckets()
 	sh.nextDeriver.Store(hashes.NewDeriver(newBuckets))
@@ -266,6 +280,8 @@ func (m *Map[K, V]) startResizeLocked(sh *shard[K, V]) {
 // occupancy past MaxLoadFactor, or the overflow stash three-quarters
 // full (stash pressure precedes rejections well below the watermark on
 // unlucky shards). Caller holds sh.mu.
+//
+//repro:requires-lock
 func (m *Map[K, V]) wantsResizeLocked(sh *shard[K, V]) bool {
 	if m.maxLoad == 0 || sh.core.Resizing() {
 		return false
@@ -280,6 +296,9 @@ func (m *Map[K, V]) wantsResizeLocked(sh *shard[K, V]) bool {
 // migration work (entries moved or empty old buckets swept — the bound
 // keeps the lock-hold O(n)), promoting the new geometry when the backlog
 // empties. Caller holds sh.mu. Returns the work performed.
+//
+//repro:requires-lock
+//repro:digestcarried
 func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 	if !sh.core.Resizing() {
 		return 0
@@ -302,6 +321,8 @@ func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 // stash are themselves full (a second doubling cannot start until the
 // first completes). Every Put on a resizing shard migrates up to
 // MigrateBatch entries.
+//
+//repro:noalloc
 func (m *Map[K, V]) Put(key K, val V) bool {
 	return m.putDigest(m.digest(key), key, val)
 }
@@ -310,6 +331,9 @@ func (m *Map[K, V]) Put(key K, val V) bool {
 // (which spends the operation's one keyed hash evaluation to get it) and
 // the snapshot loader (which streams stored digests back in, re-hashing
 // nothing).
+//
+//repro:digestcarried
+//repro:noalloc
 func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.routeDigest(digest)
@@ -356,6 +380,8 @@ func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 // attempts. Readers therefore never block writers and never wait on a
 // lock on the fast path. For pointerful K/V, Get takes the shard's read
 // lock as before; either way a Get never migrates.
+//
+//repro:noalloc
 func (m *Map[K, V]) Get(key K) (V, bool) {
 	sh, tag := m.route(key)
 	if m.seqRead {
@@ -369,6 +395,9 @@ func (m *Map[K, V]) Get(key K) (V, bool) {
 // seqGet is the optimistic lock-free read: snapshot the generation,
 // probe wait-free, accept only if the generation never moved. done=false
 // after seqSpins torn attempts sends the caller to the mutex fallback.
+//
+//repro:digestcarried
+//repro:noalloc
 func (m *Map[K, V]) seqGet(sh *shard[K, V], tag uint64, key K) (val V, ok, done bool) {
 	var buf, nbuf [maxD]uint32
 	for spin := 0; spin < seqSpins; spin++ {
@@ -410,6 +439,9 @@ func (m *Map[K, V]) seqGet(sh *shard[K, V], tag uint64, key K) (val V, ok, done 
 // lockedGet is the classic read-locked Get — the only read path for
 // pointerful K/V, and the fallback when seqGet keeps colliding with
 // writers.
+//
+//repro:digestcarried
+//repro:noalloc
 func (m *Map[K, V]) lockedGet(sh *shard[K, V], tag uint64, key K) (V, bool) {
 	var oldBuf, newBuf [maxD]uint32
 	oldCands := oldBuf[:m.d]
@@ -439,6 +471,8 @@ func (m *Map[K, V]) lockedGet(sh *shard[K, V], tag uint64, key K) (V, bool) {
 // slot drains the shard's stash back into the freed bucket, as in the
 // single-threaded table. Like Put, a Delete migrates up to MigrateBatch
 // entries of an in-flight resize.
+//
+//repro:noalloc
 func (m *Map[K, V]) Delete(key K) bool {
 	var oldBuf, newBuf [maxD]uint32
 	sh, tag := m.route(key)

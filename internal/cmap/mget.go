@@ -58,13 +58,15 @@ type mgetScratch[K comparable, V any] struct {
 // protocol with no lock held. Each key's result is individually
 // consistent with concurrent writers, but the batch as a whole is not an
 // atomic snapshot.
+//
+//repro:noalloc
 func (m *Map[K, V]) GetBatch(keys []K, vals []V, found []bool) int {
 	if len(vals) < len(keys) || len(found) < len(keys) {
 		panic("cmap: GetBatch output slices shorter than keys")
 	}
 	sc, _ := m.mgetPool.Get().(*mgetScratch[K, V])
 	if sc == nil {
-		sc = new(mgetScratch[K, V])
+		sc = new(mgetScratch[K, V]) //repro:allocok pool miss: one ~10 KB scratch, reused by every later call
 	}
 	hits := 0
 	for off := 0; off < len(keys); off += mgetChunk {
@@ -88,6 +90,9 @@ func (m *Map[K, V]) MGet(keys []K) (vals []V, found []bool) {
 // getChunk runs the phased probe for one chunk (len(keys) <= mgetChunk,
 // sc.digests[i] already computed). Routing overwrites sc.digests in
 // place with each key's in-shard tag — the digest's only remaining use.
+//
+//repro:digestcarried
+//repro:noalloc
 func (m *Map[K, V]) getChunk(sc *mgetScratch[K, V], keys []K, vals []V, found []bool) int {
 	tags := sc.digests[:len(keys)]
 	for i, d := range tags {

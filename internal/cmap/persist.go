@@ -99,6 +99,8 @@ func (m *Map[K, V]) Snapshot(w io.Writer, kc keyed.Codec[K], vc keyed.Codec[V]) 
 // record. With resize enabled (cfg.MaxLoadFactor > 0) shards grow as
 // the stream fills them; with it disabled, a record the fixed geometry
 // cannot hold fails the load.
+//
+//repro:digestcarried
 func LoadKeyed[K comparable, V any](r io.Reader, h keyed.Hasher[K], kc keyed.Codec[K], vc keyed.Codec[V], cfg Config) (*Map[K, V], error) {
 	sr, err := persist.NewSnapshotReader(r)
 	if err != nil {
@@ -119,7 +121,7 @@ func LoadKeyed[K comparable, V any](r io.Reader, h keyed.Hasher[K], kc keyed.Cod
 		}
 		if first {
 			first = false
-			if got := m.digest(key); got != digest {
+			if got := m.digest(key); got != digest { //repro:rehash-ok one-time wrong-hasher detection against the first record
 				return nil, fmt.Errorf("cmap: snapshot digest %#x, hasher computes %#x — wrong hasher for this snapshot", digest, got)
 			}
 		}

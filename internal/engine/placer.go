@@ -55,6 +55,8 @@ func NewPlacer(gen Generator, tie TieBreak, src rng.Source) *Placer {
 
 // fillSalts bulk-draws count fresh 32-bit salts into p.salts, two per raw
 // 64-bit value.
+//
+//repro:noalloc
 func (p *Placer) fillSalts(count int) {
 	raw := p.saltRaw[:(count+1)/2]
 	rng.Uint64s(p.src, raw)
@@ -66,6 +68,8 @@ func (p *Placer) fillSalts(count int) {
 
 // bump records one ball landing in bin best. The caller accounts for
 // placed counts (hoisted out of the batched loop).
+//
+//repro:noalloc
 func (p *Placer) bump(best uint32) {
 	l := p.loads[best] + 1
 	p.loads[best] = l
@@ -75,6 +79,8 @@ func (p *Placer) bump(best uint32) {
 }
 
 // Place throws one ball and returns the bin it landed in.
+//
+//repro:noalloc
 func (p *Placer) Place() int {
 	cands := p.batch[:p.d]
 	p.gen.Draw(cands)
@@ -93,6 +99,8 @@ func (p *Placer) Place() int {
 // batchBalls candidate sets, then a tie-mode-specialized selection loop.
 // TieRandom uses the salted branch-free selection with bulk-drawn salts;
 // TieFirst needs no randomness at all.
+//
+//repro:noalloc
 func (p *Placer) PlaceN(m int) {
 	d := p.d
 	for m > 0 {

@@ -6,6 +6,8 @@ package engine
 // subtraction replaces the modulo). With g coprime to n the values are
 // distinct whenever len(dst) <= n; g == 1 yields the contiguous block
 // used by the Kenthapadi–Panigrahy two-block scheme.
+//
+//repro:noalloc
 func Progression(dst []uint32, f, g, n uint32) {
 	v := f
 	for k := range dst {
@@ -20,6 +22,8 @@ func Progression(dst []uint32, f, g, n uint32) {
 // SubtableProgression fills dst with Vöcking's d-left layout of the same
 // progression: candidate k is k·m + ((f + k·g) mod m), one candidate per
 // subtable of size m. It assumes f < m and g < m.
+//
+//repro:noalloc
 func SubtableProgression(dst []uint32, f, g, m uint32) {
 	v := f
 	base := uint32(0)
@@ -37,6 +41,8 @@ func SubtableProgression(dst []uint32, f, g, m uint32) {
 // table of size mask+1 — the Kirsch–Mitzenmacher Bloom-filter probe
 // sequence, where g odd guarantees distinct probes. Positions are uint64
 // because Bloom filters index bits, not bins, and may exceed 2^32 bits.
+//
+//repro:noalloc
 func MaskedProgression(dst []uint64, f, g, mask uint64) {
 	v := f & mask
 	for k := range dst {

@@ -20,6 +20,8 @@ type Load interface {
 // implementations of the balanced-allocation selection rule; every
 // consumer (core process, multiple-choice hash table, cuckoo table,
 // supermarket queues) calls one of them.
+//
+//repro:noalloc
 func LeastLoadedFirst[L Load](loads []L, cands []uint32) (best uint32, bestLoad L) {
 	best = cands[0]
 	bestLoad = loads[best]
@@ -44,6 +46,8 @@ func LeastLoadedFirst[L Load](loads []L, cands []uint32) (best uint32, bestLoad 
 // scratch tie list: d is small (2..8 throughout), the candidates are hot
 // in cache, and skipping the per-candidate stores keeps the common
 // no-tie case branch-only.
+//
+//repro:noalloc
 func LeastLoadedRandom[L Load](loads []L, cands []uint32, src rng.Source) uint32 {
 	best := cands[0]
 	bestLoad := loads[best]
@@ -81,6 +85,8 @@ func LeastLoadedRandom[L Load](loads []L, cands []uint32, src rng.Source) uint32
 // (Equal salts fall back to the earlier candidate; for 32-bit salts that
 // is a ~2^-32 perturbation, far below any observable in this repository's
 // experiments.) salts must hold len(cands) values.
+//
+//repro:noalloc
 func LeastLoadedSalted(loads []uint32, cands []uint32, salts []uint32) uint32 {
 	best := cands[0]
 	bestKey := uint64(loads[best])<<32 | uint64(salts[0])

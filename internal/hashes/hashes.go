@@ -10,6 +10,9 @@
 // but a downstream hash table, load balancer or Bloom filter hashes
 // concrete keys. DeriveChoices closes that gap: one SipHash call yields
 // the paper's two hash values, and therefore all d candidates.
+
+//repro:unsafeview SipHash24String views a string's backing bytes in place; strings are immutable byte sequences, no layout gate needed
+
 package hashes
 
 import (
@@ -36,13 +39,15 @@ func SipKeyFromSeed(seed uint64) SipKey {
 
 // SipHash24 returns the SipHash-2-4 PRF of data under key — the reference
 // algorithm of Aumasson and Bernstein, producing a 64-bit tag.
+//
+//repro:noalloc
 func SipHash24(key SipKey, data []byte) uint64 {
 	v0 := key.K0 ^ 0x736F6D6570736575
 	v1 := key.K1 ^ 0x646F72616E646F6D
 	v2 := key.K0 ^ 0x6C7967656E657261
 	v3 := key.K1 ^ 0x7465646279746573
 
-	round := func() {
+	round := func() { //repro:allocok called directly and never escapes: the closure stays on the stack
 		v0 += v1
 		v1 = bits.RotateLeft64(v1, 13)
 		v1 ^= v0
@@ -90,6 +95,9 @@ func SipHash24(key SipKey, data []byte) uint64 {
 // allocating: the string's backing bytes are viewed in place (SipHash24
 // neither retains nor mutates its input, so the view is safe). It returns
 // the identical digest to SipHash24(key, []byte(s)).
+//
+//repro:noalloc
+//repro:gated strings are always viewable as bytes; SipHash24 neither retains nor mutates the view
 func SipHash24String(key SipKey, s string) uint64 {
 	if len(s) == 0 {
 		return SipHash24(key, nil)
@@ -104,6 +112,8 @@ const (
 )
 
 // FNV1a returns the 64-bit FNV-1a hash of data.
+//
+//repro:noalloc
 func FNV1a(data []byte) uint64 {
 	h := uint64(fnvOffset64)
 	for _, b := range data {
@@ -114,6 +124,8 @@ func FNV1a(data []byte) uint64 {
 }
 
 // FNV1aString is FNV1a over a string without allocation.
+//
+//repro:noalloc
 func FNV1aString(s string) uint64 {
 	h := uint64(fnvOffset64)
 	for i := 0; i < len(s); i++ {
@@ -168,6 +180,8 @@ func (d *Deriver) N() int { return d.n }
 // uniform over [0, n) from the low half, and g over residues coprime to n
 // from the high half (odd for power-of-two n, any non-zero residue for
 // prime n, coprime-by-remixing otherwise).
+//
+//repro:noalloc
 func (d *Deriver) DeriveChoices(digest uint64) Choices {
 	if d.n == 1 {
 		return Choices{F: 0, G: 0}
@@ -199,6 +213,8 @@ func (d *Deriver) DeriveChoices(digest uint64) Choices {
 // internal/cmap routes a key to a shard and derives its double-hashing
 // candidates inside the shard from this single split. shardBits must lie
 // in [0, 32]; with shardBits == 0 the shard is always 0.
+//
+//repro:noalloc
 func ShardSplit(digest uint64, shardBits int) (shard uint32, inShard uint64) {
 	if shardBits < 0 || shardBits > 32 {
 		panic(fmt.Sprintf("hashes: shardBits = %d outside [0, 32]", shardBits))
@@ -215,6 +231,8 @@ func ShardSplit(digest uint64, shardBits int) (shard uint32, inShard uint64) {
 // CandidateBins writes the key's d candidate bins into dst, deriving them
 // from a single digest and expanding with the engine's shared progression.
 // Candidates are distinct whenever len(dst) < n.
+//
+//repro:noalloc
 func (d *Deriver) CandidateBins(digest uint64, dst []uint32) {
 	c := d.DeriveChoices(digest)
 	engine.Progression(dst, c.F, c.G, uint32(d.n))

@@ -1,3 +1,5 @@
+//repro:unsafeview in-place byte views of persisted values, gated by noIndirection (ViewCodec) or the reflect.Kind switch (CodecFor)
+
 package keyed
 
 // This file is the persistence counterpart of Hasher[K]: Codec[T] maps
@@ -125,6 +127,8 @@ func ViewCodec[T any]() Codec[T] {
 // fixed size, no addresses anywhere inside. Unlike byteIdentity (the
 // hashing constraint) it allows floats and padding — a codec only needs
 // round-trip fidelity, not byte-equal identity.
+//
+//repro:unsafegate
 func noIndirection(t reflect.Type) error {
 	switch t.Kind() {
 	case reflect.Bool,
@@ -153,6 +157,8 @@ func noIndirection(t reflect.Type) error {
 // fixed-size arrays and structs. It panics for types holding addresses
 // (pointers, slices, maps, interfaces, ...); supply a custom Codec for
 // those.
+//
+//repro:gated each arm's view is proven sound by its reflect.Kind: the kind fixes T's layout before any view is built
 func CodecFor[T any]() Codec[T] {
 	t := reflect.TypeFor[T]()
 	switch t.Kind() {

@@ -24,6 +24,9 @@
 // with the same seed and hasher digest a key identically, which is what
 // makes digests safe to persist, compare across tables, and re-derive
 // candidates from at any geometry.
+
+//repro:unsafeview in-place byte views of keys, gated by byteIdentity (BytesOf) or the reflect.Kind switch (ForType)
+
 package keyed
 
 import (
@@ -45,6 +48,8 @@ type Hasher[K comparable] func(key hashes.SipKey, k K) uint64
 // Uint64 hashes a uint64 key as its 8-byte little-endian encoding. This
 // is byte-identical to the digest the uint64 container APIs have always
 // computed, so typed and legacy paths interoperate on the same digests.
+//
+//repro:noalloc
 func Uint64(key hashes.SipKey, k uint64) uint64 {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], k)
@@ -53,15 +58,21 @@ func Uint64(key hashes.SipKey, k uint64) uint64 {
 
 // Int hashes an int key as the 8-byte little-endian encoding of its
 // two's-complement 64-bit value (portable across 32/64-bit platforms).
+//
+//repro:noalloc
 func Int(key hashes.SipKey, k int) uint64 { return Uint64(key, uint64(int64(k))) }
 
 // String hashes a string key's bytes in place — no copy, no allocation.
+//
+//repro:noalloc
 func String(key hashes.SipKey, k string) uint64 { return hashes.SipHash24String(key, k) }
 
 // Bytes digests a raw byte slice. []byte is not comparable, so this is
 // not a Hasher; it exists for callers that hash raw chunks (content
 // digests, packet payloads) before keying a container by something
 // comparable. Bytes(k, b) == String(k, string(b)).
+//
+//repro:noalloc
 func Bytes(key hashes.SipKey, b []byte) uint64 { return hashes.SipHash24(key, b) }
 
 // StringOf returns the Hasher for any string-backed key type.
@@ -98,6 +109,8 @@ func BytesOf[K comparable]() Hasher[K] {
 
 // byteIdentity reports whether a type's in-memory bytes determine ==
 // identity: fixed size, no indirection, no floats, no padding.
+//
+//repro:unsafegate
 func byteIdentity(t reflect.Type) error {
 	switch t.Kind() {
 	case reflect.Bool,
@@ -136,6 +149,8 @@ func byteIdentity(t reflect.Type) error {
 // BytesOf for fixed-size arrays and structs. It panics for key types
 // with no byte-identity (floats, pointers, interfaces, ...); supply a
 // custom Hasher for those.
+//
+//repro:gated each arm's view is proven sound by its reflect.Kind: the kind fixes K's layout before any view is built
 func ForType[K comparable]() Hasher[K] {
 	t := reflect.TypeFor[K]()
 	switch t.Kind() {
@@ -212,6 +227,8 @@ func ForType[K comparable]() Hasher[K] {
 // (cmap.Map.GetBatch): with every digest in hand, shard routing,
 // candidate derivation and bucket prefetching can each run as their own
 // phase over the batch instead of interleaving with probes key by key.
+//
+//repro:noalloc
 func DigestBatch[K comparable](h Hasher[K], key hashes.SipKey, keys []K, dst []uint64) {
 	if len(dst) < len(keys) {
 		panic("keyed: DigestBatch dst does not cover keys")

@@ -1,0 +1,109 @@
+package lint
+
+// Shared syntax/type utilities for the analyzers.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcDecls maps each package-level function or method object to its
+// declaration — the bridge from a call site's *types.Func back to the
+// AST (and its directives).
+func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name == nil {
+				continue
+			}
+			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				m[fn] = fd
+			}
+		}
+	}
+	return m
+}
+
+// enclosingFunc returns the FuncDecl whose body contains n, walking the
+// parent map (FuncLits belong to their enclosing declaration).
+func enclosingFunc(p *Pass, n ast.Node) *ast.FuncDecl {
+	for cur := n; cur != nil; cur = p.Parent(cur) {
+		if fd, ok := cur.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// fileOf returns the *ast.File containing n.
+func fileOf(p *Pass, n ast.Node) *ast.File {
+	for cur := n; cur != nil; cur = p.Parent(cur) {
+		if f, ok := cur.(*ast.File); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// calleeFunc resolves a call's static callee to a function or method
+// object, or nil for calls of function values, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr: // generic instantiation: F[T](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	case *ast.IndexListExpr: // generic instantiation: F[T1, T2](...)
+		if id, ok := unparen(fun.X).(*ast.Ident); ok {
+			fn, _ := info.Uses[id].(*types.Func)
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether the call's callee is the named function of
+// the named package (by import path).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin being called ("append",
+// "make", ...) or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

@@ -1,0 +1,229 @@
+package lint
+
+// Package loading without golang.org/x/tools: `go list -export -deps`
+// resolves each target package's files and produces compiler export
+// data for every dependency (entirely from the local build cache — no
+// network), and go/types type-checks the target sources against that
+// export data. The same machinery loads the analyzers' golden testdata
+// directories, which the go tool itself ignores.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -json -export -deps args...` in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-json", "-export", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the types importer lookup from the listed
+// packages' export data files.
+func exportLookup(pkgs []*listedPackage) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// typeCheck parses and type-checks one package's files against the
+// importer.
+func typeCheck(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// Load resolves the patterns (./... style, relative to dir; empty dir
+// means the current directory) and returns each matched package parsed
+// and type-checked, ready for Run. Dependencies are consumed as export
+// data only; test files are not included (the invariants the suite
+// enforces live in non-test sources).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	lookup := exportLookup(listed)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	var out []*Package
+	var errs []string
+	for _, p := range listed {
+		if p.DepOnly || p.Name == "" {
+			continue
+		}
+		if p.Error != nil {
+			errs = append(errs, fmt.Sprintf("%s: %s", p.ImportPath, p.Error.Err))
+			continue
+		}
+		pkg, err := typeCheck(fset, p.ImportPath, p.Dir, p.GoFiles, imp)
+		if err != nil {
+			errs = append(errs, err.Error())
+			continue
+		}
+		out = append(out, pkg)
+	}
+	if len(errs) > 0 {
+		return out, fmt.Errorf("lint: load errors:\n  %s", strings.Join(errs, "\n  "))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// CheckFiles parses and type-checks the given Go files as one package,
+// resolving imports through lookup (import path -> export data). This
+// is the `go vet -vettool` entry point: the go command has already
+// resolved the file list and produced export data for every dependency,
+// and hands both over in the unit-check config.
+func CheckFiles(pkgPath, dir string, goFiles []string, compiler string, lookup func(path string) (io.ReadCloser, error)) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	return typeCheck(fset, pkgPath, dir, goFiles, imp)
+}
+
+// LoadDir loads a single directory of Go source as one package — the
+// golden-testdata path, reaching packages the go tool ignores. Imports
+// are resolved to export data via `go list` on the import paths
+// themselves, so testdata may import the standard library (and the
+// repository's own packages, when run from inside the module).
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			goFiles = append(goFiles, name)
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	// Collect the imports with a syntax-only parse, then let go list
+	// produce export data for them (and their deps).
+	fset := token.NewFileSet()
+	imports := make(map[string]bool)
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "unsafe" { // no export data; go/types resolves it natively
+				imports[path] = true
+			}
+		}
+	}
+	var lookup func(string) (io.ReadCloser, error)
+	if len(imports) == 0 {
+		lookup = func(path string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("lint: unexpected import %q", path)
+		}
+	} else {
+		patterns := make([]string, 0, len(imports))
+		for path := range imports {
+			patterns = append(patterns, path)
+		}
+		sort.Strings(patterns)
+		listed, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		lookup = exportLookup(listed)
+	}
+	fset = token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	return typeCheck(fset, "testdata/"+filepath.Base(dir), dir, goFiles, imp)
+}

@@ -1,0 +1,16 @@
+package lint
+
+import "testing"
+
+func TestLoadSmoke(t *testing.T) {
+	pkgs, err := Load("", "repro/internal/hashes", "repro/internal/keyed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		t.Logf("loaded %s: %d files, pkg=%v", p.PkgPath, len(p.Files), p.Pkg.Path())
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages", len(pkgs))
+	}
+}

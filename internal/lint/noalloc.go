@@ -1,0 +1,384 @@
+package lint
+
+// noalloc: functions annotated //repro:noalloc are the hot paths whose
+// benchmarks pin 0 allocs/op (Get/Put/GetBatch, the hashers, WAL
+// append, the engine's placement loop). The analyzer is the static
+// backstop behind those runtime pins: it rejects the constructs that
+// allocate — so a refactor cannot quietly put an allocation on the hot
+// path and wait for the next benchmark run to notice.
+//
+// Flagged inside a //repro:noalloc function body:
+//
+//   - make, new, and slice/map composite literals (and &T{...}, which
+//     heap-allocates when it escapes);
+//   - append whose destination is not rooted in caller-owned storage (a
+//     parameter, struct field, package variable, or a slice derived
+//     from one — the amortized-scratch pattern stays legal, a fresh
+//     function-local slice does not);
+//   - func literals that capture variables (the closure context
+//     allocates; capture-free literals are static and stay legal);
+//   - go statements;
+//   - string concatenation and string <-> []byte/[]rune conversions;
+//   - boxing into an interface: explicit conversions and call arguments
+//     whose parameter is an interface while the argument is a concrete
+//     non-pointer-shaped value (pointers, maps, chans and funcs box
+//     without allocating; constants are compiler-interned).
+//
+// Arguments of panic(...) are exempt — a panicking hot path is already
+// dead. A finding can be suppressed for one line with
+// //repro:allocok <reason> (trailing, or on its own line above),
+// which is how the deliberate amortized cases — a pool miss, an error
+// return — stay annotated rather than silent.
+//
+// The check is per-function: callees are not walked, so every function
+// on a zero-alloc path carries its own annotation (and its own check).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc is the noalloc analyzer.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//repro:noalloc functions must not contain allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) error {
+	dirs := p.Directives()
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !dirs.FuncHas(fd, DirNoAlloc) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+	return nil
+}
+
+type noAllocCheck struct {
+	p       *Pass
+	fd      *ast.FuncDecl
+	rooted  map[*types.Var]bool // slices rooted in caller-owned storage
+	inPanic int
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	c := &noAllocCheck{p: p, fd: fd, rooted: make(map[*types.Var]bool)}
+	// Parameters (and the receiver) are caller-owned storage.
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok {
+				c.rooted[v] = true
+			}
+		}
+	}
+	c.walk(fd.Body)
+}
+
+func (c *noAllocCheck) report(pos token.Pos, format string, args ...any) {
+	if c.p.Directives().SuppressedAt(c.p.Fset, pos, DirAllocOK) {
+		return
+	}
+	c.p.Reportf(pos, "//repro:noalloc %s: "+format, append([]any{c.fd.Name.Name}, args...)...)
+}
+
+func (c *noAllocCheck) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return c.call(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.CompositeLit:
+			c.compositeLit(n)
+		case *ast.FuncLit:
+			c.funcLit(n)
+			return false // captures checked once; inner bodies share this pass
+		case *ast.GoStmt:
+			c.report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(c.p.TypesInfo.TypeOf(n)) && !isConst(c.p.TypesInfo, n) {
+				c.report(n.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// call checks one call expression, returning false to stop descent
+// (panic arguments are exempt wholesale).
+func (c *noAllocCheck) call(call *ast.CallExpr) bool {
+	info := c.p.TypesInfo
+	switch builtinName(info, call) {
+	case "panic":
+		return false // a panicking hot path is already dead
+	case "make":
+		c.report(call.Pos(), "make allocates")
+		return true
+	case "new":
+		c.report(call.Pos(), "new allocates")
+		return true
+	case "append":
+		if len(call.Args) > 0 && !c.isRooted(call.Args[0]) {
+			c.report(call.Pos(), "append to a function-local slice may allocate; append into caller-owned or amortized scratch storage")
+		}
+		return true
+	case "":
+	default:
+		return true // other builtins (len, cap, copy, clear, min, ...) are alloc-free
+	}
+	if isConversion(info, call) {
+		c.conversion(call)
+		return true
+	}
+	c.callArgs(call)
+	return true
+}
+
+// conversion flags the allocating conversions: to/from string, and
+// boxing a concrete value into an interface.
+func (c *noAllocCheck) conversion(call *ast.CallExpr) {
+	info := c.p.TypesInfo
+	dst := info.TypeOf(call)
+	src := info.TypeOf(call.Args[0])
+	if dst == nil || src == nil || isConst(info, call.Args[0]) {
+		return
+	}
+	if isTypeParam(dst) || isTypeParam(src) {
+		return
+	}
+	du, su := dst.Underlying(), src.Underlying()
+	if isStringType(dst) && !isStringType(src) || isStringType(src) && isByteOrRuneSlice(du) {
+		c.report(call.Pos(), "%s -> %s conversion allocates", src, dst)
+		return
+	}
+	if types.IsInterface(du) && !types.IsInterface(su) && boxingAllocates(su) {
+		c.report(call.Pos(), "conversion of %s to interface %s boxes (allocates)", src, dst)
+	}
+}
+
+// callArgs flags implicit interface boxing at a call site: a concrete,
+// non-pointer-shaped argument passed to an interface parameter.
+func (c *noAllocCheck) callArgs(call *ast.CallExpr) {
+	info := c.p.TypesInfo
+	sigT := info.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice through
+			} else if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		// A type parameter's underlying is its constraint interface, but
+		// instantiation passes values directly — no boxing.
+		if pt == nil || isTypeParam(pt) || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isTypeParam(at) || types.IsInterface(at.Underlying()) || isConst(info, arg) || isNil(info, arg) {
+			continue
+		}
+		if boxingAllocates(at.Underlying()) {
+			c.report(arg.Pos(), "passing %s to interface parameter boxes (allocates)", at)
+		}
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= params.Len() {
+		// The variadic slice itself is allocated too, but the boxing
+		// reports above already mark the line; only flag a silent
+		// variadic call of pointer-shaped values.
+		allClean := true
+		for i := params.Len() - 1; i < len(call.Args); i++ {
+			at := info.TypeOf(call.Args[i])
+			if at != nil && !types.IsInterface(at.Underlying()) && !isConst(info, call.Args[i]) && boxingAllocates(at.Underlying()) {
+				allClean = false
+			}
+		}
+		if allClean {
+			c.report(call.Pos(), "variadic call allocates its argument slice")
+		}
+	}
+}
+
+// compositeLit flags slice and map literals, and &T{...}.
+func (c *noAllocCheck) compositeLit(lit *ast.CompositeLit) {
+	t := c.p.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.report(lit.Pos(), "slice literal allocates")
+	case *types.Map:
+		c.report(lit.Pos(), "map literal allocates")
+	case *types.Struct, *types.Array:
+		if u, ok := c.p.Parent(lit).(*ast.UnaryExpr); ok && u.Op == token.AND {
+			c.report(lit.Pos(), "&composite literal escapes to the heap")
+		}
+	}
+}
+
+// funcLit flags literals that capture variables from the enclosing
+// function (the closure context allocates) and then walks the body with
+// the same checks.
+func (c *noAllocCheck) funcLit(lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captured != "" {
+			return captured == ""
+		}
+		v, ok := c.p.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.Parent() == nil || isFieldOrParamOf(v, lit) {
+			return true
+		}
+		// A use of a variable declared outside the literal but inside
+		// the enclosing function is a capture.
+		if v.Pos() >= c.fd.Pos() && v.Pos() < lit.Pos() && !v.IsField() {
+			captured = v.Name()
+		}
+		return captured == ""
+	})
+	if captured != "" {
+		c.report(lit.Pos(), "func literal captures %q: the closure context allocates", captured)
+	}
+	c.walk(lit.Body)
+}
+
+// isFieldOrParamOf reports whether v is declared by the literal's own
+// signature.
+func isFieldOrParamOf(v *types.Var, lit *ast.FuncLit) bool {
+	return v.Pos() >= lit.Pos() && v.Pos() <= lit.End()
+}
+
+// assign tracks which local slices are rooted in caller-owned storage,
+// so the amortized append-into-scratch pattern passes.
+func (c *noAllocCheck) assign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := c.p.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = c.p.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+		}
+		c.rooted[v] = c.isRooted(as.Rhs[i])
+	}
+}
+
+// isRooted reports whether the slice expression is backed by storage a
+// caller owns: a parameter, field, package variable, dereference, or a
+// slice/append/call chain rooted in one.
+func (c *noAllocCheck) isRooted(e ast.Expr) bool {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		v, ok := c.p.TypesInfo.Uses[e].(*types.Var)
+		if !ok {
+			return false
+		}
+		if v.IsField() || c.rooted[v] {
+			return true
+		}
+		// Package-level variables are long-lived scratch.
+		return v.Parent() == v.Pkg().Scope()
+	case *ast.SelectorExpr:
+		// x.f: fields are caller-owned storage.
+		if sel, ok := c.p.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return true
+		}
+		if v, ok := c.p.TypesInfo.Uses[e.Sel].(*types.Var); ok {
+			return v.IsField() || v.Parent() == v.Pkg().Scope()
+		}
+		return false
+	case *ast.SliceExpr:
+		return c.isRooted(e.X)
+	case *ast.IndexExpr:
+		return c.isRooted(e.X)
+	case *ast.StarExpr:
+		return true
+	case *ast.CallExpr:
+		// append(s, ...) and Append-style helpers keep their root; a
+		// call fed by rooted scratch returns rooted scratch.
+		if builtinName(c.p.TypesInfo, e) == "append" && len(e.Args) > 0 {
+			return c.isRooted(e.Args[0])
+		}
+		for _, arg := range e.Args {
+			if t := c.p.TypesInfo.TypeOf(arg); t != nil {
+				if _, ok := t.Underlying().(*types.Slice); ok && c.isRooted(arg) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isTypeParam(t types.Type) bool {
+	_, ok := t.(*types.TypeParam)
+	return ok
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// boxingAllocates reports whether converting a value of this underlying
+// type to an interface allocates: pointer-shaped values (pointers,
+// maps, chans, funcs, unsafe pointers) fit in the interface word.
+func boxingAllocates(u types.Type) bool {
+	switch u.(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.(*types.Basic).Kind() != types.UnsafePointer
+	}
+	return true
+}

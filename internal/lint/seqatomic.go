@@ -1,0 +1,196 @@
+package lint
+
+// seqatomic: fields annotated //repro:seqguarded (directly, via their
+// struct's doc, or via a file-level directive covering every struct in
+// the file) hold words that lock-free seqlock readers observe while
+// writers mutate them. Under the Go memory model every access to such a
+// word must go through sync/atomic — a plain load racing a plain store
+// is undefined behaviour even if the torn value is discarded by the
+// generation check afterwards, which is exactly why the race detector
+// cannot be trusted to find these: the reader *rejects* torn values, so
+// -race sees a correctly synchronized execution almost every run while
+// the compiler remains free to miscompile the plain access.
+//
+// Allowed accesses to a guarded field (or an element of a guarded
+// slice/array field):
+//
+//   - &f passed (possibly through conversions) to a sync/atomic call or
+//     to a same-package function annotated //repro:seqaccessor;
+//   - len(f), cap(f), and single-variable `range f` (slice headers are
+//     immutable once published; only the elements are guarded);
+//   - the field name as a composite-literal key (construction happens
+//     before publication);
+//   - any access inside a //repro:seqexempt or //repro:seqaccessor
+//     function (pre-publication construction and the accessors
+//     themselves).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeqAtomic is the seqatomic analyzer.
+var SeqAtomic = &Analyzer{
+	Name: "seqatomic",
+	Doc:  "seqguarded fields must be accessed through sync/atomic only",
+	Run:  runSeqAtomic,
+}
+
+func runSeqAtomic(p *Pass) error {
+	guarded := guardedFields(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	dirs := p.Directives()
+	decls := funcDecls(p)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.TypesInfo.Uses[sel.Sel].(*types.Var)
+			if !ok || (!guarded[obj] && !guarded[originVar(obj)]) {
+				return true
+			}
+			if fd := enclosingFunc(p, sel); fd != nil &&
+				(dirs.FuncHas(fd, DirSeqExempt) || dirs.FuncHas(fd, DirSeqAccessor)) {
+				return true
+			}
+			if !seqAccessAllowed(p, sel, decls) {
+				p.Reportf(sel.Pos(), "plain access to seqguarded field %s: go through sync/atomic (or a //repro:seqaccessor helper); a torn value discarded later is still a data race the race detector cannot see",
+					obj.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// originVar maps a field var of an instantiated generic type back to
+// the generic declaration's field object, where the directive lives.
+func originVar(v *types.Var) *types.Var { return v.Origin() }
+
+// guardedFields collects the //repro:seqguarded field objects: fields
+// annotated directly, fields of annotated structs, and every struct
+// field in a file carrying the file-level directive.
+func guardedFields(p *Pass) map[*types.Var]bool {
+	dirs := p.Directives()
+	guarded := make(map[*types.Var]bool)
+	for _, file := range p.Files {
+		fileWide := dirs.FileHas(file, DirSeqGuarded)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					continue
+				}
+				typeWide := fileWide || dirs.TypeHas(ts, DirSeqGuarded)
+				for _, field := range st.Fields.List {
+					if !typeWide && !dirs.FieldHas(field, DirSeqGuarded) {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := p.TypesInfo.Defs[name].(*types.Var); ok {
+							guarded[v] = true
+							guarded[v.Origin()] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return guarded
+}
+
+// seqAccessAllowed reports whether this use of a guarded field is one
+// of the blessed forms.
+func seqAccessAllowed(p *Pass, sel *ast.SelectorExpr, decls map[*types.Func]*ast.FuncDecl) bool {
+	// Walk outward past the operations that stay within the same
+	// access: indexing (an element of a guarded array/slice field),
+	// parens, and — once behind &x — pointer conversions on the way
+	// into an atomic call.
+	cur := ast.Node(sel)
+	parent := p.Parent(cur)
+	for {
+		switch pn := parent.(type) {
+		case *ast.ParenExpr:
+			cur, parent = pn, p.Parent(pn)
+			continue
+		case *ast.IndexExpr:
+			if pn.X == cur { // f[i]: still the same guarded word
+				cur, parent = pn, p.Parent(pn)
+				continue
+			}
+		}
+		break
+	}
+
+	switch pn := parent.(type) {
+	case *ast.UnaryExpr:
+		// &f or &f[i]: allowed exactly when the pointer feeds an atomic
+		// accessor call.
+		if pn.Op == token.AND {
+			return addressFeedsAtomic(p, pn, decls)
+		}
+	case *ast.CallExpr:
+		// len(f) / cap(f) touch only the immutable slice header.
+		switch builtinName(p.TypesInfo, pn) {
+		case "len", "cap":
+			return true
+		}
+	case *ast.RangeStmt:
+		// Single-variable range reads only the header and indices.
+		if pn.X == cur && pn.Value == nil {
+			return true
+		}
+	case *ast.KeyValueExpr:
+		// Composite-literal construction: SeqView{counts: ...}.
+		if pn.Key == cur {
+			return true
+		}
+	}
+	return false
+}
+
+// addressFeedsAtomic reports whether &f (possibly wrapped in pointer
+// conversions and parens) is an argument of a sync/atomic call or of a
+// //repro:seqaccessor function of this package.
+func addressFeedsAtomic(p *Pass, addr ast.Expr, decls map[*types.Func]*ast.FuncDecl) bool {
+	cur := ast.Node(addr)
+	for {
+		parent := p.Parent(cur)
+		switch pn := parent.(type) {
+		case *ast.ParenExpr:
+			cur = pn
+			continue
+		case *ast.CallExpr:
+			if isConversion(p.TypesInfo, pn) {
+				cur = pn // (*uint32)(unsafe.Pointer(&f[i])) and the like
+				continue
+			}
+			if fn := calleeFunc(p.TypesInfo, pn); fn != nil {
+				if fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+					return true
+				}
+				if fn.Pkg() == p.Pkg {
+					if decl, ok := decls[fn.Origin()]; ok && p.Directives().FuncHas(decl, DirSeqAccessor) {
+						return true
+					}
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+}

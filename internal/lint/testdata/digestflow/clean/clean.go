@@ -1,0 +1,35 @@
+// Package clean holds the digest-discipline shapes digestflow must
+// accept: pure re-derivation, a suppressed deliberate verification
+// re-hash, and free hashing outside digest-carried paths.
+package clean
+
+//repro:digestsource
+func digest(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
+
+type table struct {
+	slots []uint64
+}
+
+// place derives everything from the stored digest: the double-hashing
+// probe (d + i*odd(d)) needs no key at any geometry.
+//
+//repro:digestcarried
+func (t *table) place(d uint64) {
+	step := d>>33 | 1
+	i := (d + step) % uint64(len(t.slots))
+	t.slots[i] = d
+}
+
+// verify re-hashes deliberately, once, to detect a mismatched hasher at
+// snapshot-load time; the suppression records why.
+//
+//repro:digestcarried
+func (t *table) verify(k, d uint64) bool {
+	return digest(k) == d //repro:rehash-ok one-time wrong-hasher detection at load
+}
+
+// ingest is the front door: not digest-carried, it hashes freely and
+// hands the digest down.
+func (t *table) ingest(k uint64) {
+	t.place(digest(k))
+}

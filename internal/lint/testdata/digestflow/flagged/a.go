@@ -1,0 +1,50 @@
+// Package a exercises digestflow: digest-carried paths that
+// re-evaluate a keyed hash instead of re-deriving from the stored
+// digest.
+package a
+
+// digest evaluates the keyed hash for a key.
+//
+//repro:digestsource
+func digest(k uint64) uint64 { return k * 0x9e3779b97f4a7c15 }
+
+type table struct {
+	slots []uint64
+}
+
+// place receives the stored digest and must derive the slot from it
+// alone — hashing the key again would re-place with a different hasher
+// after a snapshot reload.
+//
+//repro:digestcarried
+func (t *table) place(k, d uint64) {
+	i := digest(k) % uint64(len(t.slots)) // want `//repro:digestcarried place re-evaluates a keyed hash \(digest\)`
+	t.slots[i] = d
+}
+
+// migrate reaches a hash evaluation through a same-package helper.
+//
+//repro:digestcarried
+func (t *table) migrate(keys []uint64) {
+	for _, k := range keys {
+		t.rehashInto(k)
+	}
+}
+
+func (t *table) rehashInto(k uint64) {
+	i := digest(k) % uint64(len(t.slots)) // want `keyed hash evaluation \(digest\) in rehashInto is reachable from //repro:digestcarried migrate`
+	t.slots[i] = k
+}
+
+type store struct {
+	//repro:digestsource
+	hash func(uint64) uint64
+	data []uint64
+}
+
+// reload hashes through the stored hasher field — still a re-hash.
+//
+//repro:digestcarried
+func (s *store) reload(k uint64) uint64 {
+	return s.hash(k) // want `//repro:digestcarried reload re-evaluates a keyed hash \(hash\)`
+}

@@ -1,0 +1,45 @@
+// Package clean holds the lock-discipline shapes lockheld must accept:
+// a lexical acquire before the call, obligation propagation between
+// requires-lock functions, and a //repro:locked assertion.
+package clean
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	items map[uint64]uint64
+}
+
+//repro:requires-lock
+func (s *shard) growLocked() {
+	s.items[0] = uint64(len(s.items))
+}
+
+// rebalanceLocked propagates the obligation outward: it is itself
+// requires-lock, so calling growLocked is fine.
+//
+//repro:requires-lock
+func (s *shard) rebalanceLocked() {
+	s.growLocked()
+}
+
+// put acquires the lock lexically before the call.
+func (s *shard) put(k, v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+	s.rebalanceLocked()
+}
+
+// onEach asserts the lock is held on entry by a non-lexical means.
+//
+//repro:locked invoked only from iterate, which holds s.mu across the walk
+func (s *shard) onEach() {
+	s.growLocked()
+}
+
+func (s *shard) iterate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEach()
+}

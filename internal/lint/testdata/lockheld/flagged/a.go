@@ -1,0 +1,31 @@
+// Package a exercises lockheld: requires-lock helpers reached from
+// callers that never visibly take the lock.
+package a
+
+import "sync"
+
+type shard struct {
+	mu    sync.Mutex
+	items map[uint64]uint64
+}
+
+// growLocked mutates shard state that only mu serializes.
+//
+//repro:requires-lock
+func (s *shard) growLocked() {
+	s.items[0] = uint64(len(s.items))
+}
+
+// putNoLock reaches growLocked without ever acquiring the lock.
+func (s *shard) putNoLock(k, v uint64) {
+	s.items[k] = v
+	s.growLocked() // want `call of //repro:requires-lock growLocked from putNoLock`
+}
+
+// lateLock acquires the lock only after the call that needed it.
+func (s *shard) lateLock(k uint64) {
+	s.growLocked() // want `call of //repro:requires-lock growLocked from lateLock`
+	s.mu.Lock()
+	s.items[k] = 0
+	s.mu.Unlock()
+}

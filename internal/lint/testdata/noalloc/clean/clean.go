@@ -1,0 +1,89 @@
+// Package clean holds the alloc-free shapes noalloc must accept:
+// amortized scratch appends, pointer-shaped boxing, capture-free
+// literals, panic arguments, and suppressed deliberate allocations.
+package clean
+
+import "encoding/binary"
+
+type writer struct {
+	scratch []byte
+}
+
+// frame appends into caller-owned scratch: the append chain stays
+// rooted in the receiver's field, so steady-state is alloc-free.
+//
+//repro:noalloc
+func (w *writer) frame(payload []byte) []byte {
+	buf := w.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	w.scratch = buf
+	return buf
+}
+
+// appendInto appends into a destination the caller passed in.
+//
+//repro:noalloc
+func appendInto(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// amortized grows its pool once on a miss; the suppression records the
+// deliberate allocation.
+//
+//repro:noalloc
+func amortized(pool *[]int, n int) []int {
+	s := *pool
+	if cap(s) < n {
+		s = make([]int, n) //repro:allocok pool miss: grow once, reuse forever after
+		*pool = s
+	}
+	return s[:n]
+}
+
+type codec interface{ id() int }
+
+type handle struct{ n int }
+
+func (h *handle) id() int { return h.n }
+
+// pointerShaped boxes a pointer into an interface: the pointer fits in
+// the interface word, no allocation.
+//
+//repro:noalloc
+func pointerShaped(h *handle) codec {
+	return h
+}
+
+// staticFn returns a capture-free literal: a static function value.
+//
+//repro:noalloc
+func staticFn() func(int) int {
+	return func(x int) int { return x * 2 }
+}
+
+// guard may build its panic message however it likes: a panicking hot
+// path is already dead.
+//
+//repro:noalloc
+func guard(i, n int, name string) {
+	if i >= n {
+		panic("index out of range in " + name)
+	}
+}
+
+// passThrough forwards an existing slice to a variadic callee: s...
+// passes the slice through without allocating a new one.
+//
+//repro:noalloc
+func passThrough(xs []int) int {
+	return variadicSum(xs...)
+}
+
+func variadicSum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

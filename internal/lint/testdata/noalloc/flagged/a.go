@@ -1,0 +1,73 @@
+// Package a exercises every allocating construct noalloc rejects.
+package a
+
+type big struct{ a, b, c uint64 }
+
+type sink interface{ use() }
+
+func (big) use() {}
+
+func consume(s sink) { s.use() }
+
+func sum(xs ...int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+//repro:noalloc
+func builtins(n int) int {
+	m := make([]byte, n) // want `make allocates`
+	p := new(int)        // want `new allocates`
+	s := []int{1, 2, 3}  // want `slice literal allocates`
+	mp := map[int]int{}  // want `map literal allocates`
+	var local []byte
+	local = append(local, 1) // want `append to a function-local slice may allocate`
+	return len(m) + *p + s[0] + len(mp) + len(local)
+}
+
+//repro:noalloc
+func escapes() *big {
+	return &big{1, 2, 3} // want `&composite literal escapes to the heap`
+}
+
+//repro:noalloc
+func capture(seed int) func() int {
+	counter := seed
+	return func() int { // want `func literal captures "counter": the closure context allocates`
+		counter++
+		return counter
+	}
+}
+
+//repro:noalloc
+func spawn(done chan struct{}) {
+	go close(done) // want `go statement allocates a goroutine`
+}
+
+//repro:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//repro:noalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want `string -> \[\]byte conversion allocates`
+}
+
+//repro:noalloc
+func boxExplicit(v big) sink {
+	return sink(v) // want `conversion of .*\bbig to interface .*\bsink boxes \(allocates\)`
+}
+
+//repro:noalloc
+func boxImplicit(v big) {
+	consume(v) // want `passing .*\bbig to interface parameter boxes \(allocates\)`
+}
+
+//repro:noalloc
+func variadic() int {
+	return sum(1, 2, 3) // want `variadic call allocates its argument slice`
+}

@@ -1,0 +1,49 @@
+// Package clean holds the blessed access shapes for seqguarded fields:
+// nothing here may be flagged.
+package clean
+
+import "sync/atomic"
+
+type view struct {
+	//repro:seqguarded
+	words []uint32
+	gen   uint32 //repro:seqguarded
+}
+
+// loadWord is a blessed accessor; its own plain handling of the pointer
+// is exempt.
+//
+//repro:seqaccessor
+func loadWord(p *uint32) uint32 { return atomic.LoadUint32(p) }
+
+func read(v *view, i int) (uint32, bool) {
+	g1 := atomic.LoadUint32(&v.gen)
+	x := loadWord(&v.words[i])
+	g2 := atomic.LoadUint32(&v.gen)
+	return x, g1 == g2 && g1%2 == 0
+}
+
+func write(v *view, i int, x uint32) {
+	atomic.AddUint32(&v.gen, 1)
+	atomic.StoreUint32(&v.words[i], x)
+	atomic.AddUint32(&v.gen, 1)
+}
+
+// construct runs before the view is published to readers.
+//
+//repro:seqexempt
+func construct(n int) *view {
+	v := &view{words: make([]uint32, n)}
+	v.words[0] = 1
+	return v
+}
+
+// headers reads only the immutable slice header: len, cap, and a
+// single-variable range never touch the guarded elements.
+func headers(v *view) int {
+	n := 0
+	for i := range v.words {
+		n += i
+	}
+	return n + len(v.words) + cap(v.words)
+}

@@ -1,0 +1,38 @@
+// Package a holds seqatomic violations: plain accesses to seqguarded
+// words that a lock-free seqlock reader observes concurrently.
+package a
+
+import "sync/atomic"
+
+// view models a seqlock-published table: writers mutate words and bump
+// gen; readers load words between two gen loads and retry on mismatch.
+type view struct {
+	//repro:seqguarded
+	words []uint32
+	gen   uint32 //repro:seqguarded
+	name  string
+}
+
+// torn is the bug the race detector cannot see: the plain load of
+// v.words[i] races the writer's store, and even though a torn value is
+// discarded when the generation check fails, the plain load itself is
+// undefined behaviour under the Go memory model. Under -race the
+// generation check makes almost every interleaving look synchronized,
+// so this passes `go test -race` and still miscompiles legally.
+func torn(v *view, i int) (uint32, bool) {
+	g1 := atomic.LoadUint32(&v.gen)
+	x := v.words[i] // want `plain access to seqguarded field words`
+	g2 := atomic.LoadUint32(&v.gen)
+	if g1 != g2 || g1%2 != 0 {
+		return 0, false // torn value discarded; the race already happened
+	}
+	return x, true
+}
+
+func plainStore(v *view, i int, x uint32) {
+	v.words[i] = x // want `plain access to seqguarded field words`
+	v.gen++        // want `plain access to seqguarded field gen`
+}
+
+// plainName is fine: name is not guarded.
+func plainName(v *view) string { return v.name }

@@ -1,0 +1,38 @@
+//repro:unsafeview in-place byte views of pointer-free structs, gated by checkPointerFree
+
+// Package clean holds the sound unsafe-view shapes: every view is in an
+// allowlisted file and dominated by a gate, either called lexically
+// first or recorded with //repro:gated.
+package clean
+
+import (
+	"reflect"
+	"unsafe"
+)
+
+type pair struct{ a, b uint64 }
+
+// checkPointerFree is the gate: it rejects pointerful kinds before any
+// byte view is taken.
+//
+//repro:unsafegate
+func checkPointerFree(t reflect.Type) {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Map, reflect.Chan, reflect.Slice,
+		reflect.String, reflect.Interface, reflect.Func, reflect.UnsafePointer:
+		panic("pointerful type " + t.String())
+	}
+}
+
+// bytesOf calls the gate before its first view.
+func bytesOf(p *pair) []byte {
+	checkPointerFree(reflect.TypeOf(*p))
+	return unsafe.Slice((*byte)(unsafe.Pointer(p)), unsafe.Sizeof(*p))
+}
+
+// load's gate ran at construction time; the annotation records where.
+//
+//repro:gated checkPointerFree ran in bytesOf before any serialized pair exists
+func load(b []byte) pair {
+	return *(*pair)(unsafe.Pointer(unsafe.SliceData(b)))
+}

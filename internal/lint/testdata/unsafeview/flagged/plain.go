@@ -1,0 +1,16 @@
+// Package a exercises unsafeview: views outside the audited allowlist
+// and views with no dominating gate. This file is NOT annotated
+// //repro:unsafeview, so any view in it is flagged.
+package a
+
+import "unsafe"
+
+func addrOf(x *int) uintptr {
+	return uintptr(unsafe.Pointer(x)) // want `unsafe\.Pointer in a file not annotated //repro:unsafeview`
+}
+
+// sizes uses only the compile-time-constant members, which are
+// unrestricted anywhere.
+func sizes(x int) uintptr {
+	return unsafe.Sizeof(x) + unsafe.Alignof(x)
+}

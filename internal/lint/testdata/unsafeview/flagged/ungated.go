@@ -1,0 +1,13 @@
+//repro:unsafeview byte views of pair; the gate is deliberately missing here
+
+package a
+
+import "unsafe"
+
+type pair struct{ a, b uint64 }
+
+// viewUngated sits in an allowlisted file but never proves pair
+// pointer-free before viewing it.
+func viewUngated(p *pair) []byte {
+	return unsafe.Slice((*byte)(unsafe.Pointer(p)), unsafe.Sizeof(*p)) // want `unsafe view in viewUngated is not dominated by a pointer-free gate`
+}

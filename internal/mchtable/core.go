@@ -153,6 +153,8 @@ func (c *Core[K, V]) StashCap() int { return c.stashCap }
 func (c *Core[K, V]) slot(b, s int) int { return b*c.slotsPerBucket + s }
 
 // findInBucket returns the slot of key in bucket b, or -1.
+//
+//repro:noalloc
 func (c *Core[K, V]) findInBucket(key K, b int) int {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
@@ -171,6 +173,8 @@ func (c *Core[K, V]) stashLive() []stashEntry[K, V] {
 }
 
 // stashFind returns the stash index of key, or -1.
+//
+//repro:noalloc
 func (c *Core[K, V]) stashFind(key K) int {
 	for i, e := range c.stashLive() {
 		if e.key == key {
@@ -183,11 +187,13 @@ func (c *Core[K, V]) stashFind(key K) int {
 // stashAppend adds e to the stash, growing the backing block by
 // replacement (build bigger, copy, publish) so the published block's
 // array header never mutates under a seq reader.
+//
+//repro:noalloc
 func (c *Core[K, V]) stashAppend(e stashEntry[K, V]) {
 	blk := c.stash.Load()
 	n := int(blk.n.Load())
 	if n == len(blk.arr) {
-		grown := &stashBlock[K, V]{arr: make([]stashEntry[K, V], max(8, 2*len(blk.arr)))}
+		grown := &stashBlock[K, V]{arr: make([]stashEntry[K, V], max(8, 2*len(blk.arr)))} //repro:allocok growth path: the stash block doubles by replacement, amortized over inserts
 		copy(grown.arr, blk.arr[:n])
 		grown.arr[n] = e
 		grown.n.Store(int32(n + 1))
@@ -200,6 +206,8 @@ func (c *Core[K, V]) stashAppend(e stashEntry[K, V]) {
 
 // stashRemove deletes stash entry i, preserving the order of the rest so
 // drains stay insertion-ordered (and deterministic).
+//
+//repro:noalloc
 func (c *Core[K, V]) stashRemove(i int) {
 	blk := c.stash.Load()
 	n := int(blk.n.Load())
@@ -214,6 +222,8 @@ func (c *Core[K, V]) stashRemove(i int) {
 
 // stashPopBack removes and returns the newest stash entry (Migrate's
 // deterministic O(1) drain order).
+//
+//repro:noalloc
 func (c *Core[K, V]) stashPopBack() stashEntry[K, V] {
 	blk := c.stash.Load()
 	n := int(blk.n.Load())
@@ -227,6 +237,8 @@ func (c *Core[K, V]) stashPopBack() stashEntry[K, V] {
 
 // storeInBucket places the pair in a free slot of bucket b, which the
 // caller has verified exists.
+//
+//repro:noalloc
 func (c *Core[K, V]) storeInBucket(b int, key K, val V, tag uint64) {
 	for s := 0; s < c.slotsPerBucket; s++ {
 		idx := c.slot(b, s)
@@ -254,6 +266,8 @@ func (c *Core[K, V]) storeInBucket(b int, key K, val V, tag uint64) {
 //
 // Put addresses the current geometry only; while a resize is in flight
 // callers must use PutDual instead.
+//
+//repro:noalloc
 func (c *Core[K, V]) Put(cands []uint32, key K, val V, tag uint64) bool {
 	return c.put(cands, key, val, tag, true)
 }
@@ -261,6 +275,8 @@ func (c *Core[K, V]) Put(cands []uint32, key K, val V, tag uint64) bool {
 // put is Put with the stash capacity check optional: growth migrations
 // pass capped=false so forward progress never depends on stash headroom
 // (see Migrate).
+//
+//repro:noalloc
 func (c *Core[K, V]) put(cands []uint32, key K, val V, tag uint64, capped bool) bool {
 	// Update in place, wherever the key already lives.
 	for _, b := range cands {
@@ -292,6 +308,8 @@ func (c *Core[K, V]) put(cands []uint32, key K, val V, tag uint64, capped bool) 
 
 // Get returns the value stored for key, given key's candidate buckets in
 // the current geometry. While a resize is in flight use GetDual.
+//
+//repro:noalloc
 func (c *Core[K, V]) Get(cands []uint32, key K) (V, bool) {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
@@ -313,6 +331,8 @@ func (c *Core[K, V]) Get(cands []uint32, key K) (V, bool) {
 // (buckets, then stash). It returns the number found. Like Get, GetBatch
 // addresses the current geometry only; the resize-aware concurrent
 // batch loop lives in internal/cmap.
+//
+//repro:noalloc
 func (c *Core[K, V]) GetBatch(cands []uint32, d int, keys []K, vals []V, found []bool) int {
 	if d <= 0 || len(cands) < len(keys)*d || len(vals) < len(keys) || len(found) < len(keys) {
 		panic("mchtable: GetBatch slice shapes do not cover the key batch")
@@ -340,6 +360,8 @@ func (c *Core[K, V]) GetBatch(cands []uint32, d int, keys []K, vals []V, found [
 // forever. cands must not alias the buffer candsOf writes into — the
 // drain recomputes stashed entries' candidates while cands is still live.
 // While a resize is in flight use DeleteDual.
+//
+//repro:noalloc
 func (c *Core[K, V]) Delete(cands []uint32, key K, candsOf func(tag uint64) []uint32) bool {
 	for _, b := range cands {
 		if idx := c.findInBucket(key, int(b)); idx >= 0 {
@@ -361,6 +383,8 @@ func (c *Core[K, V]) Delete(cands []uint32, key K, candsOf func(tag uint64) []ui
 // generic V) stays reachable; in seq mode the types are pointer-free —
 // nothing is pinned — and plain zeroing would race with lock-free
 // readers, so the dead payload just stays behind the cleared used flag.
+//
+//repro:noalloc
 func (c *Core[K, V]) clearSlot(idx, b int) {
 	c.setUsed(idx, 0)
 	if !c.seqMode {
@@ -375,6 +399,8 @@ func (c *Core[K, V]) clearSlot(idx, b int) {
 
 // drainStashInto moves the first stashed entry (insertion order) whose
 // candidate set covers bucket b into b, if b has a free slot.
+//
+//repro:noalloc
 func (c *Core[K, V]) drainStashInto(b int, candsOf func(tag uint64) []uint32) {
 	if int(c.counts[b]) >= c.slotsPerBucket {
 		return
@@ -448,6 +474,9 @@ func (c *Core[K, V]) Resizes() int { return int(c.resizes.Load()) }
 //
 // When the old geometry empties, the new Core is promoted in place and
 // Resizing becomes false; the receiver pointer remains valid throughout.
+//
+//repro:digestcarried
+//repro:noalloc
 func (c *Core[K, V]) Migrate(n int, candsOf func(tag uint64) []uint32) int {
 	next := c.next.Load()
 	if next == nil {
@@ -518,6 +547,8 @@ func (c *Core[K, V]) promote() {
 // GetDual is Get while a resize is in flight: the old geometry (oldCands)
 // is consulted first, then the new one (newCands), so no key is ever
 // unreachable mid-migration. With no resize in flight it is plain Get.
+//
+//repro:noalloc
 func (c *Core[K, V]) GetDual(oldCands, newCands []uint32, key K) (V, bool) {
 	if v, ok := c.Get(oldCands, key); ok {
 		return v, true
@@ -536,6 +567,8 @@ func (c *Core[K, V]) GetDual(oldCands, newCands []uint32, key K) (V, bool) {
 // since resizes grow the table) a resident key is updated in place in the
 // old geometry and a new key is rejected. It panics without a resize in
 // flight.
+//
+//repro:noalloc
 func (c *Core[K, V]) PutDual(oldCands, newCands []uint32, key K, val V, tag uint64) bool {
 	next := c.next.Load()
 	if next == nil {
@@ -568,6 +601,8 @@ func (c *Core[K, V]) PutDual(oldCands, newCands []uint32, key K, val V, tag uint
 // drain — stashed entries are on their way to the new geometry anyway —
 // while new-geometry deletions drain the new stash through newCandsOf. It
 // panics without a resize in flight.
+//
+//repro:noalloc
 func (c *Core[K, V]) DeleteDual(oldCands, newCands []uint32, key K, newCandsOf func(tag uint64) []uint32) bool {
 	next := c.next.Load()
 	if next == nil {

@@ -25,6 +25,9 @@
 //     slot or stash field offset is then 4-aligned, so the per-word
 //     atomics are aligned on every platform (32-bit included — which is
 //     also why the granularity is 32 and not 64 bits).
+
+//repro:unsafeview word-granular views of seq-capable slot storage, gated by SeqCapable at EnableSeq time
+
 package mchtable
 
 import (
@@ -35,6 +38,8 @@ import (
 
 // SeqCapable reports whether T's values may be stored under the seq-mode
 // word-atomic protocol (see the file comment for the two conditions).
+//
+//repro:unsafegate
 func SeqCapable[T any]() bool {
 	t := reflect.TypeFor[T]()
 	return t.Size()%4 == 0 && pointerFree(t)
@@ -67,6 +72,10 @@ func pointerFree(t reflect.Type) bool {
 // storeWords publishes src into dst as aligned 32-bit atomic stores. dst
 // must point at a seq-capable value (pointer-free, size%4 == 0 — the
 // caller guarantees this via EnableSeq's gate).
+//
+//repro:seqaccessor
+//repro:noalloc
+//repro:gated SeqCapable ran in EnableSeq; seq mode is never entered for pointerful or oddly-sized T
 func storeWords[T any](dst, src *T) {
 	d := unsafe.Pointer(dst)
 	s := unsafe.Pointer(src)
@@ -78,6 +87,10 @@ func storeWords[T any](dst, src *T) {
 // loadWords reads src word-atomically into dst. The assembled value is
 // coherent only if the caller's seqlock validation succeeds afterwards;
 // mid-write it may interleave words from different stores.
+//
+//repro:seqaccessor
+//repro:noalloc
+//repro:gated SeqCapable ran in EnableSeq; seq mode is never entered for pointerful or oddly-sized T
 func loadWords[T any](dst, src *T) {
 	d := unsafe.Pointer(dst)
 	s := unsafe.Pointer(src)
@@ -87,6 +100,8 @@ func loadWords[T any](dst, src *T) {
 }
 
 // setKey writes a bucket-slot key with the mode's store discipline.
+//
+//repro:noalloc
 func (c *Core[K, V]) setKey(dst *K, k K) {
 	if c.seqMode {
 		storeWords(dst, &k)
@@ -97,6 +112,8 @@ func (c *Core[K, V]) setKey(dst *K, k K) {
 
 // setVal writes a bucket-slot or stash value with the mode's store
 // discipline.
+//
+//repro:noalloc
 func (c *Core[K, V]) setVal(dst *V, v V) {
 	if c.seqMode {
 		storeWords(dst, &v)
@@ -106,6 +123,8 @@ func (c *Core[K, V]) setVal(dst *V, v V) {
 }
 
 // setUsed writes a slot's occupancy flag with the mode's store discipline.
+//
+//repro:noalloc
 func (c *Core[K, V]) setUsed(idx int, u uint32) {
 	if c.seqMode {
 		atomic.StoreUint32(&c.used[idx], u)
@@ -116,6 +135,8 @@ func (c *Core[K, V]) setUsed(idx int, u uint32) {
 
 // setCount writes a bucket's occupancy counter with the mode's store
 // discipline (the writer computes the new value under its exclusion).
+//
+//repro:noalloc
 func (c *Core[K, V]) setCount(b int, v uint32) {
 	if c.seqMode {
 		atomic.StoreUint32(&c.counts[b], v)
@@ -127,6 +148,8 @@ func (c *Core[K, V]) setCount(b int, v uint32) {
 // setStashEntry writes a published stash entry with the mode's store
 // discipline. Tags are writer-only state, so they stay plain in both
 // modes.
+//
+//repro:noalloc
 func (c *Core[K, V]) setStashEntry(dst *stashEntry[K, V], e stashEntry[K, V]) {
 	if c.seqMode {
 		storeWords(&dst.key, &e.key)
@@ -144,13 +167,22 @@ func (c *Core[K, V]) setStashEntry(dst *stashEntry[K, V], e stashEntry[K, V]) {
 // candidate buckets are derived for a deriver whose N matches Buckets,
 // every probe into the view is in bounds no matter how torn the rest of
 // the read is.
+//
+// The slice fields' elements are the reader-visible words of the seqlock
+// protocol: every element access must go through sync/atomic (the slice
+// headers themselves are immutable once published). buckets and slots
+// are immutable ints, read plainly.
 type SeqView[K comparable, V any] struct {
 	buckets int
 	slots   int
-	keys    []K
-	vals    []V
-	used    []uint32
-	counts  []uint32
+	//repro:seqguarded
+	keys []K
+	//repro:seqguarded
+	vals []V
+	//repro:seqguarded
+	used []uint32
+	//repro:seqguarded
+	counts []uint32
 }
 
 // Buckets returns the view's bucket count — the geometry readers must
@@ -170,6 +202,8 @@ func (c *Core[K, V]) View() *SeqView[K, V] { return c.view.Load() }
 // is meaningful only if the caller's seqlock generation validation
 // succeeds after the call: mid-write, SeqGet can observe torn values and
 // report a wrong or missing pair, but it never faults.
+//
+//repro:noalloc
 func (c *Core[K, V]) SeqGet(v *SeqView[K, V], cands []uint32, key K) (V, bool) {
 	for _, b := range cands {
 		if int(b) >= v.buckets {
@@ -214,6 +248,9 @@ func (c *Core[K, V]) SeqGet(v *SeqView[K, V], cands []uint32, key K) (V, bool) {
 // misses overlap instead of serializing probe-by-probe. It returns a
 // checksum the caller should feed to keepAlive32 so the compiler cannot
 // consider the loads dead.
+//
+//repro:noalloc
+//repro:gated first-word loads are issued only when the kw/vw alignment checks prove the element 4-aligned
 func (v *SeqView[K, V]) Prefetch(cands []uint32) uint32 {
 	var zk K
 	var zv V
@@ -247,6 +284,8 @@ func (v *SeqView[K, V]) Prefetch(cands []uint32) uint32 {
 // reader can histogram a live geometry; values a writer is mid-way
 // through changing are simply the old or new counter (32-bit loads never
 // tear), and the caller's generation check rejects inconsistent totals.
+//
+//repro:noalloc
 func (v *SeqView[K, V]) AddLoads(dst []int64) {
 	for i := range v.counts {
 		n := int(atomic.LoadUint32(&v.counts[i]))

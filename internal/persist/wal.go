@@ -291,18 +291,20 @@ func parseLenPrefixed(p []byte) (b, rest []byte, ok bool) {
 // batched into shared fsyncs (group commit). key and val may alias
 // caller scratch — their bytes are copied into the frame before Append
 // returns control.
+//
+//repro:noalloc
 func (w *WAL) Append(op WALOp, key, val []byte) error {
 	if op != WALPut && op != WALDelete {
-		return fmt.Errorf("persist: Append op %d", op)
+		return fmt.Errorf("persist: Append op %d", op) //repro:allocok invalid-op error path: the append was rejected, not logged
 	}
 	if len(key) > MaxRecordBytes || len(val) > MaxRecordBytes {
-		return fmt.Errorf("persist: WAL record of %d/%d bytes exceeds MaxRecordBytes", len(key), len(val))
+		return fmt.Errorf("persist: WAL record of %d/%d bytes exceeds MaxRecordBytes", len(key), len(val)) //repro:allocok oversized-record error path: the append was rejected, not logged
 	}
 	w.mu.Lock()
 	if w.writeErr != nil {
 		err := w.writeErr
 		w.mu.Unlock()
-		return fmt.Errorf("persist: WAL poisoned by an earlier write error: %w", err)
+		return fmt.Errorf("persist: WAL poisoned by an earlier write error: %w", err) //repro:allocok poisoned-log error path: the WAL already refuses all appends
 	}
 	buf := w.scratch[:0]
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame placeholder
@@ -336,6 +338,8 @@ func (w *WAL) Append(op WALOp, key, val []byte) error {
 // concurrent appenders: whoever arrives while no flush is in flight
 // becomes the flusher and syncs everything appended so far; everyone
 // else waits for a flush that covers their record.
+//
+//repro:noalloc
 func (w *WAL) waitDurable(seq uint64) error {
 	w.smu.Lock()
 	for {
