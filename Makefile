@@ -15,7 +15,7 @@ BENCH_GET_CPUS ?= 1,4,8
 BENCH_GET_TIME ?= 0.5s
 BENCH_GET_JSON ?= BENCH_get.json
 
-.PHONY: all build vet lint test race check bench bench-json bench-smoke fuzz-smoke clean
+.PHONY: all build vet lint test race check bench bench-json bench-smoke fuzz-smoke serve-smoke clean
 
 all: check
 
@@ -77,6 +77,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzOpenAddrOps$$' -fuzztime $(FUZZ_TIME) ./internal/openaddr
 	$(GO) test -run '^$$' -fuzz '^FuzzSnapshotLoad$$' -fuzztime $(FUZZ_TIME) ./internal/persist
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecover$$' -fuzztime $(FUZZ_TIME) ./internal/persist
+	$(GO) test -run '^$$' -fuzz '^FuzzWireDecode$$' -fuzztime $(FUZZ_TIME) ./internal/wire
+
+# End-to-end serving smoke (used by CI): boot served on a loopback
+# ephemeral port, drive it with loadgen -net under full verification
+# (shadow maps + final MGET sweep; any lost/divergent pair fails),
+# require batched MGET reads to beat per-key GETs by >= 1.2x, then
+# SIGTERM and prove the restart recovers the checkpointed pairs.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 clean:
 	rm -f $(BENCH_OUT)

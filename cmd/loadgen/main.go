@@ -138,6 +138,10 @@ func main() {
 		snap    = flag.String("snapshot", "", "write a snapshot to this path after the run (reload-checked with -verify)")
 		restore = flag.String("restore", "", "load this snapshot before the run, at the flags' geometry")
 		wal     = flag.String("wal", "", "append writes to a write-ahead log at this path (replay-checked with -verify)")
+		netAddr = flag.String("net", "", "drive a served instance at this address over the wire protocol instead of the in-process map")
+		conns   = flag.Int("conns", 0, "network mode: concurrent client connections (0 = GOMAXPROCS)")
+		rate    = flag.Float64("rate", 0, "network mode: open-loop target ops/sec across all connections (0 = closed loop)")
+		jsonOut = flag.String("json", "", "network mode: write a machine-readable throughput/latency summary to this file")
 	)
 	flag.Parse()
 
@@ -155,9 +159,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "need -mget >= 0")
 		os.Exit(2)
 	}
-	if *mget > 0 && *verify {
+	if *mget > 0 && *verify && *netAddr == "" {
 		// The concurrent oracle issues per-key ops; batched lookups are
 		// differentially tested by the testutil OpGetBatch op instead.
+		// (Network mode supports both together: its shadow maps check
+		// every MGET slot.)
 		fmt.Fprintln(os.Stderr, "note: -verify drives per-key ops; -mget ignored")
 		*mget = 0
 	}
@@ -167,6 +173,26 @@ func main() {
 	}
 	if *workers == 0 {
 		*workers = runtime.GOMAXPROCS(0)
+	}
+	if *netAddr != "" {
+		// Network mode: the map lives in the served process; every other
+		// in-process knob (geometry, snapshot/WAL artifacts) is its
+		// concern, not loadgen's.
+		if *snap != "" || *restore != "" || *wal != "" {
+			fmt.Fprintln(os.Stderr, "-net drives a remote map; -snapshot/-restore/-wal do not apply")
+			os.Exit(2)
+		}
+		if *conns == 0 {
+			*conns = runtime.GOMAXPROCS(0)
+		}
+		if *keys == 0 {
+			*keys = 1 << 16
+		}
+		runNet(config{
+			ops: *ops, keys: *keys, read: *read, del: *del,
+			mget: *mget, verify: *verify, seed: *seed,
+		}, netConfig{addr: *netAddr, conns: *conns, rate: *rate, jsonPath: *jsonOut})
+		return
 	}
 	if *batch == 0 {
 		*batch = 32 // cmap's documented default; MigrateStep rejects n <= 0

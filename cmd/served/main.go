@@ -1,0 +1,191 @@
+// Command served fronts a durable map (repro.DurableMap) with the
+// binary-framed wire protocol (internal/wire) over TCP: GET / SET /
+// DEL / MGET / STATS, pipelined per connection.
+//
+// The serving semantics follow from the layers below, not from the
+// server itself:
+//
+//   - A SET's OK reply is a durability acknowledgement: the write's WAL
+//     record was fsynced (group-committed with concurrent writers)
+//     before the reply frame was queued. With -wal-sync=false the ack
+//     only promises the record was handed to the kernel.
+//   - Pipelined GETs arriving in one burst are coalesced into a single
+//     GetBatch call against the map — the probes' cache misses overlap
+//     exactly as in the in-process batched lookup tier, so deep client
+//     pipelines recover most of the per-op network framing cost.
+//   - Replies are strictly in request order; a connection observes its
+//     own writes.
+//
+// On SIGINT/SIGTERM the server stops accepting, drains in-flight
+// connections (bounded by -drain), checkpoints the map if asked, and
+// closes it — the WAL's sticky-error discipline guarantees a failed
+// fsync at any point has already turned later acks into errors rather
+// than silent loss.
+//
+// Examples:
+//
+//	served -dir /var/lib/served                 # durable, fsynced acks
+//	served -dir /tmp/d -wal-sync=false          # throughput over durability
+//	served -addr 127.0.0.1:0 -addr-file a.txt   # tests/scripts discover the port
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:4680", "TCP listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts discovering -addr :0)")
+		dir      = flag.String("dir", "", "durable map directory (snapshot + WAL); required")
+		walSync  = flag.Bool("wal-sync", true, "fsync the WAL before acknowledging a write")
+		shards   = flag.Int("shards", 16, "shard count (rounded up to a power of two)")
+		buckets  = flag.Int("buckets", 1<<12, "initial buckets per shard")
+		slots    = flag.Int("slots", 4, "slots per bucket")
+		d        = flag.Int("d", 3, "candidate buckets per key")
+		grow     = flag.Float64("grow", 0.90, "max load factor before a shard doubles online")
+		seed     = flag.Uint64("seed", 0, "hash seed (0 = random)")
+		maxFrame = flag.Int("max-frame", wire.DefaultMaxFrame, "largest accepted request frame in bytes")
+		maxPipe  = flag.Int("max-pipeline", wire.DefaultMaxPipeline, "most requests coalesced per read burst")
+		idle     = flag.Duration("idle-timeout", 5*time.Minute, "drop connections idle this long (0 = never)")
+		wto      = flag.Duration("write-timeout", 30*time.Second, "per-burst reply write deadline (0 = none)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before in-flight connections are force-closed")
+		ckpt     = flag.Bool("checkpoint-on-exit", true, "write a snapshot and reset the WAL during shutdown")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "served: -dir is required (the durable map's snapshot + WAL directory)")
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "served: ", log.LstdFlags)
+
+	m, err := repro.OpenOf[string, []byte](*dir,
+		repro.HasherFor[string](), repro.CodecFor[string](), bytesCodec,
+		repro.WithShards(*shards), repro.WithBuckets(*buckets), repro.WithSlots(*slots),
+		repro.WithD(*d), repro.WithMaxLoadFactor(*grow), repro.WithSeed(*seed),
+		repro.WithWALSync(*walSync))
+	if err != nil {
+		logger.Fatalf("open %s: %v", *dir, err)
+	}
+	logger.Printf("recovered %d pairs from %s (wal fsync %v)", m.Len(), *dir, *walSync)
+
+	srv := wire.NewServer(&backend{m: m}, wire.Options{
+		MaxFrameBytes: *maxFrame,
+		MaxPipeline:   *maxPipe,
+		IdleTimeout:   *idle,
+		WriteTimeout:  *wto,
+		Logf:          logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written atomically (tmp + rename) so a polling script never
+		// reads a half-written address.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+			logger.Fatalf("write -addr-file: %v", err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			logger.Fatalf("publish -addr-file: %v", err)
+		}
+	}
+	logger.Printf("listening on %s", bound)
+
+	var serveWG sync.WaitGroup
+	serveWG.Add(1)
+	go func() {
+		defer serveWG.Done()
+		if err := srv.Serve(ln); err != nil {
+			logger.Printf("serve: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	logger.Printf("%v: draining (budget %v)", got, *drain)
+	if err := srv.Shutdown(*drain); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	serveWG.Wait()
+
+	if *ckpt {
+		start := time.Now()
+		if err := m.Checkpoint(); err != nil {
+			// A failed checkpoint is not fatal to durability: the WAL
+			// still covers every acknowledged write, so log and move on
+			// to Close rather than dying mid-shutdown.
+			logger.Printf("checkpoint: %v", err)
+		} else {
+			logger.Printf("checkpoint: %d pairs in %v", m.Len(), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if err := m.Close(); err != nil {
+		logger.Fatalf("close: %v", err)
+	}
+	logger.Printf("bye")
+}
+
+// bytesCodec encodes []byte values verbatim. Decode clones: the map
+// owns its values, and WAL replay / snapshot load hand the codec
+// buffers they immediately reuse.
+var bytesCodec = repro.Codec[[]byte]{
+	Append: func(dst []byte, v []byte) []byte { return append(dst, v...) },
+	Decode: func(b []byte) ([]byte, error) { return append([]byte(nil), b...), nil },
+}
+
+// backend adapts the durable map to the wire server's Backend. Keys
+// cross from []byte frame views to the map's string keys here; values
+// stored are clones (the frame buffer a SET's value points into is
+// reused by the very next frame), and values returned are the map's
+// own immutable slices (updates swap the slice, never mutate bytes),
+// so handing them back as reply views is safe.
+type backend struct {
+	m *repro.DurableMap[string, []byte]
+	// keyScratch pools []string conversion buffers for GetBatch: the
+	// adapter is shared by every connection goroutine.
+	keyScratch sync.Pool // *[]string
+}
+
+func (b *backend) Get(key []byte) ([]byte, bool) {
+	return b.m.Get(string(key))
+}
+
+func (b *backend) GetBatch(keys [][]byte, vals [][]byte, found []bool) int {
+	skp, _ := b.keyScratch.Get().(*[]string)
+	if skp == nil {
+		skp = new([]string)
+	}
+	sk := (*skp)[:0]
+	for _, k := range keys {
+		sk = append(sk, string(k))
+	}
+	n := b.m.GetBatch(sk, vals[:len(sk)], found[:len(sk)])
+	*skp = sk
+	b.keyScratch.Put(skp)
+	return n
+}
+
+func (b *backend) Set(key, val []byte) error {
+	return b.m.Put(string(key), append([]byte(nil), val...))
+}
+
+func (b *backend) Delete(key []byte) (bool, error) {
+	return b.m.Delete(string(key))
+}

@@ -81,6 +81,19 @@ type WALOptions struct {
 	NoSync bool
 }
 
+// walFile is the file surface the WAL appends through. *os.File
+// satisfies it; tests substitute fsync-failing shims to prove the
+// error-poisoning contract (a durability failure must stick — see
+// writeErr and syncErr below).
+type walFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Stat() (os.FileInfo, error)
+	Close() error
+}
+
 // WAL is an append-only write-ahead log. Append is safe for concurrent
 // use; a single mutex orders the record frames and the group-commit
 // machinery batches the fsyncs.
@@ -88,7 +101,7 @@ type WAL struct {
 	opts WALOptions
 
 	mu      sync.Mutex // guards f writes, scratch, seq, writeErr
-	f       *os.File
+	f       walFile
 	scratch []byte
 	seq     uint64 // records appended
 	// writeErr is sticky: a failed (possibly partial) frame write leaves
@@ -181,7 +194,7 @@ func ReplayWAL(path string, replay func(op WALOp, key, val []byte) error) (recor
 	return n, good < st.Size(), err
 }
 
-func newWAL(f *os.File, opts WALOptions) *WAL {
+func newWAL(f walFile, opts WALOptions) *WAL {
 	w := &WAL{opts: opts, f: f}
 	w.scond = sync.NewCond(&w.smu)
 	return w
@@ -300,6 +313,12 @@ func (w *WAL) Append(op WALOp, key, val []byte) error {
 	if len(key) > MaxRecordBytes || len(val) > MaxRecordBytes {
 		return fmt.Errorf("persist: WAL record of %d/%d bytes exceeds MaxRecordBytes", len(key), len(val)) //repro:allocok oversized-record error path: the append was rejected, not logged
 	}
+	w.smu.Lock()
+	if err := w.syncErr; err != nil {
+		w.smu.Unlock()
+		return fmt.Errorf("persist: WAL poisoned by an earlier fsync failure: %w", err) //repro:allocok poisoned-log error path: the WAL already refuses all appends
+	}
+	w.smu.Unlock()
 	w.mu.Lock()
 	if w.writeErr != nil {
 		err := w.writeErr
@@ -383,20 +402,41 @@ func (w *WAL) waitDurable(seq uint64) error {
 }
 
 // Sync forces an fsync of everything appended so far (useful with
-// NoSync, or before handing the file to another process).
+// NoSync, or before handing the file to another process). A failed
+// fsync poisons the WAL exactly as one inside Append would: the kernel
+// may have dropped the dirty pages it could not write, so no later
+// Append or Sync may claim durability over the hole — all of them
+// return the sticky error until Reset truncates the log back to a
+// state the disk verifiably holds.
 func (w *WAL) Sync() error {
 	w.mu.Lock()
+	if err := w.writeErr; err != nil {
+		w.mu.Unlock()
+		return fmt.Errorf("persist: WAL poisoned by an earlier write error: %w", err)
+	}
 	seq := w.seq
 	w.mu.Unlock()
-	if err := w.f.Sync(); err != nil {
+	w.smu.Lock()
+	if err := w.syncErr; err != nil {
+		w.smu.Unlock()
 		return err
 	}
+	w.smu.Unlock()
+	err := w.f.Sync()
 	w.smu.Lock()
-	if seq > w.durable {
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+	} else if w.syncErr != nil {
+		// A concurrent group-commit flush failed while ours ran: its
+		// pages may be lost regardless of our success — honor the poison.
+		err = w.syncErr
+	} else if seq > w.durable {
 		w.durable = seq
 	}
 	w.smu.Unlock()
-	return nil
+	return err
 }
 
 // Len returns the number of records appended (including replayed ones).
@@ -420,17 +460,32 @@ func (w *WAL) Size() (int64, error) {
 // Reset discards every record, truncating the log back to its header —
 // the post-checkpoint step: once a snapshot durably covers the WAL's
 // state, its records are dead weight.
+//
+// A successful Reset also heals a poisoned WAL: both sticky errors are
+// cleared, because the truncated (and, unless NoSync, fsynced) log no
+// longer contains any record whose durability was in doubt — the
+// checkpoint's snapshot covers everything that was ever acknowledged.
+// A Reset that itself fails poisons instead: a half-truncated log with
+// counters that no longer match its contents must refuse appends, or a
+// later recovery would silently discard them as a torn tail.
 func (w *WAL) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.f.Truncate(walHeaderSize); err != nil {
+		w.writeErr = err
 		return err
 	}
 	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
+		w.writeErr = err
 		return err
 	}
 	if !w.opts.NoSync {
 		if err := w.f.Sync(); err != nil {
+			w.smu.Lock()
+			if w.syncErr == nil {
+				w.syncErr = err
+			}
+			w.smu.Unlock()
 			return err
 		}
 	}
@@ -438,17 +493,27 @@ func (w *WAL) Reset() error {
 	w.writeErr = nil // any torn bytes were just truncated away
 	w.smu.Lock()
 	w.durable = 0
+	w.syncErr = nil // the empty log holds nothing whose durability is in doubt
 	w.smu.Unlock()
 	return nil
 }
 
-// Close fsyncs (unless NoSync) and closes the file.
+// Close fsyncs (unless NoSync) and closes the file. A failed final
+// fsync poisons like any other: post-Close appends already fail on the
+// closed file, but a caller retrying Sync must keep seeing the error
+// rather than a silent success against lost pages.
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var err error
 	if !w.opts.NoSync {
-		err = w.f.Sync()
+		if err = w.f.Sync(); err != nil {
+			w.smu.Lock()
+			if w.syncErr == nil {
+				w.syncErr = err
+			}
+			w.smu.Unlock()
+		}
 	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr

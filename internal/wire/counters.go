@@ -1,0 +1,124 @@
+package wire
+
+// The server-side observability snapshot: lock-free per-op counters, a
+// batch-size histogram for the server's coalesced GetBatch calls, and
+// the STATS text encoding — one "name value" line per counter, the
+// memcached STATS idiom without its framing.
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// batchBuckets is the batch-size histogram's bucket count: log2 buckets
+// 1, 2, 4, …, with everything ≥ 2^(batchBuckets-1) in the last.
+const batchBuckets = 11
+
+// Counters is the server's operation telemetry. All fields are atomics:
+// every connection goroutine bumps them lock-free, and a STATS snapshot
+// reads each counter individually (the snapshot is per-counter
+// consistent, not cross-counter atomic — the same contract as the map's
+// Stats).
+type Counters struct {
+	ConnsAccepted atomic.Int64
+	ConnsActive   atomic.Int64
+
+	FramesIn  atomic.Int64
+	FramesOut atomic.Int64
+	BytesIn   atomic.Int64
+	BytesOut  atomic.Int64
+
+	Gets      atomic.Int64 // GET requests served
+	GetMisses atomic.Int64
+	Sets      atomic.Int64
+	Dels      atomic.Int64
+	DelMisses atomic.Int64
+	MGets     atomic.Int64 // MGET requests served
+	MGetKeys  atomic.Int64 // keys across all MGETs
+	StatsOps  atomic.Int64
+
+	ErrDecode atomic.Int64 // framing/parse failures (connection-fatal)
+	ErrTooBig atomic.Int64 // frames over the size guard (connection-fatal)
+	ErrSet    atomic.Int64 // backend Set failures
+	ErrDel    atomic.Int64 // backend Delete failures
+
+	// BatchHist[i] counts server-side GetBatch calls of size in
+	// [2^i, 2^(i+1)): how much per-connection read batching actually
+	// coalesces under the live traffic mix.
+	BatchHist [batchBuckets]atomic.Int64
+}
+
+// noteBatch records one coalesced GetBatch call of n keys.
+//
+//repro:noalloc
+func (c *Counters) noteBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	b := bits.Len(uint(n)) - 1
+	if b >= batchBuckets {
+		b = batchBuckets - 1
+	}
+	c.BatchHist[b].Add(1)
+}
+
+// Ops returns the total requests served.
+func (c *Counters) Ops() int64 {
+	return c.Gets.Load() + c.Sets.Load() + c.Dels.Load() + c.MGets.Load() + c.StatsOps.Load()
+}
+
+// AppendText appends the STATS reply body: one "name value" line per
+// counter, plus uptime and the ops/sec rate over it, plus the non-empty
+// batch-size histogram buckets.
+func (c *Counters) AppendText(dst []byte, uptime time.Duration) []byte {
+	line := func(name string, v int64) {
+		dst = append(dst, name...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, v, 10)
+		dst = append(dst, '\n')
+	}
+	ops := c.Ops()
+	dst = append(dst, "uptime_seconds "...)
+	dst = strconv.AppendFloat(dst, uptime.Seconds(), 'f', 1, 64)
+	dst = append(dst, '\n')
+	line("ops_total", ops)
+	dst = append(dst, "ops_per_sec "...)
+	rate := 0.0
+	if s := uptime.Seconds(); s > 0 {
+		rate = float64(ops) / s
+	}
+	dst = strconv.AppendFloat(dst, rate, 'f', 1, 64)
+	dst = append(dst, '\n')
+	line("conns_accepted", c.ConnsAccepted.Load())
+	line("conns_active", c.ConnsActive.Load())
+	line("frames_in", c.FramesIn.Load())
+	line("frames_out", c.FramesOut.Load())
+	line("bytes_in", c.BytesIn.Load())
+	line("bytes_out", c.BytesOut.Load())
+	line("get", c.Gets.Load())
+	line("get_miss", c.GetMisses.Load())
+	line("set", c.Sets.Load())
+	line("del", c.Dels.Load())
+	line("del_miss", c.DelMisses.Load())
+	line("mget", c.MGets.Load())
+	line("mget_keys", c.MGetKeys.Load())
+	line("stats", c.StatsOps.Load())
+	line("err_decode", c.ErrDecode.Load())
+	line("err_too_big", c.ErrTooBig.Load())
+	line("err_set", c.ErrSet.Load())
+	line("err_del", c.ErrDel.Load())
+	for i := range c.BatchHist {
+		n := c.BatchHist[i].Load()
+		if n == 0 {
+			continue
+		}
+		dst = append(dst, "batch_ge_"...)
+		dst = strconv.AppendInt(dst, 1<<i, 10)
+		dst = append(dst, ' ')
+		dst = strconv.AppendInt(dst, n, 10)
+		dst = append(dst, '\n')
+	}
+	return dst
+}

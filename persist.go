@@ -332,6 +332,18 @@ func (s *DurableMap[K, V]) Delete(key K) (bool, error) {
 // never block on Checkpoint.
 func (s *DurableMap[K, V]) Get(key K) (V, bool) { return s.m.Get(key) }
 
+// GetBatch resolves keys[i] → (vals[i], found[i]) through the map's
+// pipelined batched lookup tier, returning the number found. Reads are
+// not logged, so the durable wrapper adds nothing — see Map.GetBatch
+// for the phased-probe semantics. This is the entry point the network
+// front-end's per-connection read batching feeds.
+func (s *DurableMap[K, V]) GetBatch(keys []K, vals []V, found []bool) int {
+	return s.m.GetBatch(keys, vals, found)
+}
+
+// MGet is the allocating convenience form of GetBatch.
+func (s *DurableMap[K, V]) MGet(keys []K) (vals []V, found []bool) { return s.m.MGet(keys) }
+
 // Len returns the number of stored pairs.
 func (s *DurableMap[K, V]) Len() int { return s.m.Len() }
 
@@ -382,6 +394,10 @@ func (s *DurableMap[K, V]) Checkpoint() error {
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		// Without this removal the fully-written tmp would sit in the
+		// directory until the next Open; it is never valid state (only the
+		// rename publishes a snapshot), so it must not outlive the error.
+		os.Remove(tmp)
 		return err
 	}
 	if err := syncDir(s.dir); err != nil {

@@ -264,3 +264,81 @@ func TestOpenRequiresGrowth(t *testing.T) {
 		t.Fatal("Open with growth disabled must fail")
 	}
 }
+
+// TestCheckpointFailureCleansTmp is the crash-shaped checkpoint
+// regression: a Checkpoint whose rename fails must not leave
+// snapshot.tmp behind (pre-fix it did), the store must keep taking
+// durable writes afterwards (the WAL was never reset), and a reopen —
+// with a stale tmp pre-seeded the way a crash mid-checkpoint would
+// leave one — must discard the tmp and recover every acknowledged
+// write.
+func TestCheckpointFailureCleansTmp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := repro.Open[uint64, uint64](dir, repro.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 200; i++ {
+		if err := s.Put(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Sabotage the rename target: a non-empty directory at the snapshot
+	// path makes os.Rename fail after the tmp is fully written and
+	// fsynced — exactly the failure shape that used to leak the tmp.
+	snap := filepath.Join(dir, "snapshot")
+	if err := os.Mkdir(snap, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(snap, "occupied"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint with an unrenameable target returned nil")
+	}
+	tmp := filepath.Join(dir, "snapshot.tmp")
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("snapshot.tmp survived a failed Checkpoint (stat err = %v)", err)
+	}
+
+	// The failed checkpoint never reset the WAL, so the store still
+	// holds — and keeps accepting — every durable write.
+	for i := uint64(201); i <= 250; i++ {
+		if err := s.Put(i, i*3); err != nil {
+			t.Fatalf("Put after failed Checkpoint: %v", err)
+		}
+	}
+	// Crash: no Close. Clear the sabotage and pre-seed a stale tmp, the
+	// state a crash between Checkpoint's write and rename leaves behind.
+	if err := os.RemoveAll(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tmp, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := repro.Open[uint64, uint64](dir, repro.WithSeed(7))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer s2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("Open left the stale snapshot.tmp in place (stat err = %v)", err)
+	}
+	if s2.Len() != 250 {
+		t.Fatalf("recovered %d pairs, want 250", s2.Len())
+	}
+	for i := uint64(1); i <= 250; i++ {
+		if v, ok := s2.Get(i); !ok || v != i*3 {
+			t.Fatalf("key %d = (%d, %v), want (%d, true)", i, v, ok, i*3)
+		}
+	}
+	// And checkpointing works again once the obstruction is gone.
+	if err := s2.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after recovery: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot missing after successful Checkpoint: %v", err)
+	}
+}
