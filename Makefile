@@ -15,7 +15,7 @@ BENCH_GET_CPUS ?= 1,4,8
 BENCH_GET_TIME ?= 0.5s
 BENCH_GET_JSON ?= BENCH_get.json
 
-.PHONY: all build vet lint test race check bench bench-json bench-smoke fuzz-smoke serve-smoke clean
+.PHONY: all build vet lint lint-gate test race check bench bench-json bench-smoke fuzz-smoke serve-smoke clean
 
 all: check
 
@@ -25,13 +25,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static invariant gate: gofmt, then the five reprolint analyzers
-# (seqatomic, noalloc, unsafeview, digestflow, lockheld — see
-# ANNOTATIONS.md) over every package including cmd/ and examples/,
-# driven through `go vet -vettool` so runs are cached per package like
-# any other vet check. staticcheck runs when installed; CI installs a
-# pinned version, offline dev boxes may not have it and skip with a
-# note rather than failing the gate.
+# Static invariant gate: gofmt, then the eight reprolint analyzers
+# (seqatomic, noalloc, unsafeview, digestflow, lockheld, fsyncorder,
+# boundedinput, lockorder — see ANNOTATIONS.md) over every package
+# including cmd/ and examples/, driven through `go vet -vettool` so
+# runs are cached per package like any other vet check. staticcheck
+# runs when installed; CI installs a pinned version, offline dev boxes
+# may not have it and skip with a note rather than failing the gate.
+#
+# LINT_ANALYZERS=fsyncorder,lockorder (comma-separated names) restricts
+# the reprolint pass to a subset: the variable flows through the
+# environment into the vettool, which folds it into its -V=full cache
+# identity so filtered and full verdicts never mix.
 REPROLINT_BIN ?= $(CURDIR)/bin/reprolint
 
 lint:
@@ -40,6 +45,12 @@ lint:
 	$(GO) vet -vettool=$(REPROLINT_BIN) ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "staticcheck not installed; skipped (CI runs a pinned version)"; fi
+
+# Self-test for the linter's exit-code contract (0 clean / 1 standalone
+# findings / 2 under the vet unit-check protocol) and the
+# LINT_ANALYZERS filter, replayed against the fsyncorder goldens.
+lint-gate:
+	./scripts/lint_gate.sh
 
 test:
 	$(GO) test ./...

@@ -1,13 +1,18 @@
 // Command reprolint runs the repository's invariant analyzers (package
-// repro/internal/lint): seqatomic, noalloc, unsafeview, digestflow and
-// lockheld. See ANNOTATIONS.md for the //repro:* directives they
-// enforce.
+// repro/internal/lint): seqatomic, noalloc, unsafeview, digestflow,
+// lockheld, fsyncorder, boundedinput and lockorder. See ANNOTATIONS.md
+// for the //repro:* directives they enforce.
 //
 // Standalone:
 //
 //	reprolint ./...          # or any go list patterns; default ./...
 //
 // exits 1 and prints file:line:col findings if any invariant is broken.
+//
+// LINT_ANALYZERS=fsyncorder,lockorder restricts the run to a
+// comma-separated subset of analyzer names (both standalone and under
+// go vet; the selection is folded into the -V=full identity so vet's
+// build cache never replays a filtered run's verdicts as a full run).
 //
 // As a vet tool:
 //
@@ -34,7 +39,39 @@ import (
 // toolVersion feeds the go vet build cache via -V=full: changing any
 // analyzer's behaviour must bump this, or cached clean verdicts from
 // the old analyzers keep suppressing new findings.
-const toolVersion = "7"
+const toolVersion = "8"
+
+// selectedAnalyzers honours the LINT_ANALYZERS environment variable: a
+// comma-separated list of analyzer names restricts the run to that
+// subset. Empty or unset means every analyzer. Unknown names are an
+// error — a typo silently running zero analyzers would read as "clean".
+func selectedAnalyzers() ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	env := strings.TrimSpace(os.Getenv("LINT_ANALYZERS"))
+	if env == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(env, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("LINT_ANALYZERS: unknown analyzer %q", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return all, nil
+	}
+	return picked, nil
+}
 
 func main() {
 	args := os.Args[1:]
@@ -46,7 +83,14 @@ func main() {
 	if len(args) == 1 {
 		switch {
 		case strings.HasPrefix(args[0], "-V"):
-			fmt.Printf("reprolint version %s\n", toolVersion)
+			// Fold the analyzer selection into the cache identity: a
+			// vet run under LINT_ANALYZERS=noalloc must not poison the
+			// cache for later full runs (or vice versa).
+			if env := strings.TrimSpace(os.Getenv("LINT_ANALYZERS")); env != "" {
+				fmt.Printf("reprolint version %s analyzers=%s\n", toolVersion, env)
+			} else {
+				fmt.Printf("reprolint version %s\n", toolVersion)
+			}
 			return
 		case args[0] == "-flags":
 			fmt.Println("[]")
@@ -60,12 +104,17 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	analyzers, err := selectedAnalyzers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		os.Exit(1)
+	}
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		os.Exit(1)
 	}
-	diags, err := lint.Run(pkgs, lint.Analyzers())
+	diags, err := lint.Run(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		os.Exit(1)
@@ -147,7 +196,12 @@ func unitCheck(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		return 1
 	}
-	diags, err := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	analyzers, err := selectedAnalyzers()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
 		return 1

@@ -95,13 +95,7 @@ func main() {
 	}
 	bound := ln.Addr().String()
 	if *addrFile != "" {
-		// Written atomically (tmp + rename) so a polling script never
-		// reads a half-written address.
-		tmp := *addrFile + ".tmp"
-		if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
-			logger.Fatalf("write -addr-file: %v", err)
-		}
-		if err := os.Rename(tmp, *addrFile); err != nil {
+		if err := publishAddr(*addrFile, bound); err != nil {
 			logger.Fatalf("publish -addr-file: %v", err)
 		}
 	}
@@ -140,6 +134,27 @@ func main() {
 		logger.Fatalf("close: %v", err)
 	}
 	logger.Printf("bye")
+}
+
+// publishAddr writes the bound address to path atomically (tmp +
+// rename) so a polling script never reads a half-written address. On
+// either failure the tmp file is removed: scripts watch the directory
+// for the final name, and a stale .tmp from a crashed earlier run must
+// not survive to confuse the next one (fsyncorder flagged the previous
+// inline version for exactly that leak).
+//
+//repro:poisons os.Remove
+func publishAddr(path, bound string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(bound+"\n"), 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("rename %s: %w", path, err)
+	}
+	return nil
 }
 
 // bytesCodec encodes []byte values verbatim. Decode clones: the map

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublishAddr covers the happy path: the address lands at the
+// final name with a trailing newline and no .tmp residue.
+func TestPublishAddr(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr.txt")
+	if err := publishAddr(path, "127.0.0.1:4680"); err != nil {
+		t.Fatalf("publishAddr: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read published addr: %v", err)
+	}
+	if string(got) != "127.0.0.1:4680\n" {
+		t.Fatalf("published %q, want %q", got, "127.0.0.1:4680\n")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file survived a successful publish: stat err = %v", err)
+	}
+}
+
+// TestPublishAddrRenameFailureRemovesTmp is the regression test for
+// the leak reprolint's fsyncorder analyzer surfaced: the old inline
+// publish wrote addr.txt.tmp and Fatalf'd if the rename failed,
+// leaving the tmp behind for the next run's polling script to trip
+// over. Renaming onto a non-empty directory forces the failure.
+func TestPublishAddrRenameFailureRemovesTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr.txt")
+	// A non-empty directory at the destination makes os.Rename fail
+	// (ENOTEMPTY/EEXIST) on every platform we build for.
+	if err := os.MkdirAll(filepath.Join(path, "occupied"), 0o755); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := publishAddr(path, "127.0.0.1:4680"); err == nil {
+		t.Fatal("publishAddr succeeded renaming onto a non-empty directory")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind after failed publish: stat err = %v", err)
+	}
+}
+
+// TestPublishAddrWriteFailureRemovesTmp forces the WriteFile leg to
+// fail by pointing the tmp name itself at an existing directory.
+func TestPublishAddrWriteFailureRemovesTmp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "addr.txt")
+	if err := os.MkdirAll(path+".tmp", 0o755); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := publishAddr(path, "127.0.0.1:4680"); err == nil {
+		t.Fatal("publishAddr succeeded writing tmp over a directory")
+	}
+	// The tmp path is a directory os.Remove can delete only if empty —
+	// it is, so the cleanup path should have removed it.
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp path left behind after failed write: stat err = %v", err)
+	}
+}

@@ -119,6 +119,7 @@ type Config struct {
 // trailing pad keeps adjacent shards' hot words off one cache line, so
 // uncontended shards do not false-share.
 type shard[K comparable, V any] struct {
+	//repro:lockclass cmap-shard 30
 	mu          sync.RWMutex
 	seq         atomic.Uint64
 	core        *mchtable.Core[K, V] // set once at construction; the pointer itself never changes

@@ -1,0 +1,450 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (a file fragment containing one function named
+// fn) and builds its graph.
+func parseFunc(t *testing.T, src, fn string) (*Graph, *ast.FuncDecl, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n"+src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return FuncGraph(fd), fd, fset
+		}
+	}
+	t.Fatalf("no function %q in source", fn)
+	return nil, nil, nil
+}
+
+// stmtNamed finds the statement whose source rendering contains marker.
+func nodeContaining(t *testing.T, g *Graph, marker string, fset *token.FileSet, fd *ast.FuncDecl, src string) ast.Node {
+	t.Helper()
+	var found ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || found != nil {
+			return false
+		}
+		if _, ok := n.(ast.Stmt); !ok {
+			return true
+		}
+		start := fset.Position(n.Pos()).Offset
+		end := fset.Position(n.End()).Offset
+		text := ("package x\n" + src)[start:end]
+		if strings.Contains(text, marker) {
+			// Keep descending: prefer the innermost statement.
+			found = n
+			inner := found
+			ast.Inspect(n, func(d ast.Node) bool {
+				if d == nil || d == n {
+					return true
+				}
+				if _, ok := d.(ast.Stmt); !ok {
+					return true
+				}
+				s := fset.Position(d.Pos()).Offset
+				e := fset.Position(d.End()).Offset
+				if strings.Contains(("package x\n" + src)[s:e], marker) {
+					inner = d
+				}
+				return true
+			})
+			found = inner
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no statement containing %q", marker)
+	}
+	return found
+}
+
+func TestIfStructure(t *testing.T) {
+	src := `
+func f(a bool) int {
+	x := 0
+	if a {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	then := nodeContaining(t, g, "x = 1", fset, fd, src)
+	els := nodeContaining(t, g, "x = 2", fset, fd, src)
+	ret := nodeContaining(t, g, "return x", fset, fd, src)
+
+	tb, _ := g.BlockOf(then)
+	eb, _ := g.BlockOf(els)
+	rb, _ := g.BlockOf(ret)
+	if tb == nil || eb == nil || rb == nil {
+		t.Fatal("statements not placed in blocks")
+	}
+	if tb == eb {
+		t.Fatal("then and else share a block")
+	}
+	// The condition block branches: true edge to then, false to else.
+	cond := g.Entry
+	for cond.Cond == nil && len(cond.Succs) == 1 {
+		cond = cond.Succs[0]
+	}
+	if cond.Cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("no two-way condition block, got %s", g)
+	}
+	if cond.Succs[0] != tb || cond.Succs[1] != eb {
+		t.Fatalf("true/false edges wrong: %s -> %s, %s", cond, cond.Succs[0], cond.Succs[1])
+	}
+	// Neither arm dominates the join; the condition block does.
+	if g.Dominates(tb, rb) || g.Dominates(eb, rb) {
+		t.Error("a branch arm dominates the join")
+	}
+	if !g.Dominates(cond, rb) {
+		t.Error("condition block does not dominate the join")
+	}
+	// Covers follows: x := 0 covers the return, the arms do not.
+	init := nodeContaining(t, g, "x := 0", fset, fd, src)
+	if !g.Covers(init, ret) {
+		t.Error("straight-line predecessor does not cover the return")
+	}
+	if g.Covers(then, ret) {
+		t.Error("a branch arm covers the join return")
+	}
+}
+
+func TestSameBlockOrder(t *testing.T) {
+	src := `
+func f() int {
+	a := 1
+	b := 2
+	return a + b
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	a := nodeContaining(t, g, "a := 1", fset, fd, src)
+	b := nodeContaining(t, g, "b := 2", fset, fd, src)
+	if !g.Covers(a, b) {
+		t.Error("earlier statement does not cover a later one in the same block")
+	}
+	if g.Covers(b, a) {
+		t.Error("later statement covers an earlier one")
+	}
+}
+
+func TestLoopDominance(t *testing.T) {
+	src := `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	body := nodeContaining(t, g, "s += i", fset, fd, src)
+	ret := nodeContaining(t, g, "return s", fset, fd, src)
+	if g.Covers(body, ret) {
+		t.Error("loop body covers the post-loop return (zero-trip path exists)")
+	}
+	init := nodeContaining(t, g, "s := 0", fset, fd, src)
+	if !g.Covers(init, body) || !g.Covers(init, ret) {
+		t.Error("pre-loop statement does not cover loop body and exit")
+	}
+	// The loop head has a back edge: its condition block is its own
+	// ancestor through the body.
+	bb, _ := g.BlockOf(body)
+	foundBack := false
+	for _, s := range bb.Succs {
+		if s.Cond != nil || len(s.Succs) > 0 {
+			for _, ss := range append([]*Block{s}, s.Succs...) {
+				if g.Dominates(ss, bb) && ss != bb {
+					foundBack = true
+				}
+			}
+		}
+	}
+	if !foundBack {
+		t.Errorf("no back edge from loop body:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	src := `
+func f(m, n int) int {
+	s := 0
+outer:
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if s > 100 {
+				break outer
+			}
+			if j == i {
+				continue outer
+			}
+			s++
+		}
+	}
+	return s
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	ret := nodeContaining(t, g, "return s", fset, fd, src)
+	brk := nodeContaining(t, g, "break outer", fset, fd, src)
+	cont := nodeContaining(t, g, "continue outer", fset, fd, src)
+	inc := nodeContaining(t, g, "s++", fset, fd, src)
+
+	bb, _ := g.BlockOf(brk)
+	rb, _ := g.BlockOf(ret)
+	if bb == nil || rb == nil {
+		t.Fatal("break/return not placed")
+	}
+	// break outer jumps past both loops: the return block must be
+	// reachable from the break block without passing through s++.
+	ib, _ := g.BlockOf(inc)
+	if reaches(g, bb, ib, nil) {
+		t.Error("break outer falls through into the loop body")
+	}
+	if !reaches(g, bb, rb, nil) {
+		t.Error("break outer does not reach the function exit path")
+	}
+	// continue outer re-enters the outer loop: it must reach s++ again
+	// (via the next iteration) but not by falling through directly.
+	cb, _ := g.BlockOf(cont)
+	if !reaches(g, cb, ib, nil) {
+		t.Error("continue outer cannot re-reach the inner body")
+	}
+}
+
+func TestDeferAndPanic(t *testing.T) {
+	src := `
+func f(bad bool) {
+	defer cleanup()
+	if bad {
+		panic("bad")
+	}
+	work()
+}
+func cleanup() {}
+func work()    {}`
+	g, fd, fset := parseFunc(t, src, "f")
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	d := g.Defers[0]
+	ret := nodeContaining(t, g, "work()", fset, fd, src)
+	if !g.Covers(d, ret) {
+		t.Error("defer at function top does not cover the tail")
+	}
+	// The panic statement terminates its block into Exit.
+	pan := nodeContaining(t, g, `panic("bad")`, fset, fd, src)
+	pb, _ := g.BlockOf(pan)
+	if pb == nil {
+		t.Fatal("panic not placed")
+	}
+	exitEdge := false
+	for _, s := range pb.Succs {
+		if s == g.Exit {
+			exitEdge = true
+		}
+	}
+	if !exitEdge {
+		t.Errorf("panic block has no edge to Exit: %s ->%v", pb, pb.Succs)
+	}
+	wb, _ := g.BlockOf(ret)
+	if reaches(g, pb, wb, nil) {
+		t.Error("panic block reaches the statement after the if")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	src := `
+func f(n int) int {
+	s := 0
+	switch n {
+	case 0:
+		s = 1
+		fallthrough
+	case 1:
+		s = 2
+	default:
+		s = 3
+	}
+	return s
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	c0 := nodeContaining(t, g, "s = 1", fset, fd, src)
+	c1 := nodeContaining(t, g, "s = 2", fset, fd, src)
+	b0, _ := g.BlockOf(c0)
+	b1, _ := g.BlockOf(c1)
+	if !reaches(g, b0, b1, nil) {
+		t.Error("fallthrough edge missing between consecutive cases")
+	}
+	ret := nodeContaining(t, g, "return s", fset, fd, src)
+	if g.Covers(c1, ret) {
+		t.Error("one case covers the switch join")
+	}
+}
+
+func TestGoto(t *testing.T) {
+	src := `
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	inc := nodeContaining(t, g, "i++", fset, fd, src)
+	ret := nodeContaining(t, g, "return i", fset, fd, src)
+	if !g.Covers(inc, ret) {
+		t.Error("labeled statement does not cover the return")
+	}
+	gstmt := nodeContaining(t, g, "goto loop", fset, fd, src)
+	gb, _ := g.BlockOf(gstmt)
+	ib, _ := g.BlockOf(inc)
+	if !reaches(g, gb, ib, nil) {
+		t.Error("goto does not branch back to its label")
+	}
+}
+
+func TestForwardDataflow(t *testing.T) {
+	// Count reaching assignments of a simple "held" bit: set in one
+	// branch, cleared in the other, joined after.
+	src := `
+func f(a bool) {
+	acquire()
+	if a {
+		release()
+	}
+	use()
+}
+func acquire() {}
+func release() {}
+func use()     {}`
+	g, fd, fset := parseFunc(t, src, "f")
+	in := Forward(g, ForwardProblem[uint64]{
+		Entry: 0,
+		Init:  func(*Block) uint64 { return 0 },
+		Join:  func(a, b uint64) uint64 { return a | b },
+		Equal: func(a, b uint64) bool { return a == b },
+		Transfer: func(b *Block, held uint64) uint64 {
+			NodesOf(b, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					switch id.Name {
+					case "acquire":
+						held |= 1
+					case "release":
+						held &^= 1
+					}
+				}
+			})
+			return held
+		},
+	})
+	use := nodeContaining(t, g, "use()", fset, fd, src)
+	ub, _ := g.BlockOf(use)
+	// The join may or may not hold the bit depending on the branch: the
+	// union join must report it as possibly held.
+	if in[ub.Index]&1 == 0 {
+		t.Errorf("union join lost the held bit at the merge: in=%b", in[ub.Index])
+	}
+	rel := nodeContaining(t, g, "release()", fset, fd, src)
+	rb, _ := g.BlockOf(rel)
+	if in[rb.Index]&1 == 0 {
+		t.Errorf("release block does not see the bit held on entry")
+	}
+}
+
+func TestForwardLoopFixpoint(t *testing.T) {
+	src := `
+func f(n int) {
+	for i := 0; i < n; i++ {
+		acquire()
+	}
+	use()
+}
+func acquire() {}
+func use()     {}`
+	g, fd, fset := parseFunc(t, src, "f")
+	in := Forward(g, ForwardProblem[uint64]{
+		Entry: 0,
+		Init:  func(*Block) uint64 { return 0 },
+		Join:  func(a, b uint64) uint64 { return a | b },
+		Equal: func(a, b uint64) bool { return a == b },
+		Transfer: func(b *Block, held uint64) uint64 {
+			NodesOf(b, func(n ast.Node) {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "acquire" {
+						held |= 1
+					}
+				}
+			})
+			return held
+		},
+	})
+	// The bit set inside the loop must propagate around the back edge
+	// and out to the post-loop block.
+	use := nodeContaining(t, g, "use()", fset, fd, src)
+	ub, _ := g.BlockOf(use)
+	if in[ub.Index]&1 == 0 {
+		t.Errorf("loop-acquired bit did not survive the back-edge join")
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	src := `
+func f() int {
+	return 1
+	x := 2
+	_ = x
+	return x
+}`
+	g, fd, fset := parseFunc(t, src, "f")
+	dead := nodeContaining(t, g, "x := 2", fset, fd, src)
+	db, _ := g.BlockOf(dead)
+	if db == nil {
+		t.Fatal("dead code not placed")
+	}
+	if g.Reachable(db) {
+		t.Error("statements after an unconditional return are marked reachable")
+	}
+	live := nodeContaining(t, g, "return 1", fset, fd, src)
+	if g.Covers(dead, live) {
+		t.Error("unreachable statement covers a live one")
+	}
+}
+
+// reaches reports whether to is reachable from from by graph edges.
+func reaches(g *Graph, from, to *Block, seen map[*Block]bool) bool {
+	if from == to {
+		return true
+	}
+	if seen == nil {
+		seen = map[*Block]bool{}
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, s := range from.Succs {
+		if reaches(g, s, to, seen) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,107 @@
+package cfg
+
+// A small generic forward dataflow driver over the graph. Analyzers
+// supply the lattice (Join/Equal), the entry fact, and a block transfer
+// function; Forward iterates blocks in reverse postorder until the
+// in-states stop changing. Facts must be treated as immutable values —
+// Transfer and Join return new facts rather than mutating their inputs
+// (value types like bitmask uint64s satisfy this for free).
+
+import "go/ast"
+
+// ForwardProblem describes one forward dataflow analysis over facts T.
+type ForwardProblem[T any] struct {
+	// Entry is the fact at function entry.
+	Entry T
+	// Init produces the initial (bottom) in-state for every other block.
+	Init func(*Block) T
+	// Join merges two facts at a control-flow merge point.
+	Join func(a, b T) T
+	// Equal reports whether two facts are identical (fixpoint test).
+	Equal func(a, b T) bool
+	// Transfer applies one block's effect to its in-state, returning the
+	// out-state. It must not mutate the input fact.
+	Transfer func(*Block, T) T
+}
+
+// Forward solves p over g and returns the fixpoint in-state of every
+// block, indexed by Block.Index. Unreachable blocks keep their Init
+// fact.
+func Forward[T any](g *Graph, p ForwardProblem[T]) []T {
+	in := make([]T, len(g.Blocks))
+	out := make([]T, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b.Index] = p.Init(b)
+		out[b.Index] = p.Transfer(b, in[b.Index])
+	}
+	in[g.Entry.Index] = p.Entry
+	out[g.Entry.Index] = p.Transfer(g.Entry, p.Entry)
+
+	// Reachable blocks in reverse postorder: the order dominators were
+	// numbered in, so most functions converge in one or two sweeps.
+	order := make([]*Block, 0, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if g.Reachable(b) {
+			order = append(order, b)
+		}
+	}
+	for i := range order {
+		for j := i + 1; j < len(order); j++ {
+			if g.rpo[order[j].Index] < g.rpo[order[i].Index] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			fact := in[b.Index]
+			if b != g.Entry {
+				first := true
+				for _, pred := range b.Preds {
+					if !g.Reachable(pred) {
+						continue
+					}
+					if first {
+						fact = out[pred.Index]
+						first = false
+					} else {
+						fact = p.Join(fact, out[pred.Index])
+					}
+				}
+				if first {
+					continue // no reachable preds (entry handled above)
+				}
+			}
+			if !p.Equal(fact, in[b.Index]) || b == g.Entry {
+				in[b.Index] = fact
+				next := p.Transfer(b, fact)
+				if !p.Equal(next, out[b.Index]) {
+					out[b.Index] = next
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// NodesOf is a convenience for transfer functions that want to walk a
+// block's statements including nested expressions: it calls fn for every
+// node in every statement of b, in source order, without descending into
+// function literals.
+func NodesOf(b *Block, fn func(ast.Node)) {
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(d ast.Node) bool {
+			if d == nil {
+				return false
+			}
+			if _, ok := d.(*ast.FuncLit); ok {
+				return false
+			}
+			fn(d)
+			return true
+		})
+	}
+}

@@ -41,6 +41,10 @@ const (
 	DirRehashOK    = "rehash-ok"     // line: suppress one digestflow finding (reason required)
 	DirRequiresLck = "requires-lock" // func: callable only with the shard lock held
 	DirLocked      = "locked"        // func: asserts the lock is held on entry (reason required)
+	DirDurable     = "durable"       // func / interface method: calls of this are durability ops
+	DirPoisons     = "poisons"       // func: durable-op errors are poisoned into these targets
+	DirBoundedIn   = "boundedinput"  // func: decoded sizes allocate only under a dominating bound
+	DirLockClass   = "lockclass"     // mutex field (or accessor func): lock class name + rank
 )
 
 // Directive is one parsed //repro:NAME annotation.
@@ -92,11 +96,20 @@ func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
 						continue
 					}
 					d.types[ts] = append(groupDirectives(ts.Doc), declDirs...)
-					st, ok := ts.Type.(*ast.StructType)
-					if !ok || st.Fields == nil {
+					// Struct fields and interface methods both annotate
+					// per-field: //repro:seqguarded words, //repro:lockclass
+					// mutexes, //repro:durable walFile operations.
+					var fields *ast.FieldList
+					switch t := ts.Type.(type) {
+					case *ast.StructType:
+						fields = t.Fields
+					case *ast.InterfaceType:
+						fields = t.Methods
+					}
+					if fields == nil {
 						continue
 					}
-					for _, field := range st.Fields.List {
+					for _, field := range fields.List {
 						fd := append(groupDirectives(field.Doc), groupDirectives(field.Comment)...)
 						if len(fd) > 0 {
 							d.fields[field] = fd
@@ -197,6 +210,11 @@ func (d *Directives) TypeHas(ts *ast.TypeSpec, name string) bool { return has(d.
 
 // FieldHas reports whether the struct field carries directive name.
 func (d *Directives) FieldHas(f *ast.Field, name string) bool { return has(d.fields[f], name) }
+
+// Field returns the struct field's directive name, if present.
+func (d *Directives) Field(f *ast.Field, name string) (Directive, bool) {
+	return find(d.fields[f], name)
+}
 
 // SuppressedAt reports whether a suppression directive name covers the
 // source line of pos.

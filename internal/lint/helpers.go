@@ -9,21 +9,10 @@ import (
 
 // funcDecls maps each package-level function or method object to its
 // declaration — the bridge from a call site's *types.Func back to the
-// AST (and its directives).
+// AST (and its directives). The index is built once per package and
+// shared across analyzers (see Pass.FuncDecls).
 func funcDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
-	m := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Name == nil {
-				continue
-			}
-			if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				m[fn] = fd
-			}
-		}
-	}
-	return m
+	return p.FuncDecls()
 }
 
 // enclosingFunc returns the FuncDecl whose body contains n, walking the

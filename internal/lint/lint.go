@@ -21,6 +21,20 @@
 //     re-derive placement from stored digests only.
 //   - lockheld: //repro:requires-lock functions are reached only from
 //     callers that visibly hold the shard lock.
+//   - fsyncorder: in //repro:poisons functions, every error a
+//     //repro:durable operation (fsync/rename/truncate) returns is
+//     poisoned — a sticky-error store or cleanup action — before it can
+//     reach a return, and success acks are dominated by a durable op.
+//   - boundedinput: //repro:boundedinput decoders never size an
+//     allocation from decoded input without a dominating bound check, so
+//     a lying length prefix cannot force allocation.
+//   - lockorder: //repro:lockclass ranks order every lock-acquisition
+//     edge; rank inversions and cycles are reported before they can
+//     deadlock.
+//
+// The last three are path-sensitive: they run over per-function
+// control-flow graphs (repro/internal/lint/cfg) with dominance and
+// forward dataflow, built once per package and shared by every analyzer.
 //
 // The framework mirrors golang.org/x/tools/go/analysis (Analyzer, Pass,
 // Reportf) but is built on the standard library alone: packages are
@@ -35,6 +49,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"repro/internal/lint/cfg"
 )
 
 // Analyzer is one named invariant check, run over a type-checked
@@ -53,9 +69,20 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
-	dirs    *Directives
+	dirs   *Directives
+	sh     *shared
+	report func(Diagnostic)
+}
+
+// shared is the per-package state every analyzer of that package reuses:
+// the parent map, the object→declaration index, and each function's
+// control-flow graph. With three CFG analyzers in the suite, building
+// these once per package (instead of once per analyzer) is what keeps a
+// repo-wide reprolint run flat as analyzers are added.
+type shared struct {
 	parents map[ast.Node]ast.Node
-	report  func(Diagnostic)
+	decls   map[*types.Func]*ast.FuncDecl
+	cfgs    map[*ast.FuncDecl]*cfg.Graph
 }
 
 // Diagnostic is one finding, positioned for file:line:col display.
@@ -85,13 +112,52 @@ func (p *Pass) Directives() *Directives { return p.dirs }
 // Parent returns the syntactic parent of n within the pass's files, or
 // nil for a file root. The parent map is built once per package.
 func (p *Pass) Parent(n ast.Node) ast.Node {
-	if p.parents == nil {
-		p.parents = make(map[ast.Node]ast.Node)
+	if p.sh.parents == nil {
+		p.sh.parents = make(map[ast.Node]ast.Node)
 		for _, f := range p.Files {
-			buildParents(p.parents, f)
+			buildParents(p.sh.parents, f)
 		}
 	}
-	return p.parents[n]
+	return p.sh.parents[n]
+}
+
+// FuncDecls maps each package-level function or method object to its
+// declaration — the bridge from a call site's *types.Func back to the
+// AST and its directives. Built once per package.
+func (p *Pass) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	if p.sh.decls == nil {
+		m := make(map[*types.Func]*ast.FuncDecl)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name == nil {
+					continue
+				}
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+		p.sh.decls = m
+	}
+	return p.sh.decls
+}
+
+// CFG returns fd's control-flow graph, built lazily and cached for
+// every analyzer of the package. Returns nil for bodyless declarations.
+func (p *Pass) CFG(fd *ast.FuncDecl) *cfg.Graph {
+	if fd == nil || fd.Body == nil {
+		return nil
+	}
+	if p.sh.cfgs == nil {
+		p.sh.cfgs = make(map[*ast.FuncDecl]*cfg.Graph)
+	}
+	g, ok := p.sh.cfgs[fd]
+	if !ok {
+		g = cfg.FuncGraph(fd)
+		p.sh.cfgs[fd] = g
+	}
+	return g
 }
 
 func buildParents(m map[ast.Node]ast.Node, root ast.Node) {
@@ -124,7 +190,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		dirs := ParseDirectives(pkg.Fset, pkg.Files)
-		var parents map[ast.Node]ast.Node
+		sh := &shared{} // parents/decls/CFGs built once, shared by all analyzers
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer:  a,
@@ -133,13 +199,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Pkg,
 				TypesInfo: pkg.Info,
 				dirs:      dirs,
-				parents:   parents,
+				sh:        sh,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
 				return diags, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
 			}
-			parents = pass.parents // reuse across analyzers of one package
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -160,5 +225,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // Analyzers returns the full reprolint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{SeqAtomic, NoAlloc, UnsafeView, DigestFlow, LockHeld}
+	return []*Analyzer{SeqAtomic, NoAlloc, UnsafeView, DigestFlow, LockHeld, FsyncOrder, BoundedInput, LockOrder}
 }

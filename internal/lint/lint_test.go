@@ -21,6 +21,9 @@ func TestAnalyzers(t *testing.T) {
 		{lint.UnsafeView, "unsafeview"},
 		{lint.DigestFlow, "digestflow"},
 		{lint.LockHeld, "lockheld"},
+		{lint.FsyncOrder, "fsyncorder"},
+		{lint.BoundedInput, "boundedinput"},
+		{lint.LockOrder, "lockorder"},
 	}
 	for _, tc := range cases {
 		for _, sub := range []string{"flagged", "clean"} {

@@ -1,0 +1,93 @@
+// Package clean holds the check-before-allocate decoder shapes: every
+// wire-derived size is bounded before memory follows it. Any
+// boundedinput finding here is a false positive.
+package clean
+
+const (
+	maxFrame = 1 << 20
+	maxKeys  = 1024
+	chunk    = 4096
+)
+
+// readFrame is the canonical shape: reject the lying prefix, then
+// allocate.
+//
+//repro:boundedinput
+func readFrame(hdr []byte) []byte {
+	n := int(hdr[0]) | int(hdr[1])<<8
+	if n > maxFrame {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// parseList bounds the decoded count before the counted append loop.
+//
+//repro:boundedinput
+func parseList(data []byte, count int) [][]byte {
+	if count > maxKeys {
+		return nil
+	}
+	var out [][]byte
+	for i := 0; i < count; i++ {
+		out = append(out, data[:1])
+	}
+	return out
+}
+
+// readChunked allocates a clamped capacity and grows by spread appends
+// whose source is itself bounded — the amortized-read shape.
+//
+//repro:boundedinput
+func readChunked(data []byte, n int) []byte {
+	if n > maxFrame {
+		return nil
+	}
+	buf := make([]byte, 0, min(n, chunk))
+	tmp := make([]byte, chunk)
+	for len(buf) < n {
+		k := copy(tmp, data)
+		buf = append(buf, tmp[:k]...)
+	}
+	return buf
+}
+
+// memorySized allocations answer to bytes that already exist: len/cap
+// cannot lie.
+//
+//repro:boundedinput
+func memorySized(src []byte) []byte {
+	dst := make([]byte, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// constSized allocations carry no decoded value at all.
+//
+//repro:boundedinput
+func constSized() []byte {
+	return make([]byte, 64)
+}
+
+// rangeAppend grows by one element per element of an existing slice —
+// the growth is bounded by memory that exists.
+//
+//repro:boundedinput
+func rangeAppend(src []byte) []int {
+	var out []int
+	for _, b := range src {
+		out = append(out, int(b))
+	}
+	return out
+}
+
+// lowerBoundGuard uses the mirrored comparison order.
+//
+//repro:boundedinput
+func lowerBoundGuard(hdr []byte) []byte {
+	n := int(hdr[0])
+	if maxFrame < n {
+		return nil
+	}
+	return make([]byte, n)
+}

@@ -1,0 +1,78 @@
+// Package a exercises boundedinput: decoders that allocate (or
+// loop-append) from a decoded size before any bound check — the
+// lying-length-prefix amplification shapes.
+package a
+
+const maxFrame = 1 << 20
+
+// readFrame trusts the length prefix it just decoded: one lying frame
+// forces an arbitrary allocation.
+//
+//repro:boundedinput
+func readFrame(hdr []byte) []byte {
+	n := int(hdr[0]) | int(hdr[1])<<8
+	buf := make([]byte, n) // want `make sized by n in //repro:boundedinput readFrame has no dominating bound check`
+	return buf
+}
+
+// lateCheck allocates first and bounds second — the ordering is the
+// whole bug.
+//
+//repro:boundedinput
+func lateCheck(hdr []byte) []byte {
+	n := int(hdr[0])
+	buf := make([]byte, n) // want `make sized by n in //repro:boundedinput lateCheck has no dominating bound check`
+	if n > maxFrame {
+		return nil
+	}
+	return buf
+}
+
+// wrongGuard bounds a different decoded value than the one it
+// allocates from.
+//
+//repro:boundedinput
+func wrongGuard(hdr []byte, limit int) []byte {
+	n := int(hdr[0])
+	m := int(hdr[1])
+	if m > limit {
+		return nil
+	}
+	return make([]byte, n) // want `make sized by n in //repro:boundedinput wrongGuard has no dominating bound check`
+}
+
+// branchOnly bounds the size on one path but allocates on both: the
+// check does not dominate the allocation.
+//
+//repro:boundedinput
+func branchOnly(hdr []byte, strict bool) []byte {
+	n := int(hdr[0])
+	if strict {
+		if n > maxFrame {
+			return nil
+		}
+	}
+	return make([]byte, n) // want `make sized by n in //repro:boundedinput branchOnly has no dominating bound check`
+}
+
+// parseList appends once per decoded count with no bound on the count —
+// the loop's own trip test is made of the same lying value and does not
+// count as a check.
+//
+//repro:boundedinput
+func parseList(data []byte, count int) [][]byte {
+	var out [][]byte
+	for i := 0; i < count; i++ {
+		out = append(out, data[:1]) // want `append inside .for i < count. in //repro:boundedinput parseList grows by a decoded count`
+	}
+	return out
+}
+
+// capOnly bounds only the second size argument; the first still comes
+// straight off the wire.
+//
+//repro:boundedinput
+func capOnly(hdr []byte) []byte {
+	n := int(hdr[0])
+	return make([]byte, n, 64) // want `make sized by n in //repro:boundedinput capOnly has no dominating bound check`
+}

@@ -1,0 +1,135 @@
+// Package clean holds the post-fix durability shapes: sticky fsync
+// errors recorded (or consulted) on every failure path, tmp files
+// removed before a failed publish returns, and success acks dominated
+// by the durable op or a poison check. Any fsyncorder finding here is a
+// false positive.
+package clean
+
+import (
+	"os"
+	"sync"
+)
+
+const headerSize = 16
+
+type file interface {
+	//repro:durable
+	Sync() error
+	//repro:durable
+	Truncate(size int64) error
+	//repro:durable
+	Seek(offset int64, whence int) (int64, error)
+}
+
+type log struct {
+	mu       sync.Mutex
+	smu      sync.Mutex
+	f        file
+	seq      uint64
+	durable  uint64
+	writeErr error
+	syncErr  error
+}
+
+// Sync is the fixed shape: the fsync error is recorded sticky before it
+// can reach a return, and an already-poisoned log keeps reporting the
+// old error instead of claiming fresh durability.
+//
+//repro:poisons syncErr
+func (w *log) Sync() error {
+	w.mu.Lock()
+	seq := w.seq
+	w.mu.Unlock()
+	err := w.f.Sync()
+	w.smu.Lock()
+	if err != nil {
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+	} else if w.syncErr != nil {
+		err = w.syncErr
+	} else if seq > w.durable {
+		w.durable = seq
+	}
+	w.smu.Unlock()
+	return err
+}
+
+// Reset poisons on every failure and heals only after the truncated log
+// is verifiably empty on disk.
+//
+//repro:poisons writeErr syncErr
+func (w *log) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(headerSize); err != nil {
+		w.writeErr = err
+		return err
+	}
+	if _, err := w.f.Seek(headerSize, 0); err != nil {
+		w.writeErr = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.smu.Lock()
+		if w.syncErr == nil {
+			w.syncErr = err
+		}
+		w.smu.Unlock()
+		return err
+	}
+	w.seq = 0
+	w.writeErr = nil
+	w.smu.Lock()
+	w.durable = 0
+	w.syncErr = nil
+	w.smu.Unlock()
+	return nil
+}
+
+// waitDurable is the group-commit follower shape: the leader's flush
+// error is poisoned under the branch, and the shared return consults
+// the sticky field first.
+//
+//repro:poisons syncErr
+func (w *log) waitDurable(seq uint64) error {
+	w.smu.Lock()
+	defer w.smu.Unlock()
+	for w.syncErr == nil && w.durable < seq {
+		err := w.f.Sync()
+		if err != nil {
+			if w.syncErr == nil {
+				w.syncErr = err
+			}
+		} else {
+			w.durable = seq
+		}
+	}
+	if err := w.syncErr; err != nil {
+		return err
+	}
+	return nil
+}
+
+// publish is the fixed Checkpoint tail: the tmp is removed before a
+// failed rename returns, so it cannot outlive the error.
+//
+//repro:poisons os.Remove
+func publish(tmp, final string) error {
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// flushAck delegates the durability work to Sync, which carries its own
+// //repro:poisons contract — the ack is dominated by the delegation.
+//
+//repro:poisons syncErr
+func (w *log) flushAck() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+// Package a exercises lockorder: rank inversions between declared lock
+// classes, same-class double acquisition, inversions reached through
+// in-package helpers, deferred unlocks holding to function exit, and a
+// three-class acquisition cycle.
+package a
+
+import "sync"
+
+// Two classes with the WAL's shape: the connection table outranks the
+// log, so log-then-table is the declared order... and inverted below.
+type walLog struct {
+	mu sync.Mutex //repro:lockclass wal 10
+}
+
+type server struct {
+	mu  sync.Mutex //repro:lockclass conn 20
+	wal walLog
+}
+
+// invert takes the low-rank log lock while holding the high-rank
+// connection lock.
+func (s *server) invert() {
+	s.mu.Lock()
+	s.wal.mu.Lock() // want `lock order inversion: wal \(rank 10\) acquired while holding conn \(rank 20\)`
+	s.wal.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// One class, two instances: stripe-to-stripe ordering cannot come from
+// ranks, so holding one while taking another is flagged.
+type stripe struct {
+	mu sync.Mutex //repro:lockclass stripe 30
+}
+
+type pair struct {
+	a, b stripe
+}
+
+func (p *pair) both() {
+	p.a.mu.Lock()
+	p.b.mu.Lock() // want `lock class stripe \(rank 30\) acquired while an instance of the same class is already held`
+	p.b.mu.Unlock()
+	p.a.mu.Unlock()
+}
+
+// An inversion hidden behind an in-package helper: the caller holds the
+// high class, the helper acquires the low one.
+type lowBox struct {
+	mu sync.Mutex //repro:lockclass slow 40
+}
+
+type highBox struct {
+	mu sync.Mutex //repro:lockclass shigh 50
+}
+
+func helperLock(t *lowBox) {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+func outer(s *highBox, t *lowBox) {
+	s.mu.Lock()
+	helperLock(t) // want `lock order inversion: slow \(rank 40\) acquired while holding shigh \(rank 50\)`
+	s.mu.Unlock()
+}
+
+// A deferred unlock holds its class to function exit, so the later
+// low-rank acquire still happens under it.
+type dLow struct {
+	mu sync.Mutex //repro:lockclass dlow 60
+}
+
+type dHigh struct {
+	mu sync.Mutex //repro:lockclass dhigh 70
+}
+
+func deferredHold(h *dHigh, l *dLow) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	l.mu.Lock() // want `lock order inversion: dlow \(rank 60\) acquired while holding dhigh \(rank 70\)`
+	l.mu.Unlock()
+}
+
+// Three classes whose pairwise edges each look locally plausible but
+// close a cycle: ra -> rb -> rc -> ra. The closing edge is also a rank
+// inversion; the cycle is reported once, at its earliest edge.
+type ringA struct {
+	mu sync.Mutex //repro:lockclass ra 1
+}
+
+type ringB struct {
+	mu sync.Mutex //repro:lockclass rb 2
+}
+
+type ringC struct {
+	mu sync.Mutex //repro:lockclass rc 3
+}
+
+func ring1(x *ringA, y *ringB) {
+	x.mu.Lock()
+	y.mu.Lock() // want `lock classes form an acquisition cycle: rb -> rc -> ra -> rb`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func ring2(y *ringB, z *ringC) {
+	y.mu.Lock()
+	z.mu.Lock()
+	z.mu.Unlock()
+	y.mu.Unlock()
+}
+
+func ring3(z *ringC, x *ringA) {
+	z.mu.Lock()
+	x.mu.Lock() // want `lock order inversion: ra \(rank 1\) acquired while holding rc \(rank 3\)`
+	x.mu.Unlock()
+	z.mu.Unlock()
+}

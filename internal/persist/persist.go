@@ -336,6 +336,8 @@ func (sr *SnapshotReader) Record() (key, val []byte, digest uint64) {
 func (sr *SnapshotReader) Err() error { return sr.err }
 
 // loadSection reads, CRC-verifies and buffers the next section.
+//
+//repro:boundedinput
 func (sr *SnapshotReader) loadSection() bool {
 	var hdr [sectionHeaderSize]byte
 	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
@@ -375,6 +377,8 @@ func (sr *SnapshotReader) loadSection() bool {
 // readPayload fills sr.buf with exactly length bytes, growing the buffer
 // chunkwise so a lying length cannot force an allocation beyond the
 // bytes the stream actually delivers (plus one chunk).
+//
+//repro:boundedinput
 func (sr *SnapshotReader) readPayload(length uint64) bool {
 	sr.buf = sr.buf[:0]
 	for remaining := length; remaining > 0; {
@@ -394,6 +398,8 @@ func (sr *SnapshotReader) readPayload(length uint64) bool {
 }
 
 // parseRecord decodes the next record from the verified section buffer.
+//
+//repro:boundedinput
 func (sr *SnapshotReader) parseRecord() bool {
 	key, ok := sr.parseBytes()
 	if !ok {
@@ -418,6 +424,8 @@ func (sr *SnapshotReader) parseRecord() bool {
 }
 
 // parseBytes decodes one length-prefixed byte string in place.
+//
+//repro:boundedinput
 func (sr *SnapshotReader) parseBytes() ([]byte, bool) {
 	n, w := binary.Uvarint(sr.buf[sr.off:])
 	if w <= 0 || n > MaxRecordBytes {

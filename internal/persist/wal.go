@@ -84,11 +84,17 @@ type WALOptions struct {
 // walFile is the file surface the WAL appends through. *os.File
 // satisfies it; tests substitute fsync-failing shims to prove the
 // error-poisoning contract (a durability failure must stick — see
-// writeErr and syncErr below).
+// writeErr and syncErr below). The state-changing methods are
+// //repro:durable: fsyncorder requires every caller in a
+// //repro:poisons function to poison (or consult) the sticky errors on
+// each path where one of them fails.
 type walFile interface {
 	io.Writer
+	//repro:durable
 	Sync() error
+	//repro:durable
 	Truncate(size int64) error
+	//repro:durable
 	Seek(offset int64, whence int) (int64, error)
 	Stat() (os.FileInfo, error)
 	Close() error
@@ -100,6 +106,7 @@ type walFile interface {
 type WAL struct {
 	opts WALOptions
 
+	//repro:lockclass wal-append 40
 	mu      sync.Mutex // guards f writes, scratch, seq, writeErr
 	f       walFile
 	scratch []byte
@@ -111,6 +118,7 @@ type WAL struct {
 	// rather than acknowledging writes that cannot survive a crash.
 	writeErr error
 
+	//repro:lockclass wal-commit 50
 	smu      sync.Mutex // guards the group-commit state below
 	scond    *sync.Cond
 	durable  uint64 // highest seq known fsynced
@@ -218,6 +226,8 @@ func (w *WAL) writeHeader() error {
 // record. Framing damage (short frame, CRC mismatch, oversized length)
 // ends the scan at the previous record — the torn-tail contract — while
 // a replay callback error aborts with that error.
+//
+//repro:boundedinput
 func scanWAL(r io.Reader, replay func(op WALOp, key, val []byte) error) (records int, good int64, err error) {
 	br := bufio.NewReader(r)
 	var hdr [walHeaderSize]byte
@@ -267,6 +277,8 @@ func scanWAL(r io.Reader, replay func(op WALOp, key, val []byte) error) (records
 }
 
 // parseWALPayload splits a CRC-verified payload into its fields.
+//
+//repro:boundedinput
 func parseWALPayload(p []byte) (op WALOp, key, val []byte, ok bool) {
 	if len(p) < 1 {
 		return 0, nil, nil, false
@@ -291,6 +303,11 @@ func parseWALPayload(p []byte) (op WALOp, key, val []byte, ok bool) {
 	return op, key, val, true
 }
 
+// parseLenPrefixed decodes one uvarint-length-prefixed field as a
+// subslice of p — no allocation, so a lying length can at most fail the
+// bounds check, never amplify.
+//
+//repro:boundedinput
 func parseLenPrefixed(p []byte) (b, rest []byte, ok bool) {
 	n, w := binary.Uvarint(p)
 	if w <= 0 || n > MaxRecordBytes || uint64(len(p)-w) < n {
@@ -306,6 +323,7 @@ func parseLenPrefixed(p []byte) (b, rest []byte, ok bool) {
 // returns control.
 //
 //repro:noalloc
+//repro:poisons writeErr syncErr
 func (w *WAL) Append(op WALOp, key, val []byte) error {
 	if op != WALPut && op != WALDelete {
 		return fmt.Errorf("persist: Append op %d", op) //repro:allocok invalid-op error path: the append was rejected, not logged
@@ -359,6 +377,7 @@ func (w *WAL) Append(op WALOp, key, val []byte) error {
 // else waits for a flush that covers their record.
 //
 //repro:noalloc
+//repro:poisons syncErr
 func (w *WAL) waitDurable(seq uint64) error {
 	w.smu.Lock()
 	for {
@@ -408,6 +427,8 @@ func (w *WAL) waitDurable(seq uint64) error {
 // Append or Sync may claim durability over the hole — all of them
 // return the sticky error until Reset truncates the log back to a
 // state the disk verifiably holds.
+//
+//repro:poisons syncErr
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	if err := w.writeErr; err != nil {
@@ -468,6 +489,8 @@ func (w *WAL) Size() (int64, error) {
 // A Reset that itself fails poisons instead: a half-truncated log with
 // counters that no longer match its contents must refuse appends, or a
 // later recovery would silently discard them as a torn tail.
+//
+//repro:poisons writeErr syncErr
 func (w *WAL) Reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -502,6 +525,8 @@ func (w *WAL) Reset() error {
 // fsync poisons like any other: post-Close appends already fail on the
 // closed file, but a caller retrying Sync must keep seeing the error
 // rather than a silent success against lost pages.
+//
+//repro:poisons syncErr
 func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -74,6 +74,7 @@ type Server struct {
 	counters Counters
 	start    time.Time
 
+	//repro:lockclass wire-conns 60
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}

@@ -288,6 +288,7 @@ func AppendMGetReply(dst []byte, vals [][]byte, found []bool) []byte {
 // first payload byte is read.
 //
 //repro:noalloc
+//repro:boundedinput
 func ReadFrame(br *bufio.Reader, buf []byte, maxFrame int) (payload, newBuf []byte, err error) {
 	var hdr [FrameHeaderSize]byte
 	if _, err := io.ReadFull(br, hdr[:1]); err != nil {
@@ -356,6 +357,7 @@ type Request struct {
 // panicking) on any malformed shape.
 //
 //repro:noalloc
+//repro:boundedinput
 func ParseRequest(payload []byte, req *Request) error {
 	req.Key, req.Val, req.Keys = nil, nil, req.Keys[:0]
 	if len(payload) == 0 {
@@ -407,6 +409,7 @@ func ParseRequest(payload []byte, req *Request) error {
 // use, so a lying prefix cannot index out of bounds.
 //
 //repro:noalloc
+//repro:boundedinput
 func splitLenPrefixed(p []byte) (field, rest []byte, ok bool) {
 	n, w := binary.Uvarint(p)
 	if w <= 0 || n > uint64(len(p)-w) {
@@ -426,6 +429,7 @@ type Reply struct {
 // request op.
 //
 //repro:noalloc
+//repro:boundedinput
 func ParseReply(payload []byte, op Op, rep *Reply) error {
 	rep.Body = nil
 	if len(payload) == 0 {
@@ -466,6 +470,7 @@ func ParseReply(payload []byte, op Op, rep *Reply) error {
 // returning the count and the per-key fields for NextMGetValue.
 //
 //repro:noalloc
+//repro:boundedinput
 func ParseMGetReplyHeader(payload []byte) (count int, rest []byte, err error) {
 	if len(payload) == 0 {
 		return 0, nil, errTruncOp
@@ -494,6 +499,7 @@ var errRemote = errors.New("wire: remote error reply")
 // per-key fields. val is a payload view, nil when !found.
 //
 //repro:noalloc
+//repro:boundedinput
 func NextMGetValue(rest []byte) (val []byte, found bool, newRest []byte, err error) {
 	if len(rest) == 0 {
 		return nil, false, nil, errTruncOp

@@ -173,6 +173,7 @@ const (
 // can never resurrect a superseded value. Checkpoint briefly excludes
 // writers — readers never block.
 type DurableMap[K comparable, V any] struct {
+	//repro:lockclass durable-map 10
 	mu  sync.RWMutex // writers share it; Checkpoint excludes them
 	m   *Map[K, V]
 	wal *persist.WAL
@@ -194,7 +195,11 @@ const durableStripes = 256
 
 type walScratch struct{ k, v []byte }
 
-// stripe returns the ordering lock for an encoded key.
+// stripe returns the ordering lock for an encoded key. It is the
+// annotated accessor for the stripe lock class: a local taken from it
+// carries the class to its Lock call.
+//
+//repro:lockclass durable-stripe 20
 func (s *DurableMap[K, V]) stripe(keyBytes []byte) *sync.Mutex {
 	return &s.stripes[hashes.FNV1a(keyBytes)&(durableStripes-1)]
 }
@@ -279,6 +284,8 @@ func OpenOf[K comparable, V any](dir string, h Hasher[K], kc Codec[K], vc Codec[
 // Put durably stores key → val: the write is acknowledged only after
 // its WAL record is on stable storage (group-committed with concurrent
 // writers), then applied to the map.
+//
+//repro:poisons WAL.Append
 func (s *DurableMap[K, V]) Put(key K, val V) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -308,6 +315,8 @@ func (s *DurableMap[K, V]) Put(key K, val V) error {
 // Delete durably removes key, reporting whether it was present. The
 // delete is logged (and acknowledged durable) before it is applied;
 // deletes of absent keys are logged too — replay is idempotent.
+//
+//repro:poisons WAL.Append
 func (s *DurableMap[K, V]) Delete(key K) (bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -365,6 +374,8 @@ func (s *DurableMap[K, V]) Map() *Map[K, V] { return s.m }
 // before the rename the old snapshot + full WAL recover, after it the
 // new snapshot + (possibly still unreset) WAL recover — replaying a
 // WAL the snapshot already covers is idempotent.
+//
+//repro:poisons os.Remove
 func (s *DurableMap[K, V]) Checkpoint() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# lint_gate.sh — asserts reprolint's exit-code contract against the
+# checked-in fsyncorder goldens:
+#
+#   0  standalone over a clean package
+#   1  standalone over a flagged package
+#   2  under the go vet unit-check protocol over a flagged package
+#      (the protocol's "diagnostics reported" status — anything else
+#      and go vet would treat findings as a tool crash)
+#
+# plus the LINT_ANALYZERS filter: restricting the run to an analyzer
+# with no findings in the flagged package must turn exit 1 into exit 0.
+#
+# The goldens live under internal/lint/testdata/, which the go tool
+# skips by name, so they are staged into a throwaway module first.
+set -u
+
+cd "$(dirname "$0")/.."
+
+REPROLINT="${REPROLINT_BIN:-$PWD/bin/reprolint}"
+go build -o "$REPROLINT" ./cmd/reprolint || exit 1
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+mkdir -p "$tmp/clean" "$tmp/flagged"
+printf 'module lintgate\n\ngo 1.24\n' > "$tmp/go.mod"
+cp internal/lint/testdata/fsyncorder/clean/*.go "$tmp/clean/"
+cp internal/lint/testdata/fsyncorder/flagged/*.go "$tmp/flagged/"
+
+fail=0
+expect() { # expect <want-status> <label> <got-status>
+    if [ "$3" -ne "$1" ]; then
+        echo "lint-gate FAIL: $2: exit $3, want $1" >&2
+        fail=1
+    else
+        echo "lint-gate ok: $2: exit $3"
+    fi
+}
+
+(cd "$tmp" && "$REPROLINT" ./clean/ >/dev/null 2>&1)
+expect 0 "standalone, clean package" $?
+
+(cd "$tmp" && "$REPROLINT" ./flagged/ >/dev/null 2>&1)
+expect 1 "standalone, flagged package" $?
+
+# The flagged package's findings are all fsyncorder's; a run filtered
+# down to boundedinput must come back clean — and must say so under a
+# distinct -V=full identity so vet's cache never conflates the two.
+(cd "$tmp" && LINT_ANALYZERS=boundedinput "$REPROLINT" ./flagged/ >/dev/null 2>&1)
+expect 0 "standalone, flagged package, LINT_ANALYZERS=boundedinput" $?
+
+(cd "$tmp" && LINT_ANALYZERS=nosuchanalyzer "$REPROLINT" ./flagged/ >/dev/null 2>&1)
+expect 1 "standalone, unknown LINT_ANALYZERS name" $?
+
+# Exit 2 is only reachable through the unit-check protocol, so drive a
+# real `go vet -work` run (kept work tree), pull out the vet.cfg the go
+# command wrote for the flagged package, and replay it directly.
+vetlog="$tmp/vet.log"
+(cd "$tmp" && go vet -vettool="$REPROLINT" -work ./flagged/ >"$vetlog" 2>&1)
+vetstatus=$?
+if [ "$vetstatus" -eq 0 ]; then
+    echo "lint-gate FAIL: go vet -vettool over flagged package exited 0" >&2
+    fail=1
+else
+    echo "lint-gate ok: go vet -vettool, flagged package: exit $vetstatus (nonzero)"
+fi
+
+work="$(sed -n 's/^WORK=//p' "$vetlog" | head -n 1)"
+cfg=""
+if [ -n "$work" ] && [ -d "$work" ]; then
+    cfg="$(grep -l '"ImportPath": "lintgate/flagged"' "$work"/b*/vet.cfg 2>/dev/null | head -n 1)"
+fi
+if [ -z "$cfg" ]; then
+    echo "lint-gate FAIL: no vet.cfg for lintgate/flagged under WORK=$work" >&2
+    cat "$vetlog" >&2
+    fail=1
+else
+    "$REPROLINT" "$cfg" >/dev/null 2>&1
+    expect 2 "unit-check protocol, flagged package" $?
+fi
+[ -n "$work" ] && rm -rf "$work"
+
+exit $fail
