@@ -10,7 +10,11 @@ FUZZ_TIME ?= 20s
 # The Get-path trajectory benchmarks: single-key Get (serial + parallel,
 # steady and mid-migration), batched GetBatch, and the Put baselines the
 # read path is traded against. BENCH_GET_CPUS exercises reader scaling.
-BENCH_GET_PATTERN ?= CMapGet|MapSerialGet|MapSerialPut|CMapPutParallel
+# CMapGet also picks up CMapGetObsOff/On (the instrumented-vs-bare Get
+# pair pinning the metrics overhead) and ObsRecord covers the obs
+# recording primitives themselves, so BENCH_get.json carries the
+# observability cost trajectory alongside the read path's.
+BENCH_GET_PATTERN ?= CMapGet|MapSerialGet|MapSerialPut|CMapPutParallel|ObsRecord|ObsCounterAdd
 BENCH_GET_CPUS ?= 1,4,8
 BENCH_GET_TIME ?= 0.5s
 BENCH_GET_JSON ?= BENCH_get.json
@@ -72,7 +76,7 @@ bench:
 # BENCH_get.json): the cmap read/write hot paths across -cpu values, so
 # the repo carries a perf history PR over PR. CI uploads the artifact.
 bench-json:
-	$(GO) test -run '^$$' -bench '$(BENCH_GET_PATTERN)' -benchmem -benchtime $(BENCH_GET_TIME) -cpu $(BENCH_GET_CPUS) ./internal/cmap | $(GO) run ./cmd/benchjson > $(BENCH_GET_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH_GET_PATTERN)' -benchmem -benchtime $(BENCH_GET_TIME) -cpu $(BENCH_GET_CPUS) ./internal/cmap ./internal/obs | $(GO) run ./cmd/benchjson > $(BENCH_GET_JSON)
 
 # Fast smoke pass over the hot-path benchmarks (used by CI).
 bench-smoke:

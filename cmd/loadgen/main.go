@@ -20,9 +20,10 @@
 //	-mget   batch Gets through the pipelined GetBatch tier, this many
 //	        keys per call (0 = per-key Gets); amortizes hashing and
 //	        overlaps the probes' cache misses
-//	-preset "read-heavy" = the 95% Get / 5% Put serving mix, with per-op
-//	        latency sampling (p50/p99) on top of Mops/sec — the profile
-//	        where the seqlock read path shows up end-to-end
+//	-preset "read-heavy" = the 95% Get / 5% Put serving mix, with every
+//	        op's latency recorded into a fixed-bucket histogram
+//	        (p50/p99/p999, no sampling bias) on top of Mops/sec — the
+//	        profile where the seqlock read path shows up end-to-end
 //	-grow   max load factor: shards crossing it double online, migrating
 //	        entries in -migrate-batch steps piggybacked on writes
 //	-drain  background goroutine driving migration even when writes idle
@@ -70,13 +71,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cmap"
 	"repro/internal/keyed"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/rng"
 	"repro/internal/table"
@@ -264,14 +265,6 @@ func main() {
 	}
 }
 
-// Latency sampling knobs: every latSampleEvery-th op is timed (cheap
-// enough not to bend the throughput it annotates), capped per worker so
-// a long run cannot grow the sample set without bound.
-const (
-	latSampleEvery = 64
-	latMaxSamples  = 1 << 16
-)
-
 // run drives one workload against a typed map keyed by K, returning the
 // measured Mops/sec. keyOf must be injective (the -verify shadow maps
 // rely on it).
@@ -348,7 +341,11 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 	if cfg.mget > 0 && !hasBatch {
 		fatalf("-mget: target container has no GetBatch")
 	}
-	var allLats []time.Duration
+	// One histogram shared by every worker (Record is a single atomic
+	// add): every op is recorded, memory is fixed, and the percentiles
+	// come straight out of the bucket counts — no sample array, no sort,
+	// no every-Nth sampling bias.
+	var lat obs.Histogram
 
 	var rejectedCount atomic.Int64
 	perWorker := cfg.ops / cfg.workers
@@ -382,11 +379,10 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 		// its Mops/sec as indicative, not as the contention benchmark.
 		elapsedOverride = res.WorkDuration
 	} else {
-		lats := make([][]time.Duration, cfg.workers)
 		var wg sync.WaitGroup
 		for w := 0; w < cfg.workers; w++ {
 			ws := &workerState[K]{
-				cfg: cfg, target: target, keyOf: keyOf,
+				cfg: cfg, target: target, keyOf: keyOf, lat: &lat,
 				src:      rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15)),
 				rejected: &rejectedCount, ops: perWorker,
 			}
@@ -396,20 +392,13 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 				ws.bvals = make([]uint64, cfg.mget)
 				ws.bfound = make([]bool, cfg.mget)
 			}
-			if cfg.latency {
-				ws.lats = make([]time.Duration, 0, latMaxSamples)
-			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				ws.run()
-				lats[w] = ws.lats
 			}()
 		}
 		wg.Wait()
-		for _, l := range lats {
-			allLats = append(allLats, l...)
-		}
 	}
 	elapsed := time.Since(start)
 	if elapsedOverride > 0 {
@@ -422,15 +411,18 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 	mops := float64(done) / elapsed.Seconds() / 1e6
 	fmt.Printf("%d ops in %v  →  %.2f Mops/sec (GOMAXPROCS=%d)\n",
 		done, elapsed.Round(time.Millisecond), mops, runtime.GOMAXPROCS(0))
-	if cfg.latency && len(allLats) > 0 {
-		sort.Slice(allLats, func(i, j int) bool { return allLats[i] < allLats[j] })
-		p50 := allLats[len(allLats)/2]
-		p99 := allLats[len(allLats)*99/100]
-		note := ""
-		if cfg.mget > 0 {
-			note = fmt.Sprintf(" (batched gets: per-key share of a %d-key GetBatch)", cfg.mget)
+	if cfg.latency {
+		var ls obs.HistSnapshot
+		lat.Snapshot(&ls)
+		if ls.Count > 0 {
+			note := ""
+			if cfg.mget > 0 {
+				note = fmt.Sprintf(" (batched gets: per-key share of a %d-key GetBatch)", cfg.mget)
+			}
+			fmt.Printf("per-op latency: p50 %v, p99 %v, p999 %v over %d ops (every op recorded)%s\n",
+				time.Duration(ls.Quantile(0.50)), time.Duration(ls.Quantile(0.99)),
+				time.Duration(ls.Quantile(0.999)), ls.Count, note)
 		}
-		fmt.Printf("per-op latency: p50 %v, p99 %v over %d samples%s\n", p50, p99, len(allLats), note)
 	}
 	if r := rejectedCount.Load(); r > 0 {
 		fmt.Printf("rejected puts (all candidates + stash full): %d\n", r)
@@ -478,11 +470,12 @@ func run[K comparable](cfg config, kind string, h keyed.Hasher[K], kc keyed.Code
 	return mops
 }
 
-// workerState is one worker's share of the sampling loop, hoisted out of
-// the goroutine closure so the hot loop is a named method the noalloc
-// analyzer can hold to zero allocations. Every slice the loop appends
-// into (the Get batch, its result arrays, the latency samples) is
-// allocated here, once, before the first op.
+// workerState is one worker's share of the workload loop, hoisted out
+// of the goroutine closure so the hot loop is a named method the
+// noalloc analyzer can hold to zero allocations. Every slice the loop
+// appends into (the Get batch, its result arrays) is allocated here,
+// once, before the first op; latencies go into the shared fixed-size
+// histogram.
 type workerState[K comparable] struct {
 	cfg      config
 	target   testutil.Container[K, uint64]
@@ -491,24 +484,27 @@ type workerState[K comparable] struct {
 	src      rng.Source
 	rejected *atomic.Int64
 	ops      int
+	lat      *obs.Histogram // shared across workers; Record is atomic
 
 	batch  []K      // accumulating Get batch (cfg.mget > 0)
 	bvals  []uint64 // GetBatch result scratch
 	bfound []bool   // GetBatch result scratch
-	lats   []time.Duration
 }
 
-// run is the hot sampling loop: ops operations of the configured
-// Get/Delete/Put mix, every latSampleEvery-th one timed. This loop is
-// what the reported Mops/sec measures, so it must not allocate — any
-// allocation here would be benchmarked as map throughput.
+// run is the hot workload loop: ops operations of the configured
+// Get/Delete/Put mix, every one timed under -preset read-heavy (two
+// monotonic clock reads plus one atomic add per op — cheap enough not
+// to bend the throughput it annotates, and free of the every-Nth
+// sampling bias the old scheme had). This loop is what the reported
+// Mops/sec measures, so it must not allocate — any allocation here
+// would be benchmarked as map throughput.
 //
 //repro:noalloc
 func (ws *workerState[K]) run() {
 	keySpace := uint64(ws.cfg.keys)
+	timed := ws.cfg.latency
 	for i := 0; i < ws.ops; i++ {
 		k := ws.keyOf(1 + ws.src.Uint64()%keySpace)
-		sample := ws.cfg.latency && i%latSampleEvery == 0 && len(ws.lats) < latMaxSamples
 		var t0 time.Time
 		switch p := rng.Float64(ws.src); {
 		case p < ws.cfg.read:
@@ -519,46 +515,45 @@ func (ws *workerState[K]) run() {
 				}
 				continue
 			}
-			if sample {
+			if timed {
 				t0 = time.Now()
 			}
 			ws.target.Get(k)
 		case p < ws.cfg.read+ws.cfg.del:
-			if sample {
+			if timed {
 				t0 = time.Now()
 			}
 			ws.target.Delete(k)
 		default:
-			if sample {
+			if timed {
 				t0 = time.Now()
 			}
 			if !ws.target.Put(k, uint64(i)) {
 				ws.rejected.Add(1)
 			}
 		}
-		if sample {
-			ws.lats = append(ws.lats, time.Since(t0))
+		if timed {
+			ws.lat.Record(time.Since(t0).Nanoseconds())
 		}
 	}
 	ws.flush()
 }
 
 // flush resolves the accumulated Get batch through one GetBatch call,
-// recording one sample per flush: the batch's per-key latency.
+// recording each key's share of the batch's round-trip latency.
 //
 //repro:noalloc
 func (ws *workerState[K]) flush() {
 	if len(ws.batch) == 0 {
 		return
 	}
-	sample := ws.cfg.latency && len(ws.lats) < latMaxSamples
 	var t0 time.Time
-	if sample {
+	if ws.cfg.latency {
 		t0 = time.Now()
 	}
 	ws.getBatch(ws.batch, ws.bvals[:len(ws.batch)], ws.bfound[:len(ws.batch)])
-	if sample {
-		ws.lats = append(ws.lats, time.Since(t0)/time.Duration(len(ws.batch)))
+	if ws.cfg.latency {
+		ws.lat.Record(time.Since(t0).Nanoseconds() / int64(len(ws.batch)))
 	}
 	ws.batch = ws.batch[:0]
 }

@@ -11,8 +11,10 @@ package main
 //     *scheduled* time, so a saturated server shows its queueing delay
 //     instead of hiding it behind a slow closed loop (coordinated
 //     omission).
-//   - Latency is the headline number — p50/p99/p999 over every op — and
-//     -json writes the machine-readable summary CI archives.
+//   - Latency is the headline number — p50/p99/p999 over every op,
+//     recorded in full into a fixed-bucket histogram (no sampling, no
+//     cap, constant memory) — and -json writes the machine-readable
+//     summary CI archives.
 //   - -mget batches reads through MGET frames (one round trip per
 //     batch); unbatched mode is one GET round trip per read. The ratio
 //     between the two is the serving-path payoff of the map's batched
@@ -25,9 +27,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/wire"
 )
@@ -44,9 +46,6 @@ type netConfig struct {
 // enough to keep the run map-bound, large enough that replies are not
 // header-only.
 const netValueSize = 32
-
-// netSampleCap bounds each connection's latency samples.
-const netSampleCap = 1 << 20
 
 // runNet drives the whole -net workload and returns the achieved
 // ops/sec (for symmetry with run; the process exits on any failure).
@@ -65,6 +64,10 @@ func runNet(cfg config, nc netConfig) float64 {
 	if perKeys == 0 {
 		perKeys = 1
 	}
+	// One histogram shared by every connection: Record is a single
+	// atomic add, so concurrent workers merge as they go and the final
+	// percentiles need no sort pass over collected samples.
+	var lat obs.Histogram
 	workers := make([]*netWorker, nc.conns)
 	for w := range workers {
 		c, err := wire.Dial(nc.addr)
@@ -72,7 +75,7 @@ func runNet(cfg config, nc netConfig) float64 {
 			fatalf("net: dial %s: %v", nc.addr, err)
 		}
 		workers[w] = &netWorker{
-			cfg: cfg, client: c, ops: perConn,
+			cfg: cfg, client: c, ops: perConn, lat: &lat,
 			keyBase: uint64(w) * perKeys, keySpan: perKeys,
 			src: rng.NewXoshiro256(rng.Mix64(cfg.seed + uint64(w)*0x9E3779B97F4A7C15)),
 		}
@@ -97,23 +100,23 @@ func runNet(cfg config, nc netConfig) float64 {
 	}
 	elapsed := time.Since(start)
 
-	var lats []time.Duration
-	for _, w := range workers {
-		lats = append(lats, w.lats...)
-	}
-	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var ls obs.HistSnapshot
+	lat.Snapshot(&ls)
 	done := perConn * nc.conns
 	opsPerSec := float64(done) / elapsed.Seconds()
 	fmt.Printf("\n%d ops in %v  →  %.0f ops/sec over %d connection(s)\n",
 		done, elapsed.Round(time.Millisecond), opsPerSec, nc.conns)
 	var p50, p99, p999 time.Duration
-	if len(lats) > 0 {
-		p50, p99, p999 = lats[len(lats)/2], lats[len(lats)*99/100], lats[len(lats)*999/1000]
+	if ls.Count > 0 {
+		p50 = time.Duration(ls.Quantile(0.50))
+		p99 = time.Duration(ls.Quantile(0.99))
+		p999 = time.Duration(ls.Quantile(0.999))
 		note := ""
 		if cfg.mget > 0 {
 			note = fmt.Sprintf(" (batched reads: one sample per %d-key MGET round trip)", cfg.mget)
 		}
-		fmt.Printf("latency: p50 %v, p99 %v, p999 %v over %d samples%s\n", p50, p99, p999, len(lats), note)
+		fmt.Printf("latency: p50 %v, p99 %v, p999 %v, mean %v over %d samples%s\n",
+			p50, p99, p999, time.Duration(ls.Mean()), ls.Count, note)
 	}
 
 	lost, divergent := 0, 0
@@ -142,14 +145,20 @@ func runNet(cfg config, nc netConfig) float64 {
 		if cfg.mget > 0 {
 			mode = fmt.Sprintf("mget-%d", cfg.mget)
 		}
+		// Schema note: every pre-histogram field survives unchanged;
+		// p90_us / mean_us / max_us are additions from the full-recording
+		// histogram (max_us is the upper edge of the last occupied bucket).
 		summary := map[string]any{
 			"addr": nc.addr, "conns": nc.conns, "ops": done, "mode": mode,
 			"rate_target": nc.rate, "elapsed_sec": elapsed.Seconds(),
 			"ops_per_sec": opsPerSec,
 			"p50_us":      float64(p50) / float64(time.Microsecond),
+			"p90_us":      float64(ls.Quantile(0.90)) / float64(time.Microsecond),
 			"p99_us":      float64(p99) / float64(time.Microsecond),
 			"p999_us":     float64(p999) / float64(time.Microsecond),
-			"samples":     len(lats),
+			"mean_us":     ls.Mean() / float64(time.Microsecond),
+			"max_us":      float64(ls.Quantile(1)) / float64(time.Microsecond),
+			"samples":     ls.Count,
 			"verified":    cfg.verify, "lost": lost, "divergent": divergent,
 		}
 		data, err := json.MarshalIndent(summary, "", "  ")
@@ -185,7 +194,7 @@ type netWorker struct {
 	// (zero interval = closed loop).
 	interval, offset time.Duration
 
-	lats []time.Duration
+	lat *obs.Histogram // shared across connections; Record is atomic
 
 	kbuf  []byte   // key render scratch
 	vbuf  []byte   // value render scratch
@@ -317,10 +326,10 @@ func (w *netWorker) checkRead(k, val []byte, ok bool) error {
 }
 
 // note records one completed op's latency relative to its due time.
+// Every op is recorded — the histogram's memory is fixed, so there is
+// no sample cap and no tail bias from hitting one.
 func (w *netWorker) note(due time.Time) {
-	if len(w.lats) < netSampleCap {
-		w.lats = append(w.lats, time.Since(due))
-	}
+	w.lat.Record(time.Since(due).Nanoseconds())
 }
 
 // sweep re-reads every shadow pair through MGET in server-sized batches

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -41,6 +42,8 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cmap"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -62,6 +65,8 @@ func main() {
 		wto      = flag.Duration("write-timeout", 30*time.Second, "per-burst reply write deadline (0 = none)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown budget before in-flight connections are force-closed")
 		ckpt     = flag.Bool("checkpoint-on-exit", true, "write a snapshot and reset the WAL during shutdown")
+		admin    = flag.String("admin", "", "admin HTTP listen address serving /metrics, /healthz and /debug/pprof/ (empty = disabled)")
+		adminAF  = flag.String("admin-addr-file", "", "write the bound admin address to this file once listening")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -71,23 +76,31 @@ func main() {
 
 	logger := log.New(os.Stderr, "served: ", log.LstdFlags)
 
+	dm := repro.NewDurableMetrics()
 	m, err := repro.OpenOf[string, []byte](*dir,
 		repro.HasherFor[string](), repro.CodecFor[string](), bytesCodec,
 		repro.WithShards(*shards), repro.WithBuckets(*buckets), repro.WithSlots(*slots),
 		repro.WithD(*d), repro.WithMaxLoadFactor(*grow), repro.WithSeed(*seed),
-		repro.WithWALSync(*walSync))
+		repro.WithWALSync(*walSync), repro.WithDurableMetrics(dm))
 	if err != nil {
 		logger.Fatalf("open %s: %v", *dir, err)
 	}
 	logger.Printf("recovered %d pairs from %s (wal fsync %v)", m.Len(), *dir, *walSync)
+	mapMx := cmap.NewMetrics()
+	m.Map().SetMetrics(mapMx) // before any traffic: the hot paths read it unsynchronized
 
+	var reg *obs.Registry // assigned below, before the listener exists
 	srv := wire.NewServer(&backend{m: m}, wire.Options{
 		MaxFrameBytes: *maxFrame,
 		MaxPipeline:   *maxPipe,
 		IdleTimeout:   *idle,
 		WriteTimeout:  *wto,
 		Logf:          logger.Printf,
+		// STATS carries the full registry snapshot over the wire — the
+		// same series /metrics serves.
+		ExtraStats: func(dst []byte) []byte { return reg.AppendProm(dst) },
 	})
+	reg = buildRegistry(m, dm, mapMx, srv.Counters())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -100,6 +113,21 @@ func main() {
 		}
 	}
 	logger.Printf("listening on %s", bound)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			logger.Fatalf("admin listen %s: %v", *admin, err)
+		}
+		if *adminAF != "" {
+			if err := publishAddr(*adminAF, adminLn.Addr().String()); err != nil {
+				logger.Fatalf("publish -admin-addr-file: %v", err)
+			}
+		}
+		adminSrv = serveAdmin(adminLn, reg, m, logger.Printf)
+		logger.Printf("admin on http://%s/metrics", adminLn.Addr())
+	}
 
 	var serveWG sync.WaitGroup
 	serveWG.Add(1)
@@ -129,6 +157,9 @@ func main() {
 		} else {
 			logger.Printf("checkpoint: %d pairs in %v", m.Len(), time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if adminSrv != nil {
+		adminSrv.Close()
 	}
 	if err := m.Close(); err != nil {
 		logger.Fatalf("close: %v", err)

@@ -129,7 +129,17 @@ type shard[K comparable, V any] struct {
 	newCandsOf  func(tag uint64) []uint32 // new-geometry drain/migrate derivation
 	scratch     []uint32                  // candsOf target; guarded by mu (write side)
 	newScratch  []uint32                  // newCandsOf target; guarded by mu (write side)
-	_           [64]byte
+
+	// Seqlock read-path health, surfaced through Stats: torn or
+	// overlapped optimistic attempts that retried, and reads that gave
+	// up spinning (or snapshotted mid-mutation in GetBatch) and took
+	// the lock. Bumped only off the fast path — a clean first-attempt
+	// read touches neither — so counting costs the steady state
+	// nothing.
+	seqRetries   atomic.Uint64
+	seqFallbacks atomic.Uint64
+
+	_ [64]byte
 }
 
 // lock enters a shard mutation: writer exclusion plus the seqlock
@@ -161,7 +171,8 @@ type Map[K comparable, V any] struct {
 	hash         keyed.Hasher[K]
 	maxLoad      float64
 	migrateBatch int
-	seqRead      bool // lock-free Get path enabled (K and V are SeqCapable)
+	seqRead      bool     // lock-free Get path enabled (K and V are SeqCapable)
+	metrics      *Metrics // optional latency/probe instrumentation; nil = uninstrumented
 	shards       []shard[K, V]
 	mgetPool     sync.Pool // *mgetScratch[K, V], reused across GetBatch calls
 }
@@ -325,7 +336,14 @@ func (m *Map[K, V]) migrateLocked(sh *shard[K, V], n int) int {
 //
 //repro:noalloc
 func (m *Map[K, V]) Put(key K, val V) bool {
-	return m.putDigest(m.digest(key), key, val)
+	digest := m.digest(key)
+	if mx := m.metrics; mx != nil && digest&sampleMask == 0 {
+		start := nowNanos()
+		ok := m.putDigest(digest, key, val)
+		mx.PutNanos.Record(nowNanos() - start)
+		return ok
+	}
+	return m.putDigest(digest, key, val)
 }
 
 // putDigest is Put from an already computed full digest — shared by Put
@@ -385,10 +403,14 @@ func (m *Map[K, V]) putDigest(digest uint64, key K, val V) bool {
 //repro:noalloc
 func (m *Map[K, V]) Get(key K) (V, bool) {
 	sh, tag := m.route(key)
+	if mx := m.metrics; mx != nil && tag&sampleMask == 0 {
+		return m.sampledGet(mx, sh, tag, key)
+	}
 	if m.seqRead {
 		if v, ok, done := m.seqGet(sh, tag, key); done {
 			return v, ok
 		}
+		sh.seqFallbacks.Add(1)
 	}
 	return m.lockedGet(sh, tag, key)
 }
@@ -430,9 +452,13 @@ func (m *Map[K, V]) seqGet(sh *shard[K, V], tag uint64, key K) (val V, ok, done 
 			}
 		}
 		if sh.seq.Load() == s {
+			if spin > 0 {
+				sh.seqRetries.Add(uint64(spin))
+			}
 			return val, ok, true
 		}
 	}
+	sh.seqRetries.Add(seqSpins)
 	var zero V
 	return zero, false, false
 }
@@ -595,6 +621,10 @@ func (m *Map[K, V]) Stats() Stats {
 	var snap shardSnap
 	for i := range m.shards {
 		sh := &m.shards[i]
+		// Monotone health counters, read directly: they are not part of
+		// the shard's seqlock-protected geometry snapshot.
+		st.SeqRetries += int64(sh.seqRetries.Load())
+		st.SeqFallbacks += int64(sh.seqFallbacks.Load())
 		m.shardStats(sh, &snap)
 		st.Len += snap.len
 		st.Capacity += snap.capacity

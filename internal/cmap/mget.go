@@ -64,6 +64,13 @@ func (m *Map[K, V]) GetBatch(keys []K, vals []V, found []bool) int {
 	if len(vals) < len(keys) || len(found) < len(keys) {
 		panic("cmap: GetBatch output slices shorter than keys")
 	}
+	var start int64
+	mx := m.metrics
+	if mx != nil {
+		// Every batch is timed (no sampling): the two clock reads
+		// amortize over the whole batch.
+		start = nowNanos()
+	}
 	sc, _ := m.mgetPool.Get().(*mgetScratch[K, V])
 	if sc == nil {
 		sc = new(mgetScratch[K, V]) //repro:allocok pool miss: one ~10 KB scratch, reused by every later call
@@ -75,6 +82,9 @@ func (m *Map[K, V]) GetBatch(keys []K, vals []V, found []bool) int {
 		hits += m.getChunk(sc, chunk, vals[off:], found[off:])
 	}
 	m.mgetPool.Put(sc)
+	if mx != nil {
+		mx.BatchNanos.Record(nowNanos() - start)
+	}
 	return hits
 }
 
@@ -164,6 +174,12 @@ func (m *Map[K, V]) getChunk(sc *mgetScratch[K, V], keys []K, vals []V, found []
 			}
 		}
 		if v == nil {
+			if m.seqRead {
+				// The optimistic snapshot tore (or was never taken): this
+				// key's probe is a seqlock fallback, same health signal as
+				// a spun-out Get.
+				sh.seqFallbacks.Add(1)
+			}
 			val, ok = m.lockedGet(sh, tags[i], key)
 		}
 		vals[i], found[i] = val, ok

@@ -131,6 +131,95 @@ func TestSeqlockStableReadsDuringResize(t *testing.T) {
 	}
 }
 
+// TestSeqSteadyStateNoFallbacks pins the seqlock health counters'
+// steady-state contract: with no writer in flight, every optimistic
+// read must succeed on its first attempt — zero retries, zero mutex
+// fallbacks — no matter how many readers hammer the map concurrently.
+// Any nonzero count here means the read path is paying for writer
+// exclusion it does not need.
+func TestSeqSteadyStateNoFallbacks(t *testing.T) {
+	m := New(Config{
+		Shards: 4, BucketsPerShard: 64, SlotsPerBucket: 4, D: 3, Seed: 5,
+		MaxLoadFactor: 0.9,
+	})
+	const n = 5000
+	for k := uint64(1); k <= n; k++ {
+		m.Put(k, k*7)
+	}
+	for m.MigrateStep(256) > 0 {
+	}
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			src := rng.NewXoshiro256(uint64(r+1) * 0xA076_1D64_78BD_642F)
+			batch := make([]uint64, 32)
+			vals := make([]uint64, len(batch))
+			found := make([]bool, len(batch))
+			for i := 0; i < 5000; i++ {
+				k := 1 + src.Uint64()%n
+				if v, ok := m.Get(k); !ok || v != k*7 {
+					t.Errorf("Get(%d) = (%d, %v)", k, v, ok)
+					return
+				}
+				if i%16 == 0 {
+					for j := range batch {
+						batch[j] = 1 + src.Uint64()%n
+					}
+					m.GetBatch(batch, vals, found)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	if st.SeqRetries != 0 || st.SeqFallbacks != 0 {
+		t.Errorf("steady-state reads retried %d times and fell back %d times; want 0/0",
+			st.SeqRetries, st.SeqFallbacks)
+	}
+}
+
+// TestSeqCountersCountFallbacks proves the counters actually count: a
+// shard whose generation is parked odd (a stalled writer, simulated)
+// forces Get to spin out its budget and take the lock, and forces
+// GetBatch to route that shard's keys through the per-key fallback.
+func TestSeqCountersCountFallbacks(t *testing.T) {
+	m := New(Config{Shards: 2, BucketsPerShard: 64, SlotsPerBucket: 4, D: 2, Seed: 13})
+	m.Put(42, 99)
+	sh, _ := m.route(42)
+
+	sh.seq.Add(1) // park the generation odd: every optimistic attempt aborts
+	if v, ok := m.Get(42); !ok || v != 99 {
+		t.Fatalf("Get under a parked generation = (%d, %v), want (99, true)", v, ok)
+	}
+	vals := make([]uint64, 1)
+	found := make([]bool, 1)
+	if n := m.GetBatch([]uint64{42}, vals, found); n != 1 || vals[0] != 99 {
+		t.Fatalf("GetBatch under a parked generation = %d hits, vals %v", n, vals)
+	}
+	sh.seq.Add(1) // release
+
+	st := m.Stats()
+	if st.SeqRetries != seqSpins {
+		t.Errorf("SeqRetries = %d, want %d (one Get spinning out its budget)", st.SeqRetries, seqSpins)
+	}
+	if st.SeqFallbacks != 2 {
+		t.Errorf("SeqFallbacks = %d, want 2 (one Get, one GetBatch key)", st.SeqFallbacks)
+	}
+
+	// Released: reads go back to the fast path and the counters freeze.
+	if v, ok := m.Get(42); !ok || v != 99 {
+		t.Fatalf("Get after release = (%d, %v)", v, ok)
+	}
+	if st2 := m.Stats(); st2.SeqRetries != st.SeqRetries || st2.SeqFallbacks != st.SeqFallbacks {
+		t.Errorf("counters moved on a clean read: %d/%d -> %d/%d",
+			st.SeqRetries, st.SeqFallbacks, st2.SeqRetries, st2.SeqFallbacks)
+	}
+}
+
 // TestGetBatchMidMigration pins batched lookups against a map whose
 // every shard has a nearly untouched resize backlog: each key must
 // resolve whether it still lives in the old geometry or has already

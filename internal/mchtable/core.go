@@ -323,6 +323,45 @@ func (c *Core[K, V]) Get(cands []uint32, key K) (V, bool) {
 	return zero, false
 }
 
+// GetDepth is Get that also reports the probe depth at which key
+// resolved: the index into cands of the bucket holding it, len(cands)
+// for a stash hit, -1 on a miss. The sampled read path in
+// internal/cmap feeds its probe-depth histogram — the paper's
+// which-choice-held distribution — from this.
+//
+//repro:noalloc
+func (c *Core[K, V]) GetDepth(cands []uint32, key K) (V, int, bool) {
+	for depth, b := range cands {
+		if idx := c.findInBucket(key, int(b)); idx >= 0 {
+			return c.vals[idx], depth, true
+		}
+	}
+	if i := c.stashFind(key); i >= 0 {
+		return c.stash.Load().arr[i].val, len(cands), true
+	}
+	var zero V
+	return zero, -1, false
+}
+
+// GetDualDepth is GetDepth while a resize is in flight: old geometry
+// first, then the new one, with new-geometry depths offset past the
+// old probe sequence (len(oldCands)+1) so the histogram reflects the
+// total buckets examined.
+//
+//repro:noalloc
+func (c *Core[K, V]) GetDualDepth(oldCands, newCands []uint32, key K) (V, int, bool) {
+	if v, depth, ok := c.GetDepth(oldCands, key); ok {
+		return v, depth, true
+	}
+	if next := c.next.Load(); next != nil {
+		if v, depth, ok := next.GetDepth(newCands, key); ok {
+			return v, len(oldCands) + 1 + depth, true
+		}
+	}
+	var zero V
+	return zero, -1, false
+}
+
 // GetBatch resolves keys[i] → (vals[i], found[i]) against the current
 // geometry, given each key's candidate buckets in cands[i*d:(i+1)*d]: a
 // prefetch pass touches every candidate bucket's cache lines first, so

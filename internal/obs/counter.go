@@ -1,0 +1,48 @@
+package obs
+
+import "sync/atomic"
+
+// cell is one cache-line-padded atomic, so neighbouring stripes never
+// share a line (64-byte lines; the atomic.Int64 is the first 8 bytes).
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a striped, add-only counter. Writers bump one of a fixed
+// set of cache-line-padded cells chosen by a per-goroutine hint, so
+// heavily concurrent increments don't ping-pong a single line;
+// readers sum the cells. The zero value is ready to use, which is
+// what lets other packages embed Counters directly in their existing
+// telemetry structs (wire.Counters) without constructors.
+//
+// Load is per-counter consistent, not cross-counter atomic — the same
+// snapshot contract as the map's Stats.
+type Counter struct {
+	cells [stripes]cell
+}
+
+// Add adds delta to the counter.
+//
+//repro:noalloc
+func (c *Counter) Add(delta int64) {
+	c.cells[stripeHint()].v.Add(delta)
+}
+
+// Inc adds one.
+//
+//repro:noalloc
+func (c *Counter) Inc() {
+	c.cells[stripeHint()].v.Add(1)
+}
+
+// Load returns the counter's current total.
+//
+//repro:noalloc
+func (c *Counter) Load() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}

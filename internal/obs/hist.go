@@ -1,0 +1,185 @@
+package obs
+
+// The log-linear histogram: power-of-two octaves split into 2^subBits
+// linear sub-buckets, HDR-histogram style. Bucket index and bounds
+// are pure bit arithmetic (no floats, no search), Record is exactly
+// one atomic add (the whole state is the bucket array — count and sum
+// are derived from it at snapshot time, which is what keeps Record
+// inside the hot-path budget), and the relative width of any bucket
+// above the first octave is at most 2^-subBits, so any quantile read
+// from a snapshot is within ~3.1% of the exact order statistic.
+// Values are int64 (nanoseconds, bytes, batch sizes); negatives clamp
+// to zero.
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// subBits is the log2 of the linear sub-buckets per octave:
+	// 2^-subBits bounds the relative quantile error (1/32 ≈ 3.1%).
+	subBits  = 5
+	subCount = 1 << subBits
+
+	// numBuckets covers the full uint64 range: indices [0, subCount)
+	// are exact single-value buckets, then every octave e in
+	// [subBits, 63] contributes subCount sub-buckets.
+	numBuckets = (65 - subBits) * subCount
+)
+
+// Histogram is a fixed-bucket concurrent latency/size histogram. The
+// zero value is ready to use. Record is lock-free and allocation-free;
+// Snapshot copies the bucket array and is safe to call concurrently
+// with recording (each bucket is individually consistent — the same
+// per-counter contract as Counter.Load).
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Record adds one observation. Negative values record as zero.
+//
+//repro:noalloc
+func (h *Histogram) Record(v int64) {
+	u := uint64(v)
+	if v < 0 {
+		u = 0
+	}
+	h.buckets[bucketIdx(u)].Add(1)
+}
+
+// bucketIdx maps a value to its bucket: identity below subCount, then
+// (octave, linear-sub-bucket) above. The mapping is continuous —
+// u = subCount-1 lands in index subCount-1 and u = subCount in index
+// subCount.
+//
+//repro:noalloc
+func bucketIdx(u uint64) int {
+	if u < subCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // position of the top set bit; e >= subBits
+	return (e-subBits)*subCount + int(u>>(uint(e)-subBits))
+}
+
+// bucketUpper returns the largest value mapping to bucket idx —
+// the value Quantile reports, so the estimate always errs high
+// (never under-reports a latency) by at most the bucket width.
+func bucketUpper(idx int) uint64 {
+	if idx < subCount {
+		return uint64(idx)
+	}
+	q := idx >> subBits // q = e - subBits + 1 for the bucket's octave e
+	shift := uint(q - 1)
+	m := uint64(idx - (q-1)*subCount) // sub-bucket mantissa in [subCount, 2*subCount)
+	return (m+1)<<shift - 1
+}
+
+// bucketMid returns the bucket's midpoint as a float — the per-bucket
+// value Sum and Mean are reconstructed from. Exact below subCount;
+// off by at most half a bucket width (a 2^-(subBits+1) fraction)
+// above.
+func bucketMid(idx int) float64 {
+	upper := bucketUpper(idx)
+	if idx < subCount {
+		return float64(upper)
+	}
+	lower := bucketUpper(idx-1) + 1
+	return (float64(lower) + float64(upper)) / 2
+}
+
+// Snapshot copies the histogram into s, replacing s's previous
+// contents. Taking a snapshot does not disturb recorders.
+func (h *Histogram) Snapshot(s *HistSnapshot) {
+	var count uint64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		s.Buckets[i] = n
+		count += n
+	}
+	s.Count = count
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram: a plain bucket
+// array plus the observation count. Snapshots merge by bucket-wise
+// addition, so per-shard or per-worker histograms aggregate into one
+// distribution without coordination.
+type HistSnapshot struct {
+	Buckets [numBuckets]uint64
+	Count   uint64
+}
+
+// Merge adds o's observations into s.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+}
+
+// Quantile returns an upper bound for the q-quantile (q in [0, 1]):
+// the upper bound of the bucket holding the order statistic of rank
+// ceil(q*Count), which exceeds the exact sorted value by at most a
+// factor of 1 + 2^-subBits. Returns 0 on an empty snapshot.
+func (s *HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) {
+		rank++ // ceil
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// Sum reconstructs the total of all observations from bucket
+// midpoints. It is exact while every observation fell below subCount,
+// and otherwise within a 2^-(subBits+1) relative error (~1.6%) — the
+// price of Record being a single atomic add. Being derived purely
+// from the buckets, it is exactly merge-consistent.
+func (s *HistSnapshot) Sum() float64 {
+	var sum float64
+	for i := range s.Buckets {
+		if n := s.Buckets[i]; n != 0 {
+			sum += float64(n) * bucketMid(i)
+		}
+	}
+	return sum
+}
+
+// CountLE returns how many observations were ≤ v. Exact whenever v is
+// a bucket boundary — in particular for any v < subCount and any
+// v = 2^k − 1 — and otherwise rounds down to the last whole bucket
+// (observations in v's own partial bucket are excluded).
+func (s *HistSnapshot) CountLE(v uint64) uint64 {
+	var cum uint64
+	for i := range s.Buckets {
+		if bucketUpper(i) > v {
+			break
+		}
+		cum += s.Buckets[i]
+	}
+	return cum
+}
+
+// Mean returns the average observation (same error bound as Sum), 0
+// if empty.
+func (s *HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum() / float64(s.Count)
+}

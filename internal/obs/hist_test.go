@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// maxRelErr is the histogram's advertised quantile error bound: any
+// estimate exceeds the exact order statistic by at most a factor of
+// 1 + 2^-subBits.
+const maxRelErr = 1.0 / subCount
+
+// TestBucketMapping checks that the index/bounds arithmetic is
+// consistent and continuous over the whole uint64 range: every bucket's
+// upper bound maps back to its own index, the next value maps to the
+// next index, and arbitrary values land inside their bucket's bounds.
+func TestBucketMapping(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		up := bucketUpper(i)
+		if got := bucketIdx(up); got != i {
+			t.Fatalf("bucketIdx(bucketUpper(%d)=%d) = %d", i, up, got)
+		}
+		if i+1 < numBuckets {
+			if got := bucketIdx(up + 1); got != i+1 {
+				t.Fatalf("bucketIdx(%d) = %d, want %d (continuity after bucket %d)", up+1, got, i+1, i)
+			}
+		}
+	}
+	if up := bucketUpper(numBuckets - 1); up != math.MaxUint64 {
+		t.Fatalf("last bucket upper = %d, want MaxUint64", up)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n < 100000; n++ {
+		u := rng.Uint64() >> uint(rng.Intn(64))
+		i := bucketIdx(u)
+		var lower uint64
+		if i > 0 {
+			lower = bucketUpper(i-1) + 1
+		}
+		if u < lower || u > bucketUpper(i) {
+			t.Fatalf("value %d mapped to bucket %d = [%d, %d]", u, i, lower, bucketUpper(i))
+		}
+	}
+}
+
+// adversarialDistributions are the value streams the quantile-accuracy
+// test replays: shapes chosen to stress bucket boundaries, extreme
+// skew, emptiness of most buckets, and the full dynamic range.
+func adversarialDistributions(rng *rand.Rand) map[string][]int64 {
+	dists := map[string][]int64{
+		"constant":      make([]int64, 1000),
+		"single":        {42},
+		"two-extremes":  {},
+		"boundaries":    {},
+		"uniform-small": {},
+		"uniform-wide":  {},
+		"power-law":     {},
+		"bimodal":       {},
+	}
+	for i := range dists["constant"] {
+		dists["constant"][i] = 777
+	}
+	for i := 0; i < 500; i++ {
+		dists["two-extremes"] = append(dists["two-extremes"], 1, int64(1)<<62)
+	}
+	// Every bucket boundary and its neighbours from a spread of octaves.
+	for e := uint(0); e < 62; e += 3 {
+		v := int64(1) << e
+		dists["boundaries"] = append(dists["boundaries"], v-1, v, v+1)
+	}
+	for i := 0; i < 5000; i++ {
+		dists["uniform-small"] = append(dists["uniform-small"], rng.Int63n(100))
+		dists["uniform-wide"] = append(dists["uniform-wide"], rng.Int63())
+		// Power law: mass concentrated low with a heavy tail.
+		dists["power-law"] = append(dists["power-law"], int64(math.Pow(2, rng.Float64()*40)))
+		if i%10 == 0 {
+			dists["bimodal"] = append(dists["bimodal"], 1_000_000+rng.Int63n(1000))
+		} else {
+			dists["bimodal"] = append(dists["bimodal"], 100+rng.Int63n(10))
+		}
+	}
+	return dists
+}
+
+// TestQuantileAccuracy replays adversarial distributions and holds
+// every reported quantile to the error bound against an exact sorted
+// oracle: estimate >= exact, estimate <= exact*(1+2^-subBits), using
+// the same rank rule (ceil(q*n), clamped to [1, n]) on both sides.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, vals := range adversarialDistributions(rng) {
+		var h Histogram
+		for _, v := range vals {
+			h.Record(v)
+		}
+		var s HistSnapshot
+		h.Snapshot(&s)
+		if s.Count != uint64(len(vals)) {
+			t.Fatalf("%s: snapshot count %d, want %d", name, s.Count, len(vals))
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		var wantSum float64
+		for _, v := range vals {
+			wantSum += float64(v)
+		}
+		// Sum reconstructs from bucket midpoints: half a bucket width
+		// of relative error at most.
+		if gotSum := s.Sum(); math.Abs(gotSum-wantSum) > wantSum/(2*subCount)+1 {
+			t.Fatalf("%s: snapshot sum %g outside bound of exact %g", name, gotSum, wantSum)
+		}
+		for _, q := range qs {
+			rank := uint64(q * float64(len(sorted)))
+			if float64(rank) < q*float64(len(sorted)) {
+				rank++
+			}
+			if rank < 1 {
+				rank = 1
+			}
+			if rank > uint64(len(sorted)) {
+				rank = uint64(len(sorted))
+			}
+			exact := uint64(sorted[rank-1])
+			est := s.Quantile(q)
+			if est < exact {
+				t.Errorf("%s q=%g: estimate %d under exact %d", name, q, est, exact)
+			}
+			if float64(est) > float64(exact)*(1+maxRelErr)+1 {
+				t.Errorf("%s q=%g: estimate %d exceeds exact %d by more than %.1f%%",
+					name, q, est, exact, maxRelErr*100)
+			}
+		}
+	}
+}
+
+// TestQuantileEmpty pins the empty-snapshot contract.
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty Quantile = %d, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %g, want 0", got)
+	}
+}
+
+// TestHistogramNegativeClamp: negative observations record as zero
+// rather than indexing out of range.
+func TestHistogramNegativeClamp(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	h.Record(math.MinInt64)
+	var s HistSnapshot
+	h.Snapshot(&s)
+	if s.Count != 2 || s.Buckets[0] != 2 || s.Sum() != 0 {
+		t.Fatalf("negative records: count=%d bucket0=%d sum=%g, want 2/2/0", s.Count, s.Buckets[0], s.Sum())
+	}
+}
+
+// TestSnapshotMerge: merging per-worker snapshots must equal one
+// histogram fed the union of the streams.
+func TestSnapshotMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var whole Histogram
+	var parts [4]Histogram
+	for i := 0; i < 20000; i++ {
+		v := rng.Int63() >> uint(rng.Intn(40))
+		whole.Record(v)
+		parts[i%len(parts)].Record(v)
+	}
+	var want, got, tmp HistSnapshot
+	whole.Snapshot(&want)
+	for i := range parts {
+		parts[i].Snapshot(&tmp)
+		got.Merge(&tmp)
+	}
+	if got != want {
+		t.Fatal("merged per-part snapshots differ from the whole-stream histogram")
+	}
+}
+
+// TestBucketWidthBound: every bucket above the first octave is at most
+// a 2^-subBits fraction of its lower bound wide — the invariant the
+// quantile error bound rests on.
+func TestBucketWidthBound(t *testing.T) {
+	for i := subCount; i < numBuckets-1; i++ {
+		lower := bucketUpper(i-1) + 1
+		upper := bucketUpper(i)
+		if upper-lower+1 > lower>>subBits {
+			t.Fatalf("bucket %d = [%d, %d]: width %d over bound %d",
+				i, lower, upper, upper-lower+1, lower>>subBits)
+		}
+		if e := bits.Len64(lower) - 1; e >= subBits && bits.Len64(upper)-1 != e {
+			t.Fatalf("bucket %d = [%d, %d] spans octaves", i, lower, upper)
+		}
+	}
+}

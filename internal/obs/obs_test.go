@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCounterTotals: concurrent striped adds must sum exactly.
+func TestCounterTotals(t *testing.T) {
+	var c Counter
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				c.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per*3 {
+		t.Fatalf("Load = %d, want %d", got, workers*per*3)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(41)
+	g.Add(1)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	g.Add(-50)
+	if got := g.Load(); got != -8 {
+		t.Fatalf("Load = %d, want -8", got)
+	}
+}
+
+// TestRecordingAllocs pins the zero-allocation contract of every
+// hot-path recording primitive — the runtime counterpart of their
+// //repro:noalloc annotations.
+func TestRecordingAllocs(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var h Histogram
+	pins := map[string]func(){
+		"Counter.Add":      func() { c.Add(3) },
+		"Counter.Inc":      func() { c.Inc() },
+		"Counter.Load":     func() { _ = c.Load() },
+		"Gauge.Set":        func() { g.Set(9) },
+		"Gauge.Add":        func() { g.Add(-1) },
+		"Histogram.Record": func() { h.Record(123456) },
+	}
+	for name, fn := range pins {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/run, want 0", name, allocs)
+		}
+	}
+}
+
+// TestHistogramConcurrentSnapshot exercises snapshot/merge/quantile
+// racing live recorders — the pass `make race` relies on. Snapshots
+// taken mid-run must be internally sane (monotone count, quantile
+// never panics) and the final drained snapshot must account for every
+// record.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	var h Histogram
+	const workers, per = 4, 50000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			v := seed
+			for i := 0; i < per; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Record(int64(uint64(v) >> 20))
+			}
+		}(int64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	var prev uint64
+	var s, merged HistSnapshot
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		h.Snapshot(&s)
+		if s.Count < prev {
+			t.Fatalf("snapshot count went backwards: %d -> %d", prev, s.Count)
+		}
+		prev = s.Count
+		_ = s.Quantile(0.99)
+		merged = HistSnapshot{}
+		merged.Merge(&s)
+	}
+	h.Snapshot(&s)
+	if s.Count != workers*per {
+		t.Fatalf("final count %d, want %d", s.Count, workers*per)
+	}
+}
+
+// TestCounterConcurrentLoad races Load against writers (the race
+// detector's job; totals are checked separately above).
+func TestCounterConcurrentLoad(t *testing.T) {
+	var c Counter
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 1000; i++ {
+		_ = c.Load()
+	}
+	close(stop)
+	wg.Wait()
+}

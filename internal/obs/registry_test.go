@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegistryPromGolden pins the Prometheus text exposition format
+// byte for byte: HELP/TYPE framing, name-sorted order, summary
+// encoding with quantile labels, and the ns -> seconds scale.
+func TestRegistryPromGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("repro_ops_total", "operations served", new(Counter))
+	c.Add(42)
+
+	r.Gauge("repro_backlog", "entries awaiting migration", func() float64 { return 7 })
+
+	h := r.Histogram("repro_get_seconds", "GET latency", new(Histogram), 1e-9)
+	// 1000ns lands in bucket [992, 1007]; the summary reports the
+	// bucket upper bound scaled to seconds.
+	for i := 0; i < 10; i++ {
+		h.Record(1000)
+	}
+
+	sizes := r.Histogram("repro_batch_size", "coalesced batch sizes", new(Histogram), 1)
+	sizes.Record(1)
+	sizes.Record(1)
+	sizes.Record(8) // below subCount: buckets are exact
+
+	const want = `# HELP repro_backlog entries awaiting migration
+# TYPE repro_backlog gauge
+repro_backlog 7
+# HELP repro_batch_size coalesced batch sizes
+# TYPE repro_batch_size summary
+repro_batch_size{quantile="0.5"} 1
+repro_batch_size{quantile="0.99"} 8
+repro_batch_size{quantile="0.999"} 8
+repro_batch_size_sum 10
+repro_batch_size_count 3
+# HELP repro_get_seconds GET latency
+# TYPE repro_get_seconds summary
+repro_get_seconds{quantile="0.5"} 1.007e-06
+repro_get_seconds{quantile="0.99"} 1.007e-06
+repro_get_seconds{quantile="0.999"} 1.007e-06
+repro_get_seconds_sum 9.995e-06
+repro_get_seconds_count 10
+# HELP repro_ops_total operations served
+# TYPE repro_ops_total counter
+repro_ops_total 42
+`
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != want {
+		t.Fatalf("prom exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryDuplicatePanics: metric names are a namespace; silent
+// shadowing would corrupt dashboards.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", new(Counter))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "", new(Counter))
+}

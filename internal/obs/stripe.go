@@ -1,0 +1,40 @@
+// Stripe selection for the striped recording primitives. Writers pick
+// a stripe from the address of a stack variable: goroutine stacks live
+// in distinct spans, so concurrent writers land on distinct cache
+// lines with high probability, while a single goroutine keeps hitting
+// the same line. The pointer is folded to an integer hash and
+// discarded — no view of memory is ever built from it, which is why
+// the gate below is a no-op by construction rather than a layout
+// check.
+//
+//repro:unsafeview a stack address is read as an integer to pick a counter stripe; the pointer is never dereferenced and no byte view is built
+
+package obs
+
+import "unsafe"
+
+// stripes is the fixed stripe count for striped counters and histogram
+// sums. Eight cache lines absorb the write traffic of many more
+// writer goroutines than eight (the hint spreads them), while keeping
+// every embedded Counter at half a kilobyte instead of scaling with
+// GOMAXPROCS at runtime (which would force pointers and lazy init
+// into the zero-value-ready types).
+const stripes = 8
+
+const stripeMask = stripes - 1
+
+// stripeHint returns a quasi-per-goroutine stripe index in [0,
+// stripes). It is a contention hint, not an identity: collisions are
+// harmless (two goroutines share a cache line) and migration is
+// harmless (a goroutine's stack moved; it starts bumping a different
+// stripe). Bits below the typical stack-span granularity are skipped
+// so goroutines differ in the bits that survive the mask.
+//
+//repro:gated the pointer is folded to an integer immediately and never dereferenced; no memory view exists for a layout gate to prove sound
+//repro:noalloc
+func stripeHint() int {
+	var anchor byte
+	h := uint64(uintptr(unsafe.Pointer(&anchor)) >> 10)
+	h ^= h >> 7
+	return int(h & stripeMask)
+}

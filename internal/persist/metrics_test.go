@@ -1,0 +1,142 @@
+package persist
+
+// WALMetrics coverage: every acknowledged append and every physical
+// fsync must be counted, poison events must register exactly once per
+// sticky-error store, and recovery must report its replay totals.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func histCount(t *testing.T, h *obs.Histogram) uint64 {
+	t.Helper()
+	var s obs.HistSnapshot
+	h.Snapshot(&s)
+	return s.Count
+}
+
+// TestWALMetricsAppendFsync: serial fsynced appends are the degenerate
+// group commit — one fsync per record, every commit batch exactly 1.
+func TestWALMetricsAppendFsync(t *testing.T) {
+	mx := NewWALMetrics()
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{Metrics: mx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 7
+	for i := 0; i < n; i++ {
+		if err := w.Append(WALPut, []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if got := mx.Appends.Load(); got != n {
+		t.Errorf("Appends = %d, want %d", got, n)
+	}
+	if got := histCount(t, mx.AppendNanos); got != n {
+		t.Errorf("AppendNanos count = %d, want %d", got, n)
+	}
+	if got := histCount(t, mx.FsyncNanos); got != n {
+		t.Errorf("FsyncNanos count = %d, want %d (serial appends fsync one by one)", got, n)
+	}
+	var s obs.HistSnapshot
+	mx.CommitBatch.Snapshot(&s)
+	if s.Count != n || s.Quantile(1) != 1 {
+		t.Errorf("CommitBatch count=%d max=%d, want %d batches of exactly 1", s.Count, s.Quantile(1), n)
+	}
+	if got := mx.Poisoned.Load(); got != 0 {
+		t.Errorf("Poisoned = %d on a healthy log", got)
+	}
+	if err := w.Err(); err != nil {
+		t.Errorf("Err() = %v on a healthy log", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALMetricsPoison: a failed fsync registers exactly one poison
+// event, Err surfaces it, rejected appends are timed but not counted
+// as acknowledged, and the healing Reset clears Err.
+func TestWALMetricsPoison(t *testing.T) {
+	mx := NewWALMetrics()
+	w, ff := newFlakyWAL(t, WALOptions{Metrics: mx})
+	ff.failSyncs = 1
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync with a failing fsync returned nil")
+	}
+	if got := mx.Poisoned.Load(); got != 1 {
+		t.Errorf("Poisoned = %d after one fsync failure, want 1", got)
+	}
+	if err := w.Err(); err == nil {
+		t.Error("Err() = nil on a poisoned log")
+	}
+	appendsBefore := mx.Appends.Load()
+	timedBefore := histCount(t, mx.AppendNanos)
+	if err := w.Append(WALPut, []byte("k"), []byte("v")); err == nil {
+		t.Fatal("Append succeeded on a poisoned WAL")
+	}
+	if got := mx.Appends.Load(); got != appendsBefore {
+		t.Errorf("rejected append counted as acknowledged (Appends %d -> %d)", appendsBefore, got)
+	}
+	if got := histCount(t, mx.AppendNanos); got != timedBefore+1 {
+		t.Errorf("rejected append not timed (AppendNanos %d -> %d)", timedBefore, got)
+	}
+	if err := w.Reset(); err != nil {
+		t.Fatalf("healing Reset: %v", err)
+	}
+	if err := w.Err(); err != nil {
+		t.Errorf("Err() = %v after the healing Reset", err)
+	}
+	if got := mx.Poisoned.Load(); got != 1 {
+		t.Errorf("Poisoned = %d after heal, want the historical 1 (it is an event count, not a state)", got)
+	}
+}
+
+// TestWALMetricsReplay: OpenWAL reports how much it replayed and
+// whether it truncated a torn tail.
+func TestWALMetricsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := CreateWAL(path, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := w.Append(WALPut, []byte{byte(i)}, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-frame: garbage past the last intact record.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xff, 0xee, 0xdd}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	mx := NewWALMetrics()
+	w2, replayed, err := OpenWAL(path, WALOptions{Metrics: mx}, func(WALOp, []byte, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if replayed != n {
+		t.Fatalf("OpenWAL replayed %d, want %d", replayed, n)
+	}
+	if got := mx.ReplayRecords.Load(); got != n {
+		t.Errorf("ReplayRecords = %d, want %d", got, n)
+	}
+	if got := mx.ReplayTorn.Load(); got != 1 {
+		t.Errorf("ReplayTorn = %d, want 1 (a torn tail was truncated)", got)
+	}
+}

@@ -79,6 +79,10 @@ type WALOptions struct {
 	// group commit: while one fsync is in flight, later appends queue
 	// behind it and are all made durable by the next one.
 	NoSync bool
+
+	// Metrics, when non-nil, receives append/fsync latencies, commit
+	// batch sizes, poison events, and replay totals. See WALMetrics.
+	Metrics *WALMetrics
 }
 
 // walFile is the file surface the WAL appends through. *os.File
@@ -182,6 +186,12 @@ func OpenWAL(path string, opts WALOptions, replay func(op WALOp, key, val []byte
 	}
 	w.seq = uint64(n)
 	w.durable = uint64(n)
+	if mx := opts.Metrics; mx != nil {
+		mx.ReplayRecords.Add(int64(n))
+		if good < st.Size() {
+			mx.ReplayTorn.Inc()
+		}
+	}
 	return w, n, nil
 }
 
@@ -323,8 +333,26 @@ func parseLenPrefixed(p []byte) (b, rest []byte, ok bool) {
 // returns control.
 //
 //repro:noalloc
-//repro:poisons writeErr syncErr
 func (w *WAL) Append(op WALOp, key, val []byte) error {
+	mx := w.opts.Metrics
+	if mx == nil {
+		return w.appendRecord(op, key, val)
+	}
+	start := nowNanos()
+	err := w.appendRecord(op, key, val)
+	mx.AppendNanos.Record(nowNanos() - start)
+	if err == nil {
+		mx.Appends.Inc()
+	}
+	return err
+}
+
+// appendRecord is Append's uninstrumented body: frame, write, and
+// (unless NoSync) wait for a covering group-commit fsync.
+//
+//repro:noalloc
+//repro:poisons writeErr syncErr
+func (w *WAL) appendRecord(op WALOp, key, val []byte) error {
 	if op != WALPut && op != WALDelete {
 		return fmt.Errorf("persist: Append op %d", op) //repro:allocok invalid-op error path: the append was rejected, not logged
 	}
@@ -360,6 +388,9 @@ func (w *WAL) Append(op WALOp, key, val []byte) error {
 	if err != nil {
 		w.writeErr = err
 		w.mu.Unlock()
+		if mx := w.opts.Metrics; mx != nil {
+			mx.Poisoned.Inc()
+		}
 		return err
 	}
 	w.seq++
@@ -406,13 +437,27 @@ func (w *WAL) waitDurable(seq uint64) error {
 	w.mu.Lock()
 	flushedTo := w.seq
 	w.mu.Unlock()
+	mx := w.opts.Metrics
+	var start int64
+	if mx != nil {
+		start = nowNanos()
+	}
 	err := w.f.Sync()
+	if mx != nil {
+		mx.FsyncNanos.Record(nowNanos() - start)
+	}
 
 	w.smu.Lock()
 	w.flushing = false
 	if err != nil {
 		w.syncErr = err
+		if mx != nil {
+			mx.Poisoned.Inc()
+		}
 	} else if flushedTo > w.durable {
+		if mx != nil {
+			mx.CommitBatch.Record(int64(flushedTo - w.durable))
+		}
 		w.durable = flushedTo
 	}
 	w.scond.Broadcast()
@@ -443,11 +488,22 @@ func (w *WAL) Sync() error {
 		return err
 	}
 	w.smu.Unlock()
+	mx := w.opts.Metrics
+	var start int64
+	if mx != nil {
+		start = nowNanos()
+	}
 	err := w.f.Sync()
+	if mx != nil {
+		mx.FsyncNanos.Record(nowNanos() - start)
+	}
 	w.smu.Lock()
 	if err != nil {
 		if w.syncErr == nil {
 			w.syncErr = err
+			if mx != nil {
+				mx.Poisoned.Inc()
+			}
 		}
 	} else if w.syncErr != nil {
 		// A concurrent group-commit flush failed while ours ran: its
@@ -496,10 +552,12 @@ func (w *WAL) Reset() error {
 	defer w.mu.Unlock()
 	if err := w.f.Truncate(walHeaderSize); err != nil {
 		w.writeErr = err
+		w.poisonedInc()
 		return err
 	}
 	if _, err := w.f.Seek(walHeaderSize, io.SeekStart); err != nil {
 		w.writeErr = err
+		w.poisonedInc()
 		return err
 	}
 	if !w.opts.NoSync {
@@ -507,6 +565,7 @@ func (w *WAL) Reset() error {
 			w.smu.Lock()
 			if w.syncErr == nil {
 				w.syncErr = err
+				w.poisonedInc()
 			}
 			w.smu.Unlock()
 			return err
@@ -536,6 +595,7 @@ func (w *WAL) Close() error {
 			w.smu.Lock()
 			if w.syncErr == nil {
 				w.syncErr = err
+				w.poisonedInc()
 			}
 			w.smu.Unlock()
 		}
@@ -544,4 +604,30 @@ func (w *WAL) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// poisonedInc bumps the sticky-poison counter if metrics are attached.
+//
+//repro:noalloc
+func (w *WAL) poisonedInc() {
+	if mx := w.opts.Metrics; mx != nil {
+		mx.Poisoned.Inc()
+	}
+}
+
+// Err reports the WAL's sticky poison — the write or fsync error that
+// switched it into its refuse-all-appends state — or nil while the log
+// is healthy. This is the readiness signal: a process serving writes
+// from a poisoned WAL is acknowledging nothing durably.
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	werr := w.writeErr
+	w.mu.Unlock()
+	w.smu.Lock()
+	serr := w.syncErr
+	w.smu.Unlock()
+	if werr != nil {
+		return werr
+	}
+	return serr
 }

@@ -1,53 +1,78 @@
 package wire
 
-// The server-side observability snapshot: lock-free per-op counters, a
-// batch-size histogram for the server's coalesced GetBatch calls, and
-// the STATS text encoding — one "name value" line per counter, the
-// memcached STATS idiom without its framing.
+// The server-side observability snapshot: lock-free per-op counters,
+// service-time and batch-size histograms, and the STATS text encoding —
+// one "name value" line per counter, the memcached STATS idiom without
+// its framing. Every instrument is an obs type, so the STATS verb and a
+// metrics registry exposing the same Counters cannot drift: both read
+// the same cells.
 
 import (
-	"math/bits"
 	"strconv"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// batchBuckets is the batch-size histogram's bucket count: log2 buckets
+// batchBuckets is the batch_ge_N line count in STATS: log2 buckets
 // 1, 2, 4, …, with everything ≥ 2^(batchBuckets-1) in the last.
 const batchBuckets = 11
 
-// Counters is the server's operation telemetry. All fields are atomics:
-// every connection goroutine bumps them lock-free, and a STATS snapshot
-// reads each counter individually (the snapshot is per-counter
-// consistent, not cross-counter atomic — the same contract as the map's
-// Stats).
+// baseTime anchors the server's monotonic service-time clock.
+var baseTime = time.Now()
+
+// nowNanos reads the monotonic clock as plain nanoseconds, so timed
+// paths carry int64s instead of time.Time structs.
+//
+//repro:noalloc
+func nowNanos() int64 { return time.Since(baseTime).Nanoseconds() }
+
+// Counters is the server's operation telemetry. Every field is an obs
+// instrument: connection goroutines bump them lock-free, and a STATS
+// snapshot reads each one individually (the snapshot is per-counter
+// consistent, not cross-counter atomic — the same contract as the
+// map's Stats). The zero value is ready to use.
 type Counters struct {
-	ConnsAccepted atomic.Int64
-	ConnsActive   atomic.Int64
+	ConnsAccepted obs.Counter
+	ConnsActive   obs.Counter
 
-	FramesIn  atomic.Int64
-	FramesOut atomic.Int64
-	BytesIn   atomic.Int64
-	BytesOut  atomic.Int64
+	FramesIn  obs.Counter
+	FramesOut obs.Counter
+	BytesIn   obs.Counter
+	BytesOut  obs.Counter
 
-	Gets      atomic.Int64 // GET requests served
-	GetMisses atomic.Int64
-	Sets      atomic.Int64
-	Dels      atomic.Int64
-	DelMisses atomic.Int64
-	MGets     atomic.Int64 // MGET requests served
-	MGetKeys  atomic.Int64 // keys across all MGETs
-	StatsOps  atomic.Int64
+	Gets      obs.Counter // GET requests served
+	GetMisses obs.Counter
+	Sets      obs.Counter
+	Dels      obs.Counter
+	DelMisses obs.Counter
+	MGets     obs.Counter // MGET requests served
+	MGetKeys  obs.Counter // keys across all MGETs
+	StatsOps  obs.Counter
 
-	ErrDecode atomic.Int64 // framing/parse failures (connection-fatal)
-	ErrTooBig atomic.Int64 // frames over the size guard (connection-fatal)
-	ErrSet    atomic.Int64 // backend Set failures
-	ErrDel    atomic.Int64 // backend Delete failures
+	ErrDecode obs.Counter // framing/parse failures (connection-fatal)
+	ErrTooBig obs.Counter // frames over the size guard (connection-fatal)
+	ErrSet    obs.Counter // backend Set failures
+	ErrDel    obs.Counter // backend Delete failures
 
-	// BatchHist[i] counts server-side GetBatch calls of size in
-	// [2^i, 2^(i+1)): how much per-connection read batching actually
-	// coalesces under the live traffic mix.
-	BatchHist [batchBuckets]atomic.Int64
+	// Per-op service time, measured around the backend call: GetNanos
+	// records each coalesced GET batch (the GET path's unit of service —
+	// one backend call answers the whole run), the others record each
+	// request.
+	GetNanos  obs.Histogram
+	SetNanos  obs.Histogram
+	DelNanos  obs.Histogram
+	MGetNanos obs.Histogram
+
+	// ConnNanos records each connection's lifetime at close; DrainNanos
+	// records each Shutdown's drain duration.
+	ConnNanos  obs.Histogram
+	DrainNanos obs.Histogram
+
+	// BatchSizes records the key count of every server-side GetBatch
+	// call (coalesced GET runs and MGETs): how much per-connection read
+	// batching actually coalesces under the live traffic mix.
+	BatchSizes obs.Histogram
 }
 
 // noteBatch records one coalesced GetBatch call of n keys.
@@ -57,11 +82,7 @@ func (c *Counters) noteBatch(n int) {
 	if n <= 0 {
 		return
 	}
-	b := bits.Len(uint(n)) - 1
-	if b >= batchBuckets {
-		b = batchBuckets - 1
-	}
-	c.BatchHist[b].Add(1)
+	c.BatchSizes.Record(int64(n))
 }
 
 // Ops returns the total requests served.
@@ -70,8 +91,9 @@ func (c *Counters) Ops() int64 {
 }
 
 // AppendText appends the STATS reply body: one "name value" line per
-// counter, plus uptime and the ops/sec rate over it, plus the non-empty
-// batch-size histogram buckets.
+// counter (unit-suffixed names throughout — seconds and nanoseconds are
+// always spelled out), the non-empty batch-size histogram buckets, and
+// a p50/p99/p999/count block per non-empty service-time histogram.
 func (c *Counters) AppendText(dst []byte, uptime time.Duration) []byte {
 	line := func(name string, v int64) {
 		dst = append(dst, name...)
@@ -109,16 +131,49 @@ func (c *Counters) AppendText(dst []byte, uptime time.Duration) []byte {
 	line("err_too_big", c.ErrTooBig.Load())
 	line("err_set", c.ErrSet.Load())
 	line("err_del", c.ErrDel.Load())
-	for i := range c.BatchHist {
-		n := c.BatchHist[i].Load()
+
+	var s obs.HistSnapshot
+	c.BatchSizes.Snapshot(&s)
+	for i := 0; i < batchBuckets; i++ {
+		lo := uint64(1) << i
+		var n uint64
+		if i == batchBuckets-1 {
+			n = s.Count - s.CountLE(lo-1) // open-ended last bucket
+		} else {
+			n = s.CountLE(2*lo-1) - s.CountLE(lo-1)
+		}
 		if n == 0 {
 			continue
 		}
 		dst = append(dst, "batch_ge_"...)
-		dst = strconv.AppendInt(dst, 1<<i, 10)
+		dst = strconv.AppendInt(dst, int64(lo), 10)
 		dst = append(dst, ' ')
-		dst = strconv.AppendInt(dst, n, 10)
+		dst = strconv.AppendUint(dst, n, 10)
 		dst = append(dst, '\n')
 	}
+
+	appendHist := func(name string, h *obs.Histogram) {
+		h.Snapshot(&s)
+		if s.Count == 0 {
+			return
+		}
+		q := func(suffix string, v uint64) {
+			dst = append(dst, name...)
+			dst = append(dst, suffix...)
+			dst = append(dst, ' ')
+			dst = strconv.AppendUint(dst, v, 10)
+			dst = append(dst, '\n')
+		}
+		q("_p50_ns", s.Quantile(0.5))
+		q("_p99_ns", s.Quantile(0.99))
+		q("_p999_ns", s.Quantile(0.999))
+		q("_count", s.Count)
+	}
+	appendHist("get", &c.GetNanos)
+	appendHist("set", &c.SetNanos)
+	appendHist("del", &c.DelNanos)
+	appendHist("mget", &c.MGetNanos)
+	appendHist("conn", &c.ConnNanos)
+	appendHist("drain", &c.DrainNanos)
 	return dst
 }

@@ -1,0 +1,88 @@
+package wire
+
+// The STATS text conformance golden: AppendText's format is wire
+// protocol — external scrapers parse it line by line — so the exact
+// bytes for a deterministic Counters state are pinned here. Any
+// intentional format change must update this golden consciously.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendTextGolden(t *testing.T) {
+	var c Counters
+	c.ConnsAccepted.Add(3)
+	c.ConnsActive.Add(2)
+	c.FramesIn.Add(10)
+	c.FramesOut.Add(9)
+	c.BytesIn.Add(512)
+	c.BytesOut.Add(256)
+	c.Gets.Add(4)
+	c.GetMisses.Add(1)
+	c.Sets.Add(2)
+	c.Dels.Add(1)
+	c.MGets.Add(1)
+	c.MGetKeys.Add(3)
+	c.StatsOps.Add(1)
+	c.noteBatch(1)
+	c.noteBatch(3)
+	c.noteBatch(3)
+	c.noteBatch(2000) // lands in the open-ended last batch bucket
+	// Service-time values below subCount record exactly, so the
+	// quantile lines are deterministic integers.
+	c.SetNanos.Record(17)
+	c.SetNanos.Record(17)
+	c.DrainNanos.Record(5)
+
+	got := string(c.AppendText(nil, 90*time.Second))
+	want := strings.Join([]string{
+		"uptime_seconds 90.0",
+		"ops_total 9",
+		"ops_per_sec 0.1",
+		"conns_accepted 3",
+		"conns_active 2",
+		"frames_in 10",
+		"frames_out 9",
+		"bytes_in 512",
+		"bytes_out 256",
+		"get 4",
+		"get_miss 1",
+		"set 2",
+		"del 1",
+		"del_miss 0",
+		"mget 1",
+		"mget_keys 3",
+		"stats 1",
+		"err_decode 0",
+		"err_too_big 0",
+		"err_set 0",
+		"err_del 0",
+		"batch_ge_1 1",
+		"batch_ge_2 2",
+		"batch_ge_1024 1",
+		"set_p50_ns 17",
+		"set_p99_ns 17",
+		"set_p999_ns 17",
+		"set_count 2",
+		"drain_p50_ns 5",
+		"drain_p99_ns 5",
+		"drain_p999_ns 5",
+		"drain_count 1",
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("STATS text drifted from the pinned format.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAppendTextUptimeUnit pins the unit discipline: every time-valued
+// line carries its unit in the name.
+func TestAppendTextUptimeUnit(t *testing.T) {
+	var c Counters
+	text := string(c.AppendText(nil, 1500*time.Millisecond))
+	if !strings.HasPrefix(text, "uptime_seconds 1.5\n") {
+		t.Errorf("uptime line = %q, want a unit-suffixed uptime_seconds 1.5", strings.SplitN(text, "\n", 2)[0])
+	}
+}

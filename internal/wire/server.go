@@ -56,6 +56,10 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level error lines.
 	Logf func(format string, args ...any)
+	// ExtraStats, when set, appends additional telemetry text to every
+	// STATS reply after the built-in counter lines — the hook cmd/served
+	// uses to carry its full metrics-registry snapshot over the wire.
+	ExtraStats func(dst []byte) []byte
 }
 
 // DefaultMaxPipeline is the per-burst request cap when Options leaves
@@ -141,12 +145,14 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.mu.Unlock()
 		s.counters.ConnsAccepted.Add(1)
 		s.counters.ConnsActive.Add(1)
+		connStart := nowNanos()
 		go func() {
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				s.counters.ConnsActive.Add(-1)
+				s.counters.ConnNanos.Record(nowNanos() - connStart)
 				s.wg.Done()
 			}()
 			s.serveConn(conn)
@@ -159,6 +165,7 @@ func (s *Server) Serve(ln net.Listener) error {
 // force-closes whatever remains after timeout. It returns nil if every
 // connection drained voluntarily.
 func (s *Server) Shutdown(timeout time.Duration) error {
+	drainStart := nowNanos()
 	s.mu.Lock()
 	s.closed = true
 	for ln := range s.listeners {
@@ -182,6 +189,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	select {
 	case <-done:
+		s.counters.DrainNanos.Record(nowNanos() - drainStart)
 		return nil
 	case <-timer:
 	}
@@ -192,6 +200,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	}
 	s.mu.Unlock()
 	<-done
+	s.counters.DrainNanos.Record(nowNanos() - drainStart)
 	return fmt.Errorf("wire: Shutdown force-closed %d connection(s) after %v", n, timeout)
 }
 
@@ -348,7 +357,10 @@ func (s *Server) handle(cs *connState) (fatal bool) {
 	case OpSet:
 		s.flushGets(cs)
 		s.counters.Sets.Add(1)
-		if err := s.backend.Set(cs.req.Key, cs.req.Val); err != nil {
+		start := nowNanos()
+		err := s.backend.Set(cs.req.Key, cs.req.Val)
+		s.counters.SetNanos.Record(nowNanos() - start)
+		if err != nil {
 			s.counters.ErrSet.Add(1)
 			cs.out = AppendErrReply(cs.out, err.Error())
 			return false
@@ -358,7 +370,9 @@ func (s *Server) handle(cs *connState) (fatal bool) {
 	case OpDel:
 		s.flushGets(cs)
 		s.counters.Dels.Add(1)
+		start := nowNanos()
 		present, err := s.backend.Delete(cs.req.Key)
+		s.counters.DelNanos.Record(nowNanos() - start)
 		if err != nil {
 			s.counters.ErrDel.Add(1)
 			cs.out = AppendErrReply(cs.out, err.Error())
@@ -378,7 +392,9 @@ func (s *Server) handle(cs *connState) (fatal bool) {
 		n := len(cs.req.Keys)
 		keys, vals, found := cs.batchArgs(n)
 		copy(keys, cs.req.Keys) // views into the current payload: valid through the GetBatch call
+		start := nowNanos()
 		hits := s.backend.GetBatch(keys, vals, found)
+		s.counters.MGetNanos.Record(nowNanos() - start)
 		s.counters.noteBatch(n)
 		s.counters.GetMisses.Add(int64(n - hits))
 		cs.out = AppendMGetReply(cs.out, vals, found)
@@ -387,6 +403,9 @@ func (s *Server) handle(cs *connState) (fatal bool) {
 		s.flushGets(cs)
 		s.counters.StatsOps.Add(1)
 		cs.stats = s.counters.AppendText(cs.stats[:0], time.Since(s.start))
+		if s.opts.ExtraStats != nil {
+			cs.stats = s.opts.ExtraStats(cs.stats)
+		}
 		cs.out = AppendTextReply(cs.out, cs.stats)
 		return false
 	default:
@@ -410,7 +429,9 @@ func (s *Server) flushGets(cs *connState) {
 		keys[i] = cs.arena[prev:end]
 		prev = end
 	}
+	start := nowNanos()
 	hits := s.backend.GetBatch(keys, vals, found)
+	s.counters.GetNanos.Record(nowNanos() - start)
 	s.counters.noteBatch(n)
 	s.counters.Gets.Add(int64(n))
 	s.counters.GetMisses.Add(int64(n - hits))

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // memBackend is a mutex-guarded map: the minimal correct Backend.
@@ -172,11 +174,9 @@ func TestServerPipelining(t *testing.T) {
 	// The server must have coalesced at least one multi-GET batch out of
 	// those pipelined reads (the histogram's >1 buckets are its proof).
 	cs := srv.Counters()
-	multi := int64(0)
-	for i := 1; i < batchBuckets; i++ {
-		multi += cs.BatchHist[i].Load()
-	}
-	if multi == 0 {
+	var bs obs.HistSnapshot
+	cs.BatchSizes.Snapshot(&bs)
+	if multi := bs.Count - bs.CountLE(1); multi == 0 {
 		t.Error("500 pipelined GETs never coalesced into a multi-key batch")
 	}
 	if got := cs.Gets.Load(); got != n {

@@ -21,12 +21,14 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/cmap"
 	"repro/internal/cuckoo"
 	"repro/internal/hashes"
 	"repro/internal/keyed"
 	"repro/internal/mchtable"
+	"repro/internal/obs"
 	"repro/internal/openaddr"
 	"repro/internal/persist"
 )
@@ -151,6 +153,32 @@ func LoadOpenMap[K comparable, V any](r io.Reader, opts ...Option) (*OpenMap[K, 
 	return openaddr.Load[K, V](r, HasherFor[K](), CodecFor[K](), CodecFor[V](), o.capacity, o.probe)
 }
 
+// DurableMetrics is the durable map's observability hook, attached at
+// Open via WithDurableMetrics. Every field must be non-nil when
+// attached (use NewDurableMetrics).
+type DurableMetrics struct {
+	// WAL receives the write-ahead log's instruments: append/fsync
+	// latency, group-commit batch sizes, sticky-poison events, and the
+	// recovery replay totals from this Open.
+	WAL *persist.WALMetrics
+	// CheckpointNanos times each successful Checkpoint end to end —
+	// snapshot encode, fsync, rename, directory sync, WAL reset.
+	CheckpointNanos *obs.Histogram
+	// CheckpointBytes records each successful checkpoint's snapshot
+	// size in bytes (pre-rename, as encoded).
+	CheckpointBytes *obs.Histogram
+}
+
+// NewDurableMetrics returns a DurableMetrics with every instrument
+// allocated.
+func NewDurableMetrics() *DurableMetrics {
+	return &DurableMetrics{
+		WAL:             persist.NewWALMetrics(),
+		CheckpointNanos: new(obs.Histogram),
+		CheckpointBytes: new(obs.Histogram),
+	}
+}
+
 // Snapshot and WAL file names inside a DurableMap directory.
 const (
 	snapshotFile    = "snapshot"
@@ -174,13 +202,14 @@ const (
 // writers — readers never block.
 type DurableMap[K comparable, V any] struct {
 	//repro:lockclass durable-map 10
-	mu  sync.RWMutex // writers share it; Checkpoint excludes them
-	m   *Map[K, V]
-	wal *persist.WAL
-	kc  Codec[K]
-	vc  Codec[V]
-	dir string
-	buf sync.Pool // *walScratch: per-append encode buffers
+	mu      sync.RWMutex // writers share it; Checkpoint excludes them
+	m       *Map[K, V]
+	wal     *persist.WAL
+	kc      Codec[K]
+	vc      Codec[V]
+	dir     string
+	metrics *DurableMetrics // nil unless WithDurableMetrics was given
+	buf     sync.Pool       // *walScratch: per-append encode buffers
 	// stripes serialize the WAL-append + map-apply pair per key (striped
 	// by the encoded key's hash): without it, two racing writes to the
 	// same key could land in the WAL in one order and in the map in the
@@ -253,7 +282,11 @@ func OpenOf[K comparable, V any](dir string, h Hasher[K], kc Codec[K], vc Codec[
 		return nil, err
 	}
 
-	wal, _, err := persist.OpenWAL(filepath.Join(dir, walFile), persist.WALOptions{NoSync: o.walNoSync},
+	var walMx *persist.WALMetrics
+	if o.durableMetrics != nil {
+		walMx = o.durableMetrics.WAL
+	}
+	wal, _, err := persist.OpenWAL(filepath.Join(dir, walFile), persist.WALOptions{NoSync: o.walNoSync, Metrics: walMx},
 		func(op persist.WALOp, kb, vb []byte) error {
 			key, err := kc.Decode(kb)
 			if err != nil {
@@ -276,7 +309,7 @@ func OpenOf[K comparable, V any](dir string, h Hasher[K], kc Codec[K], vc Codec[
 	if err != nil {
 		return nil, fmt.Errorf("repro: recovering %s: %w", walFile, err)
 	}
-	s := &DurableMap[K, V]{m: m, wal: wal, kc: kc, vc: vc, dir: dir}
+	s := &DurableMap[K, V]{m: m, wal: wal, kc: kc, vc: vc, dir: dir, metrics: o.durableMetrics}
 	s.buf.New = func() any { return &walScratch{} }
 	return s, nil
 }
@@ -359,6 +392,14 @@ func (s *DurableMap[K, V]) Len() int { return s.m.Len() }
 // Stats takes the underlying map's occupancy snapshot.
 func (s *DurableMap[K, V]) Stats() ContainerStats { return s.m.Stats() }
 
+// Metrics returns the instrumentation attached at Open, nil if none.
+func (s *DurableMap[K, V]) Metrics() *DurableMetrics { return s.metrics }
+
+// Err reports the WAL's sticky poison error, nil while the log is
+// healthy — the readiness signal: a poisoned WAL refuses every durable
+// write until a successful Checkpoint heals it.
+func (s *DurableMap[K, V]) Err() error { return s.wal.Err() }
+
 // Range iterates the underlying map (per-shard consistent; fn must not
 // call the map back — see Map.Range).
 func (s *DurableMap[K, V]) Range(fn func(key K, val V) bool) { s.m.Range(fn) }
@@ -374,47 +415,78 @@ func (s *DurableMap[K, V]) Map() *Map[K, V] { return s.m }
 // before the rename the old snapshot + full WAL recover, after it the
 // new snapshot + (possibly still unreset) WAL recover — replaying a
 // WAL the snapshot already covers is idempotent.
+func (s *DurableMap[K, V]) Checkpoint() error {
+	dm := s.metrics
+	if dm == nil {
+		_, err := s.checkpoint()
+		return err
+	}
+	start := time.Now()
+	n, err := s.checkpoint()
+	if err == nil {
+		dm.CheckpointNanos.Record(time.Since(start).Nanoseconds())
+		dm.CheckpointBytes.Record(n)
+	}
+	return err
+}
+
+// checkpoint is Checkpoint's body, reporting the snapshot's encoded
+// byte size on success.
 //
 //repro:poisons os.Remove
-func (s *DurableMap[K, V]) Checkpoint() error {
+func (s *DurableMap[K, V]) checkpoint() (int64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tmp := filepath.Join(s.dir, snapshotTmpFile)
 	f, err := os.Create(tmp)
 	if err != nil {
-		return err
+		return 0, err
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &countingWriter{w: f}
+	bw := bufio.NewWriterSize(cw, 1<<20)
 	if err := s.m.Snapshot(bw, s.kc, s.vc); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := bw.Flush(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
 		// Without this removal the fully-written tmp would sit in the
 		// directory until the next Open; it is never valid state (only the
 		// rename publishes a snapshot), so it must not outlive the error.
 		os.Remove(tmp)
-		return err
+		return 0, err
 	}
 	if err := syncDir(s.dir); err != nil {
-		return err
+		return 0, err
 	}
-	return s.wal.Reset()
+	return cw.n, s.wal.Reset()
+}
+
+// countingWriter counts the bytes passing through to w — the
+// checkpoint-size instrument.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Sync forces an fsync of the WAL — useful with WithWALSync(false) to

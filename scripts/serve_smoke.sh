@@ -2,9 +2,12 @@
 # serve_smoke.sh — boot a served instance on a loopback ephemeral port,
 # drive it with loadgen's network mode under full verification (disjoint
 # per-connection key spaces, shadow maps, final MGET sweep: any lost or
-# divergent pair fails), compare batched MGET reads against per-key
-# GETs, then shut down gracefully and prove a restart recovers every
-# pair. Used by `make serve-smoke` and the CI serve-smoke job.
+# divergent pair fails), scrape the admin telemetry plane mid-run
+# (/metrics must carry the core series with live values, /healthz must
+# report ready, counters must be monotone across scrapes), compare
+# batched MGET reads against per-key GETs, then shut down gracefully and
+# prove a restart recovers every pair. Used by `make serve-smoke` and
+# the CI serve-smoke job.
 #
 # Env knobs:
 #   SMOKE_OPS   ops for the verified run        (default 60000)
@@ -19,6 +22,7 @@ DIR="${SMOKE_DIR:-$(mktemp -d)}"
 JSON_DIR="${SMOKE_JSON:-$DIR}"
 DATA="$DIR/data"
 ADDR_FILE="$DIR/addr"
+ADMIN_FILE="$DIR/admin_addr"
 LOG="$DIR/served.log"
 SERVED_PID=""
 
@@ -48,19 +52,35 @@ go build -o "$DIR/loadgen" ./cmd/loadgen
 # atomically once the listener is up. -wal-sync=false keeps the smoke
 # fast; the ack-durability path is covered by the persist test suite.
 start_served() {
-    rm -f "$ADDR_FILE"
+    rm -f "$ADDR_FILE" "$ADMIN_FILE"
     "$DIR/served" -dir "$DATA" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+        -admin 127.0.0.1:0 -admin-addr-file "$ADMIN_FILE" \
         -wal-sync=false -drain 10s >>"$LOG" 2>&1 &
     SERVED_PID=$!
     i=0
-    while [ ! -f "$ADDR_FILE" ]; do
+    while [ ! -f "$ADDR_FILE" ] || [ ! -f "$ADMIN_FILE" ]; do
         i=$((i + 1))
         [ "$i" -gt 100 ] && fail "served never published its address"
         kill -0 "$SERVED_PID" 2>/dev/null || fail "served exited during startup"
         sleep 0.1
     done
     ADDR="$(cat "$ADDR_FILE")"
-    echo "serve-smoke: served up at $ADDR (pid $SERVED_PID)"
+    ADMIN="$(cat "$ADMIN_FILE")"
+    echo "serve-smoke: served up at $ADDR (admin $ADMIN, pid $SERVED_PID)"
+}
+
+# fetch URL to stdout; curl everywhere CI runs, wget as the fallback.
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 10 "$1"
+    else
+        wget -qO- -T 10 "$1"
+    fi
+}
+
+# metric NAME FILE — the value of an unlabeled sample line.
+metric() {
+    awk -v n="$1" '$1 == n { print $2 }' "$2"
 }
 
 stop_served() {
@@ -76,6 +96,32 @@ echo "serve-smoke: verified mixed workload ($OPS ops, $CONNS conns)"
     -read 0.6 -delete 0.1 -verify -seed 7 \
     -json "$JSON_DIR/serve_smoke_verify.json" \
     || fail "verified run reported lost or divergent pairs"
+
+# Mid-run telemetry: the workload above has touched every layer, so
+# the scrape must show live values — a serving process whose /metrics
+# is all zeros is a wiring bug, not a quiet one.
+echo "serve-smoke: scraping the admin plane at $ADMIN"
+fetch "http://$ADMIN/healthz" | grep -qx "ok" || fail "/healthz did not report ok"
+fetch "http://$ADMIN/metrics" >"$DIR/metrics1" || fail "/metrics scrape failed"
+for series in \
+    repro_map_len repro_map_occupancy repro_map_getbatch_seconds \
+    repro_map_probe_depth repro_map_put_seconds \
+    repro_wal_appends_total repro_wal_healthy repro_wal_replay_records_total \
+    repro_server_conns_accepted_total repro_server_gets_total \
+    repro_server_sets_total repro_server_batch_size repro_server_get_seconds; do
+    grep -q "^$series" "$DIR/metrics1" || fail "/metrics is missing $series"
+done
+[ "$(metric repro_wal_healthy "$DIR/metrics1")" = "1" ] \
+    || fail "repro_wal_healthy != 1 on a healthy instance"
+MAP_LEN=$(metric repro_map_len "$DIR/metrics1")
+awk -v v="$MAP_LEN" 'BEGIN { exit !(v > 0) }' \
+    || fail "repro_map_len $MAP_LEN after a mixed workload"
+SETS1=$(metric repro_server_sets_total "$DIR/metrics1")
+GETS1=$(metric repro_server_gets_total "$DIR/metrics1")
+WAL1=$(metric repro_wal_appends_total "$DIR/metrics1")
+awk -v s="$SETS1" -v g="$GETS1" -v w="$WAL1" \
+    'BEGIN { exit !(s > 0 && g > 0 && w > 0) }' \
+    || fail "core counters not live: sets=$SETS1 gets=$GETS1 wal_appends=$WAL1"
 
 echo "serve-smoke: per-key GET vs batched MGET on the resident map"
 "$DIR/loadgen" -net "$ADDR" -ops "$OPS" -conns "$CONNS" -read 1 -delete 0 \
@@ -94,6 +140,19 @@ MGET_OPS=$(awk -F'[:,]' '/"ops_per_sec"/{gsub(/[ "]/,"",$2); print $2}' "$JSON_D
 echo "serve-smoke: get $GET_OPS ops/sec, mget(16) $MGET_OPS ops/sec"
 awk -v g="$GET_OPS" -v m="$MGET_OPS" 'BEGIN { exit !(m >= 1.2 * g) }' \
     || fail "MGET throughput $MGET_OPS not >= 1.2x per-key GET $GET_OPS"
+
+# Second scrape: the read runs above must have moved the read-side
+# counters strictly forward (monotonicity across scrapes), and the
+# MGET run must have produced multi-key server-side batches.
+fetch "http://$ADMIN/metrics" >"$DIR/metrics2" || fail "second /metrics scrape failed"
+GETS2=$(metric repro_server_gets_total "$DIR/metrics2")
+MGETS2=$(metric repro_server_mgets_total "$DIR/metrics2")
+BATCHES2=$(metric repro_server_batch_size_count "$DIR/metrics2")
+awk -v a="$GETS1" -v b="$GETS2" 'BEGIN { exit !(b > a) }' \
+    || fail "repro_server_gets_total not monotone across scrapes ($GETS1 -> $GETS2)"
+awk -v m="$MGETS2" -v n="$BATCHES2" 'BEGIN { exit !(m > 0 && n > 0) }' \
+    || fail "MGET run left no trace: mgets=$MGETS2 batch_count=$BATCHES2"
+echo "serve-smoke: telemetry live and monotone (gets $GETS1 -> $GETS2, map_len $MAP_LEN)"
 
 echo "serve-smoke: graceful shutdown + restart recovery"
 stop_served

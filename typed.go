@@ -117,18 +117,19 @@ func HashString(key SipKey, s string) uint64 { return keyed.String(key, s) }
 // family are ignored (WithProbe configures only OpenMap, WithMaxKicks
 // only CuckooMap, and so on).
 type options struct {
-	shards       int
-	buckets      int
-	slots        int
-	d            int
-	stash        int
-	maxLoad      float64
-	migrateBatch int
-	seed         uint64
-	capacity     int
-	maxKicks     int
-	probe        openaddr.Probe
-	walNoSync    bool
+	shards         int
+	buckets        int
+	slots          int
+	d              int
+	stash          int
+	maxLoad        float64
+	migrateBatch   int
+	seed           uint64
+	capacity       int
+	maxKicks       int
+	probe          openaddr.Probe
+	walNoSync      bool
+	durableMetrics *DurableMetrics
 }
 
 // Option configures a typed container constructor.
@@ -206,6 +207,15 @@ func WithProbe(p ProbeKind) Option { return func(o *options) { o.probe = p } }
 // crash still loses nothing, but power loss can drop the OS-buffered
 // tail.
 func WithWALSync(on bool) Option { return func(o *options) { o.walNoSync = !on } }
+
+// WithDurableMetrics attaches observability instruments to Open's
+// durable map: WAL append/fsync latency, group-commit batch sizes,
+// sticky-poison events, recovery replay totals, and checkpoint
+// duration/size. dm must have every field non-nil (use
+// NewDurableMetrics). Only Open consumes it.
+func WithDurableMetrics(dm *DurableMetrics) Option {
+	return func(o *options) { o.durableMetrics = dm }
+}
 
 // NewMap returns an empty concurrency-safe sharded map keyed by K's
 // built-in hasher (HasherFor[K]; panics for key types without one — use
